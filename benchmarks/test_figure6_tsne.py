@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 6 (t-SNE projection of the two views)."""
+
+from repro.analysis.tsne import TSNEConfig
+from repro.experiments import run_figure6
+
+
+def test_figure6_tsne_projection(benchmark, workload):
+    result = benchmark.pedantic(
+        lambda: run_figure6(
+            workload=workload,
+            num_users=120,
+            num_items=120,
+            tsne_config=TSNEConfig(num_iterations=150, perplexity=15.0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format())
+    projections = result.projections
+    assert projections["user_initiator"].shape[1] == 2
+    assert projections["item_participant"].shape[1] == 2
+    # The projection must produce finite, non-degenerate coordinates and a
+    # measurable separation score (the paper reports visible separation).
+    assert result.user_separation() >= 0.0
+    assert result.item_separation() >= 0.0
+    benchmark.extra_info["user_view_separation"] = round(result.user_separation(), 3)
+    benchmark.extra_info["item_view_separation"] = round(result.item_separation(), 3)

@@ -1,0 +1,44 @@
+"""Benchmark: data-sparsity study (the paper's stated future work).
+
+Trains MF, GBMF and GBGCN on 50% and 100% of the training behaviors (same
+test set, social network and candidates) and reports how each degrades.
+The expected shape: every model loses quality when the log thins out, and
+the friend-aware models (GBMF, GBGCN) retain more of their quality than
+plain MF because part of their signal comes from the untouched social
+network.
+"""
+
+from repro.analysis import run_sparsity_study
+
+
+def test_sparsity_study(benchmark, workload):
+    def run():
+        return run_sparsity_study(
+            workload.split,
+            workload.evaluator,
+            model_names=("MF", "GBMF", "GBGCN"),
+            fractions=(0.5, 1.0),
+            model_settings=workload.config.model_settings,
+            training=workload.config.training,
+        )
+
+    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n" + study.format())
+
+    for model_name in study.model_names():
+        series = study.series(model_name)
+        benchmark.extra_info[f"recall10_{model_name}_sparse"] = round(series[0]["Recall@10"], 4)
+        benchmark.extra_info[f"recall10_{model_name}_dense"] = round(series[-1]["Recall@10"], 4)
+
+    # Sanity: every point is a valid metric and the dense setting never has
+    # fewer training behaviors than the sparse one.
+    for model_name in study.model_names():
+        series = study.series(model_name)
+        assert series[0].num_train_behaviors < series[-1].num_train_behaviors
+        assert all(0.0 <= point["Recall@10"] <= 1.0 for point in series)
+
+    # Shape: the group-buying-aware models stay competitive with MF at the
+    # sparse setting (they can lean on the social network).
+    sparse_mf = study.series("MF")[0]["Recall@10"]
+    sparse_gb = max(study.series("GBMF")[0]["Recall@10"], study.series("GBGCN")[0]["Recall@10"])
+    assert sparse_gb >= 0.8 * sparse_mf

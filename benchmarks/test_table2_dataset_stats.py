@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from repro.experiments import run_table2
+
+
+def test_table2_dataset_statistics(benchmark, workload):
+    result = benchmark.pedantic(lambda: run_table2(workload=workload), rounds=1, iterations=1)
+    print("\n" + result.format())
+    stats = result.statistics
+    # Shape checks mirroring the paper's dataset: most behaviors succeed,
+    # but a substantial failed minority exists (it feeds the loss).
+    assert stats.num_successful > stats.num_failed > 0
+    assert 0.5 < stats.success_ratio < 0.98
+    benchmark.extra_info["success_ratio"] = round(stats.success_ratio, 4)
+    benchmark.extra_info["behaviors"] = stats.num_behaviors

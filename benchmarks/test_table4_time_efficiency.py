@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table IV (training/testing time per epoch).
+
+The reproducible shape is the relative ordering: flattened CF/social models
+are cheap per epoch, while the group and group-buying models (which iterate
+over friends/participants) cost more, with GBGCN the most expensive trainer.
+"""
+
+from repro.experiments import run_table4
+
+
+def test_table4_time_efficiency(benchmark, workload):
+    result = benchmark.pedantic(lambda: run_table4(workload=workload), rounds=1, iterations=1)
+    print("\n" + result.format())
+    timings = result.timings
+
+    cheap = min(timings[name].train_seconds_per_epoch for name in ("MF(oi)", "MF"))
+    assert timings["GBGCN"].train_seconds_per_epoch > cheap
+    assert timings["GBMF"].train_seconds_per_epoch > 0
+    # GBGCN is the slowest (or ties for slowest) training method, as in the paper.
+    slowest = max(timings.values(), key=lambda timing: timing.train_seconds_per_epoch)
+    assert timings["GBGCN"].train_seconds_per_epoch >= 0.8 * slowest.train_seconds_per_epoch
+
+    for name, timing in timings.items():
+        benchmark.extra_info[f"{name}_train_s"] = round(timing.train_seconds_per_epoch, 4)

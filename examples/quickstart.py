@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: train GBGCN on a synthetic group-buying dataset and get
+recommendations for one initiator.
+
+Runs in well under a minute on a laptop CPU:
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import GBGCNConfig
+from repro.data import BeibeiLikeConfig, compute_statistics, generate_dataset, leave_one_out_split
+from repro.eval import LeaveOneOutEvaluator
+from repro.training import TrainingSettings, train_gbgcn_with_pretraining
+from repro.utils import configure_logging
+
+
+def main() -> None:
+    configure_logging()
+
+    # 1. Generate a Beibei-like group-buying dataset (users, items, social
+    #    network, launch/join behaviors with success thresholds).
+    dataset = generate_dataset(BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=7))
+    print("Dataset statistics (Table II format):")
+    print(compute_statistics(dataset).format())
+    print()
+
+    # 2. Leave-one-out split and evaluation protocol (999 negatives is the
+    #    paper's setting; 199 keeps the quickstart snappy).
+    split = leave_one_out_split(dataset, seed=1)
+    evaluator = LeaveOneOutEvaluator(split, num_negatives=199, seed=3)
+
+    # 3. Two-stage training: Adam pre-training of raw embeddings, then SGD
+    #    fine-tuning of the full multi-view GCN (Section III-C of the paper).
+    settings = TrainingSettings(num_epochs=10, pretrain_epochs=4, batch_size=512, validate_every=2)
+    config = GBGCNConfig(embedding_dim=16, num_layers=2, alpha=0.6, beta=0.05)
+    model, history, _ = train_gbgcn_with_pretraining(split, config=config, settings=settings, evaluator=evaluator)
+    print(f"Trained GBGCN for {history.num_epochs} epochs; best validation epoch: {history.best_epoch}")
+
+    # 4. Evaluate with the leave-one-out protocol.
+    result = evaluator.evaluate_test(model)
+    print("Test metrics:", {name: round(value, 4) for name, value in result.metrics.items()})
+    print()
+
+    # 5. Produce a top-10 recommendation list for one test initiator.
+    model.prepare_for_evaluation()
+    user = next(iter(split.test))
+    candidate_items = np.arange(dataset.num_items)
+    scores = model.rank_scores(user, candidate_items)
+    top_items = np.argsort(-scores)[:10]
+    print(f"Top-10 items to recommend to initiator {user}: {top_items.tolist()}")
+    print(f"(Held-out item the user actually launched: {split.test[user].item})")
+
+
+if __name__ == "__main__":
+    main()

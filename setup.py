@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e . --no-use-pep517`` works on machines where PEP 517 build
+isolation is unavailable (e.g. offline boxes without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

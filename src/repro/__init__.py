@@ -1,0 +1,63 @@
+"""repro — a full reproduction of "Group-Buying Recommendation for Social
+E-Commerce" (GBGCN, ICDE 2021).
+
+The package is organized bottom-up:
+
+* :mod:`repro.autograd` — NumPy reverse-mode autodiff (the PyTorch substitute);
+* :mod:`repro.nn`, :mod:`repro.optim` — layers, losses and optimizers;
+* :mod:`repro.graph` — bipartite / social / heterogeneous graph substrate;
+* :mod:`repro.data` — the group-buying data model and the Beibei-like
+  synthetic dataset generator;
+* :mod:`repro.models` — every baseline of the paper's Table III;
+* :mod:`repro.core` — GBGCN itself (propagation, prediction, loss);
+* :mod:`repro.training`, :mod:`repro.eval` — training pipelines and the
+  leave-one-out evaluation protocol;
+* :mod:`repro.analysis`, :mod:`repro.experiments` — embedding analyses and
+  the scripts regenerating every table and figure.
+
+Quickstart::
+
+    from repro.data import generate_dataset, leave_one_out_split
+    from repro.eval import LeaveOneOutEvaluator
+    from repro.training import TrainingSettings, train_gbgcn_with_pretraining
+
+    split = leave_one_out_split(generate_dataset())
+    evaluator = LeaveOneOutEvaluator(split)
+    model, history, _ = train_gbgcn_with_pretraining(split)
+    print(evaluator.evaluate_test(model).metrics)
+"""
+
+__version__ = "1.0.0"
+
+from . import autograd, data, eval, graph, models, nn, optim, training, utils
+from .core import GBGCN, GBGCNConfig
+from .data import BeibeiLikeConfig, GroupBuyingDataset, generate_dataset, leave_one_out_split
+from .eval import LeaveOneOutEvaluator
+from .models import MODEL_NAMES, ModelSettings, build_model
+from .training import TrainingSettings, train_gbgcn_with_pretraining, train_model
+
+__all__ = [
+    "__version__",
+    "autograd",
+    "data",
+    "eval",
+    "graph",
+    "models",
+    "nn",
+    "optim",
+    "training",
+    "utils",
+    "GBGCN",
+    "GBGCNConfig",
+    "BeibeiLikeConfig",
+    "GroupBuyingDataset",
+    "generate_dataset",
+    "leave_one_out_split",
+    "LeaveOneOutEvaluator",
+    "MODEL_NAMES",
+    "ModelSettings",
+    "build_model",
+    "TrainingSettings",
+    "train_gbgcn_with_pretraining",
+    "train_model",
+]

@@ -1,0 +1,46 @@
+"""Analyses of trained models and datasets: embedding similarity, t-SNE,
+hyper-parameter sweeps, data-sparsity studies and social-influence analysis."""
+
+from .tsne import TSNE, TSNEConfig, tsne_embed
+from .embedding_analysis import (
+    SimilarityDistribution,
+    cross_view_similarity,
+    gbgcn_view_similarities,
+    tsne_projection,
+)
+from .hyperparam import (
+    PAPER_ALPHA_GRID,
+    PAPER_BETA_GRID,
+    SweepPoint,
+    sweep_loss_coefficient,
+    sweep_role_coefficient,
+)
+from .sparsity import SparsityPoint, SparsityStudy, run_sparsity_study
+from .influence import (
+    InfluenceReport,
+    InitiatorInfluence,
+    analyze_social_influence,
+    initiator_influence,
+)
+
+__all__ = [
+    "TSNE",
+    "TSNEConfig",
+    "tsne_embed",
+    "SimilarityDistribution",
+    "cross_view_similarity",
+    "gbgcn_view_similarities",
+    "tsne_projection",
+    "SweepPoint",
+    "PAPER_ALPHA_GRID",
+    "PAPER_BETA_GRID",
+    "sweep_loss_coefficient",
+    "sweep_role_coefficient",
+    "SparsityPoint",
+    "SparsityStudy",
+    "run_sparsity_study",
+    "InfluenceReport",
+    "InitiatorInfluence",
+    "analyze_social_influence",
+    "initiator_influence",
+]

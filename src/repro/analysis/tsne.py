@@ -1,0 +1,129 @@
+"""Exact t-SNE [van der Maaten & Hinton, 2008] implemented in NumPy.
+
+The paper's Figure 6 visualizes 1000 user and 1000 item embeddings per view
+with t-SNE.  scikit-learn is not available offline, so this module provides
+an exact (non-Barnes-Hut) implementation, which is entirely adequate at a
+few thousand points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..utils.rng import make_rng
+
+__all__ = ["TSNEConfig", "TSNE", "tsne_embed"]
+
+
+@dataclass
+class TSNEConfig:
+    """Hyper-parameters of the t-SNE optimization."""
+
+    perplexity: float = 30.0
+    num_iterations: int = 300
+    learning_rate: float = 100.0
+    momentum: float = 0.8
+    early_exaggeration: float = 4.0
+    exaggeration_iterations: int = 50
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.perplexity <= 1:
+            raise ValueError("perplexity must be greater than 1")
+        if self.num_iterations < 1:
+            raise ValueError("num_iterations must be positive")
+
+
+def _pairwise_squared_distances(data: np.ndarray) -> np.ndarray:
+    sum_squares = (data ** 2).sum(axis=1)
+    distances = sum_squares[:, None] + sum_squares[None, :] - 2.0 * data @ data.T
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _binary_search_beta(distances_row: np.ndarray, target_entropy: float, tolerance: float = 1e-5) -> np.ndarray:
+    """Find the Gaussian precision (beta) matching the target entropy for one row."""
+    beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+    probabilities = np.zeros_like(distances_row)
+    for _ in range(50):
+        exponent = np.exp(-distances_row * beta)
+        total = exponent.sum()
+        if total <= 0:
+            total = 1e-12
+        probabilities = exponent / total
+        entropy = -np.sum(probabilities * np.log2(np.maximum(probabilities, 1e-12)))
+        difference = entropy - target_entropy
+        if abs(difference) < tolerance:
+            break
+        if difference > 0:
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+        else:
+            beta_max = beta
+            beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2.0
+    return probabilities
+
+
+def _joint_probabilities(data: np.ndarray, perplexity: float) -> np.ndarray:
+    num_points = data.shape[0]
+    distances = _pairwise_squared_distances(data)
+    target_entropy = np.log2(perplexity)
+    conditional = np.zeros((num_points, num_points))
+    for index in range(num_points):
+        mask = np.arange(num_points) != index
+        conditional[index, mask] = _binary_search_beta(distances[index, mask], target_entropy)
+    joint = (conditional + conditional.T) / (2.0 * num_points)
+    return np.maximum(joint, 1e-12)
+
+
+class TSNE:
+    """Exact t-SNE projecting vectors to (by default) two dimensions."""
+
+    def __init__(self, config: Optional[TSNEConfig] = None, num_components: int = 2) -> None:
+        self.config = config or TSNEConfig()
+        self.num_components = num_components
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Project ``data`` (``N x D``) to ``N x num_components``."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("expected a 2-D array")
+        num_points = data.shape[0]
+        if num_points < 5:
+            raise ValueError("t-SNE needs at least 5 points")
+        config = self.config
+        perplexity = min(config.perplexity, (num_points - 1) / 3.0)
+
+        joint = _joint_probabilities(data, perplexity)
+        rng = make_rng(config.seed)
+        embedding = rng.normal(0.0, 1e-4, size=(num_points, self.num_components))
+        velocity = np.zeros_like(embedding)
+
+        exaggerated = joint * config.early_exaggeration
+        for iteration in range(config.num_iterations):
+            target = exaggerated if iteration < config.exaggeration_iterations else joint
+
+            distances = _pairwise_squared_distances(embedding)
+            student = 1.0 / (1.0 + distances)
+            np.fill_diagonal(student, 0.0)
+            low_dim = student / np.maximum(student.sum(), 1e-12)
+            low_dim = np.maximum(low_dim, 1e-12)
+
+            weights = (target - low_dim) * student
+            gradient = 4.0 * (
+                np.diag(weights.sum(axis=1)) - weights
+            ) @ embedding
+
+            velocity = config.momentum * velocity - config.learning_rate * gradient
+            embedding = embedding + velocity
+            embedding = embedding - embedding.mean(axis=0)
+
+        return embedding
+
+
+def tsne_embed(data: np.ndarray, config: Optional[TSNEConfig] = None) -> np.ndarray:
+    """Convenience wrapper around :class:`TSNE`."""
+    return TSNE(config).fit_transform(data)

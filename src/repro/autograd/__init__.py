@@ -1,0 +1,59 @@
+"""NumPy-based reverse-mode automatic differentiation substrate.
+
+This package stands in for PyTorch in the GBGCN reproduction.  It provides
+the :class:`Tensor` type, differentiable functional operations, sparse
+propagation kernels, and gradient-checking utilities.
+"""
+
+from .tensor import Tensor, as_tensor, no_grad, is_grad_enabled
+from .functional import (
+    ACTIVATIONS,
+    concat,
+    cosine_similarity,
+    dropout,
+    embedding_lookup,
+    identity,
+    l2_norm_squared,
+    leaky_relu,
+    log_sigmoid,
+    relu,
+    segment_mean,
+    segment_sum,
+    sigmoid,
+    softmax,
+    softplus,
+    stack,
+    tanh,
+)
+from .sparse import row_normalize, sparse_matmul, to_csr
+from .gradcheck import GradientCheckError, check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ACTIVATIONS",
+    "concat",
+    "cosine_similarity",
+    "dropout",
+    "embedding_lookup",
+    "identity",
+    "l2_norm_squared",
+    "leaky_relu",
+    "log_sigmoid",
+    "relu",
+    "segment_mean",
+    "segment_sum",
+    "sigmoid",
+    "softmax",
+    "softplus",
+    "stack",
+    "tanh",
+    "row_normalize",
+    "sparse_matmul",
+    "to_csr",
+    "GradientCheckError",
+    "check_gradients",
+    "numerical_gradient",
+]

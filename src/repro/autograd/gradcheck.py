@@ -1,0 +1,81 @@
+"""Finite-difference gradient checking for the autograd engine.
+
+The autograd engine replaces PyTorch in this reproduction, so its gradients
+must be verifiably correct.  :func:`check_gradients` compares analytic
+gradients against central finite differences and is used throughout
+``tests/autograd`` and ``tests/nn``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradients", "GradientCheckError"]
+
+
+class GradientCheckError(AssertionError):
+    """Raised when analytic and numerical gradients disagree."""
+
+
+def numerical_gradient(
+    func: Callable[[], Tensor],
+    tensor: Tensor,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of ``func()`` w.r.t. ``tensor``.
+
+    ``func`` must be a zero-argument callable returning a scalar
+    :class:`Tensor` and must read ``tensor.data`` afresh on every call.
+    """
+    gradient = np.zeros_like(tensor.data)
+    flat = tensor.data.reshape(-1)
+    flat_grad = gradient.reshape(-1)
+    for position in range(flat.size):
+        original = flat[position]
+        flat[position] = original + epsilon
+        upper = float(func().data)
+        flat[position] = original - epsilon
+        lower = float(func().data)
+        flat[position] = original
+        flat_grad[position] = (upper - lower) / (2.0 * epsilon)
+    return gradient
+
+
+def check_gradients(
+    func: Callable[[], Tensor],
+    tensors: Dict[str, Tensor] | Sequence[Tensor],
+    epsilon: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> None:
+    """Assert that analytic gradients of ``func`` match finite differences.
+
+    Parameters
+    ----------
+    func:
+        Zero-argument callable that rebuilds the computation and returns a
+        scalar :class:`Tensor`.
+    tensors:
+        The leaf tensors (with ``requires_grad=True``) whose gradients are
+        verified; a dict gives better error messages.
+    """
+    if not isinstance(tensors, dict):
+        tensors = {f"tensor_{i}": t for i, t in enumerate(tensors)}
+
+    for tensor in tensors.values():
+        tensor.zero_grad()
+    output = func()
+    output.backward()
+
+    for name, tensor in tensors.items():
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(func, tensor, epsilon=epsilon)
+        if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise GradientCheckError(
+                f"gradient mismatch for '{name}': max abs difference {worst:.3e}"
+            )

@@ -1,0 +1,53 @@
+"""Sparse-dense products for graph propagation.
+
+Graph convolutions in the paper (Eq. 1-2 and 4-7) are mean-aggregations of
+neighbor embeddings, which are exactly products of a row-normalized sparse
+adjacency matrix with a dense embedding matrix.  The adjacency matrix is a
+constant of the training data, so only the dense operand needs gradients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["sparse_matmul", "row_normalize", "to_csr"]
+
+
+def to_csr(matrix) -> sp.csr_matrix:
+    """Coerce any scipy sparse / dense matrix into CSR format."""
+    if sp.issparse(matrix):
+        return matrix.tocsr()
+    return sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+
+
+def row_normalize(matrix) -> sp.csr_matrix:
+    """Return the row-stochastic version of ``matrix`` (zero rows stay zero).
+
+    This implements the ``1/|N(v)|`` mean-aggregation weighting used in the
+    in-view and cross-view propagation rules.
+    """
+    csr = to_csr(matrix).astype(np.float64)
+    row_sums = np.asarray(csr.sum(axis=1)).flatten()
+    inverse = np.zeros_like(row_sums)
+    nonzero = row_sums != 0
+    inverse[nonzero] = 1.0 / row_sums[nonzero]
+    scaling = sp.diags(inverse)
+    return (scaling @ csr).tocsr()
+
+
+def sparse_matmul(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Differentiable product ``matrix @ dense`` with a constant sparse matrix."""
+    if not sp.issparse(matrix):
+        raise TypeError("sparse_matmul expects a scipy sparse matrix as the left operand")
+    dense = as_tensor(dense)
+    csr = matrix.tocsr()
+    out_data = csr @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(csr.T @ grad)
+
+    return Tensor._make(np.asarray(out_data), (dense,), backward)

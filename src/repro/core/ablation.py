@@ -1,0 +1,45 @@
+"""Factories for the multi-view ablation variants of Table V.
+
+The paper degrades GBGCN by replacing, after every propagation layer, the
+two views' embeddings with their average — removing the role distinction
+for users, for items, or for both, without changing model capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..graph.hetero import HeteroGroupBuyingGraph
+from .gbgcn import GBGCN, GBGCNConfig
+
+__all__ = ["AblationVariant", "ABLATION_VARIANTS", "build_ablation_model"]
+
+#: Mapping from the Table V row label to the (share_user_roles, share_item_roles) flags.
+ABLATION_VARIANTS: Dict[str, Dict[str, bool]] = {
+    "GBGCN": {"share_user_roles": False, "share_item_roles": False},
+    "Without Item Roles": {"share_user_roles": False, "share_item_roles": True},
+    "Without User Roles": {"share_user_roles": True, "share_item_roles": False},
+    "Without Item and User Roles": {"share_user_roles": True, "share_item_roles": True},
+}
+
+AblationVariant = str
+
+
+def build_ablation_model(
+    variant: AblationVariant,
+    num_users: int,
+    num_items: int,
+    graph: HeteroGroupBuyingGraph,
+    config: Optional[GBGCNConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> GBGCN:
+    """Build the GBGCN variant named by a Table V row label."""
+    if variant not in ABLATION_VARIANTS:
+        raise ValueError(f"unknown ablation variant '{variant}'; expected one of {list(ABLATION_VARIANTS)}")
+    base = config or GBGCNConfig()
+    flags = ABLATION_VARIANTS[variant]
+    variant_config = replace(base, **flags)
+    return GBGCN(num_users, num_items, graph, config=variant_config, rng=rng)

@@ -1,0 +1,217 @@
+"""GBGCN — Group-Buying Graph Convolutional Network (the paper's contribution).
+
+The model cascades four stages (Figure 2 of the paper):
+
+1. **Raw embedding layer** — one embedding per user and item, shared by
+   both views.
+2. **In-view propagation** (Eq. 1-3) — parameter-free mean aggregation on
+   the initiator-view and participant-view bipartite graphs.
+3. **Cross-view propagation** (Eq. 4-8) — FC-transformed message passing
+   along the directed sharing graph plus another in-view pass.
+4. **Prediction** (Eq. 9) — role-weighted combination of the initiator's
+   own interest and the average interest of their friends.
+
+Training minimizes the double-pairwise fine-grained loss (Eq. 10-12) plus
+L2 and social regularization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import Tensor, no_grad
+from ..graph.hetero import HeteroGroupBuyingGraph
+from ..models.base import DataMode, RecommenderModel
+from ..nn import Embedding, social_regularization
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..training.batches import GroupBuyingBatch
+from .loss import DoublePairwiseLoss
+from .prediction import RoleWeightedPredictor
+from .propagation import CrossViewPropagation, InViewPropagation, ViewEmbeddings
+
+__all__ = ["GBGCNConfig", "GBGCN"]
+
+
+@dataclass
+class GBGCNConfig:
+    """Hyper-parameters of GBGCN (defaults follow Section IV-A of the paper)."""
+
+    embedding_dim: int = 32
+    num_layers: int = 2
+    #: Role coefficient of Eq. 9 (paper's best value on Beibei: 0.6).
+    alpha: float = 0.6
+    #: Loss coefficient of Eq. 10 (paper's best value: 0.05).
+    beta: float = 0.05
+    l2_weight: float = 1e-4
+    social_weight: float = 1e-3
+    activation: str = "sigmoid"
+    #: Table V ablations: average the two views' user/item embeddings.
+    share_user_roles: bool = False
+    share_item_roles: bool = False
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        if self.num_layers < 1:
+            raise ValueError("num_layers must be at least 1")
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+
+
+class GBGCN(RecommenderModel):
+    """The full GBGCN model over a :class:`HeteroGroupBuyingGraph`."""
+
+    data_mode = DataMode.GROUP_BUYING
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        graph: HeteroGroupBuyingGraph,
+        config: Optional[GBGCNConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        config = config or GBGCNConfig()
+        super().__init__(num_users, num_items, l2_weight=config.l2_weight)
+        if graph.num_users != num_users or graph.num_items != num_items:
+            raise ValueError("graph shape does not match the user/item universe")
+        self.config = config
+        self.graph = graph
+
+        self.user_embedding = Embedding(num_users, config.embedding_dim, rng=rng)
+        self.item_embedding = Embedding(num_items, config.embedding_dim, rng=rng)
+
+        self.in_view = InViewPropagation(
+            graph,
+            num_layers=config.num_layers,
+            share_user_roles=config.share_user_roles,
+            share_item_roles=config.share_item_roles,
+        )
+        in_view_dim = (config.num_layers + 1) * config.embedding_dim
+        self.cross_view = CrossViewPropagation(
+            graph,
+            feature_dim=in_view_dim,
+            activation=config.activation,
+            share_user_roles=config.share_user_roles,
+            share_item_roles=config.share_item_roles,
+            rng=rng,
+        )
+        self._social_normalized: sp.csr_matrix = graph.friendship.normalized()
+        self.predictor = RoleWeightedPredictor(self._social_normalized, alpha=config.alpha)
+        self.loss_function = DoublePairwiseLoss(beta=config.beta)
+        self._eval_cache: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Forward pass
+    # ------------------------------------------------------------------
+    def propagate(self) -> ViewEmbeddings:
+        """Run in-view then cross-view propagation over the full graph."""
+        in_view = self.in_view(self.user_embedding.weight, self.item_embedding.weight)
+        return self.cross_view(in_view)
+
+    def in_view_embeddings(self) -> ViewEmbeddings:
+        """Only the in-view stage (used by the embedding analysis, Figure 5)."""
+        return self.in_view(self.user_embedding.weight, self.item_embedding.weight)
+
+    @property
+    def final_dim(self) -> int:
+        """Dimensionality of the final per-view embeddings."""
+        return 2 * (self.config.num_layers + 1) * self.config.embedding_dim
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def batch_loss(self, batch: GroupBuyingBatch) -> Tensor:
+        embeddings = self.propagate()
+        friend_average = self.predictor.friend_average(embeddings.user_participant)
+
+        def score_pairs(users: np.ndarray, items: np.ndarray) -> Tensor:
+            return self.predictor.score_pairs(
+                users,
+                items,
+                embeddings.user_initiator,
+                embeddings.item_initiator,
+                friend_average,
+                embeddings.item_participant,
+            )
+
+        loss = self.loss_function(batch, score_pairs)
+
+        touched_users = np.unique(
+            np.concatenate([batch.initiators, batch.participants, batch.failed_friends])
+        ) if batch.participants.size or batch.failed_friends.size else np.unique(batch.initiators)
+        touched_items = np.unique(np.concatenate([batch.items, batch.negative_items]))
+        regularizer = self.regularization(
+            [self.user_embedding(touched_users), self.item_embedding(touched_items)]
+        ) * (1.0 / max(len(batch), 1))
+
+        social_term = Tensor(0.0)
+        if self.config.social_weight > 0:
+            social_term = social_regularization(
+                self.user_embedding.weight,
+                self._social_normalized,
+                weight=self.config.social_weight,
+                user_indices=batch.initiators,
+            ) * (1.0 / max(len(batch), 1))
+
+        return loss + regularizer + social_term
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def prepare_for_evaluation(self) -> None:
+        with no_grad():
+            embeddings = self.propagate()
+            friend_average = self.predictor.friend_average(embeddings.user_participant)
+            self._eval_cache = {
+                "user_initiator": embeddings.user_initiator.data,
+                "item_initiator": embeddings.item_initiator.data,
+                "user_participant": embeddings.user_participant.data,
+                "item_participant": embeddings.item_participant.data,
+                "friend_average": friend_average.data,
+            }
+
+    def invalidate_cache(self) -> None:
+        self._eval_cache = None
+
+    def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        cache = self._eval_cache
+        return self.predictor.score_candidates(
+            user,
+            item_ids,
+            cache["user_initiator"],
+            cache["item_initiator"],
+            cache["friend_average"],
+            cache["item_participant"],
+        )
+
+    def final_embeddings(self) -> Dict[str, np.ndarray]:
+        """Final per-view user/item embeddings as NumPy arrays (Figures 5-6)."""
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        return {
+            "user_initiator": self._eval_cache["user_initiator"],
+            "item_initiator": self._eval_cache["item_initiator"],
+            "user_participant": self._eval_cache["user_participant"],
+            "item_participant": self._eval_cache["item_participant"],
+        }
+
+    @property
+    def name(self) -> str:
+        if self.config.share_user_roles and self.config.share_item_roles:
+            return "GBGCN (w/o user & item roles)"
+        if self.config.share_user_roles:
+            return "GBGCN (w/o user roles)"
+        if self.config.share_item_roles:
+            return "GBGCN (w/o item roles)"
+        return "GBGCN"

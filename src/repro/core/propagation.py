@@ -1,0 +1,185 @@
+"""In-view and cross-view embedding propagation (Section III-B of the paper).
+
+* :class:`InViewPropagation` implements Eq. 1-3: parameter-free mean
+  aggregation over the initiator-view and participant-view user-item
+  bipartite graphs, with all layer outputs concatenated.
+* :class:`CrossViewPropagation` implements Eq. 4-8: FC-transformed message
+  passing that moves information between the two views along the directed
+  sharing graph ``G_s`` (plus another pass over the in-view graphs), again
+  concatenated with its input.
+
+Both layers support the multi-view ablations of Table V through the
+``share_user_roles`` / ``share_item_roles`` flags: when a flag is set the
+corresponding initiator-view and participant-view embeddings are replaced
+by their average after every propagation step, which removes the role
+distinction without changing model capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, concat, sparse_matmul
+from ..graph.hetero import HeteroGroupBuyingGraph
+from ..nn import Linear, Module, resolve_activation
+
+__all__ = ["ViewEmbeddings", "InViewPropagation", "CrossViewPropagation"]
+
+
+@dataclass
+class ViewEmbeddings:
+    """Embeddings of users and items in both views (one propagation stage)."""
+
+    user_initiator: Tensor
+    item_initiator: Tensor
+    user_participant: Tensor
+    item_participant: Tensor
+
+    def pooled(self, share_user_roles: bool, share_item_roles: bool) -> "ViewEmbeddings":
+        """Average the two views per the Table V ablations (no-op if both flags are False)."""
+        user_i, user_p = self.user_initiator, self.user_participant
+        item_i, item_p = self.item_initiator, self.item_participant
+        if share_user_roles:
+            user_mean = (user_i + user_p) * 0.5
+            user_i, user_p = user_mean, user_mean
+        if share_item_roles:
+            item_mean = (item_i + item_p) * 0.5
+            item_i, item_p = item_mean, item_mean
+        return ViewEmbeddings(user_i, item_i, user_p, item_p)
+
+
+class InViewPropagation(Module):
+    """Parameter-free LightGCN-style propagation inside each view (Eq. 1-3)."""
+
+    def __init__(
+        self,
+        graph: HeteroGroupBuyingGraph,
+        num_layers: int = 2,
+        share_user_roles: bool = False,
+        share_item_roles: bool = False,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("need at least one propagation layer")
+        self.num_layers = num_layers
+        self.share_user_roles = share_user_roles
+        self.share_item_roles = share_item_roles
+        # Row-normalized propagation matrices of both views.
+        self._init_user_from_item = graph.initiator_view.user_to_item_propagation()
+        self._init_item_from_user = graph.initiator_view.item_to_user_propagation()
+        self._part_user_from_item = graph.participant_view.user_to_item_propagation()
+        self._part_item_from_user = graph.participant_view.item_to_user_propagation()
+
+    def forward(self, user_embedding: Tensor, item_embedding: Tensor) -> ViewEmbeddings:
+        """Propagate raw embeddings and return per-view concatenated embeddings."""
+        user_i, item_i = user_embedding, item_embedding
+        user_p, item_p = user_embedding, item_embedding
+
+        user_i_layers: List[Tensor] = [user_embedding]
+        item_i_layers: List[Tensor] = [item_embedding]
+        user_p_layers: List[Tensor] = [user_embedding]
+        item_p_layers: List[Tensor] = [item_embedding]
+
+        for _ in range(self.num_layers):
+            next_user_i = sparse_matmul(self._init_user_from_item, item_i)
+            next_item_i = sparse_matmul(self._init_item_from_user, user_i)
+            next_user_p = sparse_matmul(self._part_user_from_item, item_p)
+            next_item_p = sparse_matmul(self._part_item_from_user, user_p)
+
+            stage = ViewEmbeddings(next_user_i, next_item_i, next_user_p, next_item_p).pooled(
+                self.share_user_roles, self.share_item_roles
+            )
+            user_i, item_i = stage.user_initiator, stage.item_initiator
+            user_p, item_p = stage.user_participant, stage.item_participant
+
+            user_i_layers.append(user_i)
+            item_i_layers.append(item_i)
+            user_p_layers.append(user_p)
+            item_p_layers.append(item_p)
+
+        return ViewEmbeddings(
+            user_initiator=concat(user_i_layers, axis=-1),
+            item_initiator=concat(item_i_layers, axis=-1),
+            user_participant=concat(user_p_layers, axis=-1),
+            item_participant=concat(item_p_layers, axis=-1),
+        )
+
+
+class CrossViewPropagation(Module):
+    """FC-transformed propagation across views along ``G_s`` (Eq. 4-8)."""
+
+    def __init__(
+        self,
+        graph: HeteroGroupBuyingGraph,
+        feature_dim: int,
+        activation: str = "sigmoid",
+        share_user_roles: bool = False,
+        share_item_roles: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.feature_dim = feature_dim
+        self.share_user_roles = share_user_roles
+        self.share_item_roles = share_item_roles
+        self._activation = resolve_activation(activation)
+
+        # In-view propagation matrices reused for the preference supplement.
+        self._init_user_from_item = graph.initiator_view.user_to_item_propagation()
+        self._init_item_from_user = graph.initiator_view.item_to_user_propagation()
+        self._part_user_from_item = graph.participant_view.user_to_item_propagation()
+        self._part_item_from_user = graph.participant_view.item_to_user_propagation()
+        # Directed sharing graph: outgoing (initiator -> their participants)
+        # and incoming (participant <- initiators who shared to them).
+        self._share_outgoing = graph.sharing.outgoing_propagation()
+        self._share_incoming = graph.sharing.incoming_propagation()
+
+        # Transformation matrices W_{source,target} with their biases.
+        self.transform_vi_ui = Linear(feature_dim, feature_dim, rng=rng)
+        self.transform_up_ui = Linear(feature_dim, feature_dim, rng=rng)
+        self.transform_ui_vi = Linear(feature_dim, feature_dim, rng=rng)
+        self.transform_vp_up = Linear(feature_dim, feature_dim, rng=rng)
+        self.transform_ui_up = Linear(feature_dim, feature_dim, rng=rng)
+        self.transform_up_vp = Linear(feature_dim, feature_dim, rng=rng)
+
+    def forward(self, in_view: ViewEmbeddings) -> ViewEmbeddings:
+        """Apply Eq. 4-7 and return the concatenation of input and output (Eq. 8)."""
+        activation = self._activation
+
+        # Eq. 4: initiator-view users hear from their items and from the
+        # participant-view embeddings of users they shared to.
+        item_message_i = sparse_matmul(self._init_user_from_item, in_view.item_initiator)
+        shared_to_message = sparse_matmul(self._share_outgoing, in_view.user_participant)
+        user_initiator = activation(self.transform_vi_ui(item_message_i)) + activation(
+            self.transform_up_ui(shared_to_message)
+        )
+
+        # Eq. 5: initiator-view items hear from initiator-view users.
+        user_message_i = sparse_matmul(self._init_item_from_user, in_view.user_initiator)
+        item_initiator = activation(self.transform_ui_vi(user_message_i))
+
+        # Eq. 6: participant-view users hear from their items and from the
+        # initiator-view embeddings of users who shared to them.
+        item_message_p = sparse_matmul(self._part_user_from_item, in_view.item_participant)
+        shared_from_message = sparse_matmul(self._share_incoming, in_view.user_initiator)
+        user_participant = activation(self.transform_vp_up(item_message_p)) + activation(
+            self.transform_ui_up(shared_from_message)
+        )
+
+        # Eq. 7: participant-view items hear from participant-view users.
+        user_message_p = sparse_matmul(self._part_item_from_user, in_view.user_participant)
+        item_participant = activation(self.transform_up_vp(user_message_p))
+
+        stage = ViewEmbeddings(user_initiator, item_initiator, user_participant, item_participant).pooled(
+            self.share_user_roles, self.share_item_roles
+        )
+
+        # Eq. 8: concatenate the cross-view output with its input.
+        return ViewEmbeddings(
+            user_initiator=concat([in_view.user_initiator, stage.user_initiator], axis=-1),
+            item_initiator=concat([in_view.item_initiator, stage.item_initiator], axis=-1),
+            user_participant=concat([in_view.user_participant, stage.user_participant], axis=-1),
+            item_participant=concat([in_view.item_participant, stage.item_participant], axis=-1),
+        )

@@ -1,0 +1,165 @@
+"""Reader/writer for the authors' released dataset layout.
+
+The paper publishes its (ID-remapped) Beibei group-buying log at
+https://github.com/Sweetnow/group-buying-recommendation.  That release uses
+plain JSON-lines text files rather than this library's TSV layout
+(:mod:`repro.data.io`):
+
+* ``group_buying.jsonl`` — one JSON record per behavior::
+
+      {"initiator": 12, "item": 345, "participants": [7, 19], "success": true}
+
+  ``threshold`` is optional; when missing it is reconstructed from the
+  ``success`` flag (``len(participants)`` for successful behaviors,
+  ``len(participants) + 1`` for failed ones), which preserves the
+  success/failure split exactly even though the platform's true per-item
+  thresholds are not published.
+
+* ``social_network.jsonl`` — one JSON adjacency record per user::
+
+      {"user": 12, "friends": [7, 19, 23]}
+
+Both loaders are tolerant of blank lines and infer the user/item universe
+sizes when they are not given explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from .dataset import GroupBuyingDataset
+from .schema import GroupBuyingBehavior, SocialEdge
+
+__all__ = [
+    "BEHAVIORS_FILENAME",
+    "SOCIAL_FILENAME",
+    "load_beibei_format",
+    "save_beibei_format",
+]
+
+BEHAVIORS_FILENAME = "group_buying.jsonl"
+SOCIAL_FILENAME = "social_network.jsonl"
+
+
+def _reconstruct_threshold(record: Dict) -> int:
+    """Threshold of one behavior record, derived from ``success`` if missing."""
+    if "threshold" in record:
+        threshold = int(record["threshold"])
+        if threshold < 1:
+            raise ValueError(f"invalid threshold {threshold} in record {record}")
+        return threshold
+    participants = record.get("participants", [])
+    if bool(record.get("success", len(participants) > 0)):
+        return max(len(participants), 1)
+    return len(participants) + 1
+
+
+def _parse_behavior(line: str, line_number: int) -> GroupBuyingBehavior:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"line {line_number}: not valid JSON: {error}") from error
+    if not isinstance(record, dict) or "initiator" not in record or "item" not in record:
+        raise ValueError(f"line {line_number}: behavior records need 'initiator' and 'item' keys")
+    return GroupBuyingBehavior(
+        initiator=int(record["initiator"]),
+        item=int(record["item"]),
+        participants=tuple(int(p) for p in record.get("participants", [])),
+        threshold=_reconstruct_threshold(record),
+    )
+
+
+def _parse_social(line: str, line_number: int) -> Tuple[int, List[int]]:
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"line {line_number}: not valid JSON: {error}") from error
+    if not isinstance(record, dict) or "user" not in record:
+        raise ValueError(f"line {line_number}: social records need a 'user' key")
+    return int(record["user"]), [int(f) for f in record.get("friends", [])]
+
+
+def load_beibei_format(
+    directory: Union[str, Path],
+    num_users: Optional[int] = None,
+    num_items: Optional[int] = None,
+    name: Optional[str] = None,
+) -> GroupBuyingDataset:
+    """Load a dataset stored in the released JSON-lines layout.
+
+    ``num_users`` / ``num_items`` default to one past the largest ID seen,
+    which matches the released dump (IDs are contiguous after remapping).
+    """
+    directory = Path(directory)
+    behaviors_path = directory / BEHAVIORS_FILENAME
+    social_path = directory / SOCIAL_FILENAME
+    if not behaviors_path.exists():
+        raise FileNotFoundError(f"missing {behaviors_path}")
+
+    behaviors: List[GroupBuyingBehavior] = []
+    for line_number, line in enumerate(behaviors_path.read_text().splitlines(), start=1):
+        if line.strip():
+            behaviors.append(_parse_behavior(line, line_number))
+
+    edge_set: Set[Tuple[int, int]] = set()
+    if social_path.exists():
+        for line_number, line in enumerate(social_path.read_text().splitlines(), start=1):
+            if not line.strip():
+                continue
+            user, friends = _parse_social(line, line_number)
+            for friend in friends:
+                if friend == user:
+                    continue
+                edge_set.add((min(user, friend), max(user, friend)))
+    edges = [SocialEdge(a, b) for a, b in sorted(edge_set)]
+
+    max_user = max(
+        [b.initiator for b in behaviors]
+        + [p for b in behaviors for p in b.participants]
+        + [e.user_b for e in edges]
+        + [0]
+    )
+    max_item = max([b.item for b in behaviors] + [0])
+
+    return GroupBuyingDataset(
+        num_users=num_users if num_users is not None else max_user + 1,
+        num_items=num_items if num_items is not None else max_item + 1,
+        behaviors=behaviors,
+        social_edges=edges,
+        name=name or directory.name,
+    )
+
+
+def save_beibei_format(dataset: GroupBuyingDataset, directory: Union[str, Path]) -> Path:
+    """Write ``dataset`` in the released JSON-lines layout; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    behavior_lines = [
+        json.dumps(
+            {
+                "initiator": behavior.initiator,
+                "item": behavior.item,
+                "participants": list(behavior.participants),
+                "threshold": behavior.threshold,
+                "success": behavior.is_successful,
+            }
+        )
+        for behavior in dataset.behaviors
+    ]
+    (directory / BEHAVIORS_FILENAME).write_text(
+        "\n".join(behavior_lines) + ("\n" if behavior_lines else "")
+    )
+
+    friends = dataset.friend_lists()
+    social_lines = [
+        json.dumps({"user": user, "friends": friends[user].tolist()})
+        for user in range(dataset.num_users)
+        if friends[user].size
+    ]
+    (directory / SOCIAL_FILENAME).write_text(
+        "\n".join(social_lines) + ("\n" if social_lines else "")
+    )
+    return directory

@@ -1,0 +1,163 @@
+"""Conversions of group-buying behaviors into baseline-compatible formats.
+
+Section IV-A1 of the paper describes two adaptations of the behavioral log:
+
+* For collaborative-filtering and social-recommendation baselines the
+  behaviors are flattened into pure user-item interactions, either keeping
+  only the initiator-item pairs (``oi`` — the ``MF(oi)`` row of Table III)
+  or treating both initiator-item and participant-item pairs as
+  interactions (the unmarked rows).
+* For group-recommendation baselines (AGREE, SIGR) each initiator together
+  with the users who did group buying with them forms a fixed group, and
+  each successful behavior becomes one activity of that group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from .dataset import GroupBuyingDataset
+from .schema import GroupBuyingBehavior
+
+__all__ = [
+    "InteractionConversion",
+    "to_user_item_interactions",
+    "interaction_matrix",
+    "FixedGroupDataset",
+    "to_fixed_groups",
+]
+
+
+@dataclass
+class InteractionConversion:
+    """Flattened user-item interactions derived from group-buying behaviors."""
+
+    num_users: int
+    num_items: int
+    #: ``(num_interactions, 2)`` array of (user, item) pairs, deduplicated.
+    pairs: np.ndarray
+    mode: str
+
+    @property
+    def num_interactions(self) -> int:
+        return int(self.pairs.shape[0])
+
+    def user_items(self) -> Dict[int, Set[int]]:
+        """Per-user item sets."""
+        mapping: Dict[int, Set[int]] = {}
+        for user, item in self.pairs:
+            mapping.setdefault(int(user), set()).add(int(item))
+        return mapping
+
+    def matrix(self) -> sp.csr_matrix:
+        """Binary user-item interaction matrix."""
+        return interaction_matrix(self.pairs, self.num_users, self.num_items)
+
+
+def to_user_item_interactions(dataset: GroupBuyingDataset, mode: str = "both") -> InteractionConversion:
+    """Flatten behaviors into user-item pairs.
+
+    ``mode='oi'`` keeps only initiator-item interactions (conversion 1 in
+    the paper); ``mode='both'`` also includes participant-item interactions
+    (conversion 2, which the paper shows works much better).
+    """
+    if mode not in ("oi", "both"):
+        raise ValueError("mode must be 'oi' or 'both'")
+    pairs: Set[Tuple[int, int]] = set()
+    for behavior in dataset.behaviors:
+        pairs.add((behavior.initiator, behavior.item))
+        if mode == "both":
+            for participant in behavior.participants:
+                pairs.add((participant, behavior.item))
+    array = (
+        np.asarray(sorted(pairs), dtype=np.int64) if pairs else np.zeros((0, 2), dtype=np.int64)
+    )
+    return InteractionConversion(
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        pairs=array,
+        mode=mode,
+    )
+
+
+def interaction_matrix(pairs: np.ndarray, num_users: int, num_items: int) -> sp.csr_matrix:
+    """Build a binary CSR user-item matrix from (user, item) pairs."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return sp.csr_matrix((num_users, num_items), dtype=np.float64)
+    values = np.ones(pairs.shape[0], dtype=np.float64)
+    matrix = sp.coo_matrix((values, (pairs[:, 0], pairs[:, 1])), shape=(num_users, num_items)).tocsr()
+    matrix.data[:] = 1.0
+    return matrix
+
+
+@dataclass
+class FixedGroupDataset:
+    """Group-recommendation view: fixed groups and their item interactions.
+
+    ``group_of_user[u]`` is the group index representing user ``u`` as an
+    initiator (the paper replaces each test user with "the group
+    corresponding to the user" at evaluation time).
+    """
+
+    num_groups: int
+    num_users: int
+    num_items: int
+    #: Members of each group; the first member is always the defining initiator.
+    group_members: List[np.ndarray]
+    #: ``(num_activities, 2)`` array of (group, item) interactions.
+    group_item_pairs: np.ndarray
+    #: Maps an initiating user ID to their group index.
+    group_of_user: Dict[int, int]
+
+    def members_of(self, group: int) -> np.ndarray:
+        return self.group_members[group]
+
+    def group_for_user(self, user: int) -> int:
+        """Group index of a user; falls back to a singleton group mapping."""
+        return self.group_of_user.get(user, -1)
+
+
+def to_fixed_groups(dataset: GroupBuyingDataset, successful_only: bool = True) -> FixedGroupDataset:
+    """Convert behaviors into the fixed-group format for AGREE / SIGR.
+
+    Each user who ever initiated a behavior defines one group consisting of
+    that user plus everyone who ever did group buying with them.  Each
+    (successful, by default) behavior becomes one group-item activity of
+    the initiator's group.
+    """
+    companions: Dict[int, Set[int]] = {}
+    activities: List[Tuple[int, int]] = []
+    behaviors: Sequence[GroupBuyingBehavior] = dataset.behaviors
+
+    for behavior in behaviors:
+        companions.setdefault(behavior.initiator, set()).update(behavior.participants)
+
+    initiators = sorted(companions)
+    group_of_user = {user: index for index, user in enumerate(initiators)}
+    group_members = [
+        np.asarray([user] + sorted(companions[user]), dtype=np.int64) for user in initiators
+    ]
+
+    for behavior in behaviors:
+        if successful_only and not behavior.is_successful:
+            continue
+        activities.append((group_of_user[behavior.initiator], behavior.item))
+
+    pairs = (
+        np.asarray(sorted(set(activities)), dtype=np.int64)
+        if activities
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    return FixedGroupDataset(
+        num_groups=len(initiators),
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        group_members=group_members,
+        group_item_pairs=pairs,
+        group_of_user=group_of_user,
+    )

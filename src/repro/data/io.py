@@ -1,0 +1,91 @@
+"""Serialization of group-buying datasets.
+
+The authors released their dataset as text files; this module mirrors that
+style with a simple, human-readable on-disk layout so users can plug in the
+real Beibei dump (or any other group-buying log) without code changes:
+
+* ``meta.json``        — ``{"num_users": P, "num_items": Q, "name": ...}``
+* ``behaviors.tsv``    — ``initiator<TAB>item<TAB>threshold<TAB>p1,p2,...``
+* ``social.tsv``       — ``user_a<TAB>user_b``
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from .dataset import GroupBuyingDataset
+from .schema import GroupBuyingBehavior, SocialEdge
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_META_FILE = "meta.json"
+_BEHAVIORS_FILE = "behaviors.tsv"
+_SOCIAL_FILE = "social.tsv"
+
+
+def save_dataset(dataset: GroupBuyingDataset, directory: Union[str, Path]) -> Path:
+    """Write ``dataset`` to ``directory`` (created if missing); returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    meta = {
+        "num_users": dataset.num_users,
+        "num_items": dataset.num_items,
+        "name": dataset.name,
+    }
+    (directory / _META_FILE).write_text(json.dumps(meta, indent=2))
+
+    behavior_lines: List[str] = []
+    for behavior in dataset.behaviors:
+        participants = ",".join(str(p) for p in behavior.participants)
+        behavior_lines.append(f"{behavior.initiator}\t{behavior.item}\t{behavior.threshold}\t{participants}")
+    (directory / _BEHAVIORS_FILE).write_text("\n".join(behavior_lines) + ("\n" if behavior_lines else ""))
+
+    social_lines = [f"{edge.user_a}\t{edge.user_b}" for edge in dataset.social_edges]
+    (directory / _SOCIAL_FILE).write_text("\n".join(social_lines) + ("\n" if social_lines else ""))
+    return directory
+
+
+def load_dataset(directory: Union[str, Path]) -> GroupBuyingDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    meta_path = directory / _META_FILE
+    if not meta_path.exists():
+        raise FileNotFoundError(f"missing {meta_path}")
+    meta = json.loads(meta_path.read_text())
+
+    behaviors: List[GroupBuyingBehavior] = []
+    behaviors_path = directory / _BEHAVIORS_FILE
+    if behaviors_path.exists():
+        for line in behaviors_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            initiator, item, threshold, participants = line.split("\t")
+            participant_ids = tuple(int(p) for p in participants.split(",") if p != "")
+            behaviors.append(
+                GroupBuyingBehavior(
+                    initiator=int(initiator),
+                    item=int(item),
+                    participants=participant_ids,
+                    threshold=int(threshold),
+                )
+            )
+
+    edges: List[SocialEdge] = []
+    social_path = directory / _SOCIAL_FILE
+    if social_path.exists():
+        for line in social_path.read_text().splitlines():
+            if not line.strip():
+                continue
+            user_a, user_b = line.split("\t")
+            edges.append(SocialEdge(int(user_a), int(user_b)))
+
+    return GroupBuyingDataset(
+        num_users=int(meta["num_users"]),
+        num_items=int(meta["num_items"]),
+        behaviors=behaviors,
+        social_edges=edges,
+        name=str(meta.get("name", directory.name)),
+    )

@@ -1,0 +1,109 @@
+"""Negative sampling for training and evaluation.
+
+Two distinct samplers are needed:
+
+* :class:`TrainingNegativeSampler` draws ``k`` unobserved items per
+  observed behavior when constructing mini-batches (the paper uses a 1:1
+  ratio).
+* :class:`EvaluationCandidateSampler` draws the 999 unobserved items that
+  are ranked together with the held-out test item (Section IV-A2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .dataset import GroupBuyingDataset
+
+__all__ = ["TrainingNegativeSampler", "EvaluationCandidateSampler"]
+
+
+class TrainingNegativeSampler:
+    """Samples unobserved items for (user, positive item) training pairs."""
+
+    def __init__(
+        self,
+        dataset: GroupBuyingDataset,
+        num_items: Optional[int] = None,
+        seed: int = 0,
+        include_participants: bool = True,
+    ) -> None:
+        self.num_items = num_items or dataset.num_items
+        self._interactions = dataset.user_item_set(include_participants=include_participants)
+        self._rng = make_rng(seed)
+
+    def observed_items(self, user: int) -> Set[int]:
+        """Items the user has interacted with in the training data."""
+        return self._interactions.get(user, set())
+
+    def sample(self, user: int, count: int = 1) -> np.ndarray:
+        """Draw ``count`` items the user has not interacted with."""
+        observed = self._interactions.get(user, set())
+        if len(observed) >= self.num_items:
+            raise ValueError(f"user {user} has interacted with every item; cannot sample negatives")
+        negatives = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            candidates = self._rng.integers(0, self.num_items, size=max(2 * (count - filled), 8))
+            for candidate in candidates:
+                if int(candidate) in observed:
+                    continue
+                negatives[filled] = candidate
+                filled += 1
+                if filled == count:
+                    break
+        return negatives
+
+    def sample_batch(self, users: Sequence[int], count: int = 1) -> np.ndarray:
+        """Vectorized helper: one row of ``count`` negatives per user."""
+        return np.stack([self.sample(int(user), count) for user in users])
+
+
+class EvaluationCandidateSampler:
+    """Builds the 999-negative candidate list per test user.
+
+    Candidate lists are sampled once (per seed) and cached so that every
+    model is evaluated against exactly the same ranking task, as the paper
+    requires for a fair comparison.
+    """
+
+    def __init__(
+        self,
+        dataset: GroupBuyingDataset,
+        num_negatives: int = 999,
+        seed: int = 0,
+        include_participants: bool = True,
+    ) -> None:
+        self.dataset = dataset
+        self.num_negatives = num_negatives
+        self.seed = seed
+        self._interactions = dataset.user_item_set(include_participants=include_participants)
+        self._cache: Dict[int, np.ndarray] = {}
+
+    def candidates_for(self, user: int, positive_item: int) -> np.ndarray:
+        """Return ``[positive_item, negative_1, ..., negative_K]`` for ``user``."""
+        key = user
+        if key not in self._cache:
+            rng = make_rng((self.seed, user))
+            observed = self._interactions.get(user, set())
+            available = self.dataset.num_items - len(observed)
+            count = min(self.num_negatives, max(available - 1, 0))
+            negatives: List[int] = []
+            seen: Set[int] = set(observed)
+            while len(negatives) < count:
+                batch = rng.integers(0, self.dataset.num_items, size=max(4 * (count - len(negatives)), 16))
+                for candidate in batch:
+                    candidate = int(candidate)
+                    if candidate in seen:
+                        continue
+                    seen.add(candidate)
+                    negatives.append(candidate)
+                    if len(negatives) == count:
+                        break
+            self._cache[key] = np.asarray(negatives, dtype=np.int64)
+        negatives = self._cache[key]
+        negatives = negatives[negatives != positive_item]
+        return np.concatenate([[positive_item], negatives]).astype(np.int64)

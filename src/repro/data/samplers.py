@@ -1,0 +1,95 @@
+"""Alternative negative samplers.
+
+The paper samples training negatives uniformly (Section III-C2).  Uniform
+sampling is cheap but over-represents long-tail items; popularity-weighted
+sampling is the standard alternative and is provided here as a drop-in
+replacement for :class:`~repro.data.negative_sampling.TrainingNegativeSampler`
+(the ablation benches compare the two).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .dataset import GroupBuyingDataset
+
+__all__ = ["PopularityNegativeSampler", "item_popularity"]
+
+
+def item_popularity(dataset: GroupBuyingDataset, include_participants: bool = True) -> np.ndarray:
+    """Per-item interaction counts over the behavior log."""
+    counts = np.zeros(dataset.num_items, dtype=np.float64)
+    for behavior in dataset.behaviors:
+        counts[behavior.item] += 1.0
+        if include_participants:
+            counts[behavior.item] += len(behavior.participants)
+    return counts
+
+
+class PopularityNegativeSampler:
+    """Samples negatives proportionally to ``popularity ** exponent``.
+
+    ``exponent = 0`` recovers uniform sampling; ``exponent = 1`` samples
+    exactly by popularity; the word2vec-style ``0.75`` is a common middle
+    ground that makes negatives "harder" (popular items the user still did
+    not interact with) without starving the tail entirely.
+
+    The class mirrors the :class:`TrainingNegativeSampler` interface
+    (``observed_items`` / ``sample`` / ``sample_batch``) so batch iterators
+    accept either interchangeably.
+    """
+
+    def __init__(
+        self,
+        dataset: GroupBuyingDataset,
+        exponent: float = 0.75,
+        smoothing: float = 1.0,
+        seed: int = 0,
+        include_participants: bool = True,
+    ) -> None:
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.num_items = dataset.num_items
+        self.exponent = exponent
+        self._interactions: Dict[int, Set[int]] = dataset.user_item_set(
+            include_participants=include_participants
+        )
+        weights = (item_popularity(dataset, include_participants) + smoothing) ** exponent
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("all item weights are zero; increase smoothing")
+        self._probabilities = weights / total
+        self._rng = make_rng(seed)
+
+    def observed_items(self, user: int) -> Set[int]:
+        """Items the user has interacted with in the training data."""
+        return self._interactions.get(user, set())
+
+    def sample(self, user: int, count: int = 1) -> np.ndarray:
+        """Draw ``count`` popularity-weighted items the user never interacted with."""
+        observed = self._interactions.get(user, set())
+        if len(observed) >= self.num_items:
+            raise ValueError(f"user {user} has interacted with every item; cannot sample negatives")
+        negatives = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            candidates = self._rng.choice(
+                self.num_items, size=max(2 * (count - filled), 8), p=self._probabilities
+            )
+            for candidate in candidates:
+                if int(candidate) in observed:
+                    continue
+                negatives[filled] = candidate
+                filled += 1
+                if filled == count:
+                    break
+        return negatives
+
+    def sample_batch(self, users: Sequence[int], count: int = 1) -> np.ndarray:
+        """One row of ``count`` negatives per user."""
+        return np.stack([self.sample(int(user), count) for user in users])

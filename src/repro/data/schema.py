@@ -1,0 +1,100 @@
+"""Core record types for group-buying behavioral data.
+
+The paper (Section II) denotes one group-buying behavior as a triad
+``b = <m_i, n, M_p>``: the initiator user, the target item and the set of
+participants.  Each item carries a success threshold ``t_n``; a behavior is
+successful when ``|M_p| >= t_n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = ["GroupBuyingBehavior", "SocialEdge"]
+
+
+@dataclass(frozen=True)
+class GroupBuyingBehavior:
+    """One group-buying behavior ``b = <m_i, n, M_p>`` with its threshold.
+
+    Attributes
+    ----------
+    initiator:
+        ID of the user who launched the group (``m_i``).
+    item:
+        ID of the target item (``n``).
+    participants:
+        IDs of users who joined the group (``M_p``), excluding the initiator.
+    threshold:
+        Minimum number of participants ``t_n`` required for the group to
+        clinch.  The paper notes this is platform-set per item.
+    """
+
+    initiator: int
+    item: int
+    participants: Tuple[int, ...]
+    threshold: int = 1
+
+    def __post_init__(self) -> None:
+        if self.initiator < 0:
+            raise ValueError("initiator ID must be non-negative")
+        if self.item < 0:
+            raise ValueError("item ID must be non-negative")
+        if self.threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        participants = tuple(sorted(set(int(p) for p in self.participants)))
+        if self.initiator in participants:
+            raise ValueError("the initiator cannot also be a participant")
+        if any(p < 0 for p in participants):
+            raise ValueError("participant IDs must be non-negative")
+        object.__setattr__(self, "participants", participants)
+
+    @property
+    def is_successful(self) -> bool:
+        """Whether the group clinched (enough participants joined)."""
+        return len(self.participants) >= self.threshold
+
+    @property
+    def group_size(self) -> int:
+        """Number of users involved, counting the initiator."""
+        return 1 + len(self.participants)
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        """All involved users: the initiator followed by the participants."""
+        return (self.initiator,) + self.participants
+
+    def with_participants(self, participants: Iterable[int]) -> "GroupBuyingBehavior":
+        """Return a copy of this behavior with a different participant set."""
+        return GroupBuyingBehavior(
+            initiator=self.initiator,
+            item=self.item,
+            participants=tuple(participants),
+            threshold=self.threshold,
+        )
+
+
+@dataclass(frozen=True)
+class SocialEdge:
+    """An undirected friendship ``(user_a, user_b)`` in the social network."""
+
+    user_a: int
+    user_b: int
+
+    def __post_init__(self) -> None:
+        if self.user_a == self.user_b:
+            raise ValueError("self-loops are not allowed in the social network")
+        if self.user_a < 0 or self.user_b < 0:
+            raise ValueError("user IDs must be non-negative")
+        low, high = sorted((self.user_a, self.user_b))
+        object.__setattr__(self, "user_a", low)
+        object.__setattr__(self, "user_b", high)
+
+    def as_tuple(self) -> Tuple[int, int]:
+        """Return the normalized ``(low, high)`` pair."""
+        return (self.user_a, self.user_b)
+
+    def involves(self, user: int) -> bool:
+        """Whether ``user`` is one of the two endpoints."""
+        return user == self.user_a or user == self.user_b

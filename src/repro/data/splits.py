@@ -1,0 +1,101 @@
+"""Leave-one-out train / validation / test splitting.
+
+Following the paper's evaluation protocol (Section IV-A2): for every user
+with enough group-buying behaviors as an initiator, one behavior is held
+out for testing and one (taken from the remaining training behaviors) for
+validation; everything else is used for training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .dataset import GroupBuyingDataset
+from .schema import GroupBuyingBehavior
+
+__all__ = ["DatasetSplit", "leave_one_out_split"]
+
+
+@dataclass
+class DatasetSplit:
+    """Train/validation/test views over one :class:`GroupBuyingDataset`."""
+
+    full: GroupBuyingDataset
+    train: GroupBuyingDataset
+    validation: Dict[int, GroupBuyingBehavior]
+    test: Dict[int, GroupBuyingBehavior]
+
+    @property
+    def num_test_users(self) -> int:
+        return len(self.test)
+
+    @property
+    def num_validation_users(self) -> int:
+        return len(self.validation)
+
+    def describe(self) -> Dict[str, int]:
+        """Summary counts useful for logging."""
+        return {
+            "train_behaviors": self.train.num_behaviors,
+            "validation_users": self.num_validation_users,
+            "test_users": self.num_test_users,
+        }
+
+
+def leave_one_out_split(
+    dataset: GroupBuyingDataset,
+    seed: int = 0,
+    min_behaviors_for_test: int = 3,
+    holdout_successful_only: bool = True,
+) -> DatasetSplit:
+    """Split ``dataset`` with the leave-one-out protocol of the paper.
+
+    Parameters
+    ----------
+    dataset:
+        The full behavior log.
+    seed:
+        Seed for choosing which behavior of each user is held out.
+    min_behaviors_for_test:
+        Users with fewer behaviors than this keep everything in training
+        (mirrors the paper's filtering of users with few interactions).
+    holdout_successful_only:
+        The recommendation target is "launch a *successful* group", so by
+        default only successful behaviors are eligible as test/validation
+        items; failed behaviors always stay in training where the
+        double-pairwise loss consumes them.
+    """
+    rng = make_rng(seed)
+    grouped = dataset.behaviors_of_initiator()
+
+    train: List[GroupBuyingBehavior] = []
+    validation: Dict[int, GroupBuyingBehavior] = {}
+    test: Dict[int, GroupBuyingBehavior] = {}
+
+    for user in sorted(grouped):
+        behaviors = list(grouped[user])
+        eligible_indices = [
+            index
+            for index, behavior in enumerate(behaviors)
+            if behavior.is_successful or not holdout_successful_only
+        ]
+        if len(behaviors) < min_behaviors_for_test or len(eligible_indices) < 2:
+            train.extend(behaviors)
+            continue
+
+        held_out = rng.choice(eligible_indices, size=2, replace=False)
+        test_index, validation_index = int(held_out[0]), int(held_out[1])
+        test[user] = behaviors[test_index]
+        validation[user] = behaviors[validation_index]
+        train.extend(
+            behavior
+            for index, behavior in enumerate(behaviors)
+            if index not in (test_index, validation_index)
+        )
+
+    train_dataset = dataset.with_behaviors(train, name=f"{dataset.name}/train")
+    return DatasetSplit(full=dataset, train=train_dataset, validation=validation, test=test)

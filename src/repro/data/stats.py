@@ -1,0 +1,68 @@
+"""Dataset statistics in the format of Table II of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..utils.tables import format_table
+from .dataset import GroupBuyingDataset
+
+__all__ = ["DatasetStatistics", "compute_statistics"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The counters reported in Table II plus a few derived ratios."""
+
+    num_users: int
+    num_items: int
+    num_social_interactions: int
+    num_behaviors: int
+    num_successful: int
+    num_failed: int
+    mean_participants: float
+    mean_friends: float
+
+    @property
+    def success_ratio(self) -> float:
+        """Fraction of behaviors that clinched (Beibei: ~0.774)."""
+        return self.num_successful / self.num_behaviors if self.num_behaviors else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "#Users": self.num_users,
+            "#Items": self.num_items,
+            "#Social Interactions": self.num_social_interactions,
+            "#Group-buying Behaviors": self.num_behaviors,
+            "#Successful": self.num_successful,
+            "#Failed": self.num_failed,
+            "Success ratio": round(self.success_ratio, 4),
+            "Mean participants per behavior": round(self.mean_participants, 4),
+            "Mean friends per user": round(self.mean_friends, 4),
+        }
+
+    def format(self) -> str:
+        """Render as a two-column table (the shape of Table II)."""
+        rows = [(key, value) for key, value in self.as_dict().items()]
+        return format_table(["Statistic", "Value"], rows)
+
+
+def compute_statistics(dataset: GroupBuyingDataset) -> DatasetStatistics:
+    """Compute Table II-style statistics for ``dataset``."""
+    successful = dataset.successful_behaviors
+    failed = dataset.failed_behaviors
+    participants_per_behavior = [len(b.participants) for b in dataset.behaviors]
+    friend_counts = [len(f) for f in dataset.friend_lists()]
+    return DatasetStatistics(
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        num_social_interactions=dataset.num_social_edges,
+        num_behaviors=dataset.num_behaviors,
+        num_successful=len(successful),
+        num_failed=len(failed),
+        mean_participants=float(np.mean(participants_per_behavior)) if participants_per_behavior else 0.0,
+        mean_friends=float(np.mean(friend_counts)) if friend_counts else 0.0,
+    )

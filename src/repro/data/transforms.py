@@ -1,0 +1,228 @@
+"""Dataset transforms: filtering, ID remapping and subsampling.
+
+The paper "simply filtered out users and items with few interactions as a
+widely-used manner" before training (Section IV-A1).  These transforms make
+that preprocessing reproducible on any group-buying log, and provide the
+subsampling used to build the sparsity-study workloads (the paper lists
+data sparsity as its main future-work axis).
+
+All transforms are pure: they return a new :class:`GroupBuyingDataset` and
+never mutate the input.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..utils.rng import make_rng
+from .dataset import GroupBuyingDataset
+from .schema import GroupBuyingBehavior, SocialEdge
+
+__all__ = [
+    "IdMapping",
+    "filter_min_interactions",
+    "remap_ids",
+    "subsample_behaviors",
+    "restrict_to_users",
+]
+
+
+@dataclass(frozen=True)
+class IdMapping:
+    """Mapping from original IDs to the compacted IDs of a remapped dataset."""
+
+    user_map: Dict[int, int]
+    item_map: Dict[int, int]
+
+    @property
+    def num_users(self) -> int:
+        return len(self.user_map)
+
+    @property
+    def num_items(self) -> int:
+        return len(self.item_map)
+
+    def original_user(self, new_id: int) -> int:
+        """Inverse lookup of one remapped user ID."""
+        for original, remapped in self.user_map.items():
+            if remapped == new_id:
+                return original
+        raise KeyError(new_id)
+
+    def original_item(self, new_id: int) -> int:
+        """Inverse lookup of one remapped item ID."""
+        for original, remapped in self.item_map.items():
+            if remapped == new_id:
+                return original
+        raise KeyError(new_id)
+
+
+def _interaction_counts(behaviors: Sequence[GroupBuyingBehavior]) -> Tuple[Counter, Counter]:
+    """Per-user and per-item interaction counts (initiator + participant roles)."""
+    user_counts: Counter = Counter()
+    item_counts: Counter = Counter()
+    for behavior in behaviors:
+        user_counts[behavior.initiator] += 1
+        item_counts[behavior.item] += 1 + len(behavior.participants)
+        for participant in behavior.participants:
+            user_counts[participant] += 1
+    return user_counts, item_counts
+
+
+def filter_min_interactions(
+    dataset: GroupBuyingDataset,
+    min_user_interactions: int = 2,
+    min_item_interactions: int = 2,
+    max_iterations: int = 50,
+) -> GroupBuyingDataset:
+    """Iteratively drop behaviors of rare users/items (k-core style filtering).
+
+    A behavior survives when its initiator has at least
+    ``min_user_interactions`` interactions *and* its item has at least
+    ``min_item_interactions`` interactions, counted over the surviving
+    behaviors.  Dropping a behavior lowers other counts, so the filter
+    iterates until a fixed point (or ``max_iterations``).
+
+    The user/item universes (``num_users`` / ``num_items``) are kept; use
+    :func:`remap_ids` afterwards to compact them.
+    """
+    if min_user_interactions < 0 or min_item_interactions < 0:
+        raise ValueError("minimum interaction counts must be non-negative")
+
+    behaviors: List[GroupBuyingBehavior] = list(dataset.behaviors)
+    for _ in range(max_iterations):
+        user_counts, item_counts = _interaction_counts(behaviors)
+        kept = [
+            behavior
+            for behavior in behaviors
+            if user_counts[behavior.initiator] >= min_user_interactions
+            and item_counts[behavior.item] >= min_item_interactions
+        ]
+        if len(kept) == len(behaviors):
+            break
+        behaviors = kept
+
+    return dataset.with_behaviors(behaviors, name=f"{dataset.name}|min-interactions")
+
+
+def remap_ids(dataset: GroupBuyingDataset) -> Tuple[GroupBuyingDataset, IdMapping]:
+    """Compact IDs so that only users/items that actually occur remain.
+
+    Users occurring anywhere (initiator, participant or social edge) and
+    items occurring in any behavior are kept, renumbered contiguously in
+    ascending order of their original IDs (the same "ID remapping" the
+    paper applied to protect user privacy).  Social edges between two
+    dropped users are removed.
+    """
+    used_users: Set[int] = set()
+    used_items: Set[int] = set()
+    for behavior in dataset.behaviors:
+        used_users.add(behavior.initiator)
+        used_users.update(behavior.participants)
+        used_items.add(behavior.item)
+    for edge in dataset.social_edges:
+        used_users.add(edge.user_a)
+        used_users.add(edge.user_b)
+
+    user_map = {original: new for new, original in enumerate(sorted(used_users))}
+    item_map = {original: new for new, original in enumerate(sorted(used_items))}
+    mapping = IdMapping(user_map=user_map, item_map=item_map)
+
+    behaviors = [
+        GroupBuyingBehavior(
+            initiator=user_map[behavior.initiator],
+            item=item_map[behavior.item],
+            participants=tuple(user_map[p] for p in behavior.participants),
+            threshold=behavior.threshold,
+        )
+        for behavior in dataset.behaviors
+    ]
+    edges = [
+        SocialEdge(user_map[edge.user_a], user_map[edge.user_b])
+        for edge in dataset.social_edges
+        if edge.user_a in user_map and edge.user_b in user_map
+    ]
+
+    remapped = GroupBuyingDataset(
+        num_users=max(len(user_map), 1),
+        num_items=max(len(item_map), 1),
+        behaviors=behaviors,
+        social_edges=edges,
+        name=f"{dataset.name}|remapped",
+    )
+    return remapped, mapping
+
+
+def subsample_behaviors(
+    dataset: GroupBuyingDataset,
+    fraction: float,
+    seed: int = 0,
+    preserve_success_ratio: bool = True,
+) -> GroupBuyingDataset:
+    """Keep a random ``fraction`` of the behaviors (social network untouched).
+
+    With ``preserve_success_ratio`` the successful and failed behaviors are
+    subsampled separately, so the clinch ratio of the subsample matches the
+    original dataset — important for sparsity studies, where changing the
+    ratio would confound sparsity with loss composition.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must lie in (0, 1]")
+    rng = make_rng(seed)
+
+    def pick(behaviors: Sequence[GroupBuyingBehavior]) -> List[GroupBuyingBehavior]:
+        if not behaviors:
+            return []
+        count = max(1, int(round(fraction * len(behaviors))))
+        indices = rng.choice(len(behaviors), size=count, replace=False)
+        return [behaviors[i] for i in sorted(indices)]
+
+    if preserve_success_ratio:
+        kept = pick(dataset.successful_behaviors) + pick(dataset.failed_behaviors)
+    else:
+        kept = pick(list(dataset.behaviors))
+
+    return dataset.with_behaviors(kept, name=f"{dataset.name}|{fraction:.0%}")
+
+
+def restrict_to_users(
+    dataset: GroupBuyingDataset,
+    users: Sequence[int],
+    drop_outside_participants: bool = True,
+) -> GroupBuyingDataset:
+    """Keep only behaviors initiated by ``users`` (and their social edges).
+
+    Participants outside the user set are either dropped from the
+    participant lists (default) or kept as-is.  Useful for building
+    cold-start / per-segment evaluation sets.
+    """
+    allowed = set(int(u) for u in users)
+    for user in allowed:
+        if user < 0 or user >= dataset.num_users:
+            raise ValueError(f"user {user} outside the dataset's universe")
+
+    behaviors: List[GroupBuyingBehavior] = []
+    for behavior in dataset.behaviors:
+        if behavior.initiator not in allowed:
+            continue
+        participants = behavior.participants
+        if drop_outside_participants:
+            participants = tuple(p for p in participants if p in allowed)
+        behaviors.append(behavior.with_participants(participants))
+
+    edges = [
+        edge
+        for edge in dataset.social_edges
+        if edge.user_a in allowed and edge.user_b in allowed
+    ]
+    return GroupBuyingDataset(
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        behaviors=behaviors,
+        social_edges=edges,
+        name=f"{dataset.name}|restricted",
+    )

@@ -1,0 +1,181 @@
+"""Dataset validation.
+
+Real group-buying logs (the Beibei dump the paper uses, or any production
+export a user plugs into this library) routinely contain glitches: IDs out
+of range, participants who are not actually friends of the initiator,
+duplicate behaviors, users that never appear in the social network.  The
+:class:`GroupBuyingDataset` constructor rejects only the errors that would
+crash the models; this module performs the *semantic* checks and reports
+them without refusing to build the dataset, so data problems surface before
+they silently distort experiment results.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .dataset import GroupBuyingDataset
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_dataset", "assert_valid"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a dataset."""
+
+    #: Machine-readable category, e.g. ``"participant-not-friend"``.
+    code: str
+    #: Human-readable description with the offending IDs.
+    message: str
+    #: ``"error"`` for problems that will distort results, ``"warning"``
+    #: for oddities worth knowing about.
+    severity: str = "error"
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.code}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All issues found by :func:`validate_dataset`."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity issue was found."""
+        return not self.errors
+
+    def add(self, code: str, message: str, severity: str = "error") -> None:
+        self.issues.append(ValidationIssue(code=code, message=message, severity=severity))
+
+    def summary(self) -> str:
+        if not self.issues:
+            return "dataset OK: no issues found"
+        lines = [f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"]
+        lines.extend(str(issue) for issue in self.issues)
+        return "\n".join(lines)
+
+
+def validate_dataset(
+    dataset: GroupBuyingDataset,
+    require_participants_are_friends: bool = True,
+    max_reported_per_code: int = 20,
+) -> ValidationReport:
+    """Run all semantic checks on ``dataset`` and return the report.
+
+    Checks performed:
+
+    * ``participant-not-friend`` — a participant joined a group launched by
+      someone who is not their friend in ``S`` (the paper's data model says
+      participants come from the initiator's social network).
+    * ``duplicate-behavior`` — the exact same (initiator, item,
+      participants) triple appears more than once (warning: repeat
+      purchases are possible, but a high count usually indicates a join
+      bug in the export).
+    * ``empty-social-network`` — there are behaviors but no social edges.
+    * ``no-failed-behaviors`` / ``no-successful-behaviors`` — one side of
+      the success split is empty, which silently disables part of the
+      double-pairwise loss (warning).
+    * ``isolated-initiator`` — an initiator has no friends at all, so no
+      group they launch can ever clinch (warning).
+    * ``unused-item-range`` — a large share of the item universe never
+      appears in any behavior (warning; usually means IDs were not
+      remapped after filtering).
+    """
+    report = ValidationReport()
+    per_code_counts: Counter = Counter()
+
+    def add_limited(code: str, message: str, severity: str = "error") -> None:
+        per_code_counts[code] += 1
+        if per_code_counts[code] <= max_reported_per_code:
+            report.add(code, message, severity)
+
+    friends = dataset.friend_lists()
+    friend_sets = [set(f.tolist()) for f in friends]
+
+    if dataset.behaviors and not dataset.social_edges:
+        report.add("empty-social-network", "behaviors exist but the social network is empty")
+
+    if require_participants_are_friends:
+        for index, behavior in enumerate(dataset.behaviors):
+            for participant in behavior.participants:
+                if participant not in friend_sets[behavior.initiator]:
+                    add_limited(
+                        "participant-not-friend",
+                        f"behavior #{index}: participant {participant} is not a friend "
+                        f"of initiator {behavior.initiator}",
+                    )
+
+    seen_triples: Counter = Counter(
+        (b.initiator, b.item, b.participants) for b in dataset.behaviors
+    )
+    for (initiator, item, participants), count in seen_triples.items():
+        if count > 1:
+            add_limited(
+                "duplicate-behavior",
+                f"(initiator={initiator}, item={item}, participants={participants}) "
+                f"appears {count} times",
+                severity="warning",
+            )
+
+    if dataset.behaviors:
+        if not dataset.failed_behaviors:
+            report.add(
+                "no-failed-behaviors",
+                "every behavior clinched; the failed-behavior half of the "
+                "double-pairwise loss will never fire",
+                severity="warning",
+            )
+        if not dataset.successful_behaviors:
+            report.add(
+                "no-successful-behaviors",
+                "no behavior clinched; participant-view interactions are empty",
+                severity="warning",
+            )
+
+    isolated_initiators = sorted(
+        {b.initiator for b in dataset.behaviors if not friend_sets[b.initiator]}
+    )
+    for user in isolated_initiators[:max_reported_per_code]:
+        report.add(
+            "isolated-initiator",
+            f"user {user} launches groups but has no friends; none can clinch",
+            severity="warning",
+        )
+
+    used_items = {b.item for b in dataset.behaviors}
+    if dataset.behaviors and len(used_items) < 0.5 * dataset.num_items:
+        report.add(
+            "unused-item-range",
+            f"only {len(used_items)} of {dataset.num_items} items appear in behaviors; "
+            "consider remapping IDs after filtering",
+            severity="warning",
+        )
+
+    # Note truncation so users know the counts are lower bounds.
+    for code, count in per_code_counts.items():
+        if count > max_reported_per_code:
+            report.add(
+                code,
+                f"... and {count - max_reported_per_code} more '{code}' issue(s) not listed",
+                severity="warning",
+            )
+    return report
+
+
+def assert_valid(dataset: GroupBuyingDataset, **kwargs) -> None:
+    """Raise ``ValueError`` when :func:`validate_dataset` finds any error."""
+    report = validate_dataset(dataset, **kwargs)
+    if not report.ok:
+        raise ValueError(f"dataset validation failed:\n{report.summary()}")

@@ -1,0 +1,86 @@
+"""Bootstrap confidence intervals for per-user ranking metrics.
+
+The paper reports point estimates plus a paired significance test; for a
+reproduction run on a different (synthetic) dataset it is more informative
+to also report how wide the uncertainty band around each metric is, so a
+"GBGCN beats GBMF by 3%" conclusion can be distinguished from noise at the
+bench's small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..utils.rng import make_rng
+
+__all__ = ["ConfidenceInterval", "bootstrap_confidence_interval", "bootstrap_metric_table"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided percentile-bootstrap confidence interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    level: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4f} [{self.lower:.4f}, {self.upper:.4f}] @ {self.level:.0%}"
+
+
+def bootstrap_confidence_interval(
+    values: Sequence[float],
+    level: float = 0.95,
+    num_resamples: int = 1000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI of the mean of per-user metric ``values``.
+
+    Users are resampled with replacement ``num_resamples`` times; the
+    ``level`` central percentile range of the resampled means forms the
+    interval.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must lie strictly between 0 and 1")
+    if num_resamples < 1:
+        raise ValueError("num_resamples must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+
+    rng = make_rng(seed)
+    resample_means = np.empty(num_resamples, dtype=np.float64)
+    for index in range(num_resamples):
+        draw = rng.integers(0, values.size, size=values.size)
+        resample_means[index] = values[draw].mean()
+
+    alpha = (1.0 - level) / 2.0
+    lower, upper = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        mean=float(values.mean()), lower=float(lower), upper=float(upper), level=level
+    )
+
+
+def bootstrap_metric_table(
+    per_user_values: Dict[str, Sequence[float]],
+    level: float = 0.95,
+    num_resamples: int = 1000,
+    seed: int = 0,
+) -> Dict[str, ConfidenceInterval]:
+    """Confidence interval per metric name, from per-user metric arrays."""
+    return {
+        metric: bootstrap_confidence_interval(values, level=level, num_resamples=num_resamples, seed=seed)
+        for metric, values in per_user_values.items()
+    }

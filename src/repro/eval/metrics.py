@@ -1,0 +1,105 @@
+"""Ranking metrics: Recall@K and NDCG@K (plus hit-rate/MRR helpers).
+
+The paper's protocol ranks one held-out positive item against 999 sampled
+negatives per test user, so Recall@K degenerates to "is the positive in
+the top K" (0/1) and NDCG@K to ``1 / log2(rank + 2)`` if it is, 0 otherwise
+— exactly the definitions used here.  Values are averaged over test users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "rank_of_positive",
+    "recall_at_k",
+    "ndcg_at_k",
+    "reciprocal_rank",
+    "MetricAccumulator",
+]
+
+
+def rank_of_positive(scores: np.ndarray, positive_index: int = 0) -> int:
+    """Zero-based rank of the positive item given candidate ``scores``.
+
+    Ties are broken pessimistically (ties rank the positive lower), which
+    avoids over-crediting degenerate constant scorers.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    positive_score = scores[positive_index]
+    better = np.sum(scores > positive_score)
+    ties = np.sum(scores == positive_score) - 1
+    return int(better + ties)
+
+
+def recall_at_k(rank: int, k: int) -> float:
+    """1.0 if the positive item's (0-based) rank is within the top ``k``."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return 1.0 if rank < k else 0.0
+
+
+def ndcg_at_k(rank: int, k: int) -> float:
+    """NDCG with a single relevant item: ``1/log2(rank+2)`` inside the top ``k``."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if rank >= k:
+        return 0.0
+    return float(1.0 / np.log2(rank + 2))
+
+
+def reciprocal_rank(rank: int) -> float:
+    """Reciprocal rank of the positive item (1-based)."""
+    return float(1.0 / (rank + 1))
+
+
+@dataclass
+class MetricAccumulator:
+    """Accumulates per-user ranks and reports the averaged metrics."""
+
+    cutoffs: Sequence[int] = (3, 5, 10, 20)
+    ranks: List[int] = field(default_factory=list)
+
+    def add(self, rank: int) -> None:
+        """Record the rank of one test user's positive item."""
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        self.ranks.append(int(rank))
+
+    def extend(self, ranks: Iterable[int]) -> None:
+        for rank in ranks:
+            self.add(rank)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.ranks)
+
+    def results(self) -> Dict[str, float]:
+        """Averaged ``Recall@K`` / ``NDCG@K`` / ``MRR`` over recorded users."""
+        if not self.ranks:
+            return {f"Recall@{k}": 0.0 for k in self.cutoffs} | {f"NDCG@{k}": 0.0 for k in self.cutoffs} | {"MRR": 0.0}
+        ranks = np.asarray(self.ranks)
+        output: Dict[str, float] = {}
+        for k in self.cutoffs:
+            output[f"Recall@{k}"] = float(np.mean([recall_at_k(rank, k) for rank in ranks]))
+        for k in self.cutoffs:
+            output[f"NDCG@{k}"] = float(np.mean([ndcg_at_k(rank, k) for rank in ranks]))
+        output["MRR"] = float(np.mean([reciprocal_rank(rank) for rank in ranks]))
+        return output
+
+    def per_user_metric(self, metric: str) -> np.ndarray:
+        """Per-user values of one metric (used by the significance tests)."""
+        if not self.ranks:
+            return np.zeros(0)
+        name, _, cutoff = metric.partition("@")
+        ranks = np.asarray(self.ranks)
+        if name.lower() == "recall":
+            return np.asarray([recall_at_k(rank, int(cutoff)) for rank in ranks])
+        if name.lower() == "ndcg":
+            return np.asarray([ndcg_at_k(rank, int(cutoff)) for rank in ranks])
+        if name.lower() == "mrr":
+            return np.asarray([reciprocal_rank(rank) for rank in ranks])
+        raise ValueError(f"unknown metric '{metric}'")

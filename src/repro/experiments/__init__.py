@@ -1,0 +1,40 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from .config import ExperimentConfig, ExperimentWorkload, prepare_workload
+from .table2 import PAPER_TABLE2, Table2Result, run_table2
+from .table3 import PAPER_TABLE3, Table3Result, run_table3
+from .table4 import PAPER_TABLE4, Table4Result, run_table4
+from .table5 import PAPER_TABLE5, Table5Result, run_table5
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import Figure5Result, run_figure5
+from .figure6 import Figure6Result, run_figure6
+from .sparsity import SparsityResult, run_sparsity
+from .runner import EXPERIMENTS, main
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentWorkload",
+    "prepare_workload",
+    "PAPER_TABLE2",
+    "Table2Result",
+    "run_table2",
+    "PAPER_TABLE3",
+    "Table3Result",
+    "run_table3",
+    "PAPER_TABLE4",
+    "Table4Result",
+    "run_table4",
+    "PAPER_TABLE5",
+    "Table5Result",
+    "run_table5",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "Figure6Result",
+    "run_figure6",
+    "SparsityResult",
+    "run_sparsity",
+    "EXPERIMENTS",
+    "main",
+]

@@ -1,0 +1,120 @@
+"""Shared experiment configuration.
+
+Every experiment (Tables II-V, Figures 4-6) runs on the same prepared
+workload: a Beibei-like dataset, its leave-one-out split, an evaluator and
+a set of training settings.  :class:`ExperimentConfig` bundles those and
+offers three presets:
+
+* ``tiny``  — seconds per model; used by the integration tests;
+* ``quick`` — the default for ``benchmarks/`` (a few minutes end to end);
+* ``paper`` — Table II scale with 500-epoch budgets; only for users with a
+  lot of CPU time, provided for completeness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..data.splits import DatasetSplit, leave_one_out_split
+from ..data.synthetic import BeibeiLikeConfig, generate_dataset
+from ..eval.protocol import LeaveOneOutEvaluator
+from ..models.registry import ModelSettings
+from ..training.pipeline import TrainingSettings
+
+__all__ = ["ExperimentConfig", "ExperimentWorkload", "prepare_workload"]
+
+
+@dataclass
+class ExperimentConfig:
+    """Dataset scale + training budget + evaluation protocol for one run."""
+
+    dataset: BeibeiLikeConfig = field(default_factory=BeibeiLikeConfig)
+    training: TrainingSettings = field(default_factory=TrainingSettings)
+    model_settings: ModelSettings = field(default_factory=ModelSettings)
+    num_eval_negatives: int = 999
+    split_seed: int = 7
+    eval_seed: int = 11
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """Unit/integration-test scale (seconds for the full model zoo)."""
+        return cls(
+            dataset=BeibeiLikeConfig.small(),
+            training=TrainingSettings(num_epochs=3, pretrain_epochs=2, batch_size=256),
+            model_settings=ModelSettings(embedding_dim=8),
+            num_eval_negatives=50,
+        )
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """Benchmark scale: large enough to show the paper's ordering, CPU-friendly.
+
+        Two knobs deliberately differ from the paper's Beibei values, both
+        re-tuned on the validation set of the synthetic workload exactly as
+        the paper tunes them on Beibei's validation set:
+
+        * the epoch budget (32 fine-tuning epochs) — with much fewer epochs
+          the SGD-fine-tuned GBGCN is still warming up while the simple
+          Adam-trained baselines have already converged, which would invert
+          the paper's ordering for the wrong reason (budget, not modeling);
+        * the role coefficient ``alpha`` (0.2 here vs. 0.6 on Beibei) — the
+          synthetic initiators weigh their own taste more heavily than
+          Beibei's, so the validation-best balance between initiator and
+          participant interest shifts toward the initiator.  The Figure 4
+          bench sweeps alpha and records where the optimum falls.
+        """
+        return cls(
+            dataset=BeibeiLikeConfig(num_users=400, num_items=150, num_behaviors=2200, seed=2021),
+            training=TrainingSettings(num_epochs=32, pretrain_epochs=8, batch_size=512, validate_every=4),
+            model_settings=ModelSettings(embedding_dim=16, alpha=0.2),
+            num_eval_negatives=199,
+        )
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """Table II scale with the paper's training budget (very slow on CPU)."""
+        return cls(
+            dataset=BeibeiLikeConfig.paper_scale(),
+            training=TrainingSettings(num_epochs=500, pretrain_epochs=50, batch_size=4096, validate_every=10),
+            model_settings=ModelSettings(embedding_dim=32),
+            num_eval_negatives=999,
+        )
+
+    @classmethod
+    def from_environment(cls) -> "ExperimentConfig":
+        """Preset selected by ``REPRO_EXPERIMENT_SCALE`` (tiny/quick/paper)."""
+        scale = os.environ.get("REPRO_EXPERIMENT_SCALE", "quick").lower()
+        if scale == "tiny":
+            return cls.tiny()
+        if scale == "paper":
+            return cls.paper()
+        return cls.quick()
+
+    def scaled_epochs(self, num_epochs: int) -> "ExperimentConfig":
+        """Copy of this config with a different epoch budget."""
+        return replace(self, training=replace(self.training, num_epochs=num_epochs))
+
+
+@dataclass
+class ExperimentWorkload:
+    """A fully prepared workload: dataset, split and evaluator."""
+
+    config: ExperimentConfig
+    split: DatasetSplit
+    evaluator: LeaveOneOutEvaluator
+
+
+def prepare_workload(config: Optional[ExperimentConfig] = None) -> ExperimentWorkload:
+    """Generate the dataset, split it and build the evaluator."""
+    config = config or ExperimentConfig.from_environment()
+    dataset = generate_dataset(config.dataset)
+    split = leave_one_out_split(dataset, seed=config.split_seed)
+    evaluator = LeaveOneOutEvaluator(
+        split, num_negatives=config.num_eval_negatives, seed=config.eval_seed
+    )
+    return ExperimentWorkload(config=config, split=split, evaluator=evaluator)

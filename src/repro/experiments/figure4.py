@@ -1,0 +1,75 @@
+"""Experiment: Figure 4 — sensitivity to the role coefficient alpha and the
+loss coefficient beta.
+
+The paper plots Recall@10 and NDCG@10 of GBGCN while sweeping alpha over
+{0.1..0.9} and beta over {0 (plain BPR), 0.01, 0.02, 0.05, 0.1, 0.2, 0.5};
+the expected shapes are an interior optimum for alpha (biased values hurt)
+and a small positive beta beating beta = 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.hyperparam import (
+    PAPER_ALPHA_GRID,
+    PAPER_BETA_GRID,
+    SweepPoint,
+    sweep_loss_coefficient,
+    sweep_role_coefficient,
+)
+from ..utils.tables import format_table
+from .config import ExperimentConfig, ExperimentWorkload, prepare_workload
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+
+@dataclass
+class Figure4Result:
+    """The two sweep series of Figure 4."""
+
+    alpha_points: List[SweepPoint]
+    beta_points: List[SweepPoint]
+
+    def best_alpha(self, metric: str = "Recall@10") -> float:
+        return max(self.alpha_points, key=lambda point: point[metric]).value
+
+    def best_beta(self, metric: str = "Recall@10") -> float:
+        return max(self.beta_points, key=lambda point: point[metric]).value
+
+    def format(self) -> str:
+        alpha_rows = [(p.value, p["Recall@10"], p["NDCG@10"]) for p in self.alpha_points]
+        beta_rows = [(p.value, p["Recall@10"], p["NDCG@10"]) for p in self.beta_points]
+        return "\n\n".join(
+            [
+                "Role coefficient alpha sweep:",
+                format_table(["alpha", "Recall@10", "NDCG@10"], alpha_rows),
+                "Loss coefficient beta sweep (beta=0 is plain BPR):",
+                format_table(["beta", "Recall@10", "NDCG@10"], beta_rows),
+            ]
+        )
+
+
+def run_figure4(
+    config: Optional[ExperimentConfig] = None,
+    workload: Optional[ExperimentWorkload] = None,
+    alphas: Sequence[float] = PAPER_ALPHA_GRID,
+    betas: Sequence[float] = PAPER_BETA_GRID,
+) -> Figure4Result:
+    """Run both sweeps on one shared workload."""
+    workload = workload or prepare_workload(config)
+    base_config = workload.config.model_settings.gbgcn_config()
+    alpha_points = sweep_role_coefficient(
+        workload.split, workload.evaluator, base_config=base_config,
+        settings=workload.config.training, alphas=alphas,
+    )
+    beta_points = sweep_loss_coefficient(
+        workload.split, workload.evaluator, base_config=base_config,
+        settings=workload.config.training, betas=betas,
+    )
+    return Figure4Result(alpha_points=alpha_points, beta_points=beta_points)
+
+
+if __name__ == "__main__":
+    print(run_figure4().format())

@@ -1,0 +1,58 @@
+"""Command-line runner: ``python -m repro.experiments <experiment> [--scale ...]``.
+
+Runs any of the paper's tables/figures and prints its formatted output.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict
+
+from .config import ExperimentConfig
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .sparsity import run_sparsity
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "sparsity": run_sparsity,
+}
+
+_SCALES = {
+    "tiny": ExperimentConfig.tiny,
+    "quick": ExperimentConfig.quick,
+    "paper": ExperimentConfig.paper,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Run a GBGCN reproduction experiment.")
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"], help="which table/figure to regenerate")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="quick", help="workload preset")
+    arguments = parser.parse_args(argv)
+
+    config = _SCALES[arguments.scale]()
+    names = sorted(EXPERIMENTS) if arguments.experiment == "all" else [arguments.experiment]
+    for name in names:
+        print(f"=== {name} ({arguments.scale}) ===")
+        result = EXPERIMENTS[name](config=config)
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Experiment: data-sparsity study (the paper's stated future work).
+
+Section VI of the paper names "the data sparsity issue" as the main open
+question.  This experiment makes it concrete: MF, GBMF and GBGCN are
+trained on progressively subsampled training logs (the test set, candidate
+lists and social network stay fixed) and the table reports how much of each
+model's Recall@10 / NDCG@10 survives at each density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..analysis.sparsity import SparsityStudy, run_sparsity_study
+from ..utils.logging import get_logger
+from .config import ExperimentConfig, ExperimentWorkload, prepare_workload
+
+__all__ = ["SparsityResult", "run_sparsity"]
+
+logger = get_logger("experiments.sparsity")
+
+DEFAULT_MODELS: Sequence[str] = ("MF", "GBMF", "GBGCN")
+DEFAULT_FRACTIONS: Sequence[float] = (0.25, 0.5, 1.0)
+
+
+@dataclass
+class SparsityResult:
+    """The study plus the per-model degradation summary."""
+
+    study: SparsityStudy
+
+    def format(self) -> str:
+        lines = [self.study.format(), ""]
+        lines.append("Relative Recall@10 drop from the densest to the sparsest setting:")
+        for model_name in self.study.model_names():
+            lines.append(f"  {model_name}: {self.study.degradation(model_name):.1%}")
+        return "\n".join(lines)
+
+
+def run_sparsity(
+    config: Optional[ExperimentConfig] = None,
+    workload: Optional[ExperimentWorkload] = None,
+    model_names: Sequence[str] = DEFAULT_MODELS,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> SparsityResult:
+    """Run the sparsity study on one shared workload."""
+    workload = workload or prepare_workload(config)
+    study = run_sparsity_study(
+        workload.split,
+        workload.evaluator,
+        model_names=model_names,
+        fractions=fractions,
+        model_settings=workload.config.model_settings,
+        training=workload.config.training,
+        metric="Recall@10",
+    )
+    return SparsityResult(study=study)
+
+
+if __name__ == "__main__":
+    print(run_sparsity().format())

@@ -1,0 +1,64 @@
+"""Experiment: Table II — statistics of the (synthetic) group-buying dataset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..data.stats import DatasetStatistics, compute_statistics
+from ..utils.tables import format_table
+from .config import ExperimentConfig, ExperimentWorkload, prepare_workload
+
+__all__ = ["Table2Result", "run_table2", "PAPER_TABLE2"]
+
+#: The counts reported in the paper's Table II (Beibei dump).
+PAPER_TABLE2: Dict[str, int] = {
+    "#Users": 190_080,
+    "#Items": 30_782,
+    "#Social Interactions": 748_233,
+    "#Group-buying Behaviors": 932_896,
+    "#Successful": 721_605,
+    "#Failed": 211_291,
+}
+
+
+@dataclass
+class Table2Result:
+    """Statistics of the generated dataset next to the paper's numbers."""
+
+    statistics: DatasetStatistics
+
+    def format(self) -> str:
+        """Side-by-side table: this run vs. the paper's Beibei dump."""
+        measured = self.statistics.as_dict()
+        rows = []
+        for key in (
+            "#Users",
+            "#Items",
+            "#Social Interactions",
+            "#Group-buying Behaviors",
+            "#Successful",
+            "#Failed",
+        ):
+            rows.append((key, measured[key], PAPER_TABLE2[key]))
+        rows.append(
+            (
+                "Success ratio",
+                round(self.statistics.success_ratio, 4),
+                round(PAPER_TABLE2["#Successful"] / PAPER_TABLE2["#Group-buying Behaviors"], 4),
+            )
+        )
+        return format_table(["Statistic", "This run (synthetic)", "Paper (Beibei)"], rows)
+
+
+def run_table2(
+    config: Optional[ExperimentConfig] = None,
+    workload: Optional[ExperimentWorkload] = None,
+) -> Table2Result:
+    """Generate the dataset and compute its Table II statistics."""
+    workload = workload or prepare_workload(config)
+    return Table2Result(statistics=compute_statistics(workload.split.full))
+
+
+if __name__ == "__main__":
+    print(run_table2().format())

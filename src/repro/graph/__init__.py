@@ -1,0 +1,14 @@
+"""Graph substrate: bipartite interaction graphs, social graphs and the
+directed heterogeneous graph set used by GBGCN."""
+
+from .bipartite import BipartiteGraph
+from .social import FriendshipGraph, SharingGraph
+from .hetero import HeteroGroupBuyingGraph, build_hetero_graph
+
+__all__ = [
+    "BipartiteGraph",
+    "FriendshipGraph",
+    "SharingGraph",
+    "HeteroGroupBuyingGraph",
+    "build_hetero_graph",
+]

@@ -1,0 +1,117 @@
+"""User-item bipartite interaction graphs.
+
+These back the in-view propagation of GBGCN (Eq. 1-2) and the propagation
+layers of the NGCF / DiffNet / LightGCN-style baselines.  The central
+artifacts are row-normalized sparse matrices: multiplying a row-normalized
+``users x items`` matrix by the item embedding table computes, for every
+user, the mean of their neighbors' embeddings in one shot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd.sparse import row_normalize
+
+__all__ = ["BipartiteGraph"]
+
+
+class BipartiteGraph:
+    """A binary user-item interaction graph with propagation matrices."""
+
+    def __init__(self, pairs: np.ndarray, num_users: int, num_items: int) -> None:
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs.size:
+            if pairs[:, 0].max() >= num_users:
+                raise ValueError("user index out of range")
+            if pairs[:, 1].max() >= num_items:
+                raise ValueError("item index out of range")
+        self.num_users = num_users
+        self.num_items = num_items
+        # Deduplicate pairs so repeated interactions do not over-weight edges.
+        unique = np.unique(pairs, axis=0) if pairs.size else pairs
+        self.pairs = unique
+        self._adjacency: Optional[sp.csr_matrix] = None
+        self._user_to_item: Optional[sp.csr_matrix] = None
+        self._item_to_user: Optional[sp.csr_matrix] = None
+        self._symmetric: Optional[sp.csr_matrix] = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.pairs.shape[0])
+
+    # ------------------------------------------------------------------
+    # Adjacency matrices
+    # ------------------------------------------------------------------
+    def adjacency(self) -> sp.csr_matrix:
+        """Binary ``users x items`` adjacency matrix."""
+        if self._adjacency is None:
+            if self.num_edges:
+                values = np.ones(self.num_edges, dtype=np.float64)
+                self._adjacency = sp.coo_matrix(
+                    (values, (self.pairs[:, 0], self.pairs[:, 1])),
+                    shape=(self.num_users, self.num_items),
+                ).tocsr()
+            else:
+                self._adjacency = sp.csr_matrix((self.num_users, self.num_items), dtype=np.float64)
+        return self._adjacency
+
+    def user_to_item_propagation(self) -> sp.csr_matrix:
+        """Row-normalized ``users x items`` matrix: mean over a user's items."""
+        if self._user_to_item is None:
+            self._user_to_item = row_normalize(self.adjacency())
+        return self._user_to_item
+
+    def item_to_user_propagation(self) -> sp.csr_matrix:
+        """Row-normalized ``items x users`` matrix: mean over an item's users."""
+        if self._item_to_user is None:
+            self._item_to_user = row_normalize(self.adjacency().T)
+        return self._item_to_user
+
+    def symmetric_normalized(self) -> sp.csr_matrix:
+        """GCN-style ``D^{-1/2} A D^{-1/2}`` over the joined (users+items) graph.
+
+        Used by NGCF, which propagates over the full bipartite adjacency
+        with symmetric normalization rather than mean aggregation.
+        """
+        if self._symmetric is None:
+            total = self.num_users + self.num_items
+            adjacency = self.adjacency()
+            full = sp.lil_matrix((total, total), dtype=np.float64)
+            full[: self.num_users, self.num_users:] = adjacency
+            full[self.num_users:, : self.num_users] = adjacency.T
+            full = full.tocsr()
+            degrees = np.asarray(full.sum(axis=1)).flatten()
+            inv_sqrt = np.zeros_like(degrees)
+            nonzero = degrees > 0
+            inv_sqrt[nonzero] = 1.0 / np.sqrt(degrees[nonzero])
+            scaling = sp.diags(inv_sqrt)
+            self._symmetric = (scaling @ full @ scaling).tocsr()
+        return self._symmetric
+
+    # ------------------------------------------------------------------
+    # Neighborhood access
+    # ------------------------------------------------------------------
+    def items_of_user(self, user: int) -> np.ndarray:
+        """Item neighborhood of one user."""
+        return self.adjacency()[user].indices.astype(np.int64)
+
+    def users_of_item(self, item: int) -> np.ndarray:
+        """User neighborhood of one item."""
+        return self.adjacency().T.tocsr()[item].indices.astype(np.int64)
+
+    def user_degree(self) -> np.ndarray:
+        """Number of interacted items per user."""
+        return np.asarray(self.adjacency().sum(axis=1)).flatten().astype(np.int64)
+
+    def item_degree(self) -> np.ndarray:
+        """Number of interacting users per item."""
+        return np.asarray(self.adjacency().sum(axis=0)).flatten().astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(users={self.num_users}, items={self.num_items}, edges={self.num_edges})"
+        )

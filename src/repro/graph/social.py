@@ -1,0 +1,126 @@
+"""Social graphs: the undirected friendship network and the directed sharing graph.
+
+The paper uses two different user-user structures:
+
+* the *friendship* network ``S`` (symmetric) — used in the prediction
+  function (Eq. 9) to average friends' scores, by SocialMF/DiffNet, and by
+  the social regularizer;
+* the *sharing* graph ``G_s`` (directed, initiator → participant) — used by
+  GBGCN's cross-view propagation, where incoming and outgoing
+  neighborhoods are distinguished (``N^I_s`` and ``N^O_s``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd.sparse import row_normalize
+
+__all__ = ["FriendshipGraph", "SharingGraph"]
+
+
+class FriendshipGraph:
+    """Symmetric binary friendship network over ``num_users`` users."""
+
+    def __init__(self, edges: Sequence[Tuple[int, int]], num_users: int) -> None:
+        self.num_users = num_users
+        unique = sorted({(min(a, b), max(a, b)) for a, b in edges if a != b})
+        if unique and max(max(a, b) for a, b in unique) >= num_users:
+            raise ValueError("social edge endpoint out of range")
+        self.edges = unique
+        self._matrix: Optional[sp.csr_matrix] = None
+        self._normalized: Optional[sp.csr_matrix] = None
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def matrix(self) -> sp.csr_matrix:
+        """The symmetric binary matrix ``S``."""
+        if self._matrix is None:
+            if self.edges:
+                rows = np.asarray([a for a, _ in self.edges] + [b for _, b in self.edges])
+                cols = np.asarray([b for _, b in self.edges] + [a for a, _ in self.edges])
+                values = np.ones(rows.size, dtype=np.float64)
+                self._matrix = sp.coo_matrix(
+                    (values, (rows, cols)), shape=(self.num_users, self.num_users)
+                ).tocsr()
+            else:
+                self._matrix = sp.csr_matrix((self.num_users, self.num_users), dtype=np.float64)
+        return self._matrix
+
+    def normalized(self) -> sp.csr_matrix:
+        """Row-normalized ``S`` (friend averaging matrix)."""
+        if self._normalized is None:
+            self._normalized = row_normalize(self.matrix())
+        return self._normalized
+
+    def friends_of(self, user: int) -> np.ndarray:
+        """IDs of the user's friends."""
+        return self.matrix()[user].indices.astype(np.int64)
+
+    def degrees(self) -> np.ndarray:
+        """Friend counts per user."""
+        return np.asarray(self.matrix().sum(axis=1)).flatten().astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"FriendshipGraph(users={self.num_users}, edges={self.num_edges})"
+
+
+class SharingGraph:
+    """Directed sharing graph ``G_s``: edges go from initiator to participant."""
+
+    def __init__(self, edges: Sequence[Tuple[int, int]], num_users: int) -> None:
+        self.num_users = num_users
+        unique = sorted({(int(src), int(dst)) for src, dst in edges if src != dst})
+        if unique and max(max(a, b) for a, b in unique) >= num_users:
+            raise ValueError("sharing edge endpoint out of range")
+        self.edges = unique
+        self._matrix: Optional[sp.csr_matrix] = None
+        self._outgoing: Optional[sp.csr_matrix] = None
+        self._incoming: Optional[sp.csr_matrix] = None
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def matrix(self) -> sp.csr_matrix:
+        """Binary directed adjacency: ``matrix[i, p] = 1`` iff ``i`` shared to ``p``."""
+        if self._matrix is None:
+            if self.edges:
+                rows = np.asarray([src for src, _ in self.edges])
+                cols = np.asarray([dst for _, dst in self.edges])
+                values = np.ones(rows.size, dtype=np.float64)
+                self._matrix = sp.coo_matrix(
+                    (values, (rows, cols)), shape=(self.num_users, self.num_users)
+                ).tocsr()
+                self._matrix.data[:] = 1.0
+            else:
+                self._matrix = sp.csr_matrix((self.num_users, self.num_users), dtype=np.float64)
+        return self._matrix
+
+    def outgoing_propagation(self) -> sp.csr_matrix:
+        """Row-normalized mean over ``N^O_s(m)`` — users ``m`` shared to."""
+        if self._outgoing is None:
+            self._outgoing = row_normalize(self.matrix())
+        return self._outgoing
+
+    def incoming_propagation(self) -> sp.csr_matrix:
+        """Row-normalized mean over ``N^I_s(m)`` — users who shared to ``m``."""
+        if self._incoming is None:
+            self._incoming = row_normalize(self.matrix().T)
+        return self._incoming
+
+    def shared_to(self, user: int) -> np.ndarray:
+        """Users this user has shared groups to (outgoing neighborhood)."""
+        return self.matrix()[user].indices.astype(np.int64)
+
+    def shared_from(self, user: int) -> np.ndarray:
+        """Users who have shared groups to this user (incoming neighborhood)."""
+        return self.matrix().T.tocsr()[user].indices.astype(np.int64)
+
+    def __repr__(self) -> str:
+        return f"SharingGraph(users={self.num_users}, edges={self.num_edges})"

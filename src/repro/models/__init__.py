@@ -1,0 +1,37 @@
+"""Baseline models of the paper's Table III plus the model registry."""
+
+from .base import DataMode, RecommenderModel
+from .mf import MatrixFactorization
+from .ncf import NCF
+from .ngcf import NGCF
+from .lightgcn import LightGCN
+from .popularity import ItemPopularity
+from .itemknn import ItemKNN, cosine_item_similarity
+from .socialmf import SocialMF
+from .diffnet import DiffNet
+from .agree import AGREE
+from .sigr import SIGR
+from .gbmf import GBMF
+from .registry import ALL_MODEL_NAMES, EXTRA_MODEL_NAMES, MODEL_NAMES, ModelSettings, build_model
+
+__all__ = [
+    "DataMode",
+    "RecommenderModel",
+    "MatrixFactorization",
+    "NCF",
+    "NGCF",
+    "LightGCN",
+    "ItemPopularity",
+    "ItemKNN",
+    "cosine_item_similarity",
+    "SocialMF",
+    "DiffNet",
+    "AGREE",
+    "SIGR",
+    "GBMF",
+    "MODEL_NAMES",
+    "EXTRA_MODEL_NAMES",
+    "ALL_MODEL_NAMES",
+    "ModelSettings",
+    "build_model",
+]

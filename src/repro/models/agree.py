@@ -1,0 +1,133 @@
+"""AGREE — Attentive Group Recommendation [Cao et al., SIGIR 2018].
+
+AGREE represents a group as an attention-weighted aggregation of its
+members' embeddings plus a learned group-specific embedding, then scores
+group-item pairs with an NCF-style interaction head.  Training uses the
+regression-based pairwise loss of the original paper (which the GBGCN
+authors point out is one reason for its weak performance on group-buying
+data).  At evaluation time a test user is replaced by the fixed group
+derived from their group-buying history, as described in Section IV-A1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autograd import Tensor, concat, no_grad, segment_sum, softmax
+from ..data.converters import FixedGroupDataset
+from ..nn import MLP, Embedding, Linear, regression_pairwise_loss
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..training.batches import InteractionBatch
+from .base import DataMode, RecommenderModel
+
+__all__ = ["AGREE"]
+
+
+class AGREE(RecommenderModel):
+    """Attention-aggregated group representations with an NCF-style head."""
+
+    data_mode = DataMode.FIXED_GROUPS
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        groups: FixedGroupDataset,
+        embedding_dim: int = 32,
+        l2_weight: float = 1e-4,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_users, num_items, l2_weight=l2_weight)
+        self.embedding_dim = embedding_dim
+        self.groups = groups
+        self.user_embedding = Embedding(num_users, embedding_dim, rng=rng)
+        self.item_embedding = Embedding(num_items, embedding_dim, rng=rng)
+        self.group_embedding = Embedding(max(groups.num_groups, 1), embedding_dim, rng=rng)
+        #: Attention network scoring (member, item) pairs.
+        self.attention = MLP([2 * embedding_dim, embedding_dim, 1], activation="relu", rng=rng)
+        #: NCF-style prediction head over (group representation * item).
+        self.predictor = MLP([2 * embedding_dim, embedding_dim, 1], activation="relu", rng=rng)
+
+        # Precompute flattened membership arrays for vectorized aggregation.
+        members = []
+        member_group = []
+        for group_index, member_array in enumerate(groups.group_members):
+            members.extend(int(u) for u in member_array)
+            member_group.extend([group_index] * len(member_array))
+        self._members = np.asarray(members, dtype=np.int64)
+        self._member_group = np.asarray(member_group, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Group representation
+    # ------------------------------------------------------------------
+    def group_representation(self, group_ids: np.ndarray, item_ids: np.ndarray) -> Tensor:
+        """Attention-weighted member aggregation + group-specific embedding.
+
+        ``group_ids`` and ``item_ids`` are aligned arrays: the attention
+        weights are conditioned on the candidate item, as in the original
+        AGREE formulation.
+        """
+        group_ids = np.asarray(group_ids, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+
+        # Build a flattened (batch-position, member) table.
+        rows = []
+        member_users = []
+        for position, group in enumerate(group_ids):
+            member_array = self.groups.group_members[int(group)]
+            rows.extend([position] * len(member_array))
+            member_users.extend(int(u) for u in member_array)
+        rows = np.asarray(rows, dtype=np.int64)
+        member_users = np.asarray(member_users, dtype=np.int64)
+
+        member_vectors = self.user_embedding(member_users)
+        item_vectors = self.item_embedding(item_ids[rows])
+        attention_logits = self.attention(concat([member_vectors, item_vectors], axis=-1)).reshape(-1)
+
+        # Per-position softmax over the ragged member sets via the exp/normalize trick.
+        exp_logits = (attention_logits - attention_logits.max()).exp()
+        denominators = segment_sum(exp_logits.reshape(-1, 1), rows, len(group_ids)).reshape(-1)
+        weights = exp_logits / denominators[rows]
+        weighted = member_vectors * weights.reshape(-1, 1)
+        aggregated = segment_sum(weighted, rows, len(group_ids))
+
+        return aggregated + self.group_embedding(group_ids)
+
+    def score_pairs(self, group_ids: np.ndarray, item_ids: np.ndarray) -> Tensor:
+        group_vectors = self.group_representation(group_ids, item_ids)
+        item_vectors = self.item_embedding(np.asarray(item_ids, dtype=np.int64))
+        interaction = group_vectors * item_vectors
+        features = concat([interaction, item_vectors], axis=-1)
+        return self.predictor(features).reshape(-1)
+
+    def batch_loss(self, batch: InteractionBatch) -> Tensor:
+        positive = self.score_pairs(batch.users, batch.positive_items)
+        negative = self.score_pairs(batch.users, batch.negative_items)
+        loss = regression_pairwise_loss(positive, negative, margin=1.0)
+        regularizer = self.regularization(
+            [self.user_embedding(self._members), self.item_embedding(batch.positive_items)]
+        ) * (1.0 / max(len(batch), 1))
+        return loss + regularizer
+
+    # ------------------------------------------------------------------
+    # Evaluation: a test user is replaced by their fixed group
+    # ------------------------------------------------------------------
+    def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        group = self.groups.group_for_user(user)
+        with no_grad():
+            if group < 0:
+                # Cold user with no group history: fall back to their own embedding.
+                user_vector = self.user_embedding.weight.data[user]
+                item_vectors = self.item_embedding.weight.data[item_ids]
+                return item_vectors @ user_vector
+            groups = np.full(item_ids.shape[0], group, dtype=np.int64)
+            return self.score_pairs(groups, item_ids).data
+
+    @property
+    def name(self) -> str:
+        return "AGREE"

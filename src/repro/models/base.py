@@ -1,0 +1,89 @@
+"""Common interface for every recommender in the reproduction.
+
+The trainer and the evaluator only rely on this interface:
+
+* ``data_mode``     — which batch format the model consumes (pure user-item
+  interactions, group-buying behaviors, or fixed groups);
+* ``batch_loss``    — differentiable loss for one mini-batch;
+* ``rank_scores``   — gradient-free scores for one user over a candidate
+  item array (used by the leave-one-out protocol);
+* ``prepare_for_evaluation`` / ``invalidate_cache`` — hooks that let graph
+  models propagate embeddings once per evaluation pass instead of once per
+  scored user.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Module, l2_regularization
+
+__all__ = ["DataMode", "RecommenderModel"]
+
+
+class DataMode(str, enum.Enum):
+    """Which training-data format a model consumes."""
+
+    #: Flattened user-item pairs, initiator interactions only (``MF(oi)``).
+    INTERACTIONS_OI = "interactions_oi"
+    #: Flattened user-item pairs, initiator + participant interactions.
+    INTERACTIONS_BOTH = "interactions_both"
+    #: Raw group-buying behaviors (GBMF, GBGCN).
+    GROUP_BUYING = "group_buying"
+    #: Fixed groups derived from behaviors (AGREE, SIGR).
+    FIXED_GROUPS = "fixed_groups"
+
+
+class RecommenderModel(Module):
+    """Base class for all models in :mod:`repro.models` and :mod:`repro.core`."""
+
+    #: Overridden by subclasses.
+    data_mode: DataMode = DataMode.INTERACTIONS_BOTH
+
+    def __init__(self, num_users: int, num_items: int, l2_weight: float = 0.0) -> None:
+        super().__init__()
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("num_users and num_items must be positive")
+        self.num_users = num_users
+        self.num_items = num_items
+        self.l2_weight = l2_weight
+
+    # ------------------------------------------------------------------
+    # Training interface
+    # ------------------------------------------------------------------
+    def batch_loss(self, batch) -> Tensor:
+        """Differentiable loss of one mini-batch (format set by ``data_mode``)."""
+        raise NotImplementedError
+
+    def regularization(self, tensors: Optional[Iterable[Tensor]] = None) -> Tensor:
+        """L2 penalty over ``tensors`` (default: all parameters)."""
+        if self.l2_weight == 0.0:
+            return Tensor(0.0)
+        return l2_regularization(tensors if tensors is not None else self.parameters(), self.l2_weight)
+
+    # ------------------------------------------------------------------
+    # Evaluation interface
+    # ------------------------------------------------------------------
+    def prepare_for_evaluation(self) -> None:
+        """Cache whatever full-graph state scoring needs (optional)."""
+
+    def invalidate_cache(self) -> None:
+        """Drop evaluation caches after parameters changed (optional)."""
+
+    def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        """Scores of ``item_ids`` for ``user`` as a plain NumPy array."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{self.name}(users={self.num_users}, items={self.num_items}, params={self.num_parameters()})"

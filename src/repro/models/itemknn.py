@@ -1,0 +1,116 @@
+"""Item-based k-nearest-neighbour collaborative filtering.
+
+``ItemKNN`` scores a candidate item for a user by summing the cosine
+similarities between the candidate and the items the user interacted with
+during training.  The similarity matrix is computed once from the binary
+interaction matrix and truncated to each item's top-``k`` neighbours so the
+model stays sparse even at the paper's 30k-item scale.
+
+Like :class:`~repro.models.popularity.ItemPopularity`, it is not a Table III
+row but a memory-based reference point that needs no gradient training.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import Tensor
+from ..data.converters import InteractionConversion
+from .base import DataMode, RecommenderModel
+
+if TYPE_CHECKING:
+    from ..training.batches import InteractionBatch
+
+__all__ = ["ItemKNN", "cosine_item_similarity"]
+
+
+def cosine_item_similarity(
+    interaction_matrix: sp.spmatrix,
+    top_k: Optional[int] = 50,
+    shrinkage: float = 0.0,
+) -> sp.csr_matrix:
+    """Item-item cosine similarity of a binary ``users x items`` matrix.
+
+    Parameters
+    ----------
+    interaction_matrix:
+        Sparse ``(num_users, num_items)`` implicit-feedback matrix.
+    top_k:
+        Keep only each item's ``top_k`` most similar neighbours
+        (``None`` keeps everything; memory grows as ``Q^2``).
+    shrinkage:
+        Additive shrinkage on the denominator, damping similarities that
+        are supported by very few co-occurrences.
+    """
+    matrix = sp.csr_matrix(interaction_matrix, dtype=np.float64)
+    matrix.data[:] = 1.0
+    co_occurrence = (matrix.T @ matrix).tocsr()
+    norms = np.sqrt(co_occurrence.diagonal())
+    co_occurrence.setdiag(0.0)
+    co_occurrence.eliminate_zeros()
+
+    coo = co_occurrence.tocoo()
+    denominator = norms[coo.row] * norms[coo.col] + shrinkage
+    values = np.divide(coo.data, denominator, out=np.zeros_like(coo.data), where=denominator > 0)
+    similarity = sp.csr_matrix((values, (coo.row, coo.col)), shape=co_occurrence.shape)
+
+    if top_k is None:
+        return similarity
+
+    # Truncate each row to its top_k strongest neighbours.
+    rows, cols, data = [], [], []
+    for row in range(similarity.shape[0]):
+        start, end = similarity.indptr[row], similarity.indptr[row + 1]
+        row_cols = similarity.indices[start:end]
+        row_vals = similarity.data[start:end]
+        if row_vals.size > top_k:
+            keep = np.argpartition(row_vals, -top_k)[-top_k:]
+            row_cols, row_vals = row_cols[keep], row_vals[keep]
+        rows.extend([row] * row_cols.size)
+        cols.extend(row_cols.tolist())
+        data.extend(row_vals.tolist())
+    return sp.csr_matrix((data, (rows, cols)), shape=similarity.shape)
+
+
+class ItemKNN(RecommenderModel):
+    """Memory-based item-item collaborative filtering."""
+
+    data_mode = DataMode.INTERACTIONS_BOTH
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        interactions: InteractionConversion,
+        top_k: int = 50,
+        shrinkage: float = 10.0,
+    ) -> None:
+        super().__init__(num_users, num_items, l2_weight=0.0)
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        self.top_k = top_k
+        self.shrinkage = shrinkage
+        self._interaction_matrix = interactions.matrix()
+        self._similarity = cosine_item_similarity(
+            self._interaction_matrix, top_k=top_k, shrinkage=shrinkage
+        )
+
+    def batch_loss(self, batch: "InteractionBatch") -> Tensor:
+        # Memory-based model: nothing to optimize.
+        return Tensor(0.0)
+
+    def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        profile = self._interaction_matrix.getrow(user)
+        if profile.nnz == 0:
+            return np.zeros(item_ids.shape[0])
+        # score(candidate) = sum_{j in profile} sim(j, candidate)
+        scores = profile @ self._similarity
+        return np.asarray(scores.todense()).ravel()[item_ids]
+
+    @property
+    def name(self) -> str:
+        return "ItemKNN"

@@ -1,0 +1,57 @@
+"""Non-personalized popularity baseline.
+
+``ItemPop`` ranks every candidate by its training interaction count.  It is
+the standard sanity-check baseline in implicit-feedback evaluation: any
+personalized model worth reporting must beat it, and the gap quantifies how
+much of a metric is explained by popularity bias in the sampled-negative
+protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..data.converters import InteractionConversion
+from .base import DataMode, RecommenderModel
+
+if TYPE_CHECKING:
+    from ..training.batches import InteractionBatch
+
+__all__ = ["ItemPopularity"]
+
+
+class ItemPopularity(RecommenderModel):
+    """Rank items by their (optionally smoothed) training popularity."""
+
+    data_mode = DataMode.INTERACTIONS_BOTH
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        interactions: InteractionConversion,
+        smoothing: float = 1.0,
+    ) -> None:
+        super().__init__(num_users, num_items, l2_weight=0.0)
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        counts = np.zeros(num_items, dtype=np.float64)
+        items = interactions.pairs[:, 1] if interactions.pairs.size else np.zeros(0, dtype=np.int64)
+        np.add.at(counts, items, 1.0)
+        #: Log-scaled popularity scores; the log keeps blockbuster items from
+        #: dominating tie-breaking noise among the long tail.
+        self.scores = np.log(counts + smoothing)
+
+    def batch_loss(self, batch: "InteractionBatch") -> Tensor:
+        # The model has no trainable parameters; training it is a no-op.
+        return Tensor(0.0)
+
+    def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
+        return self.scores[np.asarray(item_ids, dtype=np.int64)]
+
+    @property
+    def name(self) -> str:
+        return "ItemPop"

@@ -1,0 +1,227 @@
+"""Model registry: build any model of Table III by name from a training dataset.
+
+The registry hides the per-model data plumbing (interaction conversions,
+bipartite/social graphs, fixed groups, the heterogeneous graph) so the
+benchmark harness and the examples can simply say
+``build_model("GBGCN", train_dataset)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..core.gbgcn import GBGCNConfig
+
+from ..data.converters import to_fixed_groups, to_user_item_interactions
+from ..data.dataset import GroupBuyingDataset
+from ..graph.bipartite import BipartiteGraph
+from ..graph.hetero import build_hetero_graph
+from ..graph.social import FriendshipGraph
+from .agree import AGREE
+from .base import RecommenderModel
+from .diffnet import DiffNet
+from .gbmf import GBMF
+from .itemknn import ItemKNN
+from .lightgcn import LightGCN
+from .mf import MatrixFactorization
+from .ncf import NCF
+from .ngcf import NGCF
+from .popularity import ItemPopularity
+from .sigr import SIGR
+from .socialmf import SocialMF
+
+__all__ = ["ModelSettings", "MODEL_NAMES", "EXTRA_MODEL_NAMES", "ALL_MODEL_NAMES", "build_model"]
+
+
+@dataclass
+class ModelSettings:
+    """Hyper-parameters shared by the registry's model builders."""
+
+    embedding_dim: int = 32
+    num_layers: int = 2
+    l2_weight: float = 1e-4
+    alpha: float = 0.6
+    beta: float = 0.05
+    social_weight: float = 0.1
+    seed: int = 42
+
+    def gbgcn_config(self, **overrides) -> "GBGCNConfig":
+        """The GBGCN configuration implied by these settings."""
+        # Imported lazily to keep ``repro.models`` importable without
+        # triggering the ``repro.core`` package (which imports this package).
+        from ..core.gbgcn import GBGCNConfig
+
+        parameters = dict(
+            embedding_dim=self.embedding_dim,
+            num_layers=self.num_layers,
+            alpha=self.alpha,
+            beta=self.beta,
+            l2_weight=self.l2_weight,
+            social_weight=min(self.social_weight, 1e-3),
+        )
+        parameters.update(overrides)
+        return GBGCNConfig(**parameters)
+
+
+#: Table III order of methods.
+MODEL_NAMES: List[str] = [
+    "MF(oi)",
+    "MF",
+    "NCF",
+    "NGCF",
+    "SocialMF",
+    "DiffNet",
+    "AGREE",
+    "SIGR",
+    "GBMF",
+    "GBGCN",
+]
+
+#: Reference baselines beyond the paper's Table III (sanity checks and the
+#: LightGCN propagation ablation); buildable by name but excluded from the
+#: Table III benchmark by default.
+EXTRA_MODEL_NAMES: List[str] = [
+    "ItemPop",
+    "ItemKNN",
+    "LightGCN",
+]
+
+ALL_MODEL_NAMES: List[str] = MODEL_NAMES + EXTRA_MODEL_NAMES
+
+
+def _friendship(dataset: GroupBuyingDataset) -> FriendshipGraph:
+    return FriendshipGraph([edge.as_tuple() for edge in dataset.social_edges], dataset.num_users)
+
+
+def _interaction_graph(dataset: GroupBuyingDataset, mode: str = "both") -> BipartiteGraph:
+    conversion = to_user_item_interactions(dataset, mode=mode)
+    return BipartiteGraph(conversion.pairs, dataset.num_users, dataset.num_items)
+
+
+def build_model(
+    name: str,
+    train_dataset: GroupBuyingDataset,
+    settings: Optional[ModelSettings] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> RecommenderModel:
+    """Instantiate the model called ``name`` (a Table III row) on ``train_dataset``."""
+    settings = settings or ModelSettings()
+    rng = rng or np.random.default_rng(settings.seed)
+    num_users, num_items = train_dataset.num_users, train_dataset.num_items
+
+    if name == "MF(oi)":
+        return MatrixFactorization(
+            num_users, num_items, settings.embedding_dim, settings.l2_weight, interaction_mode="oi", rng=rng
+        )
+    if name == "MF":
+        return MatrixFactorization(
+            num_users, num_items, settings.embedding_dim, settings.l2_weight, interaction_mode="both", rng=rng
+        )
+    if name == "NCF":
+        return NCF(num_users, num_items, settings.embedding_dim, l2_weight=settings.l2_weight, rng=rng)
+    if name == "NGCF":
+        return NGCF(
+            num_users,
+            num_items,
+            graph=_interaction_graph(train_dataset),
+            embedding_dim=settings.embedding_dim,
+            num_layers=settings.num_layers,
+            l2_weight=settings.l2_weight,
+            rng=rng,
+        )
+    if name == "SocialMF":
+        return SocialMF(
+            num_users,
+            num_items,
+            friendship=_friendship(train_dataset),
+            embedding_dim=settings.embedding_dim,
+            l2_weight=settings.l2_weight,
+            social_weight=settings.social_weight,
+            rng=rng,
+        )
+    if name == "DiffNet":
+        return DiffNet(
+            num_users,
+            num_items,
+            friendship=_friendship(train_dataset),
+            interaction_graph=_interaction_graph(train_dataset),
+            embedding_dim=settings.embedding_dim,
+            num_layers=settings.num_layers,
+            l2_weight=settings.l2_weight,
+            rng=rng,
+        )
+    if name == "AGREE":
+        return AGREE(
+            num_users,
+            num_items,
+            groups=to_fixed_groups(train_dataset),
+            embedding_dim=settings.embedding_dim,
+            l2_weight=settings.l2_weight,
+            rng=rng,
+        )
+    if name == "SIGR":
+        return SIGR(
+            num_users,
+            num_items,
+            groups=to_fixed_groups(train_dataset),
+            friendship=_friendship(train_dataset),
+            interaction_graph=_interaction_graph(train_dataset),
+            embedding_dim=settings.embedding_dim,
+            l2_weight=settings.l2_weight,
+            rng=rng,
+        )
+    if name == "GBMF":
+        return GBMF(
+            num_users,
+            num_items,
+            friendship=_friendship(train_dataset),
+            embedding_dim=settings.embedding_dim,
+            alpha=settings.alpha,
+            l2_weight=settings.l2_weight,
+            rng=rng,
+        )
+    if name == "GBGCN":
+        from ..core.gbgcn import GBGCN
+
+        return GBGCN(
+            num_users,
+            num_items,
+            graph=build_hetero_graph(train_dataset),
+            config=settings.gbgcn_config(),
+            rng=rng,
+        )
+    if name == "GBGCN-pretrain":
+        from ..core.pretrain import GBGCNPretrainModel
+
+        return GBGCNPretrainModel(
+            num_users,
+            num_items,
+            graph=build_hetero_graph(train_dataset),
+            config=settings.gbgcn_config(),
+            rng=rng,
+        )
+    if name == "ItemPop":
+        return ItemPopularity(
+            num_users, num_items, interactions=to_user_item_interactions(train_dataset, mode="both")
+        )
+    if name == "ItemKNN":
+        return ItemKNN(
+            num_users, num_items, interactions=to_user_item_interactions(train_dataset, mode="both")
+        )
+    if name == "LightGCN":
+        return LightGCN(
+            num_users,
+            num_items,
+            graph=_interaction_graph(train_dataset),
+            embedding_dim=settings.embedding_dim,
+            num_layers=settings.num_layers,
+            l2_weight=settings.l2_weight,
+            rng=rng,
+        )
+    raise ValueError(f"unknown model '{name}'; expected one of {ALL_MODEL_NAMES}")

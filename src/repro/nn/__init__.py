@@ -1,0 +1,38 @@
+"""Neural-network building blocks (modules, layers, initializers, losses)."""
+
+from .module import Module, Parameter
+from .layers import (
+    AttentionPooling,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    MLP,
+    resolve_activation,
+)
+from .losses import (
+    bpr_loss,
+    l2_regularization,
+    log_loss,
+    regression_pairwise_loss,
+    social_regularization,
+)
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "MLP",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "AttentionPooling",
+    "Linear",
+    "resolve_activation",
+    "bpr_loss",
+    "l2_regularization",
+    "log_loss",
+    "regression_pairwise_loss",
+    "social_regularization",
+    "init",
+]

@@ -1,0 +1,57 @@
+"""Parameter initialization schemes.
+
+The paper initializes every model with Xavier (Glorot) initialization
+[Glorot & Bengio, 2010]; normal and uniform fallbacks are provided for the
+baselines that historically used them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal", "uniform", "zeros"]
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a zero-dimensional shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in, fan_out = shape[0], shape[1]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    return fan_in * receptive, fan_out * receptive
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.01, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Zero-mean Gaussian initialization with standard deviation ``std``."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform(shape: Tuple[int, ...], low: float = -0.05, high: float = 0.05, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Uniform initialization in ``[low, high)``."""
+    rng = rng or np.random.default_rng()
+    return rng.uniform(low, high, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (used for biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,213 @@
+"""Neural-network layers used across GBGCN and the baselines."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..autograd import ACTIVATIONS, Tensor, dropout, embedding_lookup
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear", "Embedding", "MLP", "Dropout", "LayerNorm", "AttentionPooling"]
+
+
+def resolve_activation(activation: Union[str, Callable[[Tensor], Tensor], None]) -> Callable[[Tensor], Tensor]:
+    """Map an activation name (or callable, or None) to a callable."""
+    if activation is None:
+        return ACTIVATIONS["identity"]
+    if callable(activation):
+        return activation
+    if activation not in ACTIVATIONS:
+        raise ValueError(f"unknown activation '{activation}', expected one of {sorted(ACTIVATIONS)}")
+    return ACTIVATIONS[activation]
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``.
+
+    The cross-view propagation of GBGCN (Eq. 4-7) uses these layers to
+    transform embeddings between the initiator and participant subspaces.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng=rng), name="weight")
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """A table of ``num_embeddings`` x ``embedding_dim`` trainable vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        scheme: str = "xavier_uniform",
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        if scheme == "xavier_uniform":
+            values = init.xavier_uniform((num_embeddings, embedding_dim), rng=rng)
+        elif scheme == "normal":
+            values = init.normal((num_embeddings, embedding_dim), std=0.01, rng=rng)
+        else:
+            raise ValueError(f"unknown initialization scheme '{scheme}'")
+        self.weight = Parameter(values, name="embedding")
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_lookup(self.weight, indices)
+
+    def all(self) -> Tensor:
+        """Return the full embedding table as a tensor in the graph."""
+        return self.weight
+
+    def normalize_(self) -> None:
+        """L2-normalize every row in place (used after pre-training)."""
+        norms = np.linalg.norm(self.weight.data, axis=1, keepdims=True)
+        self.weight.data = self.weight.data / np.maximum(norms, 1e-12)
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"
+
+
+class Dropout(Module):
+    """Dropout layer that respects the module train/eval mode."""
+
+    def __init__(self, rate: float, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.rate = rate
+        self._rng = rng or np.random.default_rng()
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return dropout(inputs, self.rate, rng=self._rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"
+
+
+class MLP(Module):
+    """Multi-layer perceptron used by NCF, AGREE and SIGR.
+
+    ``layer_sizes`` includes the input size, e.g. ``[64, 32, 16, 8]`` builds
+    three Linear layers with the given activation between them.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: Union[str, Callable[[Tensor], Tensor]] = "relu",
+        output_activation: Union[str, Callable[[Tensor], Tensor], None] = None,
+        dropout_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least an input and an output size")
+        self.layer_sizes = list(layer_sizes)
+        self.layers: List[Linear] = [
+            Linear(in_size, out_size, rng=rng)
+            for in_size, out_size in zip(layer_sizes[:-1], layer_sizes[1:])
+        ]
+        self._activation = resolve_activation(activation)
+        self._output_activation = resolve_activation(output_activation)
+        self._dropout = Dropout(dropout_rate, rng=rng) if dropout_rate > 0 else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        hidden = inputs
+        for index, layer in enumerate(self.layers):
+            hidden = layer(hidden)
+            is_last = index == len(self.layers) - 1
+            hidden = self._output_activation(hidden) if is_last else self._activation(hidden)
+            if self._dropout is not None and not is_last:
+                hidden = self._dropout(hidden)
+        return hidden
+
+    def __repr__(self) -> str:
+        return f"MLP(sizes={self.layer_sizes})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis, with learnable scale and shift.
+
+    Not used by the paper's published architecture, but exposed so the
+    stability ablations can test whether normalizing the concatenated
+    multi-layer embeddings changes GBGCN's behaviour.
+    """
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if normalized_dim < 1:
+            raise ValueError("normalized_dim must be positive")
+        self.normalized_dim = normalized_dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(normalized_dim), name="gamma")
+        self.beta = Parameter(np.zeros(normalized_dim), name="beta")
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        centered = inputs - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(dim={self.normalized_dim})"
+
+
+class AttentionPooling(Module):
+    """Additive attention pooling of a variable-length set of vectors.
+
+    This is the aggregation mechanism of the group-recommendation baselines
+    (AGREE/SIGR aggregate member embeddings into a group embedding with a
+    learned attention weight per member): ``score_i = v^T tanh(W x_i + b)``,
+    softmax over the set, weighted sum of the inputs.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        hidden_dim = hidden_dim or input_dim
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.projection = Linear(input_dim, hidden_dim, rng=rng)
+        self.score = Linear(hidden_dim, 1, bias=False, rng=rng)
+
+    def weights(self, inputs: Tensor) -> Tensor:
+        """Softmax attention weights of shape ``(n, 1)`` for ``(n, d)`` inputs."""
+        from ..autograd import softmax, tanh
+
+        scores = self.score(tanh(self.projection(inputs)))
+        return softmax(scores, axis=0)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        """Pool ``(n, d)`` inputs into a single ``(d,)`` vector."""
+        weights = self.weights(inputs)
+        return (inputs * weights).sum(axis=0)
+
+    def __repr__(self) -> str:
+        return f"AttentionPooling(input={self.input_dim}, hidden={self.hidden_dim})"

@@ -1,0 +1,94 @@
+"""Loss functions used by GBGCN and the baseline models.
+
+* :func:`bpr_loss` — Bayesian Personalized Ranking (MF, NCF-as-ranker,
+  NGCF, SocialMF, DiffNet, GBMF, and the building block of GBGCN's
+  fine-grained loss).
+* :func:`log_loss` — pointwise binary cross entropy on scores (SIGR).
+* :func:`regression_pairwise_loss` — the margin-regression pairwise loss
+  used by AGREE.
+* :func:`l2_regularization` — weight decay over an iterable of tensors.
+* :func:`social_regularization` — the SocialMF-style constraint that pulls
+  a user's embedding towards the mean of their friends' embeddings, which
+  the paper adds to GBGCN's objective ("social regularization term
+  proposed in [1]").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import Tensor, as_tensor, l2_norm_squared, log_sigmoid, sigmoid, sparse_matmul
+
+__all__ = [
+    "bpr_loss",
+    "log_loss",
+    "regression_pairwise_loss",
+    "l2_regularization",
+    "social_regularization",
+]
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Mean BPR loss ``-log sigmoid(pos - neg)`` over paired score tensors."""
+    positive_scores = as_tensor(positive_scores)
+    negative_scores = as_tensor(negative_scores)
+    return -log_sigmoid(positive_scores - negative_scores).mean()
+
+
+def log_loss(scores: Tensor, labels: np.ndarray, eps: float = 1e-9) -> Tensor:
+    """Binary cross-entropy of sigmoid(scores) against 0/1 ``labels``."""
+    scores = as_tensor(scores)
+    labels = np.asarray(labels, dtype=np.float64)
+    probabilities = sigmoid(scores).clip(eps, 1.0 - eps)
+    losses = -(as_tensor(labels) * probabilities.log() + as_tensor(1.0 - labels) * (1.0 - probabilities).log())
+    return losses.mean()
+
+
+def regression_pairwise_loss(positive_scores: Tensor, negative_scores: Tensor, margin: float = 1.0) -> Tensor:
+    """AGREE's regression-based pairwise loss ``(pos - neg - margin)^2``."""
+    positive_scores = as_tensor(positive_scores)
+    negative_scores = as_tensor(negative_scores)
+    return ((positive_scores - negative_scores - margin) ** 2).mean()
+
+
+def l2_regularization(parameters: Iterable[Tensor], weight: float) -> Tensor:
+    """``weight * sum_i ||p_i||^2`` over the given parameters."""
+    if weight == 0.0:
+        return Tensor(0.0)
+    return l2_norm_squared(parameters) * weight
+
+
+def social_regularization(
+    user_embeddings: Tensor,
+    social_matrix: sp.spmatrix,
+    weight: float,
+    user_indices: Optional[np.ndarray] = None,
+) -> Tensor:
+    """SocialMF-style regularizer pulling users towards their friends' mean.
+
+    Parameters
+    ----------
+    user_embeddings:
+        The full ``P x d`` user embedding tensor.
+    social_matrix:
+        Row-normalized ``P x P`` social adjacency (friend averaging matrix).
+    weight:
+        Regularization strength; 0 disables the term.
+    user_indices:
+        Optionally restrict the penalty to the users present in the current
+        mini-batch (keeps the cost proportional to the batch).
+    """
+    if weight == 0.0:
+        return Tensor(0.0)
+    friend_mean = sparse_matmul(social_matrix, user_embeddings)
+    difference = user_embeddings - friend_mean
+    # Users with no friends have an all-zero friend mean; penalizing them
+    # would just shrink their embeddings towards zero, so mask them out.
+    has_friends = (social_matrix.getnnz(axis=1) > 0).astype(np.float64).reshape(-1, 1)
+    difference = difference * Tensor(has_friends)
+    if user_indices is not None:
+        difference = difference[np.asarray(user_indices, dtype=np.int64)]
+    return (difference ** 2).sum() * weight

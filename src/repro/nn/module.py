@@ -1,0 +1,152 @@
+"""Minimal module / parameter system layered on the autograd engine.
+
+Mirrors the part of ``torch.nn`` that the paper's models require: named
+parameters, nested submodules, train/eval mode, and state serialization so
+that the pre-training stage can hand its embeddings to the fine-tuning
+stage (Section III-C3 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`."""
+
+    def __init__(self, data, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically by :meth:`parameters`,
+    :meth:`named_parameters`, :meth:`state_dict` and friends.
+    """
+
+    def __init__(self) -> None:
+        self._training = True
+
+    # ------------------------------------------------------------------
+    # Parameter discovery
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs, depth first."""
+        for attr_name, attr_value in vars(self).items():
+            if attr_name.startswith("_") and not isinstance(attr_value, (Parameter, Module, list, dict)):
+                continue
+            qualified = f"{prefix}{attr_name}"
+            if isinstance(attr_value, Parameter):
+                yield qualified, attr_value
+            elif isinstance(attr_value, Module):
+                yield from attr_value.named_parameters(prefix=f"{qualified}.")
+            elif isinstance(attr_value, (list, tuple)):
+                for index, element in enumerate(attr_value):
+                    if isinstance(element, Parameter):
+                        yield f"{qualified}.{index}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{qualified}.{index}.")
+            elif isinstance(attr_value, dict):
+                for key, element in attr_value.items():
+                    if isinstance(element, Parameter):
+                        yield f"{qualified}.{key}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{qualified}.{key}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Return all trainable parameters of this module and its children."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        """Yield ``(qualified_name, module)`` pairs including ``self``."""
+        yield prefix.rstrip("."), self
+        for attr_name, attr_value in vars(self).items():
+            qualified = f"{prefix}{attr_name}"
+            if isinstance(attr_value, Module):
+                yield from attr_value.named_modules(prefix=f"{qualified}.")
+            elif isinstance(attr_value, (list, tuple)):
+                for index, element in enumerate(attr_value):
+                    if isinstance(element, Module):
+                        yield from element.named_modules(prefix=f"{qualified}.{index}.")
+            elif isinstance(attr_value, dict):
+                for key, element in attr_value.items():
+                    if isinstance(element, Module):
+                        yield from element.named_modules(prefix=f"{qualified}.{key}.")
+
+    # ------------------------------------------------------------------
+    # Training / evaluation state
+    # ------------------------------------------------------------------
+    @property
+    def training(self) -> bool:
+        return self._training
+
+    def train(self) -> "Module":
+        """Put this module and all children in training mode."""
+        for _, module in self.named_modules():
+            module._training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Put this module and all children in evaluation mode."""
+        for _, module in self.named_modules():
+            module._training = False
+        return self
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Return a copy of every parameter keyed by its qualified name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values from :meth:`state_dict` output.
+
+        With ``strict=False`` unknown keys are ignored and missing keys are
+        left at their current values, which is how the pre-trained raw
+        embeddings are transferred into the full GBGCN model.
+        """
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, value in state.items():
+            if name not in own:
+                continue
+            parameter = own[name]
+            value = np.asarray(value, dtype=np.float64)
+            if parameter.data.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch for parameter '{name}': "
+                    f"{parameter.data.shape} vs {value.shape}"
+                )
+            parameter.data = value.copy()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(parameter.data.size for parameter in self.parameters()))
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,17 @@
+"""Optimization algorithms and learning-rate schedules."""
+
+from .optimizers import Adagrad, Adam, Optimizer, RMSprop, SGD, clip_grad_norm
+from .schedulers import ConstantLR, ExponentialLR, LRScheduler, StepLR
+
+__all__ = [
+    "Adagrad",
+    "Adam",
+    "Optimizer",
+    "RMSprop",
+    "SGD",
+    "clip_grad_norm",
+    "ConstantLR",
+    "ExponentialLR",
+    "LRScheduler",
+    "StepLR",
+]

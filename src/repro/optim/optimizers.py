@@ -1,0 +1,197 @@
+"""Optimizers: SGD (with optional momentum), Adam, Adagrad and RMSprop.
+
+The paper pre-trains the raw embeddings with Adam and fine-tunes the full
+GBGCN with vanilla SGD "to avoid the problem of loss of momentum
+information" (Section III-C3); both optimizers are provided here together
+with global-norm gradient clipping.  Adagrad and RMSprop are included for
+the optimizer-sensitivity ablations (several baselines the paper cites were
+originally tuned with them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "Adagrad", "RMSprop", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping (useful for monitoring).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if max_norm > 0 and total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for parameter in parameters:
+            parameter.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and a learning rate."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity = self._velocity.get(id(parameter))
+                velocity = self.momentum * velocity + gradient if velocity is not None else gradient
+                self._velocity[id(parameter)] = velocity
+                update = velocity
+            else:
+                update = gradient
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer [Kingma & Ba, 2015]."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            key = id(parameter)
+            first = self._first_moment.get(key)
+            second = self._second_moment.get(key)
+            first = self.beta1 * first + (1 - self.beta1) * gradient if first is not None else (1 - self.beta1) * gradient
+            second = (
+                self.beta2 * second + (1 - self.beta2) * gradient ** 2
+                if second is not None
+                else (1 - self.beta2) * gradient ** 2
+            )
+            self._first_moment[key] = first
+            self._second_moment[key] = second
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            parameter.data = parameter.data - self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)
+
+
+class Adagrad(Optimizer):
+    """Adagrad [Duchi et al., 2011]: per-parameter learning rates from the
+    accumulated squared gradient."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        eps: float = 1e-10,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._accumulator: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            key = id(parameter)
+            accumulated = self._accumulator.get(key)
+            accumulated = accumulated + gradient ** 2 if accumulated is not None else gradient ** 2
+            self._accumulator[key] = accumulated
+            parameter.data = parameter.data - self.lr * gradient / (np.sqrt(accumulated) + self.eps)
+
+
+class RMSprop(Optimizer):
+    """RMSprop [Tieleman & Hinton, 2012]: exponentially decayed squared-gradient
+    normalization."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must lie in [0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._square_average: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            key = id(parameter)
+            average = self._square_average.get(key)
+            average = (
+                self.alpha * average + (1 - self.alpha) * gradient ** 2
+                if average is not None
+                else (1 - self.alpha) * gradient ** 2
+            )
+            self._square_average[key] = average
+            parameter.data = parameter.data - self.lr * gradient / (np.sqrt(average) + self.eps)

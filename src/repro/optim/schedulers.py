@@ -1,0 +1,56 @@
+"""Learning-rate schedulers for the training harness."""
+
+from __future__ import annotations
+
+from .optimizers import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "ExponentialLR", "ConstantLR"]
+
+
+class LRScheduler:
+    """Base scheduler; call :meth:`step` once per epoch."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        self.epoch += 1
+        self.optimizer.lr = self.compute_lr(self.epoch)
+        return self.optimizer.lr
+
+    def compute_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(LRScheduler):
+    """Keeps the learning rate fixed (the paper's default behaviour)."""
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class ExponentialLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        self.gamma = gamma
+
+    def compute_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** epoch)

@@ -1,0 +1,38 @@
+"""Mini-batch construction, trainers, callbacks and end-to-end pipelines."""
+
+from .batches import (
+    FixedGroupBatchIterator,
+    GroupBuyingBatch,
+    GroupBuyingBatchIterator,
+    InteractionBatch,
+    InteractionBatchIterator,
+)
+from .factory import build_batch_iterator
+from .callbacks import Callback, CallbackList, CSVLogger, LambdaCallback, ModelCheckpoint
+from .trainer import EpochRecord, Trainer, TrainingHistory
+from .pipeline import TrainingSettings, train_gbgcn_with_pretraining, train_model
+from .search import GridSearchEntry, GridSearchResult, grid_search, parameter_grid
+
+__all__ = [
+    "FixedGroupBatchIterator",
+    "GroupBuyingBatch",
+    "GroupBuyingBatchIterator",
+    "InteractionBatch",
+    "InteractionBatchIterator",
+    "build_batch_iterator",
+    "Callback",
+    "CallbackList",
+    "CSVLogger",
+    "LambdaCallback",
+    "ModelCheckpoint",
+    "EpochRecord",
+    "Trainer",
+    "TrainingHistory",
+    "TrainingSettings",
+    "train_gbgcn_with_pretraining",
+    "train_model",
+    "GridSearchEntry",
+    "GridSearchResult",
+    "grid_search",
+    "parameter_grid",
+]

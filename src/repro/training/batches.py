@@ -1,0 +1,219 @@
+"""Mini-batch construction (Section III-C2 of the paper).
+
+Two batch shapes exist:
+
+* :class:`InteractionBatch` — ``(user, positive item, negative item)``
+  triples used by the CF / social / group baselines;
+* :class:`GroupBuyingBatch` — full group-buying behaviors with their
+  success flag, participants, the initiator's friends and one sampled
+  negative item per behavior, used by GBMF and GBGCN (whose fine-grained
+  loss needs the participants of successful behaviors and the friends of
+  initiators of failed behaviors).
+
+Ragged structures (participants, friends) are stored flattened together
+with a segment index so losses can be computed fully vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.converters import FixedGroupDataset, InteractionConversion
+from ..data.dataset import GroupBuyingDataset
+from ..data.negative_sampling import TrainingNegativeSampler
+from ..utils.rng import make_rng
+
+__all__ = [
+    "InteractionBatch",
+    "GroupBuyingBatch",
+    "InteractionBatchIterator",
+    "GroupBuyingBatchIterator",
+    "FixedGroupBatchIterator",
+]
+
+
+@dataclass
+class InteractionBatch:
+    """``(user, positive, negative)`` triples for pairwise ranking losses."""
+
+    users: np.ndarray
+    positive_items: np.ndarray
+    negative_items: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.users.shape[0])
+
+
+@dataclass
+class GroupBuyingBatch:
+    """A batch of group-buying behaviors with the context their losses need."""
+
+    #: Initiators, target items, sampled negatives and success flags, all ``(B,)``.
+    initiators: np.ndarray
+    items: np.ndarray
+    negative_items: np.ndarray
+    success: np.ndarray
+
+    #: Participants of *successful* behaviors, flattened; ``participant_segment``
+    #: maps each entry back to its behavior's row index in the batch.
+    participants: np.ndarray
+    participant_segment: np.ndarray
+
+    #: Friends of initiators of *failed* behaviors, flattened with segments.
+    failed_friends: np.ndarray
+    failed_friend_segment: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.initiators.shape[0])
+
+    @property
+    def num_successful(self) -> int:
+        return int(self.success.sum())
+
+    @property
+    def num_failed(self) -> int:
+        return len(self) - self.num_successful
+
+
+class InteractionBatchIterator:
+    """Shuffled epochs of :class:`InteractionBatch` over flattened interactions."""
+
+    def __init__(
+        self,
+        conversion: InteractionConversion,
+        sampler: TrainingNegativeSampler,
+        batch_size: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.conversion = conversion
+        self.sampler = sampler
+        self.batch_size = batch_size
+        self._rng = make_rng(seed)
+
+    def __iter__(self) -> Iterator[InteractionBatch]:
+        pairs = self.conversion.pairs
+        if pairs.shape[0] == 0:
+            return
+        order = self._rng.permutation(pairs.shape[0])
+        for start in range(0, len(order), self.batch_size):
+            chunk = pairs[order[start : start + self.batch_size]]
+            users = chunk[:, 0]
+            positives = chunk[:, 1]
+            negatives = np.array([self.sampler.sample(int(u), 1)[0] for u in users], dtype=np.int64)
+            yield InteractionBatch(users=users, positive_items=positives, negative_items=negatives)
+
+    def num_batches(self) -> int:
+        return int(np.ceil(self.conversion.pairs.shape[0] / self.batch_size))
+
+
+class FixedGroupBatchIterator:
+    """Batches of ``(group, positive, negative)`` triples for AGREE / SIGR."""
+
+    def __init__(
+        self,
+        groups: FixedGroupDataset,
+        batch_size: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.groups = groups
+        self.batch_size = batch_size
+        self._rng = make_rng(seed)
+        self._group_items: Dict[int, set] = {}
+        for group, item in groups.group_item_pairs:
+            self._group_items.setdefault(int(group), set()).add(int(item))
+
+    def _sample_negative(self, group: int) -> int:
+        observed = self._group_items.get(group, set())
+        while True:
+            candidate = int(self._rng.integers(self.groups.num_items))
+            if candidate not in observed:
+                return candidate
+
+    def __iter__(self) -> Iterator[InteractionBatch]:
+        pairs = self.groups.group_item_pairs
+        if pairs.shape[0] == 0:
+            return
+        order = self._rng.permutation(pairs.shape[0])
+        for start in range(0, len(order), self.batch_size):
+            chunk = pairs[order[start : start + self.batch_size]]
+            groups = chunk[:, 0]
+            positives = chunk[:, 1]
+            negatives = np.array([self._sample_negative(int(g)) for g in groups], dtype=np.int64)
+            yield InteractionBatch(users=groups, positive_items=positives, negative_items=negatives)
+
+    def num_batches(self) -> int:
+        return int(np.ceil(self.groups.group_item_pairs.shape[0] / self.batch_size))
+
+
+class GroupBuyingBatchIterator:
+    """Shuffled epochs of :class:`GroupBuyingBatch` over raw behaviors."""
+
+    def __init__(
+        self,
+        dataset: GroupBuyingDataset,
+        sampler: TrainingNegativeSampler,
+        batch_size: int = 4096,
+        seed: int = 0,
+        max_failed_friends: int = 20,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.sampler = sampler
+        self.batch_size = batch_size
+        self.max_failed_friends = max_failed_friends
+        self._rng = make_rng(seed)
+        self._friend_lists = dataset.friend_lists()
+
+    def _build_batch(self, behaviors: Sequence) -> GroupBuyingBatch:
+        initiators = np.asarray([b.initiator for b in behaviors], dtype=np.int64)
+        items = np.asarray([b.item for b in behaviors], dtype=np.int64)
+        success = np.asarray([b.is_successful for b in behaviors], dtype=bool)
+        negatives = np.array(
+            [self.sampler.sample(int(user), 1)[0] for user in initiators], dtype=np.int64
+        )
+
+        participants: List[int] = []
+        participant_segment: List[int] = []
+        failed_friends: List[int] = []
+        failed_friend_segment: List[int] = []
+        for row, behavior in enumerate(behaviors):
+            if behavior.is_successful:
+                participants.extend(behavior.participants)
+                participant_segment.extend([row] * len(behavior.participants))
+            else:
+                friends = self._friend_lists[behavior.initiator]
+                if friends.size > self.max_failed_friends:
+                    friends = self._rng.choice(friends, size=self.max_failed_friends, replace=False)
+                failed_friends.extend(int(f) for f in friends)
+                failed_friend_segment.extend([row] * len(friends))
+
+        return GroupBuyingBatch(
+            initiators=initiators,
+            items=items,
+            negative_items=negatives,
+            success=success,
+            participants=np.asarray(participants, dtype=np.int64),
+            participant_segment=np.asarray(participant_segment, dtype=np.int64),
+            failed_friends=np.asarray(failed_friends, dtype=np.int64),
+            failed_friend_segment=np.asarray(failed_friend_segment, dtype=np.int64),
+        )
+
+    def __iter__(self) -> Iterator[GroupBuyingBatch]:
+        behaviors = self.dataset.behaviors
+        if not behaviors:
+            return
+        order = self._rng.permutation(len(behaviors))
+        for start in range(0, len(order), self.batch_size):
+            chunk = [behaviors[index] for index in order[start : start + self.batch_size]]
+            yield self._build_batch(chunk)
+
+    def num_batches(self) -> int:
+        return int(np.ceil(len(self.dataset.behaviors) / self.batch_size))

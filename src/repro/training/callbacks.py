@@ -1,0 +1,147 @@
+"""Training callbacks.
+
+The paper's training protocol ("train for 500 epochs, keep the best
+validation epoch") is implemented inside :class:`~repro.training.trainer.Trainer`;
+callbacks add the operational pieces a long run needs around that loop —
+persisting per-epoch curves to CSV, checkpointing parameters to disk and
+hooking arbitrary user code — without growing the trainer itself.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..utils.logging import get_logger
+
+__all__ = ["Callback", "CallbackList", "CSVLogger", "ModelCheckpoint", "LambdaCallback"]
+
+logger = get_logger("training.callbacks")
+
+
+class Callback:
+    """Base class; override any subset of the hooks."""
+
+    def on_train_begin(self, trainer) -> None:
+        """Called once before the first epoch."""
+
+    def on_epoch_end(self, trainer, record) -> None:
+        """Called after every epoch with the trainer and its :class:`EpochRecord`."""
+
+    def on_train_end(self, trainer, history) -> None:
+        """Called once after the last epoch with the full :class:`TrainingHistory`."""
+
+
+class CallbackList(Callback):
+    """Dispatches every hook to a sequence of callbacks, in order."""
+
+    def __init__(self, callbacks: Optional[Iterable[Callback]] = None) -> None:
+        self.callbacks: List[Callback] = list(callbacks or [])
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(callback)
+
+    def on_train_begin(self, trainer) -> None:
+        for callback in self.callbacks:
+            callback.on_train_begin(trainer)
+
+    def on_epoch_end(self, trainer, record) -> None:
+        for callback in self.callbacks:
+            callback.on_epoch_end(trainer, record)
+
+    def on_train_end(self, trainer, history) -> None:
+        for callback in self.callbacks:
+            callback.on_train_end(trainer, history)
+
+    def __len__(self) -> int:
+        return len(self.callbacks)
+
+
+class CSVLogger(Callback):
+    """Appends one CSV row per epoch: epoch, mean loss, validation metric, seconds."""
+
+    FIELDS = ("epoch", "mean_loss", "validation_metric", "seconds")
+
+    def __init__(self, path: Union[str, Path], overwrite: bool = True) -> None:
+        self.path = Path(path)
+        self.overwrite = overwrite
+
+    def on_train_begin(self, trainer) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if self.overwrite or not self.path.exists():
+            with self.path.open("w", newline="") as handle:
+                csv.writer(handle).writerow(self.FIELDS)
+
+    def on_epoch_end(self, trainer, record) -> None:
+        with self.path.open("a", newline="") as handle:
+            csv.writer(handle).writerow(
+                [
+                    record.epoch,
+                    f"{record.mean_loss:.6f}",
+                    "" if record.validation_metric is None else f"{record.validation_metric:.6f}",
+                    f"{record.seconds:.4f}",
+                ]
+            )
+
+
+class ModelCheckpoint(Callback):
+    """Saves the model's ``state_dict`` to an ``.npz`` file.
+
+    With ``save_best_only`` (default) a checkpoint is written only when the
+    epoch's validation metric improves on every previous epoch; otherwise a
+    checkpoint is written after every epoch (overwriting the previous one).
+    Load with ``np.load(path)`` and ``model.load_state_dict(dict(archive))``.
+    """
+
+    def __init__(self, path: Union[str, Path], save_best_only: bool = True) -> None:
+        self.path = Path(path)
+        self.save_best_only = save_best_only
+        self._best_metric = -np.inf
+        self.num_saves = 0
+
+    def _save(self, trainer) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        state = trainer.model.state_dict()
+        np.savez(self.path, **state)
+        self.num_saves += 1
+        logger.debug("checkpoint written to %s", self.path)
+
+    def on_epoch_end(self, trainer, record) -> None:
+        if not self.save_best_only:
+            self._save(trainer)
+            return
+        metric = record.validation_metric
+        if metric is None:
+            return
+        if metric > self._best_metric:
+            self._best_metric = metric
+            self._save(trainer)
+
+
+class LambdaCallback(Callback):
+    """Wraps plain functions as a callback (handy in notebooks and tests)."""
+
+    def __init__(
+        self,
+        on_train_begin: Optional[Callable] = None,
+        on_epoch_end: Optional[Callable] = None,
+        on_train_end: Optional[Callable] = None,
+    ) -> None:
+        self._on_train_begin = on_train_begin
+        self._on_epoch_end = on_epoch_end
+        self._on_train_end = on_train_end
+
+    def on_train_begin(self, trainer) -> None:
+        if self._on_train_begin is not None:
+            self._on_train_begin(trainer)
+
+    def on_epoch_end(self, trainer, record) -> None:
+        if self._on_epoch_end is not None:
+            self._on_epoch_end(trainer, record)
+
+    def on_train_end(self, trainer, history) -> None:
+        if self._on_train_end is not None:
+            self._on_train_end(trainer, history)

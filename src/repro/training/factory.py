@@ -1,0 +1,50 @@
+"""Builds the right mini-batch iterator for a model's ``data_mode``."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..data.converters import to_fixed_groups, to_user_item_interactions
+from ..data.dataset import GroupBuyingDataset
+from ..data.negative_sampling import TrainingNegativeSampler
+from ..models.base import DataMode, RecommenderModel
+from .batches import (
+    FixedGroupBatchIterator,
+    GroupBuyingBatchIterator,
+    InteractionBatchIterator,
+)
+
+__all__ = ["build_batch_iterator"]
+
+
+def build_batch_iterator(
+    model: RecommenderModel,
+    train_dataset: GroupBuyingDataset,
+    batch_size: int = 4096,
+    seed: int = 0,
+    max_failed_friends: int = 20,
+):
+    """Return an iterable of mini-batches matching ``model.data_mode``."""
+    mode = model.data_mode
+    if mode == DataMode.INTERACTIONS_OI or mode == DataMode.INTERACTIONS_BOTH:
+        conversion_mode = "oi" if mode == DataMode.INTERACTIONS_OI else "both"
+        conversion = to_user_item_interactions(train_dataset, mode=conversion_mode)
+        sampler = TrainingNegativeSampler(
+            train_dataset,
+            seed=seed,
+            include_participants=(conversion_mode == "both"),
+        )
+        return InteractionBatchIterator(conversion, sampler, batch_size=batch_size, seed=seed)
+    if mode == DataMode.FIXED_GROUPS:
+        groups = to_fixed_groups(train_dataset)
+        return FixedGroupBatchIterator(groups, batch_size=batch_size, seed=seed)
+    if mode == DataMode.GROUP_BUYING:
+        sampler = TrainingNegativeSampler(train_dataset, seed=seed, include_participants=True)
+        return GroupBuyingBatchIterator(
+            train_dataset,
+            sampler,
+            batch_size=batch_size,
+            seed=seed,
+            max_failed_friends=max_failed_friends,
+        )
+    raise ValueError(f"unsupported data mode: {mode}")

@@ -1,0 +1,149 @@
+"""Generic mini-batch trainer with validation-based model selection.
+
+The paper trains every model for up to 500 epochs and keeps the epoch that
+performs best on the validation set; :class:`Trainer` implements exactly
+that loop (with optional early stopping so CPU runs stay affordable) for
+any :class:`~repro.models.base.RecommenderModel` and any batch iterator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..eval.protocol import LeaveOneOutEvaluator
+from ..models.base import RecommenderModel
+from ..optim import Optimizer, clip_grad_norm
+from ..utils.logging import get_logger
+from ..utils.timer import Timer
+from .callbacks import Callback, CallbackList
+
+__all__ = ["EpochRecord", "TrainingHistory", "Trainer"]
+
+logger = get_logger("training")
+
+
+@dataclass
+class EpochRecord:
+    """Loss and (optional) validation metric of one epoch."""
+
+    epoch: int
+    mean_loss: float
+    validation_metric: Optional[float] = None
+    seconds: float = 0.0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records plus the index of the selected (best) epoch."""
+
+    records: List[EpochRecord] = field(default_factory=list)
+    best_epoch: int = -1
+    best_metric: float = -np.inf
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.records)
+
+    def losses(self) -> List[float]:
+        return [record.mean_loss for record in self.records]
+
+
+class Trainer:
+    """Runs epochs of ``model.batch_loss`` / ``optimizer.step`` with selection."""
+
+    def __init__(
+        self,
+        model: RecommenderModel,
+        optimizer: Optimizer,
+        batch_iterator,
+        evaluator: Optional[LeaveOneOutEvaluator] = None,
+        selection_metric: str = "Recall@10",
+        grad_clip: float = 0.0,
+        patience: Optional[int] = None,
+        validate_every: int = 1,
+        callbacks: Optional[List[Callback]] = None,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.batch_iterator = batch_iterator
+        self.evaluator = evaluator
+        self.selection_metric = selection_metric
+        self.grad_clip = grad_clip
+        self.patience = patience
+        self.validate_every = max(1, validate_every)
+        self.callbacks = CallbackList(callbacks)
+        self._best_state: Optional[Dict[str, np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    # Core loops
+    # ------------------------------------------------------------------
+    def train_epoch(self) -> float:
+        """One pass over the batch iterator; returns the mean batch loss."""
+        self.model.train()
+        losses: List[float] = []
+        for batch in self.batch_iterator:
+            self.optimizer.zero_grad()
+            loss = self.model.batch_loss(batch)
+            loss.backward()
+            if self.grad_clip > 0:
+                clip_grad_norm(self.optimizer.parameters, self.grad_clip)
+            self.optimizer.step()
+            losses.append(float(loss.data))
+        self.model.invalidate_cache()
+        return float(np.mean(losses)) if losses else 0.0
+
+    def fit(self, num_epochs: int) -> TrainingHistory:
+        """Train for ``num_epochs`` epochs with validation-based selection."""
+        history = TrainingHistory()
+        epochs_without_improvement = 0
+        timer = Timer()
+        self.callbacks.on_train_begin(self)
+
+        for epoch in range(1, num_epochs + 1):
+            with timer.time("epoch"):
+                mean_loss = self.train_epoch()
+
+            validation_metric: Optional[float] = None
+            if self.evaluator is not None and epoch % self.validate_every == 0:
+                result = self.evaluator.evaluate_validation(self.model)
+                validation_metric = result.metrics.get(self.selection_metric, 0.0)
+                if validation_metric > history.best_metric:
+                    history.best_metric = validation_metric
+                    history.best_epoch = epoch
+                    self._best_state = self.model.state_dict()
+                    epochs_without_improvement = 0
+                else:
+                    epochs_without_improvement += 1
+
+            record = EpochRecord(
+                epoch=epoch,
+                mean_loss=mean_loss,
+                validation_metric=validation_metric,
+                seconds=timer.mean("epoch"),
+            )
+            history.records.append(record)
+            self.callbacks.on_epoch_end(self, record)
+            logger.debug(
+                "epoch %d/%d loss=%.4f validation=%s",
+                epoch,
+                num_epochs,
+                mean_loss,
+                f"{validation_metric:.4f}" if validation_metric is not None else "-",
+            )
+
+            if self.patience is not None and epochs_without_improvement >= self.patience:
+                logger.info("early stopping at epoch %d (no improvement for %d validations)", epoch, self.patience)
+                break
+
+        self.restore_best()
+        self.callbacks.on_train_end(self, history)
+        return history
+
+    def restore_best(self) -> None:
+        """Load the parameters of the best validation epoch, if any were saved."""
+        if self._best_state is not None:
+            self.model.load_state_dict(self._best_state)
+            self.model.invalidate_cache()

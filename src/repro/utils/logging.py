@@ -1,0 +1,33 @@
+"""Logging configuration shared by examples, experiments and benchmarks."""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = ["get_logger", "configure_logging"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> None:
+    """Configure the root ``repro`` logger once, idempotently."""
+    logger = logging.getLogger("repro")
+    if logger.handlers:
+        logger.setLevel(level)
+        return
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if name is None or name == "repro":
+        return logging.getLogger("repro")
+    if name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

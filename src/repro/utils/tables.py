@@ -1,0 +1,45 @@
+"""Plain-text table rendering used by the experiment scripts.
+
+The benchmark harness prints the same rows the paper reports (Tables II-V,
+Figures 4-5 series); this module renders them as aligned ASCII tables so
+experiment output is directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+__all__ = ["format_table", "format_float"]
+
+Cell = Union[str, float, int]
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format a metric the way the paper does (4 decimal places)."""
+    return f"{value:.{digits}f}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]], digits: int = 4) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format_float(cell, digits))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [render_line(list(headers)), separator]
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

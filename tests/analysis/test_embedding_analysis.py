@@ -1,0 +1,63 @@
+"""Cosine-similarity distributions and the Figure 5/6 helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import cross_view_similarity, gbgcn_view_similarities, tsne_projection
+from repro.analysis.tsne import TSNEConfig
+from repro.core import GBGCN, GBGCNConfig
+
+
+@pytest.fixture(scope="module")
+def trained_gbgcn(small_split, small_graph):
+    train = small_split.train
+    return GBGCN(train.num_users, train.num_items, small_graph,
+                 config=GBGCNConfig(embedding_dim=4), rng=np.random.default_rng(0))
+
+
+class TestSimilarityDistribution:
+    def test_identical_matrices_similarity_one(self):
+        matrix = np.random.default_rng(1).normal(size=(20, 6))
+        distribution = cross_view_similarity(matrix, matrix)
+        assert np.allclose(distribution.similarities, 1.0)
+        assert np.isclose(distribution.mean, 1.0)
+
+    def test_opposite_matrices_similarity_minus_one(self):
+        matrix = np.random.default_rng(2).normal(size=(10, 4))
+        assert np.isclose(cross_view_similarity(matrix, -matrix).mean, -1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cross_view_similarity(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_pdf_integrates_to_roughly_one(self):
+        values = np.random.default_rng(3).uniform(-0.5, 0.5, size=500)
+        distribution = cross_view_similarity(
+            np.stack([np.cos(values), np.sin(values)], axis=1), np.tile([1.0, 0.0], (500, 1))
+        )
+        pdf = distribution.pdf(grid_points=300)
+        integral = np.trapezoid(pdf["density"], pdf["x"])
+        assert 0.8 < integral < 1.2
+
+    def test_pdf_handles_constant_similarities(self):
+        matrix = np.ones((10, 3))
+        pdf = cross_view_similarity(matrix, matrix).pdf()
+        assert np.isfinite(pdf["density"]).all()
+
+
+class TestGBGCNAnalyses:
+    def test_view_similarities_keys_and_ranges(self, trained_gbgcn):
+        distributions = gbgcn_view_similarities(trained_gbgcn)
+        assert set(distributions) == {"user_in_view", "item_in_view", "user_cross_view", "item_cross_view"}
+        for distribution in distributions.values():
+            assert np.all(distribution.similarities <= 1.0 + 1e-9)
+            assert np.all(distribution.similarities >= -1.0 - 1e-9)
+
+    def test_tsne_projection_shapes(self, trained_gbgcn):
+        projections = tsne_projection(
+            trained_gbgcn, num_users=15, num_items=15,
+            config=TSNEConfig(num_iterations=30, perplexity=5),
+        )
+        assert projections["user_initiator"].shape == (15, 2)
+        assert projections["item_participant"].shape == (15, 2)
+        assert projections["user_sample"].shape == (15,)

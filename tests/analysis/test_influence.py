@@ -1,0 +1,74 @@
+"""Social-influence analysis of the group-buying log."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze_social_influence, initiator_influence
+from repro.data import GroupBuyingBehavior, GroupBuyingDataset, SocialEdge
+
+
+class TestInitiatorInfluence:
+    def test_per_initiator_counts(self, tiny_dataset):
+        records = {record.user: record for record in initiator_influence(tiny_dataset)}
+        # User 0 launches twice in the tiny fixture, both successful.
+        assert records[0].num_launched == 2
+        assert records[0].num_successful == 2
+        assert records[0].success_rate == pytest.approx(1.0)
+        # User 2 launches once and fails.
+        assert records[2].num_launched == 1
+        assert records[2].num_successful == 0
+        assert records[2].success_rate == pytest.approx(0.0)
+
+    def test_friend_counts_match_social_network(self, tiny_dataset):
+        records = {record.user: record for record in initiator_influence(tiny_dataset)}
+        friends = tiny_dataset.friend_lists()
+        for user, record in records.items():
+            assert record.num_friends == friends[user].size
+
+    def test_mean_participants(self, tiny_dataset):
+        records = {record.user: record for record in initiator_influence(tiny_dataset)}
+        # User 0's launches have 2 and 1 participants.
+        assert records[0].mean_participants == pytest.approx(1.5)
+
+    def test_only_initiators_listed(self, tiny_dataset):
+        users = {record.user for record in initiator_influence(tiny_dataset)}
+        assert users == {b.initiator for b in tiny_dataset.behaviors}
+
+
+class TestAnalyzeSocialInfluence:
+    def test_report_fields_are_finite(self, small_dataset):
+        report = analyze_social_influence(small_dataset)
+        assert np.isfinite(report.degree_success_correlation)
+        assert 0.0 <= report.invitation_conversion_rate <= 1.0
+        assert report.num_initiators > 0
+
+    def test_successful_groups_have_more_participants(self, small_dataset):
+        report = analyze_social_influence(small_dataset)
+        assert report.mean_participants_successful > report.mean_participants_failed
+
+    def test_synthetic_data_shows_positive_degree_effect(self, small_dataset):
+        # The generator gives initiators with more friends more potential
+        # participants, so degree and clinch rate should correlate positively.
+        report = analyze_social_influence(small_dataset, min_launched=2)
+        assert report.degree_success_correlation > -0.1
+
+    def test_min_launched_filter(self, small_dataset):
+        all_initiators = analyze_social_influence(small_dataset, min_launched=1).num_initiators
+        frequent_only = analyze_social_influence(small_dataset, min_launched=3).num_initiators
+        assert frequent_only <= all_initiators
+
+    def test_empty_filter_raises(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            analyze_social_influence(tiny_dataset, min_launched=100)
+
+    def test_degenerate_dataset_gets_zero_correlation(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(1,), threshold=1)]
+        dataset = GroupBuyingDataset(3, 2, behaviors, [SocialEdge(0, 1)])
+        report = analyze_social_influence(dataset)
+        assert report.degree_success_correlation == 0.0
+        assert report.degree_success_p_value == 1.0
+
+    def test_format_is_printable(self, small_dataset):
+        text = analyze_social_influence(small_dataset).format()
+        assert "conversion" in text
+        assert "correlation" in text.lower()

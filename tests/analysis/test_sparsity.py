@@ -1,0 +1,72 @@
+"""Data-sparsity study."""
+
+import pytest
+
+from repro.analysis import SparsityPoint, SparsityStudy, run_sparsity_study
+from repro.models import ModelSettings
+from repro.training import TrainingSettings
+
+
+def make_study():
+    study = SparsityStudy(metric="Recall@10")
+    study.points = [
+        SparsityPoint("MF", 0.25, 100, {"Recall@10": 0.10}),
+        SparsityPoint("MF", 1.00, 400, {"Recall@10": 0.20}),
+        SparsityPoint("GBGCN", 0.25, 100, {"Recall@10": 0.18}),
+        SparsityPoint("GBGCN", 1.00, 400, {"Recall@10": 0.22}),
+    ]
+    return study
+
+
+class TestSparsityStudy:
+    def test_series_is_sorted_by_fraction(self):
+        study = make_study()
+        fractions = [point.fraction for point in study.series("MF")]
+        assert fractions == sorted(fractions)
+
+    def test_model_names(self):
+        assert make_study().model_names() == ["GBGCN", "MF"]
+
+    def test_degradation(self):
+        study = make_study()
+        assert study.degradation("MF") == pytest.approx(0.5)
+        assert study.degradation("GBGCN") == pytest.approx((0.22 - 0.18) / 0.22)
+
+    def test_degradation_needs_two_points(self):
+        study = SparsityStudy(metric="Recall@10")
+        study.points = [SparsityPoint("MF", 1.0, 10, {"Recall@10": 0.2})]
+        with pytest.raises(ValueError):
+            study.degradation("MF")
+
+    def test_format_contains_models_and_fractions(self):
+        text = make_study().format()
+        assert "MF" in text and "GBGCN" in text
+        assert "25%" in text and "100%" in text
+
+
+class TestRunSparsityStudy:
+    def test_invalid_fraction_rejected(self, small_split, small_evaluator):
+        with pytest.raises(ValueError):
+            run_sparsity_study(
+                small_split,
+                small_evaluator,
+                model_names=("MF",),
+                fractions=(0.0, 1.0),
+                training=TrainingSettings(num_epochs=1),
+            )
+
+    def test_small_end_to_end_run(self, small_split, small_evaluator):
+        study = run_sparsity_study(
+            small_split,
+            small_evaluator,
+            model_names=("MF",),
+            fractions=(0.5, 1.0),
+            model_settings=ModelSettings(embedding_dim=8),
+            training=TrainingSettings(num_epochs=2, batch_size=512),
+        )
+        assert len(study.points) == 2
+        assert {point.fraction for point in study.points} == {0.5, 1.0}
+        dense = study.series("MF")[-1]
+        sparse = study.series("MF")[0]
+        assert sparse.num_train_behaviors < dense.num_train_behaviors
+        assert all(0.0 <= point["Recall@10"] <= 1.0 for point in study.points)

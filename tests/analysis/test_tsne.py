@@ -1,0 +1,42 @@
+"""t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TSNE, TSNEConfig, tsne_embed
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        data = np.random.default_rng(0).normal(size=(40, 8))
+        out = tsne_embed(data, TSNEConfig(num_iterations=50, perplexity=10))
+        assert out.shape == (40, 2)
+        assert np.isfinite(out).all()
+
+    def test_separates_two_well_separated_blobs(self):
+        rng = np.random.default_rng(1)
+        blob_a = rng.normal(0.0, 0.1, size=(30, 5))
+        blob_b = rng.normal(8.0, 0.1, size=(30, 5))
+        out = tsne_embed(np.vstack([blob_a, blob_b]), TSNEConfig(num_iterations=250, perplexity=10, seed=2))
+        centroid_a, centroid_b = out[:30].mean(axis=0), out[30:].mean(axis=0)
+        spread = out[:30].std() + out[30:].std()
+        assert np.linalg.norm(centroid_a - centroid_b) > spread
+
+    def test_deterministic_for_seed(self):
+        data = np.random.default_rng(3).normal(size=(20, 4))
+        config = TSNEConfig(num_iterations=30, seed=7)
+        assert np.allclose(TSNE(config).fit_transform(data), TSNE(config).fit_transform(data))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            tsne_embed(np.zeros((3, 4)))
+
+    def test_requires_2d_input(self):
+        with pytest.raises(ValueError):
+            tsne_embed(np.zeros(10))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            TSNEConfig(perplexity=0.5)
+        with pytest.raises(ValueError):
+            TSNEConfig(num_iterations=0)

@@ -1,0 +1,55 @@
+"""Graph recording control: no_grad, requires_grad propagation."""
+
+import numpy as np
+
+from repro.autograd import Tensor, is_grad_enabled, no_grad, sigmoid
+
+
+class TestNoGrad:
+    def test_context_toggles_flag(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_nested_contexts(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_ops_inside_no_grad_do_not_require_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with no_grad():
+            out = sigmoid(a * 2.0)
+        assert not out.requires_grad
+        assert out._parents == ()
+
+    def test_tensor_created_inside_no_grad(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+    def test_exception_restores_flag(self):
+        try:
+            with no_grad():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert is_grad_enabled()
+
+
+class TestRequiresGradPropagation:
+    def test_result_requires_grad_if_any_parent_does(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=False)
+        assert (a + b).requires_grad
+        assert (b * b).requires_grad is False
+
+    def test_constant_branch_gets_no_gradient(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=False)
+        (a * b).sum().backward()
+        assert b.grad is None
+        assert np.allclose(a.grad, [3.0, 4.0])

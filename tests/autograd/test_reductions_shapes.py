@@ -1,0 +1,99 @@
+"""Reductions, reshaping, transposition and indexing gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+
+
+def make(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        a = make((3, 4), 1)
+        check_gradients(lambda: a.sum(), {"a": a})
+
+    def test_sum_axis0(self):
+        a = make((3, 4), 2)
+        check_gradients(lambda: (a.sum(axis=0) ** 2).sum(), {"a": a})
+
+    def test_sum_axis1_keepdims(self):
+        a = make((3, 4), 3)
+        check_gradients(lambda: (a.sum(axis=1, keepdims=True) ** 2).sum(), {"a": a})
+
+    def test_sum_negative_axis(self):
+        a = make((2, 3), 4)
+        assert a.sum(axis=-1).shape == (2,)
+
+    def test_mean_all(self):
+        a = make((4, 5), 5)
+        assert np.isclose(a.mean().data, a.data.mean())
+        check_gradients(lambda: a.mean(), {"a": a})
+
+    def test_mean_axis(self):
+        a = make((4, 5), 6)
+        check_gradients(lambda: (a.mean(axis=1) ** 2).sum(), {"a": a})
+
+    def test_max_all(self):
+        a = make((6,), 7)
+        assert np.isclose(a.max().data, a.data.max())
+
+    def test_max_axis_gradient_flows_to_argmax(self):
+        a = Tensor([[1.0, 5.0], [7.0, 2.0]], requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+
+class TestShapes:
+    def test_reshape_values_and_gradients(self):
+        a = make((2, 6), 10)
+        reshaped = a.reshape(3, 4)
+        assert reshaped.shape == (3, 4)
+        check_gradients(lambda: (a.reshape(3, 4) ** 2).sum(), {"a": a})
+
+    def test_reshape_with_tuple(self):
+        a = make((4,), 11)
+        assert a.reshape((2, 2)).shape == (2, 2)
+
+    def test_reshape_minus_one(self):
+        a = make((2, 3), 12)
+        assert a.reshape(-1).shape == (6,)
+
+    def test_transpose_default(self):
+        a = make((2, 5), 13)
+        assert a.T.shape == (5, 2)
+        check_gradients(lambda: (a.T ** 2).sum(), {"a": a})
+
+    def test_transpose_axes(self):
+        a = make((2, 3, 4), 14)
+        transposed = a.transpose((2, 0, 1))
+        assert transposed.shape == (4, 2, 3)
+        check_gradients(lambda: (a.transpose((2, 0, 1)) ** 2).sum(), {"a": a})
+
+
+class TestIndexing:
+    def test_row_indexing_values(self):
+        a = make((5, 3), 20)
+        assert np.allclose(a[2].data, a.data[2])
+
+    def test_integer_array_indexing_gradients(self):
+        a = make((5, 3), 21)
+        index = np.array([0, 2, 2, 4])
+        check_gradients(lambda: (a[index] ** 2).sum(), {"a": a})
+
+    def test_repeated_index_gradient_accumulates(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        index = np.array([1, 1, 1])
+        a[index].sum().backward()
+        assert np.allclose(a.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_slice_indexing(self):
+        a = make((6, 2), 22)
+        check_gradients(lambda: (a[1:4] ** 2).sum(), {"a": a})
+
+    def test_len_and_repr(self):
+        a = make((7, 2), 23)
+        assert len(a) == 7
+        assert "requires_grad=True" in repr(a)

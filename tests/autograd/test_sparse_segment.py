@@ -1,0 +1,123 @@
+"""Sparse propagation kernels, segment aggregation and embedding lookup."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import (
+    Tensor,
+    check_gradients,
+    embedding_lookup,
+    row_normalize,
+    segment_mean,
+    segment_sum,
+    sparse_matmul,
+    to_csr,
+    cosine_similarity,
+)
+
+
+def make(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        matrix = sp.random(10, 8, density=0.4, random_state=0, format="csr")
+        matrix.data[:] = 1.0
+        normalized = row_normalize(matrix)
+        sums = np.asarray(normalized.sum(axis=1)).flatten()
+        nonzero = np.asarray(matrix.sum(axis=1)).flatten() > 0
+        assert np.allclose(sums[nonzero], 1.0)
+
+    def test_zero_rows_stay_zero(self):
+        matrix = sp.csr_matrix(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        normalized = row_normalize(matrix)
+        assert np.allclose(normalized.toarray()[1], 0.0)
+
+    def test_accepts_dense_input(self):
+        dense = np.array([[2.0, 2.0], [1.0, 0.0]])
+        normalized = row_normalize(dense)
+        assert np.allclose(normalized.toarray(), [[0.5, 0.5], [1.0, 0.0]])
+
+    def test_to_csr_roundtrip(self):
+        dense = np.eye(3)
+        assert isinstance(to_csr(dense), sp.csr_matrix)
+        assert isinstance(to_csr(sp.coo_matrix(dense)), sp.csr_matrix)
+
+
+class TestSparseMatmul:
+    def test_matches_dense_product(self):
+        matrix = sp.random(6, 5, density=0.5, random_state=1, format="csr")
+        x = make((5, 3), 2)
+        out = sparse_matmul(matrix, x)
+        assert np.allclose(out.data, matrix.toarray() @ x.data)
+
+    def test_gradients(self):
+        matrix = sp.random(7, 4, density=0.6, random_state=3, format="csr")
+        x = make((4, 2), 4)
+        check_gradients(lambda: (sparse_matmul(matrix, x) ** 2).sum(), {"x": x})
+
+    def test_rejects_dense_left_operand(self):
+        with pytest.raises(TypeError):
+            sparse_matmul(np.eye(3), make((3, 2), 5))
+
+
+class TestEmbeddingLookup:
+    def test_values(self):
+        table = make((6, 4), 10)
+        indices = np.array([0, 5, 2])
+        assert np.allclose(embedding_lookup(table, indices).data, table.data[indices])
+
+    def test_gradients_with_repeats(self):
+        table = make((5, 3), 11)
+        indices = np.array([1, 1, 4, 0])
+        check_gradients(lambda: (embedding_lookup(table, indices) ** 2).sum(), {"table": table})
+
+    def test_repeated_rows_accumulate(self):
+        table = Tensor(np.zeros((3, 2)), requires_grad=True)
+        embedding_lookup(table, np.array([2, 2])).sum().backward()
+        assert np.allclose(table.grad, [[0, 0], [0, 0], [2, 2]])
+
+
+class TestSegmentOps:
+    def test_segment_sum_values(self):
+        values = Tensor(np.arange(8, dtype=float).reshape(4, 2))
+        segments = np.array([0, 0, 2, 2])
+        out = segment_sum(values, segments, 3)
+        assert np.allclose(out.data, [[2, 4], [0, 0], [10, 12]])
+
+    def test_segment_sum_gradients(self):
+        values = make((6, 3), 20)
+        segments = np.array([0, 1, 1, 2, 2, 2])
+        check_gradients(lambda: (segment_sum(values, segments, 4) ** 2).sum(), {"values": values})
+
+    def test_segment_mean_values(self):
+        values = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        segments = np.array([0, 0, 1])
+        out = segment_mean(values, segments, 2)
+        assert np.allclose(out.data, [[3.0], [6.0]])
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        values = Tensor(np.array([[1.0]]))
+        out = segment_mean(values, np.array([1]), 3)
+        assert np.allclose(out.data, [[0.0], [1.0], [0.0]])
+
+    def test_segment_sum_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            segment_sum(Tensor(np.ones((2, 2))), np.array([0]), 1)
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        a = np.random.default_rng(0).normal(size=(5, 3))
+        assert np.allclose(cosine_similarity(a, a), 1.0)
+
+    def test_orthogonal_vectors(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert np.allclose(cosine_similarity(a, b), 0.0)
+
+    def test_opposite_vectors(self):
+        a = np.array([[1.0, 2.0]])
+        assert np.allclose(cosine_similarity(a, -a), -1.0)

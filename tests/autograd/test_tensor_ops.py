@@ -1,0 +1,159 @@
+"""Elementwise arithmetic, matmul and broadcasting gradients of Tensor."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, GradientCheckError
+
+
+def make(shape, seed=0, requires_grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=requires_grad)
+
+
+class TestArithmetic:
+    def test_add_values(self):
+        a, b = Tensor([1.0, 2.0]), Tensor([3.0, 4.0])
+        assert np.allclose((a + b).data, [4.0, 6.0])
+
+    def test_add_gradients(self):
+        a, b = make((3, 2), 1), make((3, 2), 2)
+        check_gradients(lambda: (a + b).sum(), {"a": a, "b": b})
+
+    def test_add_broadcast_gradients(self):
+        a, b = make((3, 2), 1), make((2,), 2)
+        check_gradients(lambda: (a + b).sum(), {"a": a, "b": b})
+
+    def test_scalar_add(self):
+        a = make((2, 2), 3)
+        check_gradients(lambda: (a + 2.5).sum(), {"a": a})
+
+    def test_sub_values(self):
+        a, b = Tensor([5.0, 7.0]), Tensor([2.0, 3.0])
+        assert np.allclose((a - b).data, [3.0, 4.0])
+
+    def test_rsub(self):
+        a = make((4,), 4)
+        check_gradients(lambda: (1.0 - a).sum(), {"a": a})
+
+    def test_neg_gradients(self):
+        a = make((3,), 5)
+        check_gradients(lambda: (-a).sum(), {"a": a})
+
+    def test_mul_gradients(self):
+        a, b = make((2, 3), 6), make((2, 3), 7)
+        check_gradients(lambda: (a * b).sum(), {"a": a, "b": b})
+
+    def test_mul_broadcast_gradients(self):
+        a, b = make((2, 3), 6), make((1, 3), 7)
+        check_gradients(lambda: (a * b).sum(), {"a": a, "b": b})
+
+    def test_div_gradients(self):
+        a = make((2, 3), 8)
+        b = Tensor(np.random.default_rng(9).uniform(0.5, 2.0, size=(2, 3)), requires_grad=True)
+        check_gradients(lambda: (a / b).sum(), {"a": a, "b": b})
+
+    def test_rdiv(self):
+        b = Tensor(np.random.default_rng(10).uniform(0.5, 2.0, size=(3,)), requires_grad=True)
+        check_gradients(lambda: (2.0 / b).sum(), {"b": b})
+
+    def test_pow_gradients(self):
+        a = Tensor(np.random.default_rng(11).uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        check_gradients(lambda: (a ** 3).sum(), {"a": a})
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = make((2,), 12)
+        with pytest.raises(TypeError):
+            a ** np.array([1.0, 2.0])
+
+
+class TestUnaryOps:
+    def test_exp_gradients(self):
+        a = make((3, 2), 20)
+        check_gradients(lambda: a.exp().sum(), {"a": a})
+
+    def test_log_gradients(self):
+        a = Tensor(np.random.default_rng(21).uniform(0.5, 3.0, size=(5,)), requires_grad=True)
+        check_gradients(lambda: a.log().sum(), {"a": a})
+
+    def test_sqrt_matches_numpy(self):
+        a = Tensor([4.0, 9.0])
+        assert np.allclose(a.sqrt().data, [2.0, 3.0])
+
+    def test_abs_gradients(self):
+        a = Tensor([-2.0, 3.0, -0.5], requires_grad=True)
+        check_gradients(lambda: a.abs().sum(), {"a": a})
+
+    def test_clip_values_and_gradients(self):
+        a = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        clipped = a.clip(0.0, 1.0)
+        assert np.allclose(clipped.data, [0.0, 0.5, 1.0])
+        clipped.sum().backward()
+        assert np.allclose(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestMatmul:
+    def test_matmul_values(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0, 6.0], [7.0, 8.0]])
+        assert np.allclose((a @ b).data, np.array([[19.0, 22.0], [43.0, 50.0]]))
+
+    def test_matmul_gradients(self):
+        a, b = make((3, 4), 30), make((4, 2), 31)
+        check_gradients(lambda: (a @ b).sum(), {"a": a, "b": b})
+
+    def test_matvec_gradients(self):
+        a, b = make((3, 4), 32), make((4,), 33)
+        check_gradients(lambda: (a @ b).sum(), {"a": a, "b": b})
+
+    def test_rowwise_dot(self):
+        a, b = make((5, 3), 34), make((5, 3), 35)
+        result = a.dot(b)
+        assert result.shape == (5,)
+        assert np.allclose(result.data, (a.data * b.data).sum(axis=1))
+
+    def test_chained_expression_gradients(self):
+        a, b = make((3, 3), 36), make((3, 3), 37)
+        check_gradients(lambda: ((a @ b) * a + b).sum(), {"a": a, "b": b})
+
+
+class TestBackwardSemantics:
+    def test_gradient_accumulates_on_reuse(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        out = (a * a).sum()
+        out.backward()
+        assert np.allclose(a.grad, [2.0, 4.0])
+
+    def test_backward_requires_scalar(self):
+        a = make((3,), 40)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        a = Tensor([1.0], requires_grad=False)
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_zero_grad_resets(self):
+        a = make((2,), 41)
+        (a * 3).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detach_breaks_graph(self):
+        a = make((2,), 42)
+        detached = a.detach()
+        assert not detached.requires_grad
+        assert np.shares_memory(detached.data, a.data)
+
+    def test_gradcheck_detects_wrong_gradient(self):
+        a = make((2,), 43)
+
+        def wrong():
+            # exp has a well-defined gradient; corrupt the comparison by
+            # checking against a different function.
+            return (a * 0.0).sum() + Tensor(float(np.sum(a.data ** 2)))
+
+        with pytest.raises(GradientCheckError):
+            check_gradients(wrong, {"a": a})

@@ -1,0 +1,75 @@
+"""Shared fixtures: tiny deterministic datasets, splits and graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BeibeiLikeConfig,
+    GroupBuyingBehavior,
+    GroupBuyingDataset,
+    SocialEdge,
+    generate_dataset,
+    leave_one_out_split,
+)
+from repro.eval import LeaveOneOutEvaluator
+from repro.graph import build_hetero_graph
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> GroupBuyingDataset:
+    """A hand-written 6-user / 4-item dataset with known structure."""
+    behaviors = [
+        # user 0 launches item 0 and friends 1, 2 join (threshold 1 -> success)
+        GroupBuyingBehavior(initiator=0, item=0, participants=(1, 2), threshold=1),
+        # user 1 launches item 1, friend 0 joins (success)
+        GroupBuyingBehavior(initiator=1, item=1, participants=(0,), threshold=1),
+        # user 2 launches item 2, nobody joins (threshold 1 -> failure)
+        GroupBuyingBehavior(initiator=2, item=2, participants=(), threshold=1),
+        # user 3 launches item 3, friend 4 joins but threshold is 2 -> failure
+        GroupBuyingBehavior(initiator=3, item=3, participants=(4,), threshold=2),
+        # user 4 launches item 0, friends 3 and 5 join (success)
+        GroupBuyingBehavior(initiator=4, item=0, participants=(3, 5), threshold=2),
+        # user 0 launches item 2 again with friend 2 (success)
+        GroupBuyingBehavior(initiator=0, item=2, participants=(2,), threshold=1),
+    ]
+    social = [
+        SocialEdge(0, 1),
+        SocialEdge(0, 2),
+        SocialEdge(1, 2),
+        SocialEdge(3, 4),
+        SocialEdge(4, 5),
+    ]
+    return GroupBuyingDataset(num_users=6, num_items=4, behaviors=behaviors, social_edges=social, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> GroupBuyingDataset:
+    """A generated dataset, small but large enough to train briefly."""
+    return generate_dataset(BeibeiLikeConfig.small(seed=99))
+
+
+@pytest.fixture(scope="session")
+def small_split(small_dataset):
+    return leave_one_out_split(small_dataset, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_evaluator(small_split):
+    return LeaveOneOutEvaluator(small_split, num_negatives=20, seed=0, cutoffs=(3, 5, 10, 20))
+
+
+@pytest.fixture(scope="session")
+def tiny_graph(tiny_dataset):
+    return build_hetero_graph(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_split):
+    return build_hetero_graph(small_split.train)

@@ -1,0 +1,114 @@
+"""In-view and cross-view propagation against hand-computed expectations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import CrossViewPropagation, InViewPropagation
+from repro.data import GroupBuyingBehavior, GroupBuyingDataset, SocialEdge
+from repro.graph import build_hetero_graph
+
+
+@pytest.fixture(scope="module")
+def two_behavior_graph():
+    """Two behaviors with known neighborhoods for manual verification."""
+    behaviors = [
+        GroupBuyingBehavior(initiator=0, item=0, participants=(1,), threshold=1),
+        GroupBuyingBehavior(initiator=1, item=1, participants=(2,), threshold=1),
+    ]
+    dataset = GroupBuyingDataset(3, 2, behaviors, [SocialEdge(0, 1), SocialEdge(1, 2)])
+    return build_hetero_graph(dataset)
+
+
+class TestInViewPropagation:
+    def test_output_dimension_is_concatenation_of_layers(self, two_behavior_graph):
+        layer = InViewPropagation(two_behavior_graph, num_layers=2)
+        users = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+        items = Tensor(np.random.default_rng(1).normal(size=(2, 4)))
+        out = layer(users, items)
+        assert out.user_initiator.shape == (3, 12)
+        assert out.item_participant.shape == (2, 12)
+
+    def test_first_layer_matches_manual_mean(self, two_behavior_graph):
+        layer = InViewPropagation(two_behavior_graph, num_layers=1)
+        users = Tensor(np.arange(6, dtype=float).reshape(3, 2))
+        items = Tensor(np.array([[10.0, 20.0], [30.0, 40.0]]))
+        out = layer(users, items)
+        # Initiator view: user 0 interacted (as initiator) only with item 0.
+        layer_one = out.user_initiator.data[:, 2:]
+        assert np.allclose(layer_one[0], [10.0, 20.0])
+        # User 2 never initiated anything -> zero vector after propagation.
+        assert np.allclose(layer_one[2], [0.0, 0.0])
+        # Item 0 in initiator view saw only user 0.
+        item_layer_one = out.item_initiator.data[:, 2:]
+        assert np.allclose(item_layer_one[0], users.data[0])
+
+    def test_participant_view_differs_from_initiator_view(self, two_behavior_graph):
+        layer = InViewPropagation(two_behavior_graph, num_layers=1)
+        users = Tensor(np.random.default_rng(2).normal(size=(3, 3)))
+        items = Tensor(np.random.default_rng(3).normal(size=(2, 3)))
+        out = layer(users, items)
+        assert not np.allclose(out.user_initiator.data, out.user_participant.data)
+
+    def test_share_user_roles_pools_views(self, two_behavior_graph):
+        layer = InViewPropagation(two_behavior_graph, num_layers=2, share_user_roles=True)
+        users = Tensor(np.random.default_rng(4).normal(size=(3, 3)))
+        items = Tensor(np.random.default_rng(5).normal(size=(2, 3)))
+        out = layer(users, items)
+        assert np.allclose(out.user_initiator.data, out.user_participant.data)
+        assert not np.allclose(out.item_initiator.data, out.item_participant.data)
+
+    def test_share_item_roles_pools_items(self, two_behavior_graph):
+        layer = InViewPropagation(two_behavior_graph, num_layers=1, share_item_roles=True)
+        users = Tensor(np.random.default_rng(6).normal(size=(3, 3)))
+        items = Tensor(np.random.default_rng(7).normal(size=(2, 3)))
+        out = layer(users, items)
+        assert np.allclose(out.item_initiator.data, out.item_participant.data)
+
+    def test_requires_at_least_one_layer(self, two_behavior_graph):
+        with pytest.raises(ValueError):
+            InViewPropagation(two_behavior_graph, num_layers=0)
+
+
+class TestCrossViewPropagation:
+    def test_output_dimension_doubles(self, two_behavior_graph):
+        in_view = InViewPropagation(two_behavior_graph, num_layers=1)
+        cross = CrossViewPropagation(two_behavior_graph, feature_dim=6, rng=np.random.default_rng(8))
+        users = Tensor(np.random.default_rng(9).normal(size=(3, 3)))
+        items = Tensor(np.random.default_rng(10).normal(size=(2, 3)))
+        out = cross(in_view(users, items))
+        assert out.user_initiator.shape == (3, 12)
+        assert out.item_participant.shape == (2, 12)
+
+    def test_input_is_prefix_of_output(self, two_behavior_graph):
+        in_view = InViewPropagation(two_behavior_graph, num_layers=1)
+        cross = CrossViewPropagation(two_behavior_graph, feature_dim=6, rng=np.random.default_rng(11))
+        users = Tensor(np.random.default_rng(12).normal(size=(3, 3)))
+        items = Tensor(np.random.default_rng(13).normal(size=(2, 3)))
+        stage_one = in_view(users, items)
+        out = cross(stage_one)
+        assert np.allclose(out.user_initiator.data[:, :6], stage_one.user_initiator.data)
+        assert np.allclose(out.item_participant.data[:, :6], stage_one.item_participant.data)
+
+    def test_gradients_reach_transforms(self, two_behavior_graph):
+        in_view = InViewPropagation(two_behavior_graph, num_layers=1)
+        cross = CrossViewPropagation(two_behavior_graph, feature_dim=6, rng=np.random.default_rng(14))
+        users = Tensor(np.random.default_rng(15).normal(size=(3, 3)), requires_grad=True)
+        items = Tensor(np.random.default_rng(16).normal(size=(2, 3)), requires_grad=True)
+        out = cross(in_view(users, items))
+        (out.user_initiator.sum() + out.item_participant.sum()).backward()
+        assert cross.transform_vi_ui.weight.grad is not None
+        assert users.grad is not None
+
+    def test_role_pooling_flag(self, two_behavior_graph):
+        in_view = InViewPropagation(two_behavior_graph, num_layers=1)
+        cross = CrossViewPropagation(
+            two_behavior_graph, feature_dim=6, share_user_roles=True, share_item_roles=True,
+            rng=np.random.default_rng(17),
+        )
+        users = Tensor(np.random.default_rng(18).normal(size=(3, 3)))
+        items = Tensor(np.random.default_rng(19).normal(size=(2, 3)))
+        out = cross(in_view(users, items))
+        # Only the newly generated halves are pooled.
+        assert np.allclose(out.user_initiator.data[:, 6:], out.user_participant.data[:, 6:])
+        assert np.allclose(out.item_initiator.data[:, 6:], out.item_participant.data[:, 6:])

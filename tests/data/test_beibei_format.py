@@ -1,0 +1,129 @@
+"""JSON-lines dataset layout mirroring the authors' released dump."""
+
+import json
+
+import pytest
+
+from repro.data import (
+    GroupBuyingBehavior,
+    GroupBuyingDataset,
+    SocialEdge,
+    compute_statistics,
+    load_beibei_format,
+    save_beibei_format,
+)
+from repro.data.beibei_format import BEHAVIORS_FILENAME, SOCIAL_FILENAME
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_behaviors_and_edges(self, tiny_dataset, tmp_path):
+        save_beibei_format(tiny_dataset, tmp_path)
+        loaded = load_beibei_format(tmp_path, num_users=tiny_dataset.num_users, num_items=tiny_dataset.num_items)
+        assert loaded.behaviors == tiny_dataset.behaviors
+        assert loaded.social_edges == tiny_dataset.social_edges
+
+    def test_roundtrip_statistics_match(self, small_dataset, tmp_path):
+        save_beibei_format(small_dataset, tmp_path)
+        loaded = load_beibei_format(
+            tmp_path, num_users=small_dataset.num_users, num_items=small_dataset.num_items
+        )
+        assert compute_statistics(loaded).as_dict() == compute_statistics(small_dataset).as_dict()
+
+    def test_universe_inferred_from_ids(self, tmp_path):
+        dataset = GroupBuyingDataset(
+            num_users=10,
+            num_items=8,
+            behaviors=[GroupBuyingBehavior(2, 5, participants=(7,), threshold=1)],
+            social_edges=[SocialEdge(2, 7)],
+        )
+        save_beibei_format(dataset, tmp_path)
+        loaded = load_beibei_format(tmp_path)
+        assert loaded.num_users == 8  # largest seen user is 7
+        assert loaded.num_items == 6  # largest seen item is 5
+
+
+class TestLoading:
+    def test_missing_behavior_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_beibei_format(tmp_path)
+
+    def test_threshold_reconstructed_from_success_flag(self, tmp_path):
+        lines = [
+            json.dumps({"initiator": 0, "item": 0, "participants": [1], "success": True}),
+            json.dumps({"initiator": 1, "item": 1, "participants": [0], "success": False}),
+            json.dumps({"initiator": 2, "item": 2, "participants": [], "success": False}),
+        ]
+        (tmp_path / BEHAVIORS_FILENAME).write_text("\n".join(lines) + "\n")
+        (tmp_path / SOCIAL_FILENAME).write_text(json.dumps({"user": 0, "friends": [1, 2]}) + "\n")
+        loaded = load_beibei_format(tmp_path)
+        assert loaded.behaviors[0].is_successful
+        assert not loaded.behaviors[1].is_successful
+        assert not loaded.behaviors[2].is_successful
+
+    def test_blank_lines_ignored(self, tmp_path):
+        record = json.dumps({"initiator": 0, "item": 0, "participants": []})
+        (tmp_path / BEHAVIORS_FILENAME).write_text(f"\n{record}\n\n")
+        loaded = load_beibei_format(tmp_path)
+        assert loaded.num_behaviors == 1
+
+    def test_invalid_json_reports_line_number(self, tmp_path):
+        (tmp_path / BEHAVIORS_FILENAME).write_text("not json\n")
+        with pytest.raises(ValueError, match="line 1"):
+            load_beibei_format(tmp_path)
+
+    def test_missing_keys_rejected(self, tmp_path):
+        (tmp_path / BEHAVIORS_FILENAME).write_text(json.dumps({"item": 3}) + "\n")
+        with pytest.raises(ValueError, match="initiator"):
+            load_beibei_format(tmp_path)
+
+    def test_invalid_social_record_rejected(self, tmp_path):
+        (tmp_path / BEHAVIORS_FILENAME).write_text(
+            json.dumps({"initiator": 0, "item": 0, "participants": []}) + "\n"
+        )
+        (tmp_path / SOCIAL_FILENAME).write_text(json.dumps({"friends": [1]}) + "\n")
+        with pytest.raises(ValueError, match="user"):
+            load_beibei_format(tmp_path)
+
+    def test_explicit_invalid_threshold_rejected(self, tmp_path):
+        (tmp_path / BEHAVIORS_FILENAME).write_text(
+            json.dumps({"initiator": 0, "item": 0, "participants": [], "threshold": 0}) + "\n"
+        )
+        with pytest.raises(ValueError, match="threshold"):
+            load_beibei_format(tmp_path)
+
+    def test_self_friendships_are_skipped(self, tmp_path):
+        (tmp_path / BEHAVIORS_FILENAME).write_text(
+            json.dumps({"initiator": 0, "item": 0, "participants": []}) + "\n"
+        )
+        (tmp_path / SOCIAL_FILENAME).write_text(json.dumps({"user": 0, "friends": [0, 1]}) + "\n")
+        loaded = load_beibei_format(tmp_path)
+        assert loaded.num_social_edges == 1
+
+
+class TestSaving:
+    def test_every_behavior_becomes_one_line(self, tiny_dataset, tmp_path):
+        save_beibei_format(tiny_dataset, tmp_path)
+        lines = (tmp_path / BEHAVIORS_FILENAME).read_text().strip().splitlines()
+        assert len(lines) == tiny_dataset.num_behaviors
+
+    def test_success_flag_written(self, tiny_dataset, tmp_path):
+        save_beibei_format(tiny_dataset, tmp_path)
+        records = [
+            json.loads(line)
+            for line in (tmp_path / BEHAVIORS_FILENAME).read_text().strip().splitlines()
+        ]
+        assert all("success" in record for record in records)
+        assert any(record["success"] for record in records)
+        assert any(not record["success"] for record in records)
+
+    def test_friendless_users_omitted_from_social_file(self, tmp_path):
+        dataset = GroupBuyingDataset(
+            num_users=5,
+            num_items=2,
+            behaviors=[GroupBuyingBehavior(0, 0, participants=(), threshold=1)],
+            social_edges=[SocialEdge(0, 1)],
+        )
+        save_beibei_format(dataset, tmp_path)
+        lines = (tmp_path / SOCIAL_FILENAME).read_text().strip().splitlines()
+        users = {json.loads(line)["user"] for line in lines}
+        assert users == {0, 1}

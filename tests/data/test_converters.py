@@ -1,0 +1,63 @@
+"""Conversions to CF interactions and fixed groups."""
+
+import numpy as np
+import pytest
+
+from repro.data import to_fixed_groups, to_user_item_interactions
+
+
+class TestInteractionConversion:
+    def test_oi_keeps_only_initiator_pairs(self, tiny_dataset):
+        conversion = to_user_item_interactions(tiny_dataset, mode="oi")
+        expected = {(b.initiator, b.item) for b in tiny_dataset.behaviors}
+        assert set(map(tuple, conversion.pairs.tolist())) == expected
+
+    def test_both_adds_participant_pairs(self, tiny_dataset):
+        oi = to_user_item_interactions(tiny_dataset, mode="oi")
+        both = to_user_item_interactions(tiny_dataset, mode="both")
+        assert both.num_interactions > oi.num_interactions
+        assert (2, 0) in set(map(tuple, both.pairs.tolist()))  # participant pair
+
+    def test_invalid_mode(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            to_user_item_interactions(tiny_dataset, mode="bogus")
+
+    def test_matrix_shape_and_binary(self, tiny_dataset):
+        conversion = to_user_item_interactions(tiny_dataset, mode="both")
+        matrix = conversion.matrix()
+        assert matrix.shape == (tiny_dataset.num_users, tiny_dataset.num_items)
+        assert set(np.unique(matrix.toarray())) <= {0.0, 1.0}
+
+    def test_user_items_mapping(self, tiny_dataset):
+        conversion = to_user_item_interactions(tiny_dataset, mode="both")
+        mapping = conversion.user_items()
+        assert mapping[0] == {0, 1, 2}
+
+
+class TestFixedGroups:
+    def test_groups_defined_by_initiators(self, tiny_dataset):
+        groups = to_fixed_groups(tiny_dataset)
+        initiators = {b.initiator for b in tiny_dataset.behaviors}
+        assert groups.num_groups == len(initiators)
+        for user in initiators:
+            assert groups.group_for_user(user) >= 0
+
+    def test_group_members_include_companions(self, tiny_dataset):
+        groups = to_fixed_groups(tiny_dataset)
+        group_of_zero = groups.group_for_user(0)
+        members = set(groups.members_of(group_of_zero).tolist())
+        assert members == {0, 1, 2}
+
+    def test_first_member_is_initiator(self, tiny_dataset):
+        groups = to_fixed_groups(tiny_dataset)
+        for user, group in groups.group_of_user.items():
+            assert groups.group_members[group][0] == user
+
+    def test_successful_only_activities(self, tiny_dataset):
+        successful_only = to_fixed_groups(tiny_dataset, successful_only=True)
+        including_failed = to_fixed_groups(tiny_dataset, successful_only=False)
+        assert including_failed.group_item_pairs.shape[0] >= successful_only.group_item_pairs.shape[0]
+
+    def test_unknown_user_maps_to_minus_one(self, tiny_dataset):
+        groups = to_fixed_groups(tiny_dataset)
+        assert groups.group_for_user(5) == -1  # user 5 never initiated

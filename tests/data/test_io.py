@@ -1,0 +1,32 @@
+"""Dataset serialization round trip."""
+
+import pytest
+
+from repro.data import load_dataset, save_dataset
+
+
+class TestRoundTrip:
+    def test_save_then_load_preserves_everything(self, tiny_dataset, tmp_path):
+        directory = save_dataset(tiny_dataset, tmp_path / "export")
+        loaded = load_dataset(directory)
+        assert loaded.num_users == tiny_dataset.num_users
+        assert loaded.num_items == tiny_dataset.num_items
+        assert loaded.behaviors == tiny_dataset.behaviors
+        assert loaded.social_edges == tiny_dataset.social_edges
+        assert loaded.name == tiny_dataset.name
+
+    def test_generated_dataset_round_trip(self, small_dataset, tmp_path):
+        directory = save_dataset(small_dataset, tmp_path / "generated")
+        loaded = load_dataset(directory)
+        assert loaded.num_behaviors == small_dataset.num_behaviors
+        assert loaded.num_social_edges == small_dataset.num_social_edges
+
+    def test_expected_files_exist(self, tiny_dataset, tmp_path):
+        directory = save_dataset(tiny_dataset, tmp_path / "files")
+        assert (directory / "meta.json").exists()
+        assert (directory / "behaviors.tsv").exists()
+        assert (directory / "social.tsv").exists()
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "does-not-exist")

@@ -1,0 +1,79 @@
+"""Training and evaluation negative samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data import EvaluationCandidateSampler, TrainingNegativeSampler
+
+
+class TestTrainingSampler:
+    def test_negatives_not_observed(self, small_dataset):
+        sampler = TrainingNegativeSampler(small_dataset, seed=0)
+        interactions = small_dataset.user_item_set()
+        for user in list(interactions)[:20]:
+            negatives = sampler.sample(user, count=5)
+            assert len(negatives) == 5
+            assert not set(negatives.tolist()) & interactions[user]
+
+    def test_unknown_user_samples_freely(self, small_dataset):
+        sampler = TrainingNegativeSampler(small_dataset, seed=0)
+        negatives = sampler.sample(small_dataset.num_users - 1, count=3)
+        assert negatives.shape == (3,)
+
+    def test_batch_shape(self, small_dataset):
+        sampler = TrainingNegativeSampler(small_dataset, seed=0)
+        users = [b.initiator for b in small_dataset.behaviors[:8]]
+        assert sampler.sample_batch(users, count=2).shape == (8, 2)
+
+    def test_exhausted_user_raises(self, tiny_dataset):
+        sampler = TrainingNegativeSampler(tiny_dataset, num_items=2, seed=0)
+        # User 0 interacted with items 0, 1 and 2; with only 2 items declared
+        # there is nothing left to sample.
+        with pytest.raises(ValueError):
+            sampler.sample(0, count=1)
+
+    def test_observed_items_accessor(self, tiny_dataset):
+        sampler = TrainingNegativeSampler(tiny_dataset, seed=0)
+        assert sampler.observed_items(0) == {0, 1, 2}
+
+
+class TestEvaluationSampler:
+    def test_positive_first_and_excluded_from_negatives(self, small_dataset):
+        sampler = EvaluationCandidateSampler(small_dataset, num_negatives=50, seed=1)
+        interactions = small_dataset.user_item_set()
+        user = next(iter(interactions))
+        positive = next(iter(interactions[user]))
+        candidates = sampler.candidates_for(user, positive)
+        assert candidates[0] == positive
+        assert positive not in candidates[1:]
+        assert not set(candidates[1:].tolist()) & interactions[user]
+
+    def test_candidate_count(self, small_dataset):
+        sampler = EvaluationCandidateSampler(small_dataset, num_negatives=30, seed=1)
+        user = small_dataset.behaviors[0].initiator
+        candidates = sampler.candidates_for(user, small_dataset.behaviors[0].item)
+        observed = len(small_dataset.user_item_set()[user])
+        expected = 1 + min(30, small_dataset.num_items - observed - 1)
+        assert len(candidates) == expected
+        assert len(set(candidates.tolist())) == len(candidates)
+
+    def test_cached_candidates_are_stable(self, small_dataset):
+        sampler = EvaluationCandidateSampler(small_dataset, num_negatives=20, seed=1)
+        user = small_dataset.behaviors[0].initiator
+        item = small_dataset.behaviors[0].item
+        first = sampler.candidates_for(user, item)
+        second = sampler.candidates_for(user, item)
+        assert np.array_equal(first, second)
+
+    def test_different_seed_changes_candidates(self, small_dataset):
+        user = small_dataset.behaviors[0].initiator
+        item = small_dataset.behaviors[0].item
+        a = EvaluationCandidateSampler(small_dataset, num_negatives=20, seed=1).candidates_for(user, item)
+        b = EvaluationCandidateSampler(small_dataset, num_negatives=20, seed=2).candidates_for(user, item)
+        assert not np.array_equal(a, b)
+
+    def test_caps_at_available_items(self, tiny_dataset):
+        sampler = EvaluationCandidateSampler(tiny_dataset, num_negatives=999, seed=0)
+        candidates = sampler.candidates_for(0, 0)
+        assert len(candidates) <= tiny_dataset.num_items
+        assert len(set(candidates.tolist())) == len(candidates)

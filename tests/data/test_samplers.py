@@ -1,0 +1,75 @@
+"""Popularity-weighted negative sampling."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PopularityNegativeSampler,
+    TrainingNegativeSampler,
+    item_popularity,
+    to_user_item_interactions,
+)
+from repro.training import InteractionBatchIterator
+
+
+class TestItemPopularity:
+    def test_counts_include_participants(self, tiny_dataset):
+        counts = item_popularity(tiny_dataset)
+        # Item 0: behaviors (0,(1,2)) and (4,(3,5)) -> 2 initiators + 4 participants.
+        assert counts[0] == 6
+
+    def test_counts_without_participants(self, tiny_dataset):
+        counts = item_popularity(tiny_dataset, include_participants=False)
+        assert counts[0] == 2
+
+    def test_shape(self, small_dataset):
+        assert item_popularity(small_dataset).shape == (small_dataset.num_items,)
+
+
+class TestPopularityNegativeSampler:
+    def test_invalid_parameters(self, small_dataset):
+        with pytest.raises(ValueError):
+            PopularityNegativeSampler(small_dataset, exponent=-1)
+        with pytest.raises(ValueError):
+            PopularityNegativeSampler(small_dataset, smoothing=-1)
+
+    def test_never_samples_observed_items(self, small_dataset):
+        sampler = PopularityNegativeSampler(small_dataset, seed=0)
+        for user in range(0, small_dataset.num_users, 7):
+            observed = sampler.observed_items(user)
+            negatives = sampler.sample(user, count=20)
+            assert not set(negatives.tolist()) & observed
+
+    def test_sample_batch_shape(self, small_dataset):
+        sampler = PopularityNegativeSampler(small_dataset, seed=1)
+        batch = sampler.sample_batch([0, 1, 2], count=4)
+        assert batch.shape == (3, 4)
+
+    def test_popular_items_sampled_more_often(self, small_dataset):
+        counts = item_popularity(small_dataset)
+        popular = int(np.argmax(counts))
+        # Sample from a user who never interacted with the most popular item.
+        sampler = PopularityNegativeSampler(small_dataset, exponent=1.0, seed=2)
+        user = next(
+            u for u in range(small_dataset.num_users) if popular not in sampler.observed_items(u)
+        )
+        draws = sampler.sample(user, count=2000)
+        frequency = np.mean(draws == popular)
+        assert frequency > 1.0 / small_dataset.num_items
+
+    def test_exponent_zero_behaves_like_uniform(self, small_dataset):
+        sampler = PopularityNegativeSampler(small_dataset, exponent=0.0, seed=3)
+        draws = sampler.sample(0, count=3000)
+        _, counts = np.unique(draws, return_counts=True)
+        # With a uniform distribution no single unobserved item should hog the draws.
+        assert counts.max() / draws.size < 0.1
+
+    def test_drop_in_replacement_for_batch_iterator(self, small_split):
+        train = small_split.train
+        conversion = to_user_item_interactions(train, mode="both")
+        uniform = TrainingNegativeSampler(train, seed=0)
+        popularity = PopularityNegativeSampler(train, seed=0)
+        for sampler in (uniform, popularity):
+            batch = next(iter(InteractionBatchIterator(conversion, sampler, batch_size=64, seed=0)))
+            assert len(batch) == 64
+            assert np.isfinite(batch.negative_items).all()

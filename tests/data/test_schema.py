@@ -1,0 +1,72 @@
+"""GroupBuyingBehavior and SocialEdge validation."""
+
+import pytest
+
+from repro.data import GroupBuyingBehavior, SocialEdge
+
+
+class TestGroupBuyingBehavior:
+    def test_success_depends_on_threshold(self):
+        assert GroupBuyingBehavior(0, 1, (2, 3), threshold=2).is_successful
+        assert not GroupBuyingBehavior(0, 1, (2,), threshold=2).is_successful
+
+    def test_empty_participants_fails_with_threshold_one(self):
+        assert not GroupBuyingBehavior(0, 1, (), threshold=1).is_successful
+
+    def test_participants_sorted_and_deduplicated(self):
+        behavior = GroupBuyingBehavior(0, 1, (5, 3, 5), threshold=1)
+        assert behavior.participants == (3, 5)
+
+    def test_initiator_cannot_participate(self):
+        with pytest.raises(ValueError):
+            GroupBuyingBehavior(2, 1, (2,), threshold=1)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            GroupBuyingBehavior(-1, 0, ())
+        with pytest.raises(ValueError):
+            GroupBuyingBehavior(0, -2, ())
+        with pytest.raises(ValueError):
+            GroupBuyingBehavior(0, 0, (-3,))
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GroupBuyingBehavior(0, 0, (), threshold=0)
+
+    def test_group_size_and_members(self):
+        behavior = GroupBuyingBehavior(7, 0, (1, 2), threshold=1)
+        assert behavior.group_size == 3
+        assert behavior.members == (7, 1, 2)
+
+    def test_with_participants_creates_copy(self):
+        behavior = GroupBuyingBehavior(0, 1, (2,), threshold=2)
+        updated = behavior.with_participants((2, 3))
+        assert updated.participants == (2, 3)
+        assert updated.is_successful
+        assert behavior.participants == (2,)
+
+    def test_frozen(self):
+        behavior = GroupBuyingBehavior(0, 1, ())
+        with pytest.raises(Exception):
+            behavior.item = 5
+
+
+class TestSocialEdge:
+    def test_normalized_ordering(self):
+        edge = SocialEdge(5, 2)
+        assert edge.as_tuple() == (2, 5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            SocialEdge(3, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SocialEdge(-1, 2)
+
+    def test_involves(self):
+        edge = SocialEdge(1, 4)
+        assert edge.involves(1) and edge.involves(4) and not edge.involves(2)
+
+    def test_equality_after_normalization(self):
+        assert SocialEdge(1, 2) == SocialEdge(2, 1)

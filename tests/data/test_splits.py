@@ -1,0 +1,58 @@
+"""Leave-one-out splitting."""
+
+import pytest
+
+from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+
+
+class TestLeaveOneOut:
+    def test_holdout_count_removed_from_training(self, small_dataset, small_split):
+        original = small_dataset.behaviors_of_initiator()
+        remaining = small_split.train.behaviors_of_initiator()
+        for user in small_split.test:
+            held_out = 2 if user in small_split.validation else 1
+            assert len(remaining.get(user, [])) == len(original[user]) - held_out
+
+    def test_holdouts_come_from_the_users_behaviors(self, small_dataset, small_split):
+        original = small_dataset.behaviors_of_initiator()
+        for user, behavior in small_split.test.items():
+            assert behavior in original[user]
+        for user, behavior in small_split.validation.items():
+            assert behavior in original[user]
+
+    def test_total_behaviors_preserved(self, small_dataset, small_split):
+        total = (
+            small_split.train.num_behaviors
+            + len(small_split.test)
+            + len(small_split.validation)
+        )
+        assert total == small_dataset.num_behaviors
+
+    def test_every_test_user_also_has_validation(self, small_split):
+        assert set(small_split.test) == set(small_split.validation)
+
+    def test_holdout_behaviors_are_successful(self, small_split):
+        assert all(b.is_successful for b in small_split.test.values())
+        assert all(b.is_successful for b in small_split.validation.values())
+
+    def test_holdout_user_is_the_initiator(self, small_split):
+        assert all(user == b.initiator for user, b in small_split.test.items())
+
+    def test_users_with_few_behaviors_stay_in_training(self, small_dataset, small_split):
+        counts = {u: len(bs) for u, bs in small_dataset.behaviors_of_initiator().items()}
+        for user in small_split.test:
+            assert counts[user] >= 3
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = leave_one_out_split(small_dataset, seed=5)
+        b = leave_one_out_split(small_dataset, seed=5)
+        assert a.test == b.test and a.validation == b.validation
+
+    def test_describe(self, small_split):
+        description = small_split.describe()
+        assert description["test_users"] == len(small_split.test)
+        assert description["train_behaviors"] == small_split.train.num_behaviors
+
+    def test_allow_failed_holdouts(self, small_dataset):
+        split = leave_one_out_split(small_dataset, seed=2, holdout_successful_only=False)
+        assert len(split.test) >= len(leave_one_out_split(small_dataset, seed=2).test)

@@ -1,0 +1,29 @@
+"""Table II statistics."""
+
+from repro.data import compute_statistics
+
+
+class TestStatistics:
+    def test_counts(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert stats.num_users == 6
+        assert stats.num_items == 4
+        assert stats.num_behaviors == 6
+        assert stats.num_successful == 4
+        assert stats.num_failed == 2
+        assert stats.num_social_interactions == 5
+
+    def test_success_ratio(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        assert abs(stats.success_ratio - 4 / 6) < 1e-9
+
+    def test_mean_participants(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        expected = sum(len(b.participants) for b in tiny_dataset.behaviors) / 6
+        assert abs(stats.mean_participants - expected) < 1e-9
+
+    def test_as_dict_and_format(self, tiny_dataset):
+        stats = compute_statistics(tiny_dataset)
+        table = stats.format()
+        assert "#Users" in table and "6" in table
+        assert stats.as_dict()["#Items"] == 4

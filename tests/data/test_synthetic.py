@@ -1,0 +1,142 @@
+"""Beibei-like synthetic dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import BeibeiLikeConfig, BeibeiLikeGenerator, compute_statistics, generate_dataset
+from repro.data.synthetic import calibrate_join_bias, success_probability
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        BeibeiLikeConfig()
+
+    def test_too_few_users_rejected(self):
+        with pytest.raises(ValueError):
+            BeibeiLikeConfig(num_users=5)
+
+    def test_invalid_threshold_range_rejected(self):
+        with pytest.raises(ValueError):
+            BeibeiLikeConfig(min_threshold=3, max_threshold=1)
+
+    def test_invalid_mean_friends_rejected(self):
+        with pytest.raises(ValueError):
+            BeibeiLikeConfig(num_users=20, mean_friends=25)
+
+    def test_paper_scale_matches_table2(self):
+        config = BeibeiLikeConfig.paper_scale()
+        assert config.num_users == 190_080
+        assert config.num_items == 30_782
+        assert config.num_behaviors == 932_896
+
+    def test_scaled(self):
+        config = BeibeiLikeConfig().scaled(0.5)
+        assert config.num_users == 300
+        assert config.num_behaviors == 1500
+
+
+class TestGeneration:
+    def test_deterministic_for_same_seed(self):
+        a = generate_dataset(BeibeiLikeConfig.small(seed=3))
+        b = generate_dataset(BeibeiLikeConfig.small(seed=3))
+        assert a.behaviors == b.behaviors
+        assert a.social_edges == b.social_edges
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset(BeibeiLikeConfig.small(seed=3))
+        b = generate_dataset(BeibeiLikeConfig.small(seed=4))
+        assert a.behaviors != b.behaviors
+
+    def test_sizes_match_config(self, small_dataset):
+        config = BeibeiLikeConfig.small(seed=99)
+        assert small_dataset.num_users == config.num_users
+        assert small_dataset.num_items == config.num_items
+        assert small_dataset.num_behaviors == config.num_behaviors
+
+    def test_no_isolated_users(self, small_dataset):
+        degrees = [len(f) for f in small_dataset.friend_lists()]
+        assert min(degrees) >= 1
+
+    def test_participants_are_friends_of_initiator(self, small_dataset):
+        friends = small_dataset.friend_lists()
+        for behavior in small_dataset.behaviors[:200]:
+            for participant in behavior.participants:
+                assert participant in friends[behavior.initiator]
+
+    def test_contains_both_successful_and_failed(self, small_dataset):
+        stats = compute_statistics(small_dataset)
+        assert stats.num_successful > 0
+        assert stats.num_failed > 0
+        assert 0.4 < stats.success_ratio < 0.98
+
+    def test_mean_friends_near_target(self):
+        config = BeibeiLikeConfig(num_users=500, num_items=100, num_behaviors=500, mean_friends=10.0, seed=1)
+        dataset = generate_dataset(config)
+        stats = compute_statistics(dataset)
+        assert 7.0 < stats.mean_friends < 12.0
+
+    def test_thresholds_within_configured_range(self, small_dataset):
+        config = BeibeiLikeConfig.small(seed=99)
+        for behavior in small_dataset.behaviors:
+            assert config.min_threshold <= behavior.threshold <= config.max_threshold
+
+    def test_generator_wrapper(self):
+        generator = BeibeiLikeGenerator(BeibeiLikeConfig.small(seed=11))
+        dataset = generator.generate()
+        assert dataset.num_behaviors == generator.config.num_behaviors
+
+
+class TestSuccessRatioCalibration:
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            BeibeiLikeConfig(target_success_ratio=1.5)
+
+    def test_success_probability_certain_and_impossible(self):
+        assert success_probability(np.array([10.0, 10.0]), threshold=1) == pytest.approx(1.0, abs=1e-3)
+        assert success_probability(np.array([0.0]), threshold=2) == 0.0
+        assert success_probability(np.zeros(0), threshold=0) == 1.0
+
+    def test_success_probability_matches_binomial(self):
+        # Equal logits of 0 -> each invitee joins with probability 0.5, so
+        # P(>=1 of 2 join) = 0.75 and P(>=2 of 2 join) = 0.25.
+        logits = np.zeros(2)
+        assert success_probability(logits, threshold=1) == pytest.approx(0.75)
+        assert success_probability(logits, threshold=2) == pytest.approx(0.25)
+
+    def test_calibrate_reaches_target(self):
+        rng = np.random.default_rng(0)
+        logit_sets = [rng.normal(size=rng.integers(1, 8)) for _ in range(300)]
+        thresholds = [int(rng.integers(1, 4)) for _ in range(300)]
+        bias = calibrate_join_bias(logit_sets, thresholds, target_success_ratio=0.7)
+        expected = np.mean(
+            [success_probability(l, t, bias) for l, t in zip(logit_sets, thresholds)]
+        )
+        assert expected == pytest.approx(0.7, abs=0.01)
+
+    def test_calibrate_unreachable_target_clamps(self):
+        # One invitee, threshold of three: no bias can make the group clinch.
+        bias = calibrate_join_bias([np.zeros(1)], [3], target_success_ratio=0.9)
+        assert bias == pytest.approx(10.0)
+
+    def test_generated_ratio_near_target(self):
+        config = BeibeiLikeConfig(
+            num_users=300, num_items=80, num_behaviors=1500, seed=7, target_success_ratio=0.774
+        )
+        stats = compute_statistics(generate_dataset(config))
+        assert 0.68 < stats.success_ratio < 0.86
+
+    def test_small_config_has_clear_failure_minority(self):
+        stats = compute_statistics(generate_dataset(BeibeiLikeConfig.small(seed=99)))
+        assert stats.num_failed >= 20
+        assert 0.55 < stats.success_ratio < 0.95
+
+    def test_target_none_uses_raw_join_bias(self):
+        def with_bias(bias):
+            return BeibeiLikeConfig(
+                num_users=80, num_items=40, num_behaviors=400, mean_friends=6.0,
+                seed=5, target_success_ratio=None, join_bias=bias,
+            )
+
+        low = compute_statistics(generate_dataset(with_bias(-3.0))).success_ratio
+        high = compute_statistics(generate_dataset(with_bias(3.0))).success_ratio
+        assert low < high

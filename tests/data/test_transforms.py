@@ -1,0 +1,147 @@
+"""Dataset transforms: filtering, remapping, subsampling, restriction."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GroupBuyingBehavior,
+    GroupBuyingDataset,
+    SocialEdge,
+    compute_statistics,
+    filter_min_interactions,
+    remap_ids,
+    restrict_to_users,
+    subsample_behaviors,
+)
+
+
+class TestFilterMinInteractions:
+    def test_no_op_with_zero_thresholds(self, small_dataset):
+        filtered = filter_min_interactions(small_dataset, 0, 0)
+        assert filtered.num_behaviors == small_dataset.num_behaviors
+
+    def test_removes_rare_users(self):
+        behaviors = [
+            GroupBuyingBehavior(0, 0, participants=(1,), threshold=1),
+            GroupBuyingBehavior(0, 1, participants=(1,), threshold=1),
+            GroupBuyingBehavior(2, 0, participants=(), threshold=1),  # user 2 appears once
+        ]
+        dataset = GroupBuyingDataset(4, 3, behaviors, [SocialEdge(0, 1)])
+        filtered = filter_min_interactions(dataset, min_user_interactions=2, min_item_interactions=0)
+        assert all(b.initiator == 0 for b in filtered.behaviors)
+
+    def test_cascading_removal_reaches_fixed_point(self):
+        # Dropping item 1's only behavior leaves user 1 with a single
+        # behavior, which must then be dropped too.
+        behaviors = [
+            GroupBuyingBehavior(0, 0, participants=(), threshold=1),
+            GroupBuyingBehavior(0, 0, participants=(), threshold=1),
+            GroupBuyingBehavior(1, 1, participants=(), threshold=1),
+            GroupBuyingBehavior(1, 0, participants=(), threshold=1),
+        ]
+        dataset = GroupBuyingDataset(3, 3, behaviors, [SocialEdge(0, 1)])
+        filtered = filter_min_interactions(dataset, min_user_interactions=2, min_item_interactions=2)
+        assert {b.initiator for b in filtered.behaviors} == {0}
+
+    def test_negative_threshold_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            filter_min_interactions(tiny_dataset, min_user_interactions=-1)
+
+    def test_keeps_universe_sizes(self, small_dataset):
+        filtered = filter_min_interactions(small_dataset, 3, 3)
+        assert filtered.num_users == small_dataset.num_users
+        assert filtered.num_items == small_dataset.num_items
+
+
+class TestRemapIds:
+    def test_ids_are_contiguous(self):
+        behaviors = [GroupBuyingBehavior(10, 7, participants=(20,), threshold=1)]
+        edges = [SocialEdge(10, 20), SocialEdge(20, 33)]
+        dataset = GroupBuyingDataset(50, 9, behaviors, edges)
+        remapped, mapping = remap_ids(dataset)
+        assert remapped.num_users == 3
+        assert remapped.num_items == 1
+        assert set(mapping.user_map) == {10, 20, 33}
+        assert remapped.behaviors[0].initiator == mapping.user_map[10]
+        assert remapped.behaviors[0].item == mapping.item_map[7]
+
+    def test_mapping_is_order_preserving(self):
+        behaviors = [
+            GroupBuyingBehavior(5, 2, participants=(), threshold=1),
+            GroupBuyingBehavior(9, 4, participants=(), threshold=1),
+        ]
+        dataset = GroupBuyingDataset(20, 10, behaviors, [SocialEdge(5, 9)])
+        _, mapping = remap_ids(dataset)
+        assert mapping.user_map[5] < mapping.user_map[9]
+        assert mapping.item_map[2] < mapping.item_map[4]
+
+    def test_inverse_lookup(self):
+        behaviors = [GroupBuyingBehavior(3, 1, participants=(), threshold=1)]
+        dataset = GroupBuyingDataset(10, 5, behaviors, [SocialEdge(3, 4)])
+        _, mapping = remap_ids(dataset)
+        assert mapping.original_user(mapping.user_map[3]) == 3
+        assert mapping.original_item(mapping.item_map[1]) == 1
+        with pytest.raises(KeyError):
+            mapping.original_user(999)
+
+    def test_roundtrip_preserves_structure(self, small_dataset):
+        remapped, _ = remap_ids(small_dataset)
+        original = compute_statistics(small_dataset)
+        new = compute_statistics(remapped)
+        assert new.num_behaviors == original.num_behaviors
+        assert new.num_successful == original.num_successful
+        assert new.num_social_interactions == original.num_social_interactions
+
+
+class TestSubsampleBehaviors:
+    def test_fraction_one_keeps_everything(self, small_dataset):
+        assert subsample_behaviors(small_dataset, 1.0).num_behaviors == small_dataset.num_behaviors
+
+    def test_invalid_fraction(self, small_dataset):
+        with pytest.raises(ValueError):
+            subsample_behaviors(small_dataset, 0.0)
+        with pytest.raises(ValueError):
+            subsample_behaviors(small_dataset, 1.5)
+
+    def test_half_keeps_roughly_half(self, small_dataset):
+        subsampled = subsample_behaviors(small_dataset, 0.5, seed=3)
+        assert abs(subsampled.num_behaviors - small_dataset.num_behaviors / 2) <= 2
+
+    def test_success_ratio_preserved(self, small_dataset):
+        original = compute_statistics(small_dataset).success_ratio
+        subsampled = compute_statistics(subsample_behaviors(small_dataset, 0.4, seed=1)).success_ratio
+        assert abs(original - subsampled) < 0.05
+
+    def test_deterministic_per_seed(self, small_dataset):
+        a = subsample_behaviors(small_dataset, 0.3, seed=7)
+        b = subsample_behaviors(small_dataset, 0.3, seed=7)
+        assert a.behaviors == b.behaviors
+
+    def test_social_network_untouched(self, small_dataset):
+        subsampled = subsample_behaviors(small_dataset, 0.2, seed=0)
+        assert subsampled.social_edges == small_dataset.social_edges
+
+
+class TestRestrictToUsers:
+    def test_keeps_only_allowed_initiators(self, tiny_dataset):
+        restricted = restrict_to_users(tiny_dataset, [0, 1, 2])
+        assert {b.initiator for b in restricted.behaviors} <= {0, 1, 2}
+
+    def test_outside_participants_dropped(self, tiny_dataset):
+        restricted = restrict_to_users(tiny_dataset, [0, 1])
+        for behavior in restricted.behaviors:
+            assert set(behavior.participants) <= {0, 1}
+
+    def test_outside_participants_kept_when_requested(self, tiny_dataset):
+        restricted = restrict_to_users(tiny_dataset, [0, 1], drop_outside_participants=False)
+        participants = {p for b in restricted.behaviors for p in b.participants}
+        assert 2 in participants
+
+    def test_social_edges_restricted(self, tiny_dataset):
+        restricted = restrict_to_users(tiny_dataset, [0, 1])
+        for edge in restricted.social_edges:
+            assert edge.user_a in {0, 1} and edge.user_b in {0, 1}
+
+    def test_out_of_range_user_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            restrict_to_users(tiny_dataset, [999])

@@ -1,0 +1,94 @@
+"""Semantic dataset validation."""
+
+import pytest
+
+from repro.data import (
+    GroupBuyingBehavior,
+    GroupBuyingDataset,
+    SocialEdge,
+    assert_valid,
+    validate_dataset,
+)
+
+
+def make_dataset(behaviors, edges, num_users=6, num_items=4):
+    return GroupBuyingDataset(num_users, num_items, behaviors, edges, name="validation-test")
+
+
+class TestValidateDataset:
+    def test_clean_dataset_is_ok(self, tiny_dataset):
+        report = validate_dataset(tiny_dataset)
+        assert report.ok
+        assert not report.errors
+
+    def test_participant_not_friend_is_error(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(3,), threshold=1)]
+        edges = [SocialEdge(0, 1)]
+        report = validate_dataset(make_dataset(behaviors, edges))
+        assert not report.ok
+        assert any(issue.code == "participant-not-friend" for issue in report.errors)
+
+    def test_participant_check_can_be_disabled(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(3,), threshold=1)]
+        edges = [SocialEdge(0, 1)]
+        report = validate_dataset(make_dataset(behaviors, edges), require_participants_are_friends=False)
+        assert all(issue.code != "participant-not-friend" for issue in report.issues)
+
+    def test_empty_social_network_is_error(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(), threshold=1)]
+        report = validate_dataset(make_dataset(behaviors, []))
+        assert any(issue.code == "empty-social-network" for issue in report.errors)
+
+    def test_duplicate_behaviors_are_warnings(self):
+        behavior = GroupBuyingBehavior(0, 0, participants=(1,), threshold=1)
+        edges = [SocialEdge(0, 1)]
+        report = validate_dataset(make_dataset([behavior, behavior], edges))
+        assert report.ok
+        assert any(issue.code == "duplicate-behavior" for issue in report.warnings)
+
+    def test_all_successful_warns_about_loss(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(1,), threshold=1)]
+        edges = [SocialEdge(0, 1)]
+        report = validate_dataset(make_dataset(behaviors, edges))
+        assert any(issue.code == "no-failed-behaviors" for issue in report.warnings)
+
+    def test_isolated_initiator_warning(self):
+        behaviors = [GroupBuyingBehavior(5, 0, participants=(), threshold=1)]
+        edges = [SocialEdge(0, 1)]
+        report = validate_dataset(make_dataset(behaviors, edges))
+        assert any(issue.code == "isolated-initiator" for issue in report.warnings)
+
+    def test_unused_item_range_warning(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(1,), threshold=1)]
+        edges = [SocialEdge(0, 1)]
+        report = validate_dataset(make_dataset(behaviors, edges, num_items=100))
+        assert any(issue.code == "unused-item-range" for issue in report.warnings)
+
+    def test_issue_truncation(self):
+        edges = [SocialEdge(0, 1)]
+        behaviors = [
+            GroupBuyingBehavior(0, 0, participants=(2 + (i % 3),), threshold=1) for i in range(30)
+        ]
+        report = validate_dataset(make_dataset(behaviors, edges, num_users=10), max_reported_per_code=5)
+        not_friend = [i for i in report.errors if i.code == "participant-not-friend"]
+        assert len(not_friend) == 5
+        assert any("more" in issue.message for issue in report.warnings)
+
+    def test_summary_mentions_counts(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(3,), threshold=1)]
+        report = validate_dataset(make_dataset(behaviors, [SocialEdge(0, 1)]))
+        assert "error" in report.summary()
+
+    def test_summary_for_clean_dataset(self, tiny_dataset):
+        assert "OK" in validate_dataset(tiny_dataset).summary()
+
+
+class TestAssertValid:
+    def test_passes_on_clean_dataset(self, tiny_dataset):
+        assert_valid(tiny_dataset)
+
+    def test_raises_on_errors(self):
+        behaviors = [GroupBuyingBehavior(0, 0, participants=(3,), threshold=1)]
+        dataset = make_dataset(behaviors, [SocialEdge(0, 1)])
+        with pytest.raises(ValueError, match="participant-not-friend"):
+            assert_valid(dataset)

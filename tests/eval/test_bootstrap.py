@@ -1,0 +1,67 @@
+"""Bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.eval import ConfidenceInterval, bootstrap_confidence_interval, bootstrap_metric_table
+
+
+class TestBootstrapConfidenceInterval:
+    def test_mean_matches_sample_mean(self):
+        values = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+        interval = bootstrap_confidence_interval(values, seed=0)
+        assert interval.mean == pytest.approx(values.mean())
+
+    def test_interval_contains_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(200)
+        interval = bootstrap_confidence_interval(values, seed=1)
+        assert interval.lower <= interval.mean <= interval.upper
+        assert interval.contains(interval.mean)
+
+    def test_degenerate_sample_has_zero_width(self):
+        interval = bootstrap_confidence_interval(np.ones(50), seed=2)
+        assert interval.width == pytest.approx(0.0)
+        assert interval.lower == pytest.approx(1.0)
+
+    def test_more_users_narrow_the_interval(self):
+        rng = np.random.default_rng(3)
+        small = bootstrap_confidence_interval(rng.random(30), seed=4)
+        large = bootstrap_confidence_interval(rng.random(3000), seed=4)
+        assert large.width < small.width
+
+    def test_higher_level_widens_the_interval(self):
+        rng = np.random.default_rng(5)
+        values = rng.random(100)
+        narrow = bootstrap_confidence_interval(values, level=0.80, seed=6)
+        wide = bootstrap_confidence_interval(values, level=0.99, seed=6)
+        assert wide.width >= narrow.width
+
+    def test_deterministic_for_seed(self):
+        values = np.random.default_rng(7).random(100)
+        a = bootstrap_confidence_interval(values, seed=8)
+        b = bootstrap_confidence_interval(values, seed=8)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([], seed=0)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], level=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([1.0], num_resamples=0)
+
+    def test_string_representation(self):
+        interval = ConfidenceInterval(mean=0.5, lower=0.4, upper=0.6, level=0.95)
+        assert "0.5" in str(interval)
+        assert "95%" in str(interval)
+
+
+class TestBootstrapMetricTable:
+    def test_one_interval_per_metric(self):
+        rng = np.random.default_rng(9)
+        table = bootstrap_metric_table(
+            {"Recall@10": rng.random(50), "NDCG@10": rng.random(50)}, seed=10
+        )
+        assert set(table) == {"Recall@10", "NDCG@10"}
+        assert all(isinstance(ci, ConfidenceInterval) for ci in table.values())

@@ -1,0 +1,81 @@
+"""Ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval import MetricAccumulator, ndcg_at_k, rank_of_positive, recall_at_k, reciprocal_rank
+
+
+class TestRankOfPositive:
+    def test_best_rank(self):
+        assert rank_of_positive(np.array([5.0, 1.0, 2.0])) == 0
+
+    def test_worst_rank(self):
+        assert rank_of_positive(np.array([-1.0, 1.0, 2.0])) == 2
+
+    def test_ties_are_pessimistic(self):
+        assert rank_of_positive(np.array([1.0, 1.0, 1.0])) == 2
+
+    def test_custom_positive_index(self):
+        assert rank_of_positive(np.array([3.0, 9.0, 1.0]), positive_index=1) == 0
+
+
+class TestMetricValues:
+    def test_recall(self):
+        assert recall_at_k(0, 1) == 1.0
+        assert recall_at_k(4, 5) == 1.0
+        assert recall_at_k(5, 5) == 0.0
+
+    def test_ndcg_top_rank_is_one(self):
+        assert ndcg_at_k(0, 10) == 1.0
+
+    def test_ndcg_decreases_with_rank(self):
+        values = [ndcg_at_k(rank, 10) for rank in range(10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_ndcg_outside_cutoff_is_zero(self):
+        assert ndcg_at_k(10, 10) == 0.0
+
+    def test_ndcg_value(self):
+        assert np.isclose(ndcg_at_k(3, 10), 1 / np.log2(5))
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(0) == 1.0
+        assert reciprocal_rank(3) == 0.25
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k(0, 0)
+        with pytest.raises(ValueError):
+            ndcg_at_k(0, -1)
+
+
+class TestMetricAccumulator:
+    def test_averages_over_users(self):
+        accumulator = MetricAccumulator(cutoffs=(1, 2))
+        accumulator.extend([0, 1, 5])
+        results = accumulator.results()
+        assert np.isclose(results["Recall@1"], 1 / 3)
+        assert np.isclose(results["Recall@2"], 2 / 3)
+        assert accumulator.num_users == 3
+
+    def test_empty_accumulator_returns_zeros(self):
+        results = MetricAccumulator(cutoffs=(5,)).results()
+        assert results["Recall@5"] == 0.0 and results["MRR"] == 0.0
+
+    def test_per_user_metric(self):
+        accumulator = MetricAccumulator(cutoffs=(3,))
+        accumulator.extend([0, 4])
+        assert np.allclose(accumulator.per_user_metric("Recall@3"), [1.0, 0.0])
+        assert np.allclose(accumulator.per_user_metric("NDCG@3"), [1.0, 0.0])
+        assert accumulator.per_user_metric("MRR").shape == (2,)
+
+    def test_unknown_metric_raises(self):
+        accumulator = MetricAccumulator()
+        accumulator.add(0)
+        with pytest.raises(ValueError):
+            accumulator.per_user_metric("precision@5")
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValueError):
+            MetricAccumulator().add(-1)

@@ -1,0 +1,59 @@
+"""Experiment drivers and the command-line runner (tiny scale only)."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentConfig,
+    SparsityResult,
+    prepare_workload,
+    run_sparsity,
+    run_table2,
+)
+from repro.experiments.runner import main
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return prepare_workload(ExperimentConfig.tiny())
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"table2", "table3", "table4", "table5", "figure4", "figure5", "figure6", "sparsity"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_every_entry_is_callable(self):
+        assert all(callable(runner) for runner in EXPERIMENTS.values())
+
+
+class TestTable2Driver:
+    def test_statistics_match_workload_dataset(self, tiny_workload):
+        result = run_table2(workload=tiny_workload)
+        text = result.format()
+        assert str(tiny_workload.split.full.num_users) in text
+        assert "Users" in text or "users" in text
+
+
+class TestSparsityDriver:
+    def test_run_on_tiny_workload(self, tiny_workload):
+        result = run_sparsity(
+            workload=tiny_workload, model_names=("MF",), fractions=(0.5, 1.0)
+        )
+        assert isinstance(result, SparsityResult)
+        text = result.format()
+        assert "MF" in text
+        assert "%" in text
+        assert result.study.degradation("MF") >= 0.0
+
+
+class TestRunnerCLI:
+    def test_table2_via_cli(self, capsys):
+        exit_code = main(["table2", "--scale", "tiny"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "table2" in output
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

@@ -1,0 +1,71 @@
+"""BipartiteGraph: adjacency, normalization, neighborhoods."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture
+def graph():
+    pairs = np.array([[0, 0], [0, 1], [1, 1], [2, 0], [2, 2], [2, 2]])  # one duplicate
+    return BipartiteGraph(pairs, num_users=4, num_items=3)
+
+
+class TestConstruction:
+    def test_deduplicates_pairs(self, graph):
+        assert graph.num_edges == 5
+
+    def test_out_of_range_user_raises(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(np.array([[5, 0]]), num_users=3, num_items=3)
+
+    def test_out_of_range_item_raises(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(np.array([[0, 9]]), num_users=3, num_items=3)
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph(np.zeros((0, 2)), num_users=3, num_items=2)
+        assert graph.num_edges == 0
+        assert graph.adjacency().shape == (3, 2)
+
+
+class TestAdjacency:
+    def test_binary_entries(self, graph):
+        dense = graph.adjacency().toarray()
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+        assert dense[0, 0] == 1 and dense[0, 1] == 1 and dense[3].sum() == 0
+
+    def test_user_to_item_rows_sum_to_one(self, graph):
+        rows = np.asarray(graph.user_to_item_propagation().sum(axis=1)).flatten()
+        assert np.allclose(rows[:3], 1.0)
+        assert rows[3] == 0.0
+
+    def test_item_to_user_rows_sum_to_one(self, graph):
+        rows = np.asarray(graph.item_to_user_propagation().sum(axis=1)).flatten()
+        assert np.allclose(rows, 1.0)
+
+    def test_user_to_item_mean_aggregation(self, graph):
+        # User 0 interacted with items 0 and 1 -> each weighted 0.5.
+        row = graph.user_to_item_propagation()[0].toarray().flatten()
+        assert np.allclose(row, [0.5, 0.5, 0.0])
+
+    def test_symmetric_normalized_shape_and_symmetry(self, graph):
+        sym = graph.symmetric_normalized()
+        assert sym.shape == (7, 7)
+        assert np.allclose(sym.toarray(), sym.toarray().T)
+
+
+class TestNeighborhoods:
+    def test_items_of_user(self, graph):
+        assert set(graph.items_of_user(2)) == {0, 2}
+
+    def test_users_of_item(self, graph):
+        assert set(graph.users_of_item(1)) == {0, 1}
+
+    def test_degrees(self, graph):
+        assert graph.user_degree().tolist() == [2, 1, 2, 0]
+        assert graph.item_degree().tolist() == [2, 2, 1]
+
+    def test_repr(self, graph):
+        assert "BipartiteGraph" in repr(graph)

@@ -1,0 +1,66 @@
+"""HeteroGroupBuyingGraph construction from a dataset."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph, FriendshipGraph, HeteroGroupBuyingGraph, SharingGraph, build_hetero_graph
+
+
+class TestBuildHeteroGraph:
+    def test_edge_counts_match_dataset(self, tiny_dataset, tiny_graph):
+        # Initiator view: unique (initiator, item) pairs.
+        expected_initiator_pairs = {(b.initiator, b.item) for b in tiny_dataset.behaviors}
+        assert tiny_graph.initiator_view.num_edges == len(expected_initiator_pairs)
+        # Participant view: unique (participant, item) pairs.
+        expected_participant_pairs = {
+            (p, b.item) for b in tiny_dataset.behaviors for p in b.participants
+        }
+        assert tiny_graph.participant_view.num_edges == len(expected_participant_pairs)
+
+    def test_sharing_edges_are_initiator_to_participant(self, tiny_dataset, tiny_graph):
+        dense = tiny_graph.sharing.matrix().toarray()
+        for behavior in tiny_dataset.behaviors:
+            for participant in behavior.participants:
+                assert dense[behavior.initiator, participant] == 1.0
+
+    def test_friendship_matches_social_edges(self, tiny_dataset, tiny_graph):
+        assert tiny_graph.friendship.num_edges == tiny_dataset.num_social_edges
+
+    def test_summary_keys(self, tiny_graph):
+        summary = tiny_graph.summary()
+        assert set(summary) == {
+            "initiator_view_edges",
+            "participant_view_edges",
+            "sharing_edges",
+            "friendship_edges",
+        }
+
+    def test_dimensions(self, tiny_dataset, tiny_graph):
+        assert tiny_graph.num_users == tiny_dataset.num_users
+        assert tiny_graph.num_items == tiny_dataset.num_items
+
+    def test_repr(self, tiny_graph):
+        assert "HeteroGroupBuyingGraph" in repr(tiny_graph)
+
+
+class TestValidation:
+    def test_mismatched_user_universe_raises(self):
+        initiator = BipartiteGraph(np.array([[0, 0]]), num_users=3, num_items=2)
+        participant = BipartiteGraph(np.array([[0, 0]]), num_users=4, num_items=2)
+        sharing = SharingGraph([], num_users=3)
+        friendship = FriendshipGraph([], num_users=3)
+        with pytest.raises(ValueError):
+            HeteroGroupBuyingGraph(initiator, participant, sharing, friendship)
+
+    def test_mismatched_item_universe_raises(self):
+        initiator = BipartiteGraph(np.array([[0, 0]]), num_users=3, num_items=2)
+        participant = BipartiteGraph(np.array([[0, 0]]), num_users=3, num_items=5)
+        with pytest.raises(ValueError):
+            HeteroGroupBuyingGraph(
+                initiator, participant, SharingGraph([], 3), FriendshipGraph([], 3)
+            )
+
+    def test_mismatched_sharing_users_raises(self):
+        view = BipartiteGraph(np.array([[0, 0]]), num_users=3, num_items=2)
+        with pytest.raises(ValueError):
+            HeteroGroupBuyingGraph(view, view, SharingGraph([], 5), FriendshipGraph([], 3))

@@ -1,0 +1,69 @@
+"""FriendshipGraph and SharingGraph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import FriendshipGraph, SharingGraph
+
+
+class TestFriendshipGraph:
+    def test_symmetric_matrix(self):
+        graph = FriendshipGraph([(0, 1), (1, 2)], num_users=4)
+        dense = graph.matrix().toarray()
+        assert np.allclose(dense, dense.T)
+        assert dense[0, 1] == 1 and dense[1, 0] == 1
+
+    def test_deduplicates_and_drops_self_loops(self):
+        graph = FriendshipGraph([(0, 1), (1, 0), (2, 2)], num_users=3)
+        assert graph.num_edges == 1
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            FriendshipGraph([(0, 9)], num_users=3)
+
+    def test_normalized_rows(self):
+        graph = FriendshipGraph([(0, 1), (0, 2)], num_users=4)
+        normalized = graph.normalized().toarray()
+        assert np.allclose(normalized[0], [0.0, 0.5, 0.5, 0.0])
+        assert np.allclose(normalized[3], 0.0)
+
+    def test_friends_of_and_degrees(self):
+        graph = FriendshipGraph([(0, 1), (0, 2), (1, 2)], num_users=4)
+        assert set(graph.friends_of(0)) == {1, 2}
+        assert graph.degrees().tolist() == [2, 2, 2, 0]
+
+    def test_empty_graph(self):
+        graph = FriendshipGraph([], num_users=3)
+        assert graph.matrix().nnz == 0
+
+
+class TestSharingGraph:
+    def test_directed_edges(self):
+        graph = SharingGraph([(0, 1), (0, 2), (2, 0)], num_users=3)
+        dense = graph.matrix().toarray()
+        assert dense[0, 1] == 1 and dense[1, 0] == 0
+        assert dense[2, 0] == 1
+
+    def test_outgoing_propagation_rows(self):
+        graph = SharingGraph([(0, 1), (0, 2)], num_users=3)
+        out = graph.outgoing_propagation().toarray()
+        assert np.allclose(out[0], [0.0, 0.5, 0.5])
+
+    def test_incoming_propagation_rows(self):
+        graph = SharingGraph([(0, 2), (1, 2)], num_users=3)
+        incoming = graph.incoming_propagation().toarray()
+        assert np.allclose(incoming[2], [0.5, 0.5, 0.0])
+
+    def test_shared_to_and_from(self):
+        graph = SharingGraph([(0, 1), (0, 2), (3, 1)], num_users=4)
+        assert set(graph.shared_to(0)) == {1, 2}
+        assert set(graph.shared_from(1)) == {0, 3}
+
+    def test_duplicate_edges_collapse(self):
+        graph = SharingGraph([(0, 1), (0, 1)], num_users=2)
+        assert graph.num_edges == 1
+        assert graph.matrix().toarray()[0, 1] == 1.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            SharingGraph([(0, 7)], num_users=3)

@@ -1,0 +1,180 @@
+"""Extra reference baselines beyond Table III: LightGCN, ItemPop, ItemKNN."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import TrainingNegativeSampler, to_user_item_interactions
+from repro.graph import BipartiteGraph
+from repro.models import (
+    ALL_MODEL_NAMES,
+    EXTRA_MODEL_NAMES,
+    ItemKNN,
+    ItemPopularity,
+    LightGCN,
+    MODEL_NAMES,
+    build_model,
+    cosine_item_similarity,
+)
+from repro.optim import Adam
+from repro.training import InteractionBatchIterator
+
+
+@pytest.fixture(scope="module")
+def train(small_split):
+    return small_split.train
+
+
+@pytest.fixture(scope="module")
+def interactions(train):
+    return to_user_item_interactions(train, mode="both")
+
+
+@pytest.fixture(scope="module")
+def interaction_graph(train, interactions):
+    return BipartiteGraph(interactions.pairs, train.num_users, train.num_items)
+
+
+@pytest.fixture(scope="module")
+def interaction_batch(train, interactions):
+    sampler = TrainingNegativeSampler(train, seed=0)
+    return next(iter(InteractionBatchIterator(interactions, sampler, batch_size=128, seed=0)))
+
+
+class TestLightGCN:
+    def test_graph_shape_validation(self, train, interaction_graph):
+        with pytest.raises(ValueError):
+            LightGCN(train.num_users + 1, train.num_items, interaction_graph, 8)
+
+    def test_layer_validation(self, train, interaction_graph):
+        with pytest.raises(ValueError):
+            LightGCN(train.num_users, train.num_items, interaction_graph, 8, num_layers=0)
+
+    def test_propagated_shape_is_embedding_dim(self, train, interaction_graph):
+        model = LightGCN(train.num_users, train.num_items, interaction_graph, 8,
+                         rng=np.random.default_rng(0))
+        out = model.propagate()
+        assert out.shape == (train.num_users + train.num_items, 8)
+
+    def test_learns(self, train, interaction_graph, interaction_batch):
+        model = LightGCN(train.num_users, train.num_items, interaction_graph, 8,
+                         rng=np.random.default_rng(1))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        initial = float(model.batch_loss(interaction_batch).data)
+        for _ in range(10):
+            optimizer.zero_grad()
+            loss = model.batch_loss(interaction_batch)
+            loss.backward()
+            optimizer.step()
+        model.invalidate_cache()
+        assert float(model.batch_loss(interaction_batch).data) < initial
+
+    def test_eval_cache_lifecycle(self, train, interaction_graph):
+        model = LightGCN(train.num_users, train.num_items, interaction_graph, 8,
+                         rng=np.random.default_rng(2))
+        model.prepare_for_evaluation()
+        assert model._eval_cache is not None
+        model.invalidate_cache()
+        assert model._eval_cache is None
+
+    def test_rank_scores_finite(self, train, interaction_graph):
+        model = LightGCN(train.num_users, train.num_items, interaction_graph, 8,
+                         rng=np.random.default_rng(3))
+        scores = model.rank_scores(0, np.arange(train.num_items))
+        assert scores.shape == (train.num_items,)
+        assert np.isfinite(scores).all()
+
+
+class TestItemPopularity:
+    def test_scores_follow_interaction_counts(self, train, interactions):
+        model = ItemPopularity(train.num_users, train.num_items, interactions)
+        counts = np.zeros(train.num_items)
+        np.add.at(counts, interactions.pairs[:, 1], 1.0)
+        most_popular = int(np.argmax(counts))
+        least_popular = int(np.argmin(counts))
+        scores = model.rank_scores(0, np.array([most_popular, least_popular]))
+        assert scores[0] >= scores[1]
+
+    def test_same_ranking_for_every_user(self, train, interactions):
+        model = ItemPopularity(train.num_users, train.num_items, interactions)
+        items = np.arange(train.num_items)
+        assert np.allclose(model.rank_scores(0, items), model.rank_scores(5, items))
+
+    def test_no_parameters_and_zero_loss(self, train, interactions, interaction_batch):
+        model = ItemPopularity(train.num_users, train.num_items, interactions)
+        assert model.num_parameters() == 0
+        assert float(model.batch_loss(interaction_batch).data) == 0.0
+
+    def test_negative_smoothing_rejected(self, train, interactions):
+        with pytest.raises(ValueError):
+            ItemPopularity(train.num_users, train.num_items, interactions, smoothing=-1.0)
+
+
+class TestCosineItemSimilarity:
+    def test_identical_columns_have_similarity_one(self):
+        matrix = sp.csr_matrix(np.array([[1, 1, 0], [1, 1, 0], [0, 0, 1]], dtype=float))
+        similarity = cosine_item_similarity(matrix, top_k=None).toarray()
+        assert similarity[0, 1] == pytest.approx(1.0)
+        assert similarity[0, 2] == pytest.approx(0.0)
+
+    def test_diagonal_is_zero(self):
+        matrix = sp.csr_matrix(np.array([[1, 1], [1, 0]], dtype=float))
+        similarity = cosine_item_similarity(matrix, top_k=None).toarray()
+        assert np.allclose(np.diag(similarity), 0.0)
+
+    def test_top_k_truncation(self):
+        rng = np.random.default_rng(0)
+        matrix = sp.csr_matrix((rng.random((30, 12)) < 0.3).astype(float))
+        similarity = cosine_item_similarity(matrix, top_k=3)
+        per_row_nnz = np.diff(similarity.indptr)
+        assert per_row_nnz.max() <= 3
+
+    def test_shrinkage_reduces_similarity(self):
+        matrix = sp.csr_matrix(np.array([[1, 1, 0], [1, 1, 0], [0, 0, 1]], dtype=float))
+        plain = cosine_item_similarity(matrix, top_k=None, shrinkage=0.0).toarray()
+        shrunk = cosine_item_similarity(matrix, top_k=None, shrinkage=5.0).toarray()
+        assert shrunk[0, 1] < plain[0, 1]
+
+
+class TestItemKNN:
+    def test_invalid_top_k(self, train, interactions):
+        with pytest.raises(ValueError):
+            ItemKNN(train.num_users, train.num_items, interactions, top_k=0)
+
+    def test_rank_scores_shape_and_finiteness(self, train, interactions):
+        model = ItemKNN(train.num_users, train.num_items, interactions, top_k=10)
+        scores = model.rank_scores(0, np.arange(train.num_items))
+        assert scores.shape == (train.num_items,)
+        assert np.isfinite(scores).all()
+
+    def test_user_without_history_gets_zero_scores(self):
+        from repro.data.converters import InteractionConversion
+
+        # User 2 never interacted with anything.
+        pairs = np.array([[0, 0], [0, 1], [1, 1]])
+        conversion = InteractionConversion(pairs=pairs, num_users=3, num_items=3, mode="both")
+        model = ItemKNN(3, 3, conversion, top_k=3)
+        assert np.allclose(model.rank_scores(2, np.arange(3)), 0.0)
+
+    def test_prefers_items_similar_to_history(self):
+        # Users 0-3 co-purchase items 0 and 1; user 4 purchased only item 0.
+        # ItemKNN must prefer item 1 (similar to the history) over item 2.
+        pairs = np.array([[0, 0], [0, 1], [1, 0], [1, 1], [2, 0], [2, 1], [3, 2], [4, 0]])
+        from repro.data.converters import InteractionConversion
+
+        conversion = InteractionConversion(pairs=pairs, num_users=5, num_items=3, mode="both")
+        model = ItemKNN(5, 3, conversion, top_k=3)
+        scores = model.rank_scores(4, np.array([1, 2]))
+        assert scores[0] > scores[1]
+
+
+class TestRegistryExtras:
+    def test_extra_names_disjoint_from_table3(self):
+        assert not set(EXTRA_MODEL_NAMES) & set(MODEL_NAMES)
+        assert set(ALL_MODEL_NAMES) == set(MODEL_NAMES) | set(EXTRA_MODEL_NAMES)
+
+    @pytest.mark.parametrize("name", ["ItemPop", "ItemKNN", "LightGCN"])
+    def test_build_and_score(self, name, train):
+        model = build_model(name, train)
+        scores = model.rank_scores(0, np.arange(min(10, train.num_items)))
+        assert np.isfinite(scores).all()

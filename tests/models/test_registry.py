@@ -1,0 +1,42 @@
+"""Model registry."""
+
+import pytest
+
+from repro.core import GBGCN, GBGCNPretrainModel
+from repro.models import MODEL_NAMES, ModelSettings, build_model, DataMode
+
+
+class TestRegistry:
+    def test_all_table3_models_build(self, small_split):
+        settings = ModelSettings(embedding_dim=4)
+        for name in MODEL_NAMES:
+            model = build_model(name, small_split.train, settings)
+            assert model.num_users == small_split.train.num_users
+
+    def test_unknown_name_rejected(self, small_split):
+        with pytest.raises(ValueError):
+            build_model("Nonexistent", small_split.train)
+
+    def test_gbgcn_and_pretrain_types(self, small_split):
+        settings = ModelSettings(embedding_dim=4)
+        assert isinstance(build_model("GBGCN", small_split.train, settings), GBGCN)
+        assert isinstance(build_model("GBGCN-pretrain", small_split.train, settings), GBGCNPretrainModel)
+
+    def test_data_modes(self, small_split):
+        settings = ModelSettings(embedding_dim=4)
+        assert build_model("MF(oi)", small_split.train, settings).data_mode == DataMode.INTERACTIONS_OI
+        assert build_model("MF", small_split.train, settings).data_mode == DataMode.INTERACTIONS_BOTH
+        assert build_model("AGREE", small_split.train, settings).data_mode == DataMode.FIXED_GROUPS
+        assert build_model("GBMF", small_split.train, settings).data_mode == DataMode.GROUP_BUYING
+
+    def test_settings_gbgcn_config(self):
+        settings = ModelSettings(embedding_dim=16, alpha=0.3, beta=0.2)
+        config = settings.gbgcn_config()
+        assert config.embedding_dim == 16
+        assert config.alpha == 0.3
+        assert config.beta == 0.2
+
+    def test_model_names_order_matches_table3(self):
+        assert MODEL_NAMES[0] == "MF(oi)"
+        assert MODEL_NAMES[-1] == "GBGCN"
+        assert len(MODEL_NAMES) == 10

@@ -1,0 +1,78 @@
+"""LayerNorm and AttentionPooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import AttentionPooling, LayerNorm
+
+
+class TestLayerNorm:
+    def test_output_is_normalized(self):
+        layer = LayerNorm(6)
+        inputs = Tensor(np.random.default_rng(0).normal(3.0, 5.0, size=(4, 6)))
+        outputs = layer(inputs).data
+        assert np.allclose(outputs.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(outputs.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_scale_and_shift_are_learnable(self):
+        layer = LayerNorm(3)
+        layer.gamma.data = np.array([2.0, 2.0, 2.0])
+        layer.beta.data = np.array([1.0, 1.0, 1.0])
+        inputs = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        outputs = layer(inputs).data
+        assert np.allclose(outputs.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_gradients_flow(self):
+        layer = LayerNorm(4)
+        inputs = Tensor(np.random.default_rng(1).normal(size=(3, 4)), requires_grad=True)
+        loss = (layer(inputs) ** 2).sum()
+        loss.backward()
+        assert inputs.grad is not None
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+
+    def test_parameters_registered(self):
+        layer = LayerNorm(5)
+        assert layer.num_parameters() == 10
+
+
+class TestAttentionPooling:
+    def test_output_shape(self):
+        layer = AttentionPooling(8, rng=np.random.default_rng(0))
+        inputs = Tensor(np.random.default_rng(1).normal(size=(5, 8)))
+        pooled = layer(inputs)
+        assert pooled.shape == (8,)
+
+    def test_weights_sum_to_one(self):
+        layer = AttentionPooling(8, rng=np.random.default_rng(2))
+        inputs = Tensor(np.random.default_rng(3).normal(size=(7, 8)))
+        weights = layer.weights(inputs).data
+        assert weights.shape == (7, 1)
+        assert np.isclose(weights.sum(), 1.0)
+        assert (weights >= 0).all()
+
+    def test_single_element_set_returns_that_element(self):
+        layer = AttentionPooling(4, rng=np.random.default_rng(4))
+        vector = np.random.default_rng(5).normal(size=(1, 4))
+        pooled = layer(Tensor(vector)).data
+        assert np.allclose(pooled, vector[0])
+
+    def test_pooled_vector_is_convex_combination(self):
+        layer = AttentionPooling(3, rng=np.random.default_rng(6))
+        inputs = np.random.default_rng(7).normal(size=(6, 3))
+        pooled = layer(Tensor(inputs)).data
+        assert (pooled <= inputs.max(axis=0) + 1e-9).all()
+        assert (pooled >= inputs.min(axis=0) - 1e-9).all()
+
+    def test_gradients_reach_projection_weights(self):
+        layer = AttentionPooling(4, rng=np.random.default_rng(8))
+        inputs = Tensor(np.random.default_rng(9).normal(size=(5, 4)))
+        loss = (layer(inputs) ** 2).sum()
+        loss.backward()
+        assert layer.projection.weight.grad is not None
+        assert layer.score.weight.grad is not None

@@ -1,0 +1,46 @@
+"""Initialization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_uniform_bounds(self):
+        values = init.xavier_uniform((50, 30), rng=np.random.default_rng(0))
+        limit = np.sqrt(6.0 / 80)
+        assert values.shape == (50, 30)
+        assert values.max() <= limit and values.min() >= -limit
+
+    def test_normal_std(self):
+        values = init.xavier_normal((200, 100), rng=np.random.default_rng(1))
+        expected = np.sqrt(2.0 / 300)
+        assert abs(values.std() - expected) / expected < 0.1
+
+    def test_one_dimensional_shape(self):
+        values = init.xavier_uniform((16,), rng=np.random.default_rng(2))
+        assert values.shape == (16,)
+
+    def test_empty_shape_raises(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(())
+
+    def test_gain_scales_limit(self):
+        rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+        base = init.xavier_uniform((10, 10), rng=rng_a, gain=1.0)
+        doubled = init.xavier_uniform((10, 10), rng=rng_b, gain=2.0)
+        assert np.allclose(doubled, 2 * base)
+
+
+class TestOtherSchemes:
+    def test_normal(self):
+        values = init.normal((1000,), std=0.05, rng=np.random.default_rng(4))
+        assert abs(values.std() - 0.05) < 0.01
+
+    def test_uniform_range(self):
+        values = init.uniform((100,), low=-1.0, high=2.0, rng=np.random.default_rng(5))
+        assert values.min() >= -1.0 and values.max() < 2.0
+
+    def test_zeros(self):
+        assert not init.zeros((3, 3)).any()

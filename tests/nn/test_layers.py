@@ -1,0 +1,114 @@
+"""Linear, Embedding, MLP and Dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import Dropout, Embedding, Linear, MLP
+from repro.nn.layers import resolve_activation
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False)
+        assert layer.bias is None
+        assert layer(Tensor(np.zeros((2, 4)))).data.sum() == 0.0
+
+    def test_gradients_flow_to_weight_and_bias(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(1))
+        x = Tensor(np.random.default_rng(2).normal(size=(4, 3)))
+        check_gradients(
+            lambda: (layer(x) ** 2).sum(),
+            {"weight": layer.weight, "bias": layer.bias},
+        )
+
+    def test_repr(self):
+        assert "Linear" in repr(Linear(2, 2))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 6, rng=np.random.default_rng(3))
+        out = table(np.array([1, 4, 4]))
+        assert out.shape == (3, 6)
+
+    def test_gradients(self):
+        table = Embedding(8, 4, rng=np.random.default_rng(4))
+        indices = np.array([0, 3, 3, 7])
+        check_gradients(lambda: (table(indices) ** 2).sum(), {"weight": table.weight})
+
+    def test_normalize_rows(self):
+        table = Embedding(5, 3, rng=np.random.default_rng(5))
+        table.normalize_()
+        norms = np.linalg.norm(table.weight.data, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_normal_init_scheme(self):
+        table = Embedding(100, 16, rng=np.random.default_rng(6), scheme="normal")
+        assert abs(table.weight.data.std() - 0.01) < 0.005
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            Embedding(5, 3, scheme="bogus")
+
+
+class TestMLP:
+    def test_output_shape(self):
+        mlp = MLP([8, 4, 1], rng=np.random.default_rng(7))
+        out = mlp(Tensor(np.ones((10, 8))))
+        assert out.shape == (10, 1)
+
+    def test_needs_at_least_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_gradients_through_all_layers(self):
+        mlp = MLP([3, 4, 2], activation="tanh", rng=np.random.default_rng(8))
+        x = Tensor(np.random.default_rng(9).normal(size=(5, 3)))
+        parameters = {name: p for name, p in mlp.named_parameters()}
+        check_gradients(lambda: (mlp(x) ** 2).sum(), parameters)
+
+    def test_output_activation(self):
+        mlp = MLP([2, 2], output_activation="sigmoid", rng=np.random.default_rng(10))
+        out = mlp(Tensor(np.random.default_rng(11).normal(size=(6, 2))))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_dropout_only_between_layers_in_training(self):
+        mlp = MLP([4, 4, 4], dropout_rate=0.5, rng=np.random.default_rng(12))
+        mlp.eval()
+        x = Tensor(np.ones((3, 4)))
+        first = mlp(x).data
+        second = mlp(x).data
+        assert np.allclose(first, second)
+
+
+class TestDropoutLayer:
+    def test_respects_eval_mode(self):
+        layer = Dropout(0.9, rng=np.random.default_rng(13))
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.allclose(layer(x).data, 1.0)
+
+    def test_training_mode_zeroes_entries(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(14))
+        out = layer(Tensor(np.ones((100, 10))))
+        assert (out.data == 0).any()
+
+
+class TestResolveActivation:
+    def test_accepts_callable(self):
+        func = lambda t: t
+        assert resolve_activation(func) is func
+
+    def test_none_is_identity(self):
+        x = Tensor([1.0, -2.0])
+        assert np.allclose(resolve_activation(None)(x).data, x.data)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_activation("swish")

@@ -1,0 +1,111 @@
+"""Loss functions: values, gradients, and degenerate cases."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, check_gradients
+from repro.nn import (
+    bpr_loss,
+    l2_regularization,
+    log_loss,
+    regression_pairwise_loss,
+    social_regularization,
+)
+
+
+def make(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(size=shape), requires_grad=True)
+
+
+class TestBPRLoss:
+    def test_perfect_ranking_gives_small_loss(self):
+        loss = bpr_loss(Tensor([10.0, 10.0]), Tensor([-10.0, -10.0]))
+        assert loss.data < 1e-4
+
+    def test_reversed_ranking_gives_large_loss(self):
+        loss = bpr_loss(Tensor([-10.0]), Tensor([10.0]))
+        assert loss.data > 10.0
+
+    def test_equal_scores_is_log2(self):
+        loss = bpr_loss(Tensor([1.0]), Tensor([1.0]))
+        assert np.isclose(loss.data, np.log(2.0))
+
+    def test_gradients(self):
+        positive, negative = make((6,), 1), make((6,), 2)
+        check_gradients(lambda: bpr_loss(positive, negative), {"p": positive, "n": negative})
+
+
+class TestLogLoss:
+    def test_confident_correct_predictions(self):
+        scores = Tensor([10.0, -10.0])
+        labels = np.array([1.0, 0.0])
+        assert log_loss(scores, labels).data < 1e-3
+
+    def test_confident_wrong_predictions(self):
+        scores = Tensor([-10.0, 10.0])
+        labels = np.array([1.0, 0.0])
+        assert log_loss(scores, labels).data > 5.0
+
+    def test_gradients(self):
+        scores = make((8,), 3)
+        labels = np.random.default_rng(4).integers(0, 2, size=8).astype(float)
+        check_gradients(lambda: log_loss(scores, labels), {"scores": scores})
+
+
+class TestRegressionPairwiseLoss:
+    def test_zero_when_margin_met_exactly(self):
+        loss = regression_pairwise_loss(Tensor([2.0]), Tensor([1.0]), margin=1.0)
+        assert np.isclose(loss.data, 0.0)
+
+    def test_penalizes_small_margin(self):
+        loss = regression_pairwise_loss(Tensor([1.0]), Tensor([1.0]), margin=1.0)
+        assert np.isclose(loss.data, 1.0)
+
+    def test_gradients(self):
+        positive, negative = make((5,), 5), make((5,), 6)
+        check_gradients(
+            lambda: regression_pairwise_loss(positive, negative), {"p": positive, "n": negative}
+        )
+
+
+class TestL2Regularization:
+    def test_value(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([[3.0]], requires_grad=True)
+        assert np.isclose(l2_regularization([a, b], 0.5).data, 0.5 * (1 + 4 + 9))
+
+    def test_zero_weight_short_circuits(self):
+        assert l2_regularization([make((3,), 7)], 0.0).data == 0.0
+
+    def test_gradients(self):
+        a = make((4,), 8)
+        check_gradients(lambda: l2_regularization([a], 0.1), {"a": a})
+
+
+class TestSocialRegularization:
+    def setup_method(self):
+        # 3 users: 0-1 friends, 2 isolated.
+        social = np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=float)
+        row_sums = social.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0] = 1
+        self.normalized = sp.csr_matrix(social / row_sums)
+
+    def test_identical_friends_give_zero(self):
+        users = Tensor(np.ones((3, 4)), requires_grad=True)
+        assert np.isclose(social_regularization(users, self.normalized, 1.0).data, 0.0)
+
+    def test_divergent_friends_penalized(self):
+        users = Tensor(np.array([[1.0, 0.0], [0.0, 1.0], [5.0, 5.0]]), requires_grad=True)
+        value = social_regularization(users, self.normalized, 1.0, user_indices=np.array([0, 1]))
+        assert value.data > 0
+
+    def test_zero_weight_short_circuits(self):
+        users = make((3, 2), 9)
+        assert social_regularization(users, self.normalized, 0.0).data == 0.0
+
+    def test_gradients(self):
+        users = make((3, 2), 10)
+        check_gradients(
+            lambda: social_regularization(users, self.normalized, 0.3), {"users": users}
+        )

@@ -1,0 +1,101 @@
+"""Adagrad and RMSprop optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter
+from repro.optim import Adagrad, Adam, RMSprop, SGD
+
+
+def quadratic_loss(parameter: Parameter) -> Tensor:
+    """Simple convex objective: ||x - 3||^2."""
+    diff = parameter - 3.0
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer_cls, steps=200, **kwargs):
+    parameter = Parameter(np.array([0.0, 10.0, -5.0]), name="x")
+    optimizer = optimizer_cls([parameter], **kwargs)
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = quadratic_loss(parameter)
+        loss.backward()
+        optimizer.step()
+    return parameter, float(quadratic_loss(parameter).data)
+
+
+class TestAdagrad:
+    def test_converges_on_quadratic(self):
+        parameter, loss = run_steps(Adagrad, steps=400, lr=0.5)
+        assert loss < 0.5
+        assert np.allclose(parameter.data, 3.0, atol=0.5)
+
+    def test_effective_step_shrinks_over_time(self):
+        parameter = Parameter(np.array([0.0]), name="x")
+        optimizer = Adagrad([parameter], lr=1.0)
+        deltas = []
+        for _ in range(5):
+            optimizer.zero_grad()
+            loss = quadratic_loss(parameter)
+            loss.backward()
+            before = parameter.data.copy()
+            optimizer.step()
+            deltas.append(float(np.abs(parameter.data - before).item()))
+        # Accumulating squared gradients shrinks each successive step for a
+        # (near-)constant gradient direction.
+        assert deltas[0] > deltas[-1]
+
+    def test_skips_parameters_without_gradients(self):
+        used = Parameter(np.zeros(2), name="used")
+        unused = Parameter(np.ones(2), name="unused")
+        optimizer = Adagrad([used, unused], lr=0.1)
+        loss = quadratic_loss(used)
+        loss.backward()
+        optimizer.step()
+        assert np.allclose(unused.data, 1.0)
+
+
+class TestRMSprop:
+    def test_converges_on_quadratic(self):
+        parameter, loss = run_steps(RMSprop, steps=400, lr=0.05)
+        assert loss < 0.5
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RMSprop([Parameter(np.zeros(1))], lr=0.01, alpha=1.5)
+
+    def test_weight_decay_pulls_towards_zero(self):
+        heavy = Parameter(np.array([5.0]), name="w")
+        optimizer = RMSprop([heavy], lr=0.1, weight_decay=10.0)
+        for _ in range(50):
+            optimizer.zero_grad()
+            # No data loss at all: only the decay term acts.
+            loss = (heavy * 0.0).sum()
+            loss.backward()
+            optimizer.step()
+        assert abs(float(heavy.data.item())) < 5.0
+
+
+class TestOptimizerParity:
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.05}),
+        (Adam, {"lr": 0.1}),
+        (Adagrad, {"lr": 0.5}),
+        (RMSprop, {"lr": 0.05}),
+    ])
+    def test_all_optimizers_reduce_the_loss(self, optimizer_cls, kwargs):
+        parameter = Parameter(np.array([8.0, -8.0]), name="x")
+        optimizer = optimizer_cls([parameter], **kwargs)
+        initial = float(quadratic_loss(parameter).data)
+        for _ in range(50):
+            optimizer.zero_grad()
+            loss = quadratic_loss(parameter)
+            loss.backward()
+            optimizer.step()
+        assert float(quadratic_loss(parameter).data) < initial
+
+    def test_empty_parameter_list_rejected(self):
+        for optimizer_cls in (Adagrad, RMSprop):
+            with pytest.raises(ValueError):
+                optimizer_cls([], lr=0.1)

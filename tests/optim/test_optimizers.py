@@ -1,0 +1,105 @@
+"""SGD, Adam and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Parameter
+from repro.optim import SGD, Adam, clip_grad_norm
+
+
+def quadratic_step(parameter):
+    """Loss = ||p - 3||^2, gradient set manually."""
+    parameter.grad = 2 * (parameter.data - 3.0)
+    return float(((parameter.data - 3.0) ** 2).sum())
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = SGD([parameter], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            quadratic_step(parameter)
+            optimizer.step()
+        assert np.allclose(parameter.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(1))
+        momentum = Parameter(np.zeros(1))
+        sgd_plain = SGD([plain], lr=0.01)
+        sgd_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            quadratic_step(plain); sgd_plain.step()
+            quadratic_step(momentum); sgd_momentum.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.ones(3) * 10.0)
+        optimizer = SGD([parameter], lr=0.1, weight_decay=1.0)
+        parameter.grad = np.zeros(3)
+        optimizer.step()
+        assert np.all(parameter.data < 10.0)
+
+    def test_skips_parameters_without_gradient(self):
+        parameter = Parameter(np.ones(2))
+        SGD([parameter], lr=0.5).step()
+        assert np.allclose(parameter.data, 1.0)
+
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=-1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(5))
+        optimizer = Adam([parameter], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            quadratic_step(parameter)
+            optimizer.step()
+        assert np.allclose(parameter.data, 3.0, atol=1e-2)
+
+    def test_first_step_size_roughly_lr(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = Adam([parameter], lr=0.01)
+        parameter.grad = np.array([5.0])
+        optimizer.step()
+        assert abs(abs(parameter.data[0]) - 0.01) < 1e-3
+
+    def test_weight_decay(self):
+        parameter = Parameter(np.ones(2) * 4.0)
+        optimizer = Adam([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.zeros(2)
+        optimizer.step()
+        assert np.all(parameter.data < 4.0)
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.ones(2))
+        parameter.grad = np.ones(2)
+        Adam([parameter], lr=0.1).zero_grad()
+        assert parameter.grad is None
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.ones(4) * 10.0
+        norm_before = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients_alone(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.array([0.1, 0.1])
+        clip_grad_norm([parameter], max_norm=5.0)
+        assert np.allclose(parameter.grad, [0.1, 0.1])
+
+    def test_ignores_missing_gradients(self):
+        parameter = Parameter(np.zeros(2))
+        assert clip_grad_norm([parameter], max_norm=1.0) == 0.0

@@ -1,0 +1,42 @@
+"""Learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import SGD, ConstantLR, ExponentialLR, StepLR
+
+
+def make_optimizer(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestSchedulers:
+    def test_constant(self):
+        optimizer = make_optimizer(0.5)
+        scheduler = ConstantLR(optimizer)
+        for _ in range(3):
+            assert scheduler.step() == 0.5
+
+    def test_step_lr_halves(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.5)
+        lrs = [scheduler.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_step_lr_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), step_size=0)
+
+    def test_exponential(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = ExponentialLR(optimizer, gamma=0.9)
+        scheduler.step()
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.81)
+
+    def test_scheduler_updates_optimizer_in_place(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = ExponentialLR(optimizer, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == 0.5

@@ -1,0 +1,66 @@
+"""Property-based tests of the autograd engine (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, check_gradients, log_sigmoid, sigmoid, softmax
+
+SHAPES = st.tuples(st.integers(1, 4), st.integers(1, 4))
+FINITE = hnp.arrays(
+    dtype=np.float64,
+    shape=SHAPES,
+    elements=st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(FINITE, FINITE)
+def test_addition_commutes(a, b):
+    if a.shape != b.shape:
+        return
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    assert np.allclose(left, right)
+
+
+@settings(max_examples=25, deadline=None)
+@given(FINITE)
+def test_sigmoid_bounded_and_monotone(values):
+    out = sigmoid(Tensor(values)).data
+    assert np.all(out > 0) and np.all(out < 1)
+    flat = np.sort(values.flatten())
+    assert np.all(np.diff(sigmoid(Tensor(flat)).data) >= -1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(FINITE)
+def test_log_sigmoid_is_log_of_sigmoid(values):
+    assert np.allclose(log_sigmoid(Tensor(values)).data, np.log(sigmoid(Tensor(values)).data), atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(FINITE)
+def test_softmax_rows_normalized(values):
+    out = softmax(Tensor(values), axis=-1).data
+    assert np.allclose(out.sum(axis=-1), 1.0)
+    assert np.all(out >= 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(FINITE)
+def test_elementwise_chain_gradients_match_finite_differences(values):
+    tensor = Tensor(values, requires_grad=True)
+    check_gradients(lambda: (sigmoid(tensor) * tensor + tensor ** 2).sum(), {"t": tensor})
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hnp.arrays(dtype=np.float64, shape=st.tuples(st.integers(1, 3), st.integers(1, 3)),
+               elements=st.floats(-2.0, 2.0, allow_nan=False)),
+    st.integers(1, 3),
+)
+def test_matmul_gradients_match_finite_differences(matrix, inner):
+    left = Tensor(matrix, requires_grad=True)
+    right = Tensor(np.random.default_rng(0).normal(size=(matrix.shape[1], inner)), requires_grad=True)
+    check_gradients(lambda: (left @ right).sum(), {"left": left, "right": right})

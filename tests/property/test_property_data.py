@@ -1,0 +1,60 @@
+"""Property-based tests of the data layer (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    BeibeiLikeConfig,
+    GroupBuyingBehavior,
+    compute_statistics,
+    generate_dataset,
+    leave_one_out_split,
+    to_user_item_interactions,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    initiator=st.integers(0, 50),
+    item=st.integers(0, 50),
+    participants=st.lists(st.integers(0, 50), max_size=8),
+    threshold=st.integers(1, 5),
+)
+def test_behavior_invariants(initiator, item, participants, threshold):
+    participants = [p for p in participants if p != initiator]
+    behavior = GroupBuyingBehavior(initiator, item, tuple(participants), threshold)
+    # Participants are unique, sorted, and never include the initiator.
+    assert list(behavior.participants) == sorted(set(participants))
+    assert behavior.initiator not in behavior.participants
+    assert behavior.is_successful == (len(behavior.participants) >= threshold)
+    assert behavior.group_size == len(behavior.participants) + 1
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_generated_dataset_invariants(seed):
+    dataset = generate_dataset(BeibeiLikeConfig(num_users=60, num_items=25, num_behaviors=150, seed=seed))
+    stats = compute_statistics(dataset)
+    assert stats.num_successful + stats.num_failed == stats.num_behaviors
+    # Every participant must be a friend of the initiator.
+    friends = dataset.friend_lists()
+    for behavior in dataset.behaviors:
+        assert all(p in friends[behavior.initiator] for p in behavior.participants)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_split_preserves_behavior_count(seed):
+    dataset = generate_dataset(BeibeiLikeConfig(num_users=60, num_items=25, num_behaviors=200, seed=seed))
+    split = leave_one_out_split(dataset, seed=seed)
+    assert split.train.num_behaviors + len(split.test) + len(split.validation) == dataset.num_behaviors
+    assert set(split.test) == set(split.validation)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_conversion_modes_are_nested(seed):
+    dataset = generate_dataset(BeibeiLikeConfig(num_users=60, num_items=25, num_behaviors=150, seed=seed))
+    oi_pairs = set(map(tuple, to_user_item_interactions(dataset, "oi").pairs.tolist()))
+    both_pairs = set(map(tuple, to_user_item_interactions(dataset, "both").pairs.tolist()))
+    assert oi_pairs <= both_pairs

@@ -1,0 +1,44 @@
+"""Property-based tests of the ranking metrics (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import MetricAccumulator, ndcg_at_k, rank_of_positive, recall_at_k
+
+
+@settings(max_examples=50, deadline=None)
+@given(rank=st.integers(0, 100), k=st.integers(1, 50))
+def test_metrics_bounded(rank, k):
+    assert 0.0 <= recall_at_k(rank, k) <= 1.0
+    assert 0.0 <= ndcg_at_k(rank, k) <= 1.0
+    assert ndcg_at_k(rank, k) <= recall_at_k(rank, k)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rank=st.integers(0, 100), k=st.integers(1, 49))
+def test_metrics_monotone_in_k(rank, k):
+    assert recall_at_k(rank, k) <= recall_at_k(rank, k + 1)
+    assert ndcg_at_k(rank, k) <= ndcg_at_k(rank, k + 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scores=st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=50),
+    bonus=st.floats(0.001, 10.0),
+)
+def test_raising_positive_score_never_hurts_rank(scores, bonus):
+    scores = np.asarray(scores)
+    original = rank_of_positive(scores)
+    boosted = scores.copy()
+    boosted[0] += bonus
+    assert rank_of_positive(boosted) <= original
+
+
+@settings(max_examples=30, deadline=None)
+@given(ranks=st.lists(st.integers(0, 30), min_size=1, max_size=40))
+def test_accumulator_metrics_are_means(ranks):
+    accumulator = MetricAccumulator(cutoffs=(5,))
+    accumulator.extend(ranks)
+    results = accumulator.results()
+    assert np.isclose(results["Recall@5"], np.mean([recall_at_k(r, 5) for r in ranks]))
+    assert np.isclose(results["NDCG@5"], np.mean([ndcg_at_k(r, 5) for r in ranks]))

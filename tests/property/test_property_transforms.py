@@ -1,0 +1,89 @@
+"""Property-based tests of dataset transforms, serialization and calibration."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    BeibeiLikeConfig,
+    compute_statistics,
+    filter_min_interactions,
+    generate_dataset,
+    load_beibei_format,
+    remap_ids,
+    save_beibei_format,
+    subsample_behaviors,
+)
+from repro.data.synthetic import calibrate_join_bias, success_probability
+
+
+def _small_dataset(seed):
+    return generate_dataset(BeibeiLikeConfig(num_users=60, num_items=25, num_behaviors=150, seed=seed))
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000), min_count=st.integers(0, 4))
+def test_filtering_is_monotone_and_idempotent(seed, min_count):
+    dataset = _small_dataset(seed)
+    filtered = filter_min_interactions(dataset, min_count, min_count)
+    # Filtering never adds behaviors and applying it twice changes nothing.
+    assert filtered.num_behaviors <= dataset.num_behaviors
+    twice = filter_min_interactions(filtered, min_count, min_count)
+    assert twice.behaviors == filtered.behaviors
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_remap_preserves_interaction_structure(seed):
+    dataset = _small_dataset(seed)
+    remapped, mapping = remap_ids(dataset)
+    assert remapped.num_users == len(mapping.user_map)
+    assert remapped.num_items == len(mapping.item_map)
+    # The multiset of (|participants|, success) signatures is unchanged.
+    original = sorted((len(b.participants), b.is_successful) for b in dataset.behaviors)
+    new = sorted((len(b.participants), b.is_successful) for b in remapped.behaviors)
+    assert original == new
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000), fraction=st.floats(0.2, 1.0))
+def test_subsample_size_bounds(seed, fraction):
+    dataset = _small_dataset(seed)
+    subsampled = subsample_behaviors(dataset, fraction, seed=seed)
+    assert 1 <= subsampled.num_behaviors <= dataset.num_behaviors
+    # All kept behaviors existed in the original log.
+    original = set(dataset.behaviors)
+    assert all(behavior in original for behavior in subsampled.behaviors)
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_beibei_format_roundtrip(seed, tmp_path_factory):
+    dataset = _small_dataset(seed)
+    directory = tmp_path_factory.mktemp(f"beibei-{seed}")
+    save_beibei_format(dataset, directory)
+    loaded = load_beibei_format(directory, num_users=dataset.num_users, num_items=dataset.num_items)
+    assert compute_statistics(loaded).as_dict() == compute_statistics(dataset).as_dict()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    logits=st.lists(st.floats(-4, 4), min_size=1, max_size=8),
+    threshold=st.integers(1, 8),
+    bias=st.floats(-3, 3),
+)
+def test_success_probability_is_a_probability_and_monotone_in_bias(logits, threshold, bias):
+    logits = np.asarray(logits)
+    probability = success_probability(logits, threshold, bias)
+    assert 0.0 <= probability <= 1.0
+    assert success_probability(logits, threshold, bias + 1.0) >= probability - 1e-12
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000), target=st.floats(0.2, 0.9))
+def test_calibration_hits_reachable_targets(seed, target):
+    rng = np.random.default_rng(seed)
+    logit_sets = [rng.normal(size=int(rng.integers(2, 8))) for _ in range(200)]
+    thresholds = [1 for _ in logit_sets]  # threshold 1 keeps every target reachable
+    bias = calibrate_join_bias(logit_sets, thresholds, target)
+    expected = np.mean([success_probability(l, t, bias) for l, t in zip(logit_sets, thresholds)])
+    assert abs(expected - target) < 0.02

@@ -1,0 +1,104 @@
+"""Mini-batch iterators."""
+
+import numpy as np
+import pytest
+
+from repro.data import TrainingNegativeSampler, to_fixed_groups, to_user_item_interactions
+from repro.training import (
+    FixedGroupBatchIterator,
+    GroupBuyingBatchIterator,
+    InteractionBatchIterator,
+)
+
+
+class TestInteractionBatchIterator:
+    def test_covers_every_interaction_once(self, small_split):
+        conversion = to_user_item_interactions(small_split.train, mode="both")
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        iterator = InteractionBatchIterator(conversion, sampler, batch_size=64, seed=1)
+        seen = 0
+        for batch in iterator:
+            seen += len(batch)
+            assert batch.users.shape == batch.positive_items.shape == batch.negative_items.shape
+        assert seen == conversion.num_interactions
+
+    def test_negatives_are_unobserved(self, small_split):
+        conversion = to_user_item_interactions(small_split.train, mode="both")
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        iterator = InteractionBatchIterator(conversion, sampler, batch_size=128, seed=2)
+        interactions = small_split.train.user_item_set()
+        batch = next(iter(iterator))
+        for user, negative in zip(batch.users, batch.negative_items):
+            assert int(negative) not in interactions.get(int(user), set())
+
+    def test_num_batches(self, small_split):
+        conversion = to_user_item_interactions(small_split.train, mode="both")
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        iterator = InteractionBatchIterator(conversion, sampler, batch_size=50, seed=0)
+        assert iterator.num_batches() == int(np.ceil(conversion.num_interactions / 50))
+
+    def test_invalid_batch_size(self, small_split):
+        conversion = to_user_item_interactions(small_split.train, mode="both")
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        with pytest.raises(ValueError):
+            InteractionBatchIterator(conversion, sampler, batch_size=0)
+
+
+class TestFixedGroupBatchIterator:
+    def test_covers_every_activity(self, small_split):
+        groups = to_fixed_groups(small_split.train)
+        iterator = FixedGroupBatchIterator(groups, batch_size=32, seed=3)
+        seen = sum(len(batch) for batch in iterator)
+        assert seen == groups.group_item_pairs.shape[0]
+
+    def test_negatives_not_in_group_history(self, small_split):
+        groups = to_fixed_groups(small_split.train)
+        iterator = FixedGroupBatchIterator(groups, batch_size=64, seed=4)
+        history = {}
+        for group, item in groups.group_item_pairs:
+            history.setdefault(int(group), set()).add(int(item))
+        batch = next(iter(iterator))
+        for group, negative in zip(batch.users, batch.negative_items):
+            assert int(negative) not in history[int(group)]
+
+
+class TestGroupBuyingBatchIterator:
+    def test_covers_every_behavior(self, small_split):
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        iterator = GroupBuyingBatchIterator(small_split.train, sampler, batch_size=100, seed=5)
+        seen = sum(len(batch) for batch in iterator)
+        assert seen == small_split.train.num_behaviors
+
+    def test_segments_reference_valid_rows(self, small_split):
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        iterator = GroupBuyingBatchIterator(small_split.train, sampler, batch_size=64, seed=6)
+        for batch in iterator:
+            if batch.participants.size:
+                assert batch.participant_segment.max() < len(batch)
+                assert batch.success[batch.participant_segment].all()
+            if batch.failed_friends.size:
+                assert batch.failed_friend_segment.max() < len(batch)
+                assert not batch.success[batch.failed_friend_segment].any()
+
+    def test_failed_friends_are_friends_of_initiator(self, small_split):
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        iterator = GroupBuyingBatchIterator(small_split.train, sampler, batch_size=256, seed=7)
+        friends = small_split.train.friend_lists()
+        batch = next(iter(iterator))
+        for friend, row in zip(batch.failed_friends, batch.failed_friend_segment):
+            assert int(friend) in friends[int(batch.initiators[row])]
+
+    def test_max_failed_friends_cap(self, small_split):
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        iterator = GroupBuyingBatchIterator(
+            small_split.train, sampler, batch_size=256, seed=8, max_failed_friends=2
+        )
+        batch = next(iter(iterator))
+        if batch.failed_friends.size:
+            counts = np.bincount(batch.failed_friend_segment)
+            assert counts.max() <= 2
+
+    def test_counts_properties(self, small_split):
+        sampler = TrainingNegativeSampler(small_split.train, seed=0)
+        batch = next(iter(GroupBuyingBatchIterator(small_split.train, sampler, batch_size=64, seed=9)))
+        assert batch.num_successful + batch.num_failed == len(batch)

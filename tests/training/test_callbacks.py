@@ -1,0 +1,131 @@
+"""Training callbacks: CSV logging, checkpointing, lambda hooks."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.data import to_user_item_interactions, TrainingNegativeSampler
+from repro.models import MatrixFactorization
+from repro.optim import Adam
+from repro.training import (
+    CallbackList,
+    CSVLogger,
+    InteractionBatchIterator,
+    LambdaCallback,
+    ModelCheckpoint,
+    Trainer,
+)
+
+
+@pytest.fixture()
+def trainer_parts(small_split, small_evaluator):
+    train = small_split.train
+    model = MatrixFactorization(train.num_users, train.num_items, 8, rng=np.random.default_rng(0))
+    conversion = to_user_item_interactions(train, mode="both")
+    sampler = TrainingNegativeSampler(train, seed=0)
+    iterator = InteractionBatchIterator(conversion, sampler, batch_size=256, seed=0)
+    optimizer = Adam(model.parameters(), lr=0.01)
+    return model, optimizer, iterator, small_evaluator
+
+
+class TestCallbackList:
+    def test_dispatch_order(self, trainer_parts):
+        model, optimizer, iterator, evaluator = trainer_parts
+        events = []
+        callbacks = CallbackList(
+            [
+                LambdaCallback(on_epoch_end=lambda trainer, record: events.append(("a", record.epoch))),
+                LambdaCallback(on_epoch_end=lambda trainer, record: events.append(("b", record.epoch))),
+            ]
+        )
+        trainer = Trainer(model, optimizer, iterator, evaluator=None, callbacks=callbacks.callbacks)
+        trainer.fit(2)
+        assert events == [("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+    def test_len_and_append(self):
+        callbacks = CallbackList()
+        assert len(callbacks) == 0
+        callbacks.append(LambdaCallback())
+        assert len(callbacks) == 1
+
+
+class TestLambdaCallback:
+    def test_all_hooks_fire(self, trainer_parts):
+        model, optimizer, iterator, _ = trainer_parts
+        fired = {"begin": 0, "epoch": 0, "end": 0}
+        callback = LambdaCallback(
+            on_train_begin=lambda trainer: fired.__setitem__("begin", fired["begin"] + 1),
+            on_epoch_end=lambda trainer, record: fired.__setitem__("epoch", fired["epoch"] + 1),
+            on_train_end=lambda trainer, history: fired.__setitem__("end", fired["end"] + 1),
+        )
+        Trainer(model, optimizer, iterator, callbacks=[callback]).fit(3)
+        assert fired == {"begin": 1, "epoch": 3, "end": 1}
+
+    def test_missing_hooks_are_noops(self, trainer_parts):
+        model, optimizer, iterator, _ = trainer_parts
+        Trainer(model, optimizer, iterator, callbacks=[LambdaCallback()]).fit(1)
+
+
+class TestCSVLogger:
+    def test_one_row_per_epoch(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, evaluator = trainer_parts
+        path = tmp_path / "history.csv"
+        trainer = Trainer(
+            model, optimizer, iterator, evaluator=evaluator, callbacks=[CSVLogger(path)]
+        )
+        trainer.fit(3)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(CSVLogger.FIELDS)
+        assert len(rows) == 4
+        assert [int(row[0]) for row in rows[1:]] == [1, 2, 3]
+
+    def test_validation_column_filled_when_evaluator_present(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, evaluator = trainer_parts
+        path = tmp_path / "history.csv"
+        Trainer(model, optimizer, iterator, evaluator=evaluator, callbacks=[CSVLogger(path)]).fit(1)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1][2] != ""
+
+    def test_overwrite_false_appends(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, _ = trainer_parts
+        path = tmp_path / "history.csv"
+        Trainer(model, optimizer, iterator, callbacks=[CSVLogger(path)]).fit(1)
+        Trainer(model, optimizer, iterator, callbacks=[CSVLogger(path, overwrite=False)]).fit(1)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 3  # header + 2 epochs across the two runs
+
+
+class TestModelCheckpoint:
+    def test_checkpoint_roundtrip(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, evaluator = trainer_parts
+        path = tmp_path / "best.npz"
+        checkpoint = ModelCheckpoint(path, save_best_only=True)
+        Trainer(model, optimizer, iterator, evaluator=evaluator, callbacks=[checkpoint]).fit(2)
+        assert path.exists()
+        assert checkpoint.num_saves >= 1
+        archive = np.load(path)
+        restored = MatrixFactorization(
+            model.num_users, model.num_items, 8, rng=np.random.default_rng(1)
+        )
+        restored.load_state_dict({key: archive[key] for key in archive.files})
+        items = np.arange(5)
+        assert np.allclose(restored.rank_scores(0, items), model.rank_scores(0, items))
+
+    def test_save_best_only_skips_without_validation(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, _ = trainer_parts
+        path = tmp_path / "best.npz"
+        checkpoint = ModelCheckpoint(path, save_best_only=True)
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(2)
+        assert checkpoint.num_saves == 0
+        assert not path.exists()
+
+    def test_save_every_epoch(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, _ = trainer_parts
+        path = tmp_path / "latest.npz"
+        checkpoint = ModelCheckpoint(path, save_best_only=False)
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(3)
+        assert checkpoint.num_saves == 3

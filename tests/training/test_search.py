@@ -1,0 +1,77 @@
+"""Hyper-parameter grid search."""
+
+import pytest
+
+from repro.models import ModelSettings
+from repro.training import TrainingSettings, grid_search, parameter_grid
+from repro.training.search import GridSearchEntry, GridSearchResult, _apply_parameters
+
+
+class TestParameterGrid:
+    def test_empty_grid_is_single_empty_configuration(self):
+        assert parameter_grid({}) == [{}]
+
+    def test_full_cartesian_product(self):
+        grid = parameter_grid({"alpha": [0.4, 0.6], "beta": [0.05, 0.1, 0.2]})
+        assert len(grid) == 6
+        assert {"alpha": 0.4, "beta": 0.2} in grid
+
+    def test_order_is_deterministic(self):
+        assert parameter_grid({"b": [1, 2], "a": [3]}) == parameter_grid({"a": [3], "b": [1, 2]})
+
+    def test_empty_candidate_list_rejected(self):
+        with pytest.raises(ValueError):
+            parameter_grid({"alpha": []})
+
+
+class TestApplyParameters:
+    def test_known_fields_are_replaced(self):
+        settings = _apply_parameters(ModelSettings(), {"alpha": 0.9, "embedding_dim": 16})
+        assert settings.alpha == 0.9
+        assert settings.embedding_dim == 16
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ModelSettings field"):
+            _apply_parameters(ModelSettings(), {"lerning_rate": 0.1})
+
+
+class TestGridSearchResult:
+    def test_best_selects_highest_metric(self):
+        result = GridSearchResult(model_name="MF", selection_metric="Recall@10")
+        result.entries = [
+            GridSearchEntry({"alpha": 0.2}, {"Recall@10": 0.1}),
+            GridSearchEntry({"alpha": 0.6}, {"Recall@10": 0.3}),
+            GridSearchEntry({"alpha": 0.9}, {"Recall@10": 0.2}),
+        ]
+        assert result.best_parameters == {"alpha": 0.6}
+        assert result.best_metric == pytest.approx(0.3)
+
+    def test_best_of_empty_search_raises(self):
+        with pytest.raises(ValueError):
+            GridSearchResult(model_name="MF", selection_metric="Recall@10").best
+
+    def test_format_lists_every_entry(self):
+        result = GridSearchResult(model_name="MF", selection_metric="Recall@10")
+        result.entries = [
+            GridSearchEntry({"alpha": 0.2}, {"Recall@10": 0.1}),
+            GridSearchEntry({"alpha": 0.6}, {"Recall@10": 0.3}),
+        ]
+        table = result.format()
+        assert "alpha" in table
+        assert "Recall@10" in table
+        assert table.count("\n") >= 3
+
+
+class TestGridSearch:
+    def test_end_to_end_on_small_split(self, small_split, small_evaluator):
+        training = TrainingSettings(num_epochs=2, batch_size=512)
+        result = grid_search(
+            "MF",
+            small_split,
+            grid={"embedding_dim": [8], "l2_weight": [1e-4, 1e-2]},
+            training=training,
+            evaluator=small_evaluator,
+        )
+        assert len(result.entries) == 2
+        assert set(result.best_parameters) == {"embedding_dim", "l2_weight"}
+        assert 0.0 <= result.best_metric <= 1.0

@@ -1,0 +1,60 @@
+"""Trainer loop, model selection and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.models import MatrixFactorization
+from repro.optim import Adam
+from repro.training import Trainer, build_batch_iterator
+from repro.training.pipeline import TrainingSettings, train_model
+
+
+class TestTrainer:
+    def test_losses_decrease_over_epochs(self, small_split):
+        model = MatrixFactorization(small_split.train.num_users, small_split.train.num_items, 8,
+                                    rng=np.random.default_rng(0))
+        iterator = build_batch_iterator(model, small_split.train, batch_size=256, seed=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), iterator)
+        history = trainer.fit(5)
+        assert history.num_epochs == 5
+        assert history.losses()[-1] < history.losses()[0]
+
+    def test_best_epoch_tracked_and_restored(self, small_split, small_evaluator):
+        model = MatrixFactorization(small_split.train.num_users, small_split.train.num_items, 8,
+                                    rng=np.random.default_rng(1))
+        iterator = build_batch_iterator(model, small_split.train, batch_size=256, seed=1)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), iterator,
+                          evaluator=small_evaluator, selection_metric="Recall@10")
+        history = trainer.fit(3)
+        assert history.best_epoch >= 1
+        assert history.best_metric >= 0.0
+        # Restored parameters reproduce the best validation metric.
+        restored = small_evaluator.evaluate_validation(model).metrics["Recall@10"]
+        assert np.isclose(restored, history.best_metric, atol=1e-9)
+
+    def test_early_stopping(self, small_split, small_evaluator):
+        model = MatrixFactorization(small_split.train.num_users, small_split.train.num_items, 4,
+                                    rng=np.random.default_rng(2))
+        iterator = build_batch_iterator(model, small_split.train, batch_size=256, seed=2)
+        # Learning rate 0 means validation can never improve after the first epoch.
+        trainer = Trainer(model, Adam(model.parameters(), lr=1e-12), iterator,
+                          evaluator=small_evaluator, patience=2)
+        history = trainer.fit(20)
+        assert history.num_epochs <= 5
+
+    def test_grad_clip_path(self, small_split):
+        model = MatrixFactorization(small_split.train.num_users, small_split.train.num_items, 4,
+                                    rng=np.random.default_rng(3))
+        iterator = build_batch_iterator(model, small_split.train, batch_size=256, seed=3)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.02), iterator, grad_clip=0.5)
+        history = trainer.fit(2)
+        assert history.num_epochs == 2
+
+
+class TestTrainModelHelper:
+    def test_train_model_runs_for_any_registry_model(self, small_split, small_evaluator):
+        settings = TrainingSettings(num_epochs=2, batch_size=256)
+        model = MatrixFactorization(small_split.train.num_users, small_split.train.num_items, 4,
+                                    rng=np.random.default_rng(4))
+        history = train_model(model, small_split.train, evaluator=small_evaluator, settings=settings)
+        assert history.num_epochs == 2
