@@ -38,3 +38,13 @@ def bench_config() -> ExperimentConfig:
 def workload():
     configure_logging()
     return prepare_workload(bench_config())
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow``-marked timing tests unless explicitly requested."""
+    if os.environ.get("REPRO_RUN_SLOW") == "1":
+        return
+    skip_slow = pytest.mark.skip(reason="slow timing test; set REPRO_RUN_SLOW=1 to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

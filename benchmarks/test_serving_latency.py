@@ -1,0 +1,100 @@
+"""Timing smoke test for the batched scoring engine and serving layer.
+
+Marked ``slow`` and skipped by default (set ``REPRO_RUN_SLOW=1`` to run) so
+regular BENCH runs can track the batched-vs-per-user speedup over time
+without paying for it on every invocation.
+
+The ranking-speedup test builds a serving-scale random dataset directly
+(rather than through the behavior-model generator, which is much slower
+than the measurement itself).  The asserted floor (2x) is deliberately far
+below the typical measurement (>=5x, see CHANGES.md) so the test only
+fails on a real regression, not on machine noise.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import GroupBuyingDataset, leave_one_out_split
+from repro.data.schema import GroupBuyingBehavior, SocialEdge
+from repro.eval import FullRankingEvaluator
+from repro.models import ModelSettings, build_model
+from repro.serving import EmbeddingStore, TopKRecommender
+
+
+def _serving_scale_split(num_users=2000, num_items=1500, num_behaviors=10000, seed=11):
+    """A quick-to-build random group-buying dataset at serving scale."""
+    rng = np.random.default_rng(seed)
+    initiators = rng.integers(0, num_users, size=num_behaviors)
+    items = rng.integers(0, num_items, size=num_behaviors)
+    behaviors = []
+    for m, n in zip(initiators, items):
+        num_participants = int(rng.integers(0, 3))
+        participants = tuple(
+            int(p) for p in rng.integers(0, num_users, size=num_participants) if p != m
+        )
+        behaviors.append(
+            GroupBuyingBehavior(initiator=int(m), item=int(n), participants=participants, threshold=1)
+        )
+    edges = [
+        SocialEdge(int(a), int(b))
+        for a, b in rng.integers(0, num_users, size=(3 * num_users, 2))
+        if a != b
+    ]
+    dataset = GroupBuyingDataset(num_users, num_items, behaviors, edges, name="serving-bench")
+    return leave_one_out_split(dataset, seed=1)
+
+
+@pytest.fixture(scope="module")
+def serving_split():
+    return _serving_scale_split()
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("model_name", ["GBGCN", "MF"])
+def test_batched_full_ranking_is_faster_than_per_user_loop(serving_split, model_name):
+    split = serving_split
+    model = build_model(model_name, split.train, ModelSettings(embedding_dim=16))
+    evaluator = FullRankingEvaluator(split, batch_size=256)
+    # Warm the one-off caches (propagated embeddings, observed-item CSR) so
+    # the measurement compares the two scoring paths, not setup costs.
+    model.prepare_for_evaluation()
+    evaluator.evaluate_test(model)
+
+    started = time.perf_counter()
+    batched = evaluator.evaluate_test(model)
+    batched_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reference = evaluator.evaluate_test_loop(model)
+    loop_seconds = time.perf_counter() - started
+
+    assert np.array_equal(batched.ranks, reference.ranks)
+    assert batched.metrics == reference.metrics
+    speedup = loop_seconds / max(batched_seconds, 1e-9)
+    print(
+        f"\n{model_name} full-ranking speedup: {speedup:.1f}x "
+        f"({loop_seconds:.3f}s -> {batched_seconds:.3f}s, {batched.num_users} users)"
+    )
+    assert speedup >= 2.0
+
+
+@pytest.mark.slow
+def test_topk_serving_latency_smoke(serving_split):
+    split = serving_split
+    model = build_model("GBGCN", split.train, ModelSettings(embedding_dim=16))
+    store = EmbeddingStore(model)
+    store.refresh()
+    recommender = TopKRecommender(store, k=10, dataset=split.full)
+    users = np.asarray(sorted(split.test), dtype=np.int64)
+
+    started = time.perf_counter()
+    result = recommender.recommend(users)
+    serve_seconds = time.perf_counter() - started
+
+    assert result.items.shape == (users.size, 10)
+    per_user_ms = 1000.0 * serve_seconds / max(users.size, 1)
+    print(f"\ntop-10 for {users.size} users in {serve_seconds:.3f}s ({per_user_ms:.3f} ms/user)")
+    # Serving from the cache must be far cheaper than one propagation pass.
+    assert per_user_ms < 100.0

@@ -9,8 +9,6 @@ Runs in well under a minute on a laptop CPU:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core import GBGCNConfig
 from repro.data import BeibeiLikeConfig, compute_statistics, generate_dataset, leave_one_out_split
 from repro.eval import LeaveOneOutEvaluator
@@ -45,12 +43,14 @@ def main() -> None:
     print("Test metrics:", {name: round(value, 4) for name, value in result.metrics.items()})
     print()
 
-    # 5. Produce a top-10 recommendation list for one test initiator.
-    model.prepare_for_evaluation()
+    # 5. Produce a top-10 recommendation list for one test initiator via the
+    #    serving layer (cached embeddings + argpartition partial sort; see
+    #    examples/serving_topk.py for the full serving walkthrough).
+    from repro.serving import EmbeddingStore, TopKRecommender
+
+    recommender = TopKRecommender(EmbeddingStore(model), k=10, exclude_observed=False)
     user = next(iter(split.test))
-    candidate_items = np.arange(dataset.num_items)
-    scores = model.rank_scores(user, candidate_items)
-    top_items = np.argsort(-scores)[:10]
+    top_items = recommender.recommend_user(user)
     print(f"Top-10 items to recommend to initiator {user}: {top_items.tolist()}")
     print(f"(Held-out item the user actually launched: {split.test[user].item})")
 

@@ -12,6 +12,8 @@ The package is organized bottom-up:
 * :mod:`repro.core` — GBGCN itself (propagation, prediction, loss);
 * :mod:`repro.training`, :mod:`repro.eval` — training pipelines and the
   leave-one-out evaluation protocol;
+* :mod:`repro.serving` — the online serving layer (cached batch scoring
+  and top-K recommendation);
 * :mod:`repro.analysis`, :mod:`repro.experiments` — embedding analyses and
   the scripts regenerating every table and figure.
 
@@ -29,7 +31,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import autograd, data, eval, graph, models, nn, optim, training, utils
+from . import autograd, data, eval, graph, models, nn, optim, serving, training, utils
 from .core import GBGCN, GBGCNConfig
 from .data import BeibeiLikeConfig, GroupBuyingDataset, generate_dataset, leave_one_out_split
 from .eval import LeaveOneOutEvaluator
@@ -46,6 +48,7 @@ __all__ = [
     "nn",
     "optim",
     "training",
+    "serving",
     "utils",
     "GBGCN",
     "GBGCNConfig",

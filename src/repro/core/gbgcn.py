@@ -195,6 +195,19 @@ class GBGCN(RecommenderModel):
             cache["item_participant"],
         )
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        cache = self._eval_cache
+        return self.predictor.score_candidates_batch(
+            users,
+            item_ids,
+            cache["user_initiator"],
+            cache["item_initiator"],
+            cache["friend_average"],
+            cache["item_participant"],
+        )
+
     def final_embeddings(self) -> Dict[str, np.ndarray]:
         """Final per-view user/item embeddings as NumPy arrays (Figures 5-6)."""
         if self._eval_cache is None:

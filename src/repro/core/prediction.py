@@ -67,3 +67,24 @@ class RoleWeightedPredictor:
         own = item_initiator[item_ids] @ user_initiator[user]
         friends = item_participant[item_ids] @ friend_average_participant[user]
         return (1.0 - self.alpha) * own + self.alpha * friends
+
+    def score_candidates_batch(
+        self,
+        users: np.ndarray,
+        item_ids: np.ndarray,
+        user_initiator: np.ndarray,
+        item_initiator: np.ndarray,
+        friend_average_participant: np.ndarray,
+        item_participant: np.ndarray,
+    ) -> np.ndarray:
+        """Gradient-free ``(len(users), len(item_ids))`` score block.
+
+        Two matrix-matrix products over the cached propagated embeddings
+        replace ``len(users)`` matrix-vector products of
+        :meth:`score_candidates` — the serving/batched-evaluation hot path.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        own = user_initiator[users] @ item_initiator[item_ids].T
+        friends = friend_average_participant[users] @ item_participant[item_ids].T
+        return (1.0 - self.alpha) * own + self.alpha * friends

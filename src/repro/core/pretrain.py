@@ -96,6 +96,18 @@ class GBGCNPretrainModel(RecommenderModel):
             self.item_embedding.weight.data,
         )
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        return self.predictor.score_candidates_batch(
+            users,
+            item_ids,
+            self.user_embedding.weight.data,
+            self.item_embedding.weight.data,
+            self._eval_cache,
+            self.item_embedding.weight.data,
+        )
+
     def normalize_embeddings(self) -> None:
         """L2-normalize the raw embeddings, as the paper does before fine-tuning."""
         self.user_embedding.normalize_()

@@ -1,7 +1,7 @@
 """Group-buying data model, synthetic Beibei-like generator and utilities."""
 
 from .schema import GroupBuyingBehavior, SocialEdge
-from .dataset import GroupBuyingDataset
+from .dataset import GroupBuyingDataset, observed_item_matrix
 from .synthetic import (
     BeibeiLikeConfig,
     BeibeiLikeGenerator,
@@ -40,6 +40,7 @@ __all__ = [
     "calibrate_join_bias",
     "success_probability",
     "generate_dataset",
+    "observed_item_matrix",
     "DatasetSplit",
     "leave_one_out_split",
     "EvaluationCandidateSampler",

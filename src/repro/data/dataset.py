@@ -17,7 +17,26 @@ import scipy.sparse as sp
 
 from .schema import GroupBuyingBehavior, SocialEdge
 
-__all__ = ["GroupBuyingDataset"]
+__all__ = ["GroupBuyingDataset", "observed_item_matrix"]
+
+
+def observed_item_matrix(
+    interactions: Dict[int, Set[int]], num_users: int, num_items: int
+) -> sp.csr_matrix:
+    """Boolean ``users x items`` membership matrix over an interaction dict.
+
+    The shared building block for every vectorized observed-item lookup:
+    batch negative sampling, the batched full-ranking evaluator's exclusion
+    mask, and the serving layer's already-bought filter all row-slice this
+    matrix instead of testing per-user Python sets.
+    """
+    rows = []
+    cols = []
+    for user, items in interactions.items():
+        rows.extend([user] * len(items))
+        cols.extend(items)
+    data = np.ones(len(rows), dtype=bool)
+    return sp.csr_matrix((data, (rows, cols)), shape=(num_users, num_items), dtype=bool)
 
 
 class GroupBuyingDataset:

@@ -7,18 +7,31 @@ Two distinct samplers are needed:
   ratio).
 * :class:`EvaluationCandidateSampler` draws the 999 unobserved items that
   are ranked together with the held-out test item (Section IV-A2).
+
+Both samplers use *vectorized rejection sampling*: whole arrays of
+candidates are drawn at once and filtered against the observed-interaction
+structure with NumPy set operations, instead of testing candidates one by
+one in a Python loop.  Batch membership tests go through a boolean CSR
+``users x items`` matrix so a full mini-batch is resampled in a handful of
+array operations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 import numpy as np
 
 from ..utils.rng import make_rng
-from .dataset import GroupBuyingDataset
+from .dataset import GroupBuyingDataset, observed_item_matrix
 
 __all__ = ["TrainingNegativeSampler", "EvaluationCandidateSampler"]
+
+
+def _ordered_unique(values: np.ndarray) -> np.ndarray:
+    """Unique values of ``values`` in order of first occurrence."""
+    _, first_positions = np.unique(values, return_index=True)
+    return values[np.sort(first_positions)]
 
 
 class TrainingNegativeSampler:
@@ -34,6 +47,17 @@ class TrainingNegativeSampler:
         self.num_items = num_items or dataset.num_items
         self._interactions = dataset.user_item_set(include_participants=include_participants)
         self._rng = make_rng(seed)
+        # The membership matrix spans the declared item universe even when it
+        # is larger than the dataset's, so candidate lookups never go out of
+        # bounds.
+        self._matrix = observed_item_matrix(
+            self._interactions, dataset.num_users, max(dataset.num_items, self.num_items)
+        )
+        #: Per-user observed count, clipped to the declared item universe so a
+        #: smaller ``num_items`` override still detects exhausted users.
+        self._observed_counts = np.zeros(dataset.num_users, dtype=np.int64)
+        for user, items in self._interactions.items():
+            self._observed_counts[user] = sum(1 for item in items if item < self.num_items)
 
     def observed_items(self, user: int) -> Set[int]:
         """Items the user has interacted with in the training data."""
@@ -42,24 +66,54 @@ class TrainingNegativeSampler:
     def sample(self, user: int, count: int = 1) -> np.ndarray:
         """Draw ``count`` items the user has not interacted with."""
         observed = self._interactions.get(user, set())
-        if len(observed) >= self.num_items:
+        # Same (clipped) exhaustion criterion as ``sample_batch``: only
+        # observed items inside the declared universe block sampling.
+        if 0 <= user < self._observed_counts.size and self._observed_counts[user] >= self.num_items:
             raise ValueError(f"user {user} has interacted with every item; cannot sample negatives")
+        observed_array = np.fromiter(observed, dtype=np.int64, count=len(observed))
         negatives = np.empty(count, dtype=np.int64)
         filled = 0
         while filled < count:
             candidates = self._rng.integers(0, self.num_items, size=max(2 * (count - filled), 8))
-            for candidate in candidates:
-                if int(candidate) in observed:
-                    continue
-                negatives[filled] = candidate
-                filled += 1
-                if filled == count:
-                    break
+            accepted = candidates[~np.isin(candidates, observed_array)][: count - filled]
+            negatives[filled : filled + accepted.size] = accepted
+            filled += accepted.size
         return negatives
 
     def sample_batch(self, users: Sequence[int], count: int = 1) -> np.ndarray:
-        """Vectorized helper: one row of ``count`` negatives per user."""
-        return np.stack([self.sample(int(user), count) for user in users])
+        """One row of ``count`` negatives per user, resampled as one block.
+
+        Rejection sampling over the whole ``(len(users), count)`` block: all
+        still-unfilled cells draw a candidate in one call, and a single
+        sparse-matrix lookup rejects the candidates their user has observed.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if users.size == 0:
+            return np.zeros((0, count), dtype=np.int64)
+        # Unknown user ids (outside the dataset universe) have no observed
+        # items and sample freely, exactly like the per-user ``sample`` path.
+        known = (users >= 0) & (users < self._observed_counts.size)
+        exhausted = np.zeros(users.size, dtype=bool)
+        exhausted[known] = self._observed_counts[users[known]] >= self.num_items
+        if exhausted.any():
+            user = int(users[int(np.argmax(exhausted))])
+            raise ValueError(f"user {user} has interacted with every item; cannot sample negatives")
+
+        negatives = np.empty((users.size, count), dtype=np.int64)
+        pending_rows = np.repeat(np.arange(users.size), count)
+        pending_cols = np.tile(np.arange(count), users.size)
+        while pending_rows.size:
+            candidates = self._rng.integers(0, self.num_items, size=pending_rows.size)
+            rejected = np.zeros(pending_rows.size, dtype=bool)
+            checkable = known[pending_rows]
+            if checkable.any():
+                rejected[checkable] = np.asarray(
+                    self._matrix[users[pending_rows[checkable]], candidates[checkable]]
+                ).ravel()
+            negatives[pending_rows, pending_cols] = candidates
+            pending_rows = pending_rows[rejected]
+            pending_cols = pending_cols[rejected]
+        return negatives
 
 
 class EvaluationCandidateSampler:
@@ -89,21 +143,17 @@ class EvaluationCandidateSampler:
         if key not in self._cache:
             rng = make_rng((self.seed, user))
             observed = self._interactions.get(user, set())
+            observed_array = np.fromiter(observed, dtype=np.int64, count=len(observed))
             available = self.dataset.num_items - len(observed)
             count = min(self.num_negatives, max(available - 1, 0))
-            negatives: List[int] = []
-            seen: Set[int] = set(observed)
-            while len(negatives) < count:
-                batch = rng.integers(0, self.dataset.num_items, size=max(4 * (count - len(negatives)), 16))
-                for candidate in batch:
-                    candidate = int(candidate)
-                    if candidate in seen:
-                        continue
-                    seen.add(candidate)
-                    negatives.append(candidate)
-                    if len(negatives) == count:
-                        break
-            self._cache[key] = np.asarray(negatives, dtype=np.int64)
+            negatives = np.zeros(0, dtype=np.int64)
+            while negatives.size < count:
+                batch = rng.integers(
+                    0, self.dataset.num_items, size=max(4 * (count - negatives.size), 16)
+                )
+                fresh = batch[~np.isin(batch, observed_array) & ~np.isin(batch, negatives)]
+                negatives = np.concatenate([negatives, _ordered_unique(fresh)])[:count]
+            self._cache[key] = negatives
         negatives = self._cache[key]
         negatives = negatives[negatives != positive_item]
         return np.concatenate([[positive_item], negatives]).astype(np.int64)

@@ -116,6 +116,11 @@ class AGREE(RecommenderModel):
     # ------------------------------------------------------------------
     # Evaluation: a test user is replaced by their fixed group
     # ------------------------------------------------------------------
+    # ``score_batch`` keeps the base per-user fallback on purpose: AGREE's
+    # attention weights are conditioned on the candidate item, so there is no
+    # user-independent representation to cache, and a flattened (user x item)
+    # pass would rebuild the same ragged membership table position by
+    # position at the same Python-loop cost.
     def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         item_ids = np.asarray(item_ids, dtype=np.int64)
         group = self.groups.group_for_user(user)

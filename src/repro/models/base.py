@@ -7,6 +7,11 @@ The trainer and the evaluator only rely on this interface:
 * ``batch_loss``    — differentiable loss for one mini-batch;
 * ``rank_scores``   — gradient-free scores for one user over a candidate
   item array (used by the leave-one-out protocol);
+* ``score_batch`` / ``score_all_items`` — gradient-free scores for a
+  *block* of users at once (used by the batched full-ranking evaluator and
+  the serving layer); the base class falls back to per-user ``rank_scores``
+  so every model works, and embedding models override it with one
+  matrix-matrix product over their cached propagated embeddings;
 * ``prepare_for_evaluation`` / ``invalidate_cache`` — hooks that let graph
   models propagate embeddings once per evaluation pass instead of once per
   scored user.
@@ -77,6 +82,26 @@ class RecommenderModel(Module):
     def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         """Scores of ``item_ids`` for ``user`` as a plain NumPy array."""
         raise NotImplementedError
+
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        """Score a block of users against a block of items.
+
+        Returns a ``(len(users), len(item_ids))`` float64 array where row
+        ``i`` holds the scores of ``item_ids`` for ``users[i]``.  The base
+        implementation loops over ``rank_scores`` so any model is batchable;
+        embedding-based models override it with a single matrix product.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if users.size == 0:
+            return np.zeros((0, item_ids.size), dtype=np.float64)
+        return np.stack(
+            [np.asarray(self.rank_scores(int(user), item_ids), dtype=np.float64) for user in users]
+        )
+
+    def score_all_items(self, users: np.ndarray) -> np.ndarray:
+        """Scores of every item in the catalog for a block of users."""
+        return self.score_batch(users, np.arange(self.num_items, dtype=np.int64))
 
     # ------------------------------------------------------------------
     # Introspection

@@ -106,6 +106,13 @@ class DiffNet(RecommenderModel):
         item_vectors = self.item_embedding.weight.data[np.asarray(item_ids, dtype=np.int64)]
         return item_vectors @ user_vector
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self._eval_users is None:
+            self.prepare_for_evaluation()
+        user_vectors = self._eval_users[np.asarray(users, dtype=np.int64)]
+        item_vectors = self.item_embedding.weight.data[np.asarray(item_ids, dtype=np.int64)]
+        return user_vectors @ item_vectors.T
+
     @property
     def name(self) -> str:
         return "DiffNet"

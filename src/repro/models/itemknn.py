@@ -111,6 +111,16 @@ class ItemKNN(RecommenderModel):
         scores = profile @ self._similarity
         return np.asarray(scores.todense()).ravel()[item_ids]
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        profiles = self._interaction_matrix[users]
+        if item_ids.size >= self.num_items:
+            return (profiles @ self._similarity).toarray()[:, item_ids]
+        # Candidate subset: restrict the similarity columns before the
+        # product instead of densifying the whole catalog.
+        return (profiles @ self._similarity[:, item_ids]).toarray()
+
     @property
     def name(self) -> str:
         return "ItemKNN"

@@ -77,6 +77,17 @@ class NCF(RecommenderModel):
         with no_grad():
             return self.score_pairs(users, item_ids).data
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        # The MLP head is pairwise, so the block is flattened into aligned
+        # (user, item) arrays and pushed through one vectorized forward pass.
+        users = np.asarray(users, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        flat_users = np.repeat(users, item_ids.size)
+        flat_items = np.tile(item_ids, users.size)
+        with no_grad():
+            flat_scores = self.score_pairs(flat_users, flat_items).data
+        return flat_scores.reshape(users.size, item_ids.size)
+
     @property
     def name(self) -> str:
         return "NCF"

@@ -112,6 +112,14 @@ class NGCF(RecommenderModel):
         item_vectors = embeddings[self.num_users + np.asarray(item_ids, dtype=np.int64)]
         return item_vectors @ user_vector
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        embeddings = self._eval_cache
+        user_vectors = embeddings[np.asarray(users, dtype=np.int64)]
+        item_vectors = embeddings[self.num_users + np.asarray(item_ids, dtype=np.int64)]
+        return user_vectors @ item_vectors.T
+
     @property
     def name(self) -> str:
         return "NGCF"

@@ -52,6 +52,11 @@ class ItemPopularity(RecommenderModel):
     def rank_scores(self, user: int, item_ids: np.ndarray) -> np.ndarray:
         return self.scores[np.asarray(item_ids, dtype=np.int64)]
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        row = self.scores[np.asarray(item_ids, dtype=np.int64)]
+        return np.tile(row, (users.size, 1))
+
     @property
     def name(self) -> str:
         return "ItemPop"

@@ -133,6 +133,21 @@ class SIGR(RecommenderModel):
         group_vector = self._eval_cache[group]
         return self.item_embedding.weight.data[item_ids] @ group_vector
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        users = np.asarray(users, dtype=np.int64)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        # Each user scores with their group's representation; cold users
+        # (no group history) fall back to their own raw embedding, exactly
+        # as in the per-user path.
+        groups = np.asarray([self.groups.group_for_user(int(user)) for user in users], dtype=np.int64)
+        query_vectors = self.user_embedding.weight.data[users].copy()
+        grouped = groups >= 0
+        if grouped.any():
+            query_vectors[grouped] = self._eval_cache[groups[grouped]]
+        return query_vectors @ self.item_embedding.weight.data[item_ids].T
+
     @property
     def name(self) -> str:
         return "SIGR"

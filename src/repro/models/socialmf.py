@@ -78,6 +78,11 @@ class SocialMF(RecommenderModel):
             item_vectors = self.item_embedding.weight.data[np.asarray(item_ids, dtype=np.int64)]
             return item_vectors @ user_vector
 
+    def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        user_vectors = self.user_embedding.weight.data[np.asarray(users, dtype=np.int64)]
+        item_vectors = self.item_embedding.weight.data[np.asarray(item_ids, dtype=np.int64)]
+        return user_vectors @ item_vectors.T
+
     @property
     def name(self) -> str:
         return "SocialMF"

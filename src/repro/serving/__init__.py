@@ -1,0 +1,23 @@
+"""Online serving layer: cached batch scoring and top-K recommendation.
+
+This package turns a trained :class:`~repro.models.base.RecommenderModel`
+into a request-serving component:
+
+* :class:`EmbeddingStore` owns the propagate-once / serve-many lifecycle
+  (precompute after training, invalidate after parameter updates);
+* :class:`TopKRecommender` answers batched top-``k`` requests with one
+  matrix product plus an ``np.argpartition`` partial sort.
+
+Typical wiring::
+
+    store = EmbeddingStore(model)
+    trainer = Trainer(model, optimizer, batches, callbacks=[store.callback()])
+    trainer.fit(num_epochs)
+    recommender = TopKRecommender(store, k=10, dataset=split.full)
+    result = recommender.recommend(user_batch)
+"""
+
+from .store import EmbeddingStore, EmbeddingStoreCallback
+from .topk import TopKRecommender, TopKResult
+
+__all__ = ["EmbeddingStore", "EmbeddingStoreCallback", "TopKRecommender", "TopKResult"]

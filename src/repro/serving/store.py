@@ -1,0 +1,126 @@
+"""The :class:`EmbeddingStore`: cached scoring state for online serving.
+
+Graph recommenders amortize inference by propagating embeddings once and
+then answering every request with cheap matrix products over the cached
+result (``model.prepare_for_evaluation`` / ``model.score_batch``).  The
+store makes that lifecycle explicit and safe:
+
+* :meth:`EmbeddingStore.refresh` runs the model's propagation once and
+  bumps a monotonically increasing ``version``;
+* :meth:`EmbeddingStore.invalidate` drops the cached state after the
+  model's parameters change (a training step), so the next request
+  re-propagates instead of serving stale scores;
+* :meth:`EmbeddingStore.callback` returns a training callback that wires
+  invalidation into the :class:`~repro.training.trainer.Trainer` loop and
+  refreshes once when training ends.
+
+Score requests (:meth:`scores` / :meth:`score_all_items`) transparently
+refresh a stale store, so callers never observe pre-training embeddings.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from ..models.base import RecommenderModel
+from ..training.callbacks import Callback
+
+__all__ = ["EmbeddingStore", "EmbeddingStoreCallback"]
+
+
+class EmbeddingStore:
+    """Owns the propagate-once / serve-many lifecycle of one model."""
+
+    def __init__(self, model: RecommenderModel, auto_refresh: bool = True) -> None:
+        self.model = model
+        self.auto_refresh = auto_refresh
+        #: Number of completed refreshes; bumps on every :meth:`refresh`.
+        self.version = 0
+        self._fresh = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_fresh(self) -> bool:
+        """Whether cached embeddings reflect the current parameters."""
+        return self._fresh
+
+    @contextlib.contextmanager
+    def _eval_mode(self):
+        """Score in eval mode, restoring the caller's train/eval state after."""
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            yield
+        finally:
+            if was_training:
+                self.model.train()
+
+    def refresh(self) -> int:
+        """Re-propagate the model's embeddings; returns the new version."""
+        with self._eval_mode():
+            self.model.prepare_for_evaluation()
+        self._fresh = True
+        self.version += 1
+        return self.version
+
+    def invalidate(self) -> None:
+        """Drop cached embeddings (call after every parameter update)."""
+        self.model.invalidate_cache()
+        self._fresh = False
+
+    def _ensure_fresh(self) -> None:
+        if self._fresh:
+            return
+        if not self.auto_refresh:
+            raise RuntimeError(
+                "EmbeddingStore is stale and auto_refresh is disabled; call refresh()"
+            )
+        self.refresh()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def scores(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
+        """``(len(users), len(item_ids))`` score block from cached state."""
+        self._ensure_fresh()
+        with self._eval_mode():
+            return np.asarray(self.model.score_batch(users, item_ids), dtype=np.float64)
+
+    def score_all_items(self, users: np.ndarray) -> np.ndarray:
+        """Full-catalog score block for a batch of users."""
+        self._ensure_fresh()
+        with self._eval_mode():
+            return np.asarray(self.model.score_all_items(users), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Training integration
+    # ------------------------------------------------------------------
+    def callback(self, refresh_on_train_end: bool = True) -> "EmbeddingStoreCallback":
+        """A trainer callback keeping this store consistent during training."""
+        return EmbeddingStoreCallback(self, refresh_on_train_end=refresh_on_train_end)
+
+    def __repr__(self) -> str:
+        state = "fresh" if self._fresh else "stale"
+        return f"EmbeddingStore(model={self.model.name}, version={self.version}, {state})"
+
+
+class EmbeddingStoreCallback(Callback):
+    """Invalidates a store after every epoch; refreshes when training ends."""
+
+    def __init__(self, store: EmbeddingStore, refresh_on_train_end: bool = True) -> None:
+        self.store = store
+        self.refresh_on_train_end = refresh_on_train_end
+
+    def on_epoch_end(self, trainer, record) -> None:
+        self.store.invalidate()
+
+    def on_train_end(self, trainer, history) -> None:
+        # ``Trainer.restore_best`` may have swapped parameters after the last
+        # epoch, so the cache must be rebuilt regardless of epoch hooks.
+        self.store.invalidate()
+        if self.refresh_on_train_end:
+            self.store.refresh()

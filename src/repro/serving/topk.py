@@ -1,0 +1,131 @@
+"""Top-K recommendation serving over an :class:`EmbeddingStore`.
+
+The online scenario GBGCN feeds (PAPER.md, Eq. 9) is "which items should
+this initiator launch a group for next?".  :class:`TopKRecommender` answers
+it for whole batches of users at once:
+
+* one :meth:`EmbeddingStore.score_all_items` call produces the
+  ``(users, items)`` score block from cached propagated embeddings;
+* observed items are masked per user through a sparse row slice, so a
+  user is never recommended a deal they already bought into;
+* ``np.argpartition`` selects the top ``k`` in O(items) per user instead
+  of a full O(items log items) argsort, and only the ``k`` winners are
+  sorted for presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..data.dataset import GroupBuyingDataset, observed_item_matrix
+from .store import EmbeddingStore
+
+__all__ = ["TopKResult", "TopKRecommender"]
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """Aligned per-user recommendation lists.
+
+    ``items[i, j]`` is the j-th best item for ``users[i]``; padded with -1
+    (and ``-inf`` score) when fewer than ``k`` items are recommendable.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+    scores: np.ndarray
+
+    def for_user(self, user: int) -> np.ndarray:
+        """Recommended items of one user (padding stripped)."""
+        row = np.flatnonzero(self.users == user)
+        if row.size == 0:
+            raise KeyError(f"user {user} is not part of this result")
+        items = self.items[int(row[0])]
+        return items[items >= 0]
+
+
+class TopKRecommender:
+    """Batched top-``k`` item recommendation with observed-item exclusion."""
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        k: int = 10,
+        exclude_observed: bool = True,
+        dataset: Optional[GroupBuyingDataset] = None,
+        batch_size: int = 256,
+    ) -> None:
+        """``dataset`` supplies the observed interactions to exclude; it is
+        required when ``exclude_observed`` is set.  ``batch_size`` bounds the
+        dense ``(users, items)`` score block held in memory at once."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if exclude_observed and dataset is None:
+            raise ValueError("exclude_observed=True requires a dataset")
+        self.store = store
+        self.k = k
+        self.batch_size = batch_size
+        self.exclude_observed = exclude_observed
+        self._observed_matrix: Optional[sp.csr_matrix] = None
+        if exclude_observed:
+            self._observed_matrix = observed_item_matrix(
+                dataset.user_item_set(include_participants=True),
+                dataset.num_users,
+                dataset.num_items,
+            )
+
+    def recommend(self, users: np.ndarray, k: Optional[int] = None) -> TopKResult:
+        """Top-``k`` items for every user in ``users``.
+
+        Users are scored in ``batch_size`` blocks so only one dense
+        ``(batch_size, items)`` score matrix is alive at a time; each block
+        keeps just its ``k`` winners.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        k = self.k if k is None else k
+        if k < 1:
+            raise ValueError("k must be positive")
+        k = min(k, self.store.model.num_items)
+        item_blocks = []
+        score_blocks = []
+        for start in range(0, users.size, self.batch_size):
+            block = users[start : start + self.batch_size]
+            top_items, top_scores = self._top_k_block(block, k)
+            item_blocks.append(top_items)
+            score_blocks.append(top_scores)
+        if not item_blocks:
+            empty = np.zeros((0, k), dtype=np.int64)
+            return TopKResult(users=users, items=empty, scores=empty.astype(np.float64))
+        return TopKResult(
+            users=users, items=np.vstack(item_blocks), scores=np.vstack(score_blocks)
+        )
+
+    def _top_k_block(self, users: np.ndarray, k: int) -> tuple:
+        scores = self.store.score_all_items(users)
+        if self._observed_matrix is not None:
+            observed = self._observed_matrix[users].toarray()
+            scores = np.where(observed, -np.inf, scores)
+
+        # Partial selection of the k best columns per row, then an exact
+        # sort of just those k.
+        top_unordered = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+        row_index = np.arange(users.size)[:, None]
+        order = np.argsort(-scores[row_index, top_unordered], axis=1, kind="stable")
+        top_items = top_unordered[row_index, order]
+        top_scores = scores[row_index, top_items]
+
+        # Mask out -inf slots (users whose unobserved catalog is < k).
+        invalid = ~np.isfinite(top_scores)
+        top_items = np.where(invalid, -1, top_items)
+        return top_items, top_scores
+
+    def recommend_user(self, user: int, k: Optional[int] = None) -> np.ndarray:
+        """Convenience wrapper: recommended item IDs for a single user."""
+        result = self.recommend(np.asarray([user], dtype=np.int64), k=k)
+        return result.for_user(user)

@@ -104,7 +104,7 @@ class InteractionBatchIterator:
             chunk = pairs[order[start : start + self.batch_size]]
             users = chunk[:, 0]
             positives = chunk[:, 1]
-            negatives = np.array([self.sampler.sample(int(u), 1)[0] for u in users], dtype=np.int64)
+            negatives = self.sampler.sample_batch(users, count=1)[:, 0]
             yield InteractionBatch(users=users, positive_items=positives, negative_items=negatives)
 
     def num_batches(self) -> int:
@@ -176,9 +176,7 @@ class GroupBuyingBatchIterator:
         initiators = np.asarray([b.initiator for b in behaviors], dtype=np.int64)
         items = np.asarray([b.item for b in behaviors], dtype=np.int64)
         success = np.asarray([b.is_successful for b in behaviors], dtype=bool)
-        negatives = np.array(
-            [self.sampler.sample(int(user), 1)[0] for user in initiators], dtype=np.int64
-        )
+        negatives = self.sampler.sample_batch(initiators, count=1)[:, 0]
 
         participants: List[int] = []
         participant_segment: List[int] = []

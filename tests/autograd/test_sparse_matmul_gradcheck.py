@@ -1,0 +1,159 @@
+"""Gradient checks for ``sparse_matmul`` (CSR transpose-backward) and
+property tests for ``_unbroadcast``, on random shapes.
+
+``sparse_matmul`` backpropagates through the dense operand with
+``csr.T @ grad``; :func:`repro.autograd.gradcheck.check_gradients` verifies
+that analytic rule against central finite differences for a spread of
+random shapes, densities and sparse formats.  ``_unbroadcast`` is the
+gradient-reduction helper every broadcasting op relies on; its defining
+property is that it sums the upstream gradient over exactly the broadcast
+axes.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, check_gradients, sparse_matmul
+from repro.autograd.gradcheck import GradientCheckError
+from repro.autograd.tensor import _unbroadcast
+
+
+class TestSparseMatmulGradcheck:
+    @pytest.mark.parametrize(
+        "rows,cols,features,density,seed",
+        [
+            (5, 4, 3, 0.5, 0),
+            (8, 8, 1, 0.25, 1),
+            (3, 11, 6, 0.7, 2),
+            (12, 2, 4, 0.9, 3),
+            (6, 7, 5, 0.1, 4),
+        ],
+    )
+    def test_dense_gradient_matches_finite_differences(self, rows, cols, features, density, seed):
+        rng = np.random.default_rng(seed)
+        matrix = sp.random(rows, cols, density=density, random_state=seed, format="csr")
+        dense = Tensor(rng.normal(size=(cols, features)), requires_grad=True)
+        weights = rng.normal(size=(rows, features))
+
+        def loss():
+            return (sparse_matmul(matrix, dense) * weights).sum()
+
+        check_gradients(loss, {"dense": dense})
+
+    def test_transpose_backward_formula(self):
+        # The analytic backward is grad_dense = csr.T @ grad_out; check it
+        # explicitly against the dense computation.
+        rng = np.random.default_rng(7)
+        matrix = sp.random(6, 5, density=0.4, random_state=7, format="csr")
+        dense = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+        upstream = rng.normal(size=(6, 3))
+
+        out = sparse_matmul(matrix, dense)
+        out.backward(upstream)
+        expected = matrix.toarray().T @ upstream
+        np.testing.assert_allclose(dense.grad, expected, rtol=1e-12, atol=1e-12)
+
+    def test_gradient_matches_dense_matmul_gradient(self):
+        rng = np.random.default_rng(11)
+        matrix = sp.random(9, 6, density=0.3, random_state=11, format="csr")
+        data = rng.normal(size=(6, 4))
+        upstream = rng.normal(size=(9, 4))
+
+        sparse_operand = Tensor(data.copy(), requires_grad=True)
+        sparse_matmul(matrix, sparse_operand).backward(upstream)
+
+        dense_operand = Tensor(data.copy(), requires_grad=True)
+        (Tensor(matrix.toarray()) @ dense_operand).backward(upstream)
+
+        np.testing.assert_allclose(sparse_operand.grad, dense_operand.grad, rtol=1e-12, atol=1e-12)
+
+    def test_accepts_non_csr_sparse_formats(self):
+        rng = np.random.default_rng(5)
+        matrix = sp.random(4, 3, density=0.6, random_state=5, format="coo")
+        dense = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+
+        def loss():
+            return sparse_matmul(matrix, dense).sum()
+
+        check_gradients(loss, {"dense": dense})
+
+    def test_rejects_dense_left_operand(self):
+        with pytest.raises(TypeError):
+            sparse_matmul(np.eye(3), Tensor(np.ones((3, 2))))
+
+    def test_gradcheck_catches_wrong_gradient(self):
+        # Sanity check that the checker itself has teeth: a deliberately
+        # broken backward must be flagged.
+        rng = np.random.default_rng(9)
+        matrix = sp.random(4, 4, density=0.5, random_state=9, format="csr")
+        dense = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+
+        def broken():
+            out = sparse_matmul(matrix, dense)
+            wrong = Tensor._make(
+                out.data.copy(), (dense,), lambda grad: dense._accumulate(2.0 * (matrix.T @ grad))
+            )
+            return wrong.sum()
+
+        with pytest.raises(GradientCheckError):
+            check_gradients(broken, {"dense": dense})
+
+
+class TestUnbroadcast:
+    @pytest.mark.parametrize(
+        "source_shape,broadcast_shape",
+        [
+            ((1,), (5,)),
+            ((3,), (2, 3)),
+            ((1, 4), (3, 4)),
+            ((2, 1), (2, 6)),
+            ((1, 1), (4, 5)),
+            ((2, 3), (2, 3)),
+            ((1, 3, 1), (2, 3, 4)),
+            ((4, 1, 2), (3, 4, 5, 2)),
+        ],
+    )
+    def test_sums_over_broadcast_axes(self, source_shape, broadcast_shape):
+        rng = np.random.default_rng(int(np.prod(broadcast_shape)))
+        grad = rng.normal(size=broadcast_shape)
+        reduced = _unbroadcast(grad, source_shape)
+        assert reduced.shape == source_shape
+
+        # Reference: sum grad over the axes numpy broadcasting expanded.
+        expected = grad
+        extra = expected.ndim - len(source_shape)
+        if extra:
+            expected = expected.sum(axis=tuple(range(extra)))
+        for axis, size in enumerate(source_shape):
+            if size == 1 and expected.shape[axis] != 1:
+                expected = expected.sum(axis=axis, keepdims=True)
+        np.testing.assert_allclose(reduced, expected.reshape(source_shape))
+
+    def test_identity_when_shapes_match(self):
+        grad = np.arange(12.0).reshape(3, 4)
+        assert _unbroadcast(grad, (3, 4)) is grad
+
+    def test_total_mass_preserved(self):
+        # Summing over broadcast axes must preserve the total gradient mass.
+        rng = np.random.default_rng(0)
+        grad = rng.normal(size=(4, 3, 5))
+        reduced = _unbroadcast(grad, (3, 1))
+        assert reduced.shape == (3, 1)
+        assert np.isclose(reduced.sum(), grad.sum())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_finite_differences_through_add(self, seed):
+        # End-to-end: a broadcast add uses _unbroadcast in its backward;
+        # gradcheck on random broadcastable shapes exercises it.
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(2, 5))
+        cols = int(rng.integers(2, 5))
+        left = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        right = Tensor(rng.normal(size=(1, cols)), requires_grad=True)
+        weights = rng.normal(size=(rows, cols))
+
+        def loss():
+            return ((left + right) * weights).sum()
+
+        check_gradients(loss, {"left": left, "right": right})

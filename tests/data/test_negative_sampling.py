@@ -36,6 +36,67 @@ class TestTrainingSampler:
         sampler = TrainingNegativeSampler(tiny_dataset, seed=0)
         assert sampler.observed_items(0) == {0, 1, 2}
 
+    def test_batch_negatives_not_observed(self, small_dataset):
+        sampler = TrainingNegativeSampler(small_dataset, seed=0)
+        interactions = small_dataset.user_item_set()
+        users = [b.initiator for b in small_dataset.behaviors]
+        negatives = sampler.sample_batch(users, count=3)
+        assert negatives.shape == (len(users), 3)
+        for user, row in zip(users, negatives):
+            assert not set(row.tolist()) & interactions.get(user, set())
+
+    def test_batch_seeded_determinism(self, small_dataset):
+        users = [b.initiator for b in small_dataset.behaviors[:16]]
+        a = TrainingNegativeSampler(small_dataset, seed=7).sample_batch(users, count=2)
+        b = TrainingNegativeSampler(small_dataset, seed=7).sample_batch(users, count=2)
+        assert np.array_equal(a, b)
+
+    def test_batch_empty_users(self, small_dataset):
+        sampler = TrainingNegativeSampler(small_dataset, seed=0)
+        assert sampler.sample_batch([], count=4).shape == (0, 4)
+
+    def test_batch_exhausted_user_raises(self, tiny_dataset):
+        sampler = TrainingNegativeSampler(tiny_dataset, num_items=2, seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample_batch([0, 3], count=1)
+
+    def test_batch_with_larger_item_universe(self, small_dataset):
+        # A num_items override above the dataset's catalog must not break
+        # the vectorized membership lookup.
+        sampler = TrainingNegativeSampler(small_dataset, num_items=small_dataset.num_items + 10, seed=0)
+        users = [b.initiator for b in small_dataset.behaviors[:8]]
+        negatives = sampler.sample_batch(users, count=2)
+        assert negatives.shape == (8, 2)
+        assert negatives.max() < small_dataset.num_items + 10
+        interactions = small_dataset.user_item_set()
+        for user, row in zip(users, negatives):
+            assert not set(row.tolist()) & interactions.get(user, set())
+
+    def test_sample_and_batch_agree_on_exhaustion(self, tiny_dataset):
+        # Both paths use the clipped criterion: items outside the declared
+        # universe do not count towards exhaustion.
+        sampler = TrainingNegativeSampler(tiny_dataset, num_items=2, seed=0)
+        # User 3 observed {3, 0}; only item 0 lies inside the universe.
+        single = sampler.sample(3, count=3)
+        batch = sampler.sample_batch([3], count=3)
+        assert set(single.tolist()) == {1}
+        assert set(batch.ravel().tolist()) == {1}
+
+    def test_batch_unknown_users_sample_freely(self, small_dataset):
+        # Out-of-universe user ids behave like sample(): no observed items.
+        sampler = TrainingNegativeSampler(small_dataset, seed=0)
+        negatives = sampler.sample_batch([-5, small_dataset.num_users, small_dataset.num_users + 3], count=2)
+        assert negatives.shape == (3, 2)
+        assert (negatives >= 0).all() and (negatives < small_dataset.num_items).all()
+
+    def test_batch_repeated_users(self, small_dataset):
+        sampler = TrainingNegativeSampler(small_dataset, seed=0)
+        user = small_dataset.behaviors[0].initiator
+        negatives = sampler.sample_batch([user] * 10, count=2)
+        observed = small_dataset.user_item_set().get(user, set())
+        assert negatives.shape == (10, 2)
+        assert not set(negatives.ravel().tolist()) & observed
+
 
 class TestEvaluationSampler:
     def test_positive_first_and_excluded_from_negatives(self, small_dataset):

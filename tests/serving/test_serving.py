@@ -1,0 +1,176 @@
+"""Serving layer: EmbeddingStore lifecycle and TopKRecommender correctness."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.optim import Adam
+from repro.serving import EmbeddingStore, TopKRecommender
+from repro.training import Trainer, build_batch_iterator
+
+
+@pytest.fixture()
+def gbgcn(small_split):
+    return build_model("GBGCN", small_split.train, rng=np.random.default_rng(0))
+
+
+@pytest.fixture()
+def store(gbgcn):
+    return EmbeddingStore(gbgcn)
+
+
+class TestEmbeddingStore:
+    def test_starts_stale_and_refresh_bumps_version(self, store):
+        assert not store.is_fresh
+        assert store.version == 0
+        assert store.refresh() == 1
+        assert store.is_fresh
+        assert store.version == 1
+
+    def test_scores_auto_refresh(self, small_split, store):
+        users = np.asarray([0, 1], dtype=np.int64)
+        block = store.score_all_items(users)
+        assert store.is_fresh
+        assert block.shape == (2, small_split.train.num_items)
+
+    def test_scores_subset(self, store):
+        block = store.scores(np.asarray([2]), np.asarray([0, 3, 1]))
+        assert block.shape == (1, 3)
+
+    def test_invalidate_marks_stale(self, store):
+        store.refresh()
+        store.invalidate()
+        assert not store.is_fresh
+        assert store.model._eval_cache is None
+
+    def test_stale_without_auto_refresh_raises(self, gbgcn):
+        store = EmbeddingStore(gbgcn, auto_refresh=False)
+        with pytest.raises(RuntimeError):
+            store.score_all_items(np.asarray([0]))
+
+    def test_training_step_invalidates_via_callback(self, small_split, gbgcn):
+        store = EmbeddingStore(gbgcn)
+        store.refresh()
+        before = store.score_all_items(np.asarray([0]))
+
+        iterator = build_batch_iterator(gbgcn, small_split.train, batch_size=64, seed=0)
+        trainer = Trainer(
+            gbgcn,
+            Adam(gbgcn.parameters(), lr=0.05),
+            iterator,
+            callbacks=[store.callback()],
+        )
+        trainer.fit(num_epochs=1)
+
+        # The callback refreshed after training: serving state reflects the
+        # updated parameters, not the pre-training cache.
+        assert store.is_fresh
+        assert store.version >= 2
+        after = store.score_all_items(np.asarray([0]))
+        assert not np.allclose(before, after)
+
+    def test_serving_runs_in_eval_mode_and_restores_state(self, gbgcn):
+        store = EmbeddingStore(gbgcn)
+        # A caller in train mode gets train mode back ...
+        gbgcn.train()
+        store.score_all_items(np.asarray([0]))
+        assert gbgcn.training
+        # ... and a caller in eval mode is not clobbered back to train.
+        gbgcn.eval()
+        store.refresh()
+        store.score_all_items(np.asarray([0]))
+        assert not gbgcn.training
+        gbgcn.train()
+
+    def test_epoch_end_hook_invalidates(self, store):
+        store.refresh()
+        callback = store.callback(refresh_on_train_end=False)
+        callback.on_epoch_end(trainer=None, record=None)
+        assert not store.is_fresh
+        callback.on_train_end(trainer=None, history=None)
+        assert not store.is_fresh  # refresh_on_train_end=False leaves it stale
+
+
+class TestTopKRecommender:
+    def test_requires_dataset_for_exclusion(self, store):
+        with pytest.raises(ValueError):
+            TopKRecommender(store, k=5)
+
+    def test_invalid_k(self, small_split, store):
+        with pytest.raises(ValueError):
+            TopKRecommender(store, k=0, dataset=small_split.full)
+
+    def test_agrees_with_full_argsort(self, small_split, store):
+        k = 7
+        recommender = TopKRecommender(store, k=k, exclude_observed=False)
+        users = np.asarray(sorted(small_split.test), dtype=np.int64)[:12]
+        result = recommender.recommend(users)
+        assert result.items.shape == (users.size, k)
+
+        scores = store.score_all_items(users)
+        for row in range(users.size):
+            full_order = np.argsort(-scores[row], kind="stable")[:k]
+            # Set equality on the chosen items plus exact score ordering
+            # (argpartition may tie-break differently than argsort).
+            assert set(result.items[row].tolist()) == set(full_order.tolist()) or np.allclose(
+                scores[row][result.items[row]], scores[row][full_order]
+            )
+            assert (np.diff(result.scores[row]) <= 1e-12).all()
+
+    def test_observed_items_excluded(self, small_split, store):
+        recommender = TopKRecommender(store, k=10, dataset=small_split.full)
+        observed = small_split.full.user_item_set(include_participants=True)
+        users = np.asarray([user for user in sorted(observed) if observed[user]][:8], dtype=np.int64)
+        result = recommender.recommend(users)
+        for row, user in enumerate(users):
+            recommended = set(int(i) for i in result.items[row] if i >= 0)
+            assert not recommended & observed[int(user)]
+
+    def test_k_larger_than_catalog_pads(self, small_split, store):
+        num_items = small_split.full.num_items
+        recommender = TopKRecommender(store, k=num_items + 5, exclude_observed=False)
+        result = recommender.recommend(np.asarray([0], dtype=np.int64))
+        assert result.items.shape[1] <= num_items
+
+    def test_recommend_user_convenience(self, small_split, store):
+        recommender = TopKRecommender(store, k=5, dataset=small_split.full)
+        items = recommender.recommend_user(0)
+        assert items.ndim == 1
+        assert 0 < items.size <= 5
+
+    def test_for_user_unknown_raises(self, small_split, store):
+        recommender = TopKRecommender(store, k=3, exclude_observed=False)
+        result = recommender.recommend(np.asarray([1], dtype=np.int64))
+        with pytest.raises(KeyError):
+            result.for_user(999)
+
+    def test_chunked_recommendation_matches_single_block(self, small_split, store):
+        users = np.asarray(sorted(small_split.test), dtype=np.int64)[:10]
+        chunked = TopKRecommender(
+            store, k=5, dataset=small_split.full, batch_size=3
+        ).recommend(users)
+        single = TopKRecommender(
+            store, k=5, dataset=small_split.full, batch_size=1024
+        ).recommend(users)
+        assert np.array_equal(chunked.items, single.items)
+        np.testing.assert_allclose(chunked.scores, single.scores)
+
+    def test_invalid_batch_size(self, small_split, store):
+        with pytest.raises(ValueError):
+            TopKRecommender(store, k=3, dataset=small_split.full, batch_size=0)
+
+    def test_empty_user_batch(self, small_split, store):
+        recommender = TopKRecommender(store, k=4, dataset=small_split.full)
+        result = recommender.recommend(np.zeros(0, dtype=np.int64))
+        assert result.items.shape == (0, 4)
+        assert result.scores.shape == (0, 4)
+
+    def test_works_for_every_registry_model(self, small_split):
+        # The serving layer is model-agnostic: spot-check a pure-CF, a
+        # social, and a group model beyond GBGCN.
+        for name in ("MF", "DiffNet", "SIGR"):
+            model = build_model(name, small_split.train, rng=np.random.default_rng(1))
+            store = EmbeddingStore(model)
+            recommender = TopKRecommender(store, k=4, dataset=small_split.full)
+            result = recommender.recommend(np.asarray([0, 1, 2], dtype=np.int64))
+            assert result.items.shape == (3, 4)
