@@ -1,0 +1,78 @@
+"""Artifact I/O timing smoke test (save/load of a serving-scale GBGCN).
+
+Marked ``slow`` and skipped by default (set ``REPRO_RUN_SLOW=1`` to run).
+Times the full persistence round trip at the 2000-user scale the serving
+benchmarks use — ``save_model`` (state snapshot + atomic npz write) and
+``load_model`` (header parse, fingerprint check, registry rebuild, weight
+restore) — and records both in the BENCH output.  The asserted ceilings
+are generous (an artifact round trip must stay interactive, not win races)
+so the test only fails on a real regression.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import GroupBuyingDataset, leave_one_out_split
+from repro.data.schema import GroupBuyingBehavior, SocialEdge
+from repro.models import ModelSettings, build_model
+from repro.persist import load_model, read_header, save_model
+
+pytestmark = [pytest.mark.slow, pytest.mark.persist]
+
+
+def _serving_scale_split(num_users=2000, num_items=1500, num_behaviors=10000, seed=11):
+    """A quick-to-build random group-buying dataset at serving scale."""
+    rng = np.random.default_rng(seed)
+    initiators = rng.integers(0, num_users, size=num_behaviors)
+    items = rng.integers(0, num_items, size=num_behaviors)
+    behaviors = []
+    for m, n in zip(initiators, items):
+        num_participants = int(rng.integers(0, 3))
+        participants = tuple(
+            int(p) for p in rng.integers(0, num_users, size=num_participants) if p != m
+        )
+        behaviors.append(
+            GroupBuyingBehavior(initiator=int(m), item=int(n), participants=participants, threshold=1)
+        )
+    edges = [
+        SocialEdge(int(a), int(b))
+        for a, b in rng.integers(0, num_users, size=(3 * num_users, 2))
+        if a != b
+    ]
+    dataset = GroupBuyingDataset(num_users, num_items, behaviors, edges, name="artifact-bench")
+    return leave_one_out_split(dataset, seed=1)
+
+
+def test_gbgcn_artifact_save_load_timing(tmp_path):
+    split = _serving_scale_split()
+    model = build_model("GBGCN", split.train, ModelSettings(embedding_dim=16))
+    model.eval()
+    users = np.arange(64, dtype=np.int64)
+    expected = model.score_all_items(users)
+    path = tmp_path / "gbgcn-2000u.npz"
+
+    started = time.perf_counter()
+    save_model(model, path)
+    save_seconds = time.perf_counter() - started
+    size_mb = path.stat().st_size / (1024 * 1024)
+
+    started = time.perf_counter()
+    header = read_header(path)
+    header_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    loaded = load_model(path, split.train)
+    load_seconds = time.perf_counter() - started
+
+    assert loaded.score_all_items(users).tobytes() == expected.tobytes()
+    assert header.model_name == "GBGCN"
+    print(
+        f"\nBENCH artifact-io GBGCN 2000ux1500i dim=16: "
+        f"save={save_seconds * 1000:.1f} ms  header-read={header_seconds * 1000:.1f} ms  "
+        f"load={load_seconds * 1000:.1f} ms  size={size_mb:.2f} MiB"
+    )
+    # Regression guards, far above typical measurements.
+    assert save_seconds < 10.0
+    assert load_seconds < 30.0

@@ -14,6 +14,8 @@ The package is organized bottom-up:
   leave-one-out evaluation protocol;
 * :mod:`repro.serving` — the online serving layer (cached batch scoring
   and top-K recommendation);
+* :mod:`repro.persist` — versioned model artifacts (train once, serve
+  anywhere: save/load any registry model with bitwise score parity);
 * :mod:`repro.analysis`, :mod:`repro.experiments` — embedding analyses and
   the scripts regenerating every table and figure.
 
@@ -31,7 +33,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import autograd, data, eval, graph, models, nn, optim, serving, training, utils
+from . import autograd, data, eval, graph, models, nn, optim, persist, serving, training, utils
 from .core import GBGCN, GBGCNConfig
 from .data import BeibeiLikeConfig, GroupBuyingDataset, generate_dataset, leave_one_out_split
 from .eval import LeaveOneOutEvaluator
@@ -47,6 +49,7 @@ __all__ = [
     "models",
     "nn",
     "optim",
+    "persist",
     "training",
     "serving",
     "utils",

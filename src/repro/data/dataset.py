@@ -60,6 +60,9 @@ class GroupBuyingDataset:
         self._validate()
         self._friends_cache: Optional[List[np.ndarray]] = None
         self._social_matrix_cache: Optional[sp.csr_matrix] = None
+        #: Filled lazily by :func:`repro.persist.fingerprint.dataset_fingerprint`;
+        #: safe to cache because behaviors/edges are immutable tuples.
+        self._fingerprint_cache: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Validation and construction helpers

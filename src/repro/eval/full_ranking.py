@@ -136,12 +136,12 @@ class FullRankingEvaluator:
                 # The positive itself is always ranked, even when observed.
                 excluded[block_rows, block_positives] = False
                 valid = ~excluded
+                better = ((scores > positive_scores[:, None]) & valid).sum(axis=1)
+                # The positive compares equal to itself, hence the -1.
+                ties = ((scores == positive_scores[:, None]) & valid).sum(axis=1) - 1
             else:
-                valid = np.ones_like(scores, dtype=bool)
-
-            better = ((scores > positive_scores[:, None]) & valid).sum(axis=1)
-            # The positive compares equal to itself, hence the -1.
-            ties = ((scores == positive_scores[:, None]) & valid).sum(axis=1) - 1
+                better = (scores > positive_scores[:, None]).sum(axis=1)
+                ties = (scores == positive_scores[:, None]).sum(axis=1) - 1
             accumulator.extend((better + ties).tolist())
 
         model.train()

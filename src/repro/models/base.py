@@ -14,20 +14,29 @@ The trainer and the evaluator only rely on this interface:
   matrix-matrix product over their cached propagated embeddings;
 * ``prepare_for_evaluation`` / ``invalidate_cache`` — hooks that let graph
   models propagate embeddings once per evaluation pass instead of once per
-  scored user.
+  scored user;
+* ``state_dict`` / ``load_state_dict`` — the full serialization contract
+  used by the artifact layer (:mod:`repro.persist`): trainable parameters
+  plus any non-parameter state a model scores with (``extra_state`` /
+  ``load_extra_state`` overrides, e.g. ItemKNN's similarity matrix), keyed
+  so one flat ``{name: array}`` dict round-trips the whole model.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 import numpy as np
 
 from ..autograd import Tensor
 from ..nn import Module, l2_regularization
 
-__all__ = ["DataMode", "RecommenderModel"]
+__all__ = ["DataMode", "RecommenderModel", "EXTRA_STATE_PREFIX"]
+
+#: Key prefix separating non-parameter state (ItemKNN similarity matrices,
+#: ItemPop counts, ...) from trainable parameters inside ``state_dict``.
+EXTRA_STATE_PREFIX = "__extra__/"
 
 
 class DataMode(str, enum.Enum):
@@ -90,6 +99,8 @@ class RecommenderModel(Module):
         ``i`` holds the scores of ``item_ids`` for ``users[i]``.  The base
         implementation loops over ``rank_scores`` so any model is batchable;
         embedding-based models override it with a single matrix product.
+        The result may be a read-only view (e.g. ItemPop broadcasts one
+        popularity row across users) — copy before mutating in place.
         """
         users = np.asarray(users, dtype=np.int64)
         item_ids = np.asarray(item_ids, dtype=np.int64)
@@ -102,6 +113,99 @@ class RecommenderModel(Module):
     def score_all_items(self, users: np.ndarray) -> np.ndarray:
         """Scores of every item in the catalog for a block of users."""
         return self.score_batch(users, np.arange(self.num_items, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Serialization contract (used by repro.persist)
+    # ------------------------------------------------------------------
+    #: Registry identity attached by ``build_model`` so ``save_model`` can
+    #: write a self-describing artifact without extra arguments.  The dataset
+    #: is kept by reference; its schema fingerprint is hashed lazily at save
+    #: time (and cached on the dataset), so building models costs nothing.
+    _registry_name: Optional[str] = None
+    _registry_settings: Optional[Any] = None
+    _artifact_dataset: Optional[Any] = None
+
+    def bind_artifact_metadata(self, registry_name: str, settings: Any, dataset: Any) -> None:
+        """Record how this model was built (registry name, settings, dataset)."""
+        self._registry_name = registry_name
+        self._registry_settings = settings
+        self._artifact_dataset = dataset
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Non-parameter arrays the model scores with (override per model).
+
+        Models whose state lives outside :class:`~repro.nn.module.Parameter`
+        (ItemKNN's similarity matrix, ItemPop's popularity counts) return it
+        here as a flat ``{key: ndarray}`` dict; the base class merges it
+        into ``state_dict`` under :data:`EXTRA_STATE_PREFIX` keys.
+        """
+        return {}
+
+    def extra_state_keys(self):
+        """The keys :meth:`extra_state` would return.
+
+        Overridden alongside ``extra_state`` when computing the arrays is
+        expensive (ItemKNN's lazy similarity fit), so strict key validation
+        during ``load_state_dict`` stays cheap.
+        """
+        return set(self.extra_state())
+
+    def load_extra_state(self, extra: Dict[str, np.ndarray]) -> None:
+        """Restore arrays produced by :meth:`extra_state` (override per model).
+
+        Overrides must validate every array into temporaries and assign only
+        after everything checks out, so a failed load never leaves the model
+        half-mutated.
+        """
+        if extra:
+            raise KeyError(f"{self.name} has no extra state, got keys {sorted(extra)}")
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = super().state_dict()
+        for key, value in self.extra_state().items():
+            state[EXTRA_STATE_PREFIX + key] = np.array(value, copy=True, order="C")
+        return state
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """The full state without snapshot copies, keyed like :meth:`state_dict`.
+
+        Used by the artifact writer, which normalizes layout itself and only
+        reads the arrays for the duration of one ``np.savez`` call; anyone
+        holding the result longer must treat it as read-only or snapshot
+        with :meth:`state_dict`.
+        """
+        state = {name: parameter.data for name, parameter in self.named_parameters()}
+        for key, value in self.extra_state().items():
+            state[EXTRA_STATE_PREFIX + key] = value
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        parameters = {k: v for k, v in state.items() if not k.startswith(EXTRA_STATE_PREFIX)}
+        extra = {
+            k[len(EXTRA_STATE_PREFIX):]: v for k, v in state.items() if k.startswith(EXTRA_STATE_PREFIX)
+        }
+        expected = self.extra_state_keys()
+        if strict:
+            missing = expected - set(extra)
+            unexpected = set(extra) - expected
+            if missing or unexpected:
+                raise KeyError(
+                    f"extra state mismatch for {self.name}: "
+                    f"missing={sorted(missing)} unexpected={sorted(unexpected)}"
+                )
+        # Transactional ordering: validate parameters (no commit), apply the
+        # extra state (which itself validates into temporaries before
+        # assigning), then commit the parameters — a failure at any point
+        # leaves the model exactly as it was.  Copies keep model state from
+        # aliasing the caller's arrays (mirroring the parameter path).  With
+        # strict=False a partial extra set is skipped entirely — like missing
+        # parameters, the current values are left in place.
+        converted = self._validated_state(parameters, strict=strict)
+        applicable = {k: np.array(v, copy=True) for k, v in extra.items() if k in expected}
+        if expected and expected.issubset(applicable):
+            self.load_extra_state(applicable)
+        self._assign_state(converted)
+        self.invalidate_cache()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -12,7 +12,7 @@ row but a memory-based reference point that needs no gradient training.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
@@ -94,9 +94,18 @@ class ItemKNN(RecommenderModel):
         self.top_k = top_k
         self.shrinkage = shrinkage
         self._interaction_matrix = interactions.matrix()
-        self._similarity = cosine_item_similarity(
-            self._interaction_matrix, top_k=top_k, shrinkage=shrinkage
-        )
+        # Fitted lazily on first use: an artifact load supplies the saved
+        # similarity matrix directly and must not pay for a full refit.
+        self._similarity: Optional[sp.csr_matrix] = None
+
+    @property
+    def similarity(self) -> sp.csr_matrix:
+        """The (lazily fitted) truncated item-item cosine similarity."""
+        if self._similarity is None:
+            self._similarity = cosine_item_similarity(
+                self._interaction_matrix, top_k=self.top_k, shrinkage=self.shrinkage
+            )
+        return self._similarity
 
     def batch_loss(self, batch: "InteractionBatch") -> Tensor:
         # Memory-based model: nothing to optimize.
@@ -108,7 +117,7 @@ class ItemKNN(RecommenderModel):
         if profile.nnz == 0:
             return np.zeros(item_ids.shape[0])
         # score(candidate) = sum_{j in profile} sim(j, candidate)
-        scores = profile @ self._similarity
+        scores = profile @ self.similarity
         return np.asarray(scores.todense()).ravel()[item_ids]
 
     def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
@@ -116,10 +125,68 @@ class ItemKNN(RecommenderModel):
         item_ids = np.asarray(item_ids, dtype=np.int64)
         profiles = self._interaction_matrix[users]
         if item_ids.size >= self.num_items:
-            return (profiles @ self._similarity).toarray()[:, item_ids]
+            dense = (profiles @ self.similarity).toarray()
+            if item_ids.size == self.num_items and np.array_equal(
+                item_ids, np.arange(self.num_items, dtype=np.int64)
+            ):
+                return dense  # full catalog in order: skip the column copy
+            return dense[:, item_ids]
         # Candidate subset: restrict the similarity columns before the
         # product instead of densifying the whole catalog.
-        return (profiles @ self._similarity[:, item_ids]).toarray()
+        return (profiles @ self.similarity[:, item_ids]).toarray()
+
+    # ------------------------------------------------------------------
+    # Serialization: the model's knowledge is its sparse matrices, not
+    # trainable parameters, so they travel in the artifact's extra state.
+    # ------------------------------------------------------------------
+    def extra_state_keys(self):
+        # Static, so checking which keys an artifact must carry never forces
+        # the lazy similarity fit on a model about to be overwritten.
+        return {
+            "interaction_matrix.data",
+            "interaction_matrix.indices",
+            "interaction_matrix.indptr",
+            "similarity.data",
+            "similarity.indices",
+            "similarity.indptr",
+        }
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        similarity = self.similarity
+        return {
+            "interaction_matrix.data": self._interaction_matrix.data,
+            "interaction_matrix.indices": self._interaction_matrix.indices,
+            "interaction_matrix.indptr": self._interaction_matrix.indptr,
+            "similarity.data": similarity.data,
+            "similarity.indices": similarity.indices,
+            "similarity.indptr": similarity.indptr,
+        }
+
+    def load_extra_state(self, extra: Dict[str, np.ndarray]) -> None:
+        def rebuild(prefix: str, shape) -> sp.csr_matrix:
+            for suffix in ("indices", "indptr"):
+                dtype = np.asarray(extra[f"{prefix}.{suffix}"]).dtype
+                if not np.issubdtype(dtype, np.integer):
+                    # scipy would silently truncate float indices to ints.
+                    raise ValueError(f"{prefix}.{suffix} must be integer-typed, got {dtype}")
+            try:
+                matrix = sp.csr_matrix(
+                    (extra[f"{prefix}.data"], extra[f"{prefix}.indices"], extra[f"{prefix}.indptr"]),
+                    shape=shape,
+                )
+                # The constructor does not bounds-check index arrays; a
+                # corrupted artifact must fail here, not score garbage.
+                matrix.check_format(full_check=True)
+                return matrix
+            except (ValueError, IndexError) as error:
+                raise ValueError(f"invalid {prefix} CSR components for shape {shape}: {error}") from error
+
+        # Rebuild (and bounds-check) both matrices before assigning either,
+        # so a corrupted artifact cannot leave the model in a mixed state.
+        interaction_matrix = rebuild("interaction_matrix", (self.num_users, self.num_items))
+        similarity = rebuild("similarity", (self.num_items, self.num_items))
+        self._interaction_matrix = interaction_matrix
+        self._similarity = similarity
 
     @property
     def name(self) -> str:

@@ -9,7 +9,7 @@ protocol.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -55,7 +55,22 @@ class ItemPopularity(RecommenderModel):
     def score_batch(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
         users = np.asarray(users, dtype=np.int64)
         row = self.scores[np.asarray(item_ids, dtype=np.int64)]
-        return np.tile(row, (users.size, 1))
+        # Read-only view: every row is the same array, with zero copies.
+        return np.broadcast_to(row, (users.size, row.size))
+
+    # ------------------------------------------------------------------
+    # Serialization: the popularity vector is the entire model.
+    # ------------------------------------------------------------------
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        return {"scores": self.scores}
+
+    def load_extra_state(self, extra: Dict[str, np.ndarray]) -> None:
+        scores = np.asarray(extra["scores"], dtype=np.float64)
+        if scores.shape != (self.num_items,):
+            raise ValueError(
+                f"popularity scores shape {scores.shape} does not match ({self.num_items},)"
+            )
+        self.scores = scores
 
     @property
     def name(self) -> str:

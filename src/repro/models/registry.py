@@ -8,6 +8,7 @@ benchmark harness and the examples can simply say
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -50,6 +51,19 @@ class ModelSettings:
     beta: float = 0.05
     social_weight: float = 0.1
     seed: int = 42
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (stored in model-artifact headers)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ModelSettings":
+        """Rebuild settings from :meth:`to_dict` output; rejects unknown keys."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown ModelSettings fields: {sorted(unknown)} (known: {sorted(known)})")
+        return cls(**payload)
 
     def gbgcn_config(self, **overrides) -> "GBGCNConfig":
         """The GBGCN configuration implied by these settings."""
@@ -110,8 +124,25 @@ def build_model(
     settings: Optional[ModelSettings] = None,
     rng: Optional[np.random.Generator] = None,
 ) -> RecommenderModel:
-    """Instantiate the model called ``name`` (a Table III row) on ``train_dataset``."""
+    """Instantiate the model called ``name`` (a Table III row) on ``train_dataset``.
+
+    The returned model carries its registry identity (name, settings and a
+    reference to the training dataset), so ``repro.persist.save_model`` can
+    write a self-describing artifact and ``load_model`` can rebuild the
+    model from that artifact via this same function.
+    """
     settings = settings or ModelSettings()
+    model = _construct_model(name, train_dataset, settings, rng)
+    model.bind_artifact_metadata(name, settings, train_dataset)
+    return model
+
+
+def _construct_model(
+    name: str,
+    train_dataset: GroupBuyingDataset,
+    settings: ModelSettings,
+    rng: Optional[np.random.Generator] = None,
+) -> RecommenderModel:
     rng = rng or np.random.default_rng(settings.seed)
     num_users, num_items = train_dataset.num_users, train_dataset.num_items
 

@@ -119,6 +119,16 @@ class Module:
         left at their current values, which is how the pre-trained raw
         embeddings are transferred into the full GBGCN model.
         """
+        converted = self._validated_state(state, strict=strict)
+        self._assign_state(converted)
+
+    def _validated_state(self, state: Dict[str, np.ndarray], strict: bool = True) -> Dict[str, np.ndarray]:
+        """Check keys and shapes, returning converted copies without assigning.
+
+        Splitting validation from assignment keeps :meth:`load_state_dict`
+        all-or-nothing: a bad entry can never leave the module with half of
+        its parameters loaded.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -126,17 +136,24 @@ class Module:
             raise KeyError(
                 f"state_dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
             )
+        converted = {}
         for name, value in state.items():
             if name not in own:
                 continue
-            parameter = own[name]
             value = np.asarray(value, dtype=np.float64)
-            if parameter.data.shape != value.shape:
+            if own[name].data.shape != value.shape:
                 raise ValueError(
                     f"shape mismatch for parameter '{name}': "
-                    f"{parameter.data.shape} vs {value.shape}"
+                    f"{own[name].data.shape} vs {value.shape}"
                 )
-            parameter.data = value.copy()
+            converted[name] = value.copy()
+        return converted
+
+    def _assign_state(self, converted: Dict[str, np.ndarray]) -> None:
+        """Commit arrays produced by :meth:`_validated_state` (cannot fail)."""
+        own = dict(self.named_parameters())
+        for name, value in converted.items():
+            own[name].data = value
 
     def num_parameters(self) -> int:
         """Total number of scalar trainable parameters."""

@@ -1,0 +1,58 @@
+"""Versioned model-artifact persistence: train once, serve anywhere.
+
+The artifact layer closes the train/serve gap: a model trained in one
+process is written to a single ``.npz`` file (JSON header + full parameter
+state + dataset-schema fingerprint) and reconstructed in another process —
+or machine — with :func:`load_model`, without retraining and with bitwise
+identical scores.
+
+Typical lifecycle::
+
+    model = build_model("GBGCN", split.train)      # carries its identity
+    train_model(model, split.train, evaluator)
+    save_model(model, "gbgcn.npz")                 # atomic, versioned
+
+    # ... later, in a fresh process ...
+    store = EmbeddingStore.from_artifact("gbgcn.npz", split.train)
+    TopKRecommender(store, k=10, dataset=split.full).recommend(users)
+
+Every failure mode (corrupted file, truncated header, wrong dataset,
+future format version) raises a typed :class:`ArtifactError` subclass.
+"""
+
+from .artifact import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    ArtifactHeader,
+    load_model,
+    load_state_into,
+    read_header,
+    read_state_dict,
+    save_model,
+)
+from .errors import (
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactVersionError,
+    ModelMismatchError,
+    SchemaMismatchError,
+)
+from .fingerprint import dataset_fingerprint, fingerprint_mismatch
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "ArtifactHeader",
+    "ArtifactError",
+    "ArtifactFormatError",
+    "ArtifactVersionError",
+    "ModelMismatchError",
+    "SchemaMismatchError",
+    "dataset_fingerprint",
+    "fingerprint_mismatch",
+    "save_model",
+    "load_model",
+    "load_state_into",
+    "read_header",
+    "read_state_dict",
+]

@@ -1,0 +1,441 @@
+"""Versioned model artifacts: save a trained model once, serve it anywhere.
+
+An artifact is a single ``.npz`` archive holding
+
+* ``__header__`` — a JSON document (stored as raw UTF-8 bytes) carrying the
+  format name and version, the registry model name, the
+  :class:`~repro.models.registry.ModelSettings` (and, for GBGCN variants,
+  the :class:`~repro.core.gbgcn.GBGCNConfig`) needed to rebuild the model,
+  and the dataset-schema fingerprint of the training dataset;
+* ``state/<key>`` — every array of the model's ``state_dict`` (trainable
+  parameters plus non-parameter state such as ItemKNN similarity matrices).
+
+:func:`save_model` writes atomically (temp file in the destination
+directory + ``os.replace`` after an fsync), so a crash mid-write can never
+clobber the previous artifact.  :func:`load_model` rebuilds the model from
+the header via the registry and restores the exact saved weights; schema
+mismatches and unknown format versions fail loudly with a typed
+:class:`~repro.persist.errors.ArtifactError` instead of producing garbage
+recommendations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
+
+import numpy as np
+
+from .errors import (
+    ArtifactError,
+    ArtifactFormatError,
+    ArtifactVersionError,
+    ModelMismatchError,
+    SchemaMismatchError,
+)
+from .fingerprint import dataset_fingerprint, fingerprint_mismatch
+
+if TYPE_CHECKING:
+    from ..data.dataset import GroupBuyingDataset
+    from ..models.base import RecommenderModel
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "ArtifactHeader",
+    "save_model",
+    "read_header",
+    "read_state_dict",
+    "load_model",
+    "load_state_into",
+]
+
+#: Identifies the file as one of ours (guards against loading arbitrary npz).
+FORMAT_NAME = "repro-model-artifact"
+#: Bumped whenever the on-disk layout changes incompatibly.  Readers accept
+#: versions ``<= FORMAT_VERSION`` (there is only one so far) and refuse
+#: anything newer with an :class:`ArtifactVersionError`.
+FORMAT_VERSION = 1
+
+_HEADER_KEY = "__header__"
+_STATE_PREFIX = "state/"
+
+
+@dataclass
+class ArtifactHeader:
+    """The JSON header of a model artifact."""
+
+    format_version: int
+    model_name: str
+    settings: Optional[Dict[str, Any]] = None
+    gbgcn_config: Optional[Dict[str, Any]] = None
+    schema: Optional[Dict[str, Any]] = None
+    state_keys: List[str] = dataclasses.field(default_factory=list)
+    library_version: str = ""
+
+    def to_json(self) -> str:
+        payload = dataclasses.asdict(self)
+        payload["format"] = FORMAT_NAME
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ArtifactHeader":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ArtifactFormatError(
+                f"artifact header is not valid JSON (truncated or corrupted write?): {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ArtifactFormatError(
+                f"artifact header must be a JSON object, got {type(payload).__name__}"
+            )
+        if payload.get("format") != FORMAT_NAME:
+            raise ArtifactFormatError(
+                f"file is not a {FORMAT_NAME!r} artifact (header format field: "
+                f"{payload.get('format')!r})"
+            )
+        version = payload.get("format_version")
+        if not isinstance(version, int):
+            raise ArtifactFormatError(f"artifact header has no integer format_version: {version!r}")
+        if version > FORMAT_VERSION:
+            raise ArtifactVersionError(
+                f"artifact has format version {version}, but this library reads at most "
+                f"{FORMAT_VERSION}; upgrade the library (or re-save the model) to load it"
+            )
+        if "model_name" not in payload or not isinstance(payload["model_name"], str):
+            raise ArtifactFormatError("artifact header is missing its model_name")
+        state_keys = payload.get("state_keys", [])
+        if not isinstance(state_keys, list) or not all(isinstance(key, str) for key in state_keys):
+            raise ArtifactFormatError(
+                f"artifact header state_keys must be a list of strings, got {state_keys!r}"
+            )
+        for field_name in ("settings", "gbgcn_config", "schema"):
+            value = payload.get(field_name)
+            if value is not None and not isinstance(value, dict):
+                raise ArtifactFormatError(
+                    f"artifact header {field_name} must be a JSON object or null, got {value!r}"
+                )
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+
+def _sweep_stale_tmp(path: Path, max_age_seconds: float = 3600.0) -> None:
+    """Best-effort removal of temp orphans left by hard crashes (SIGKILL).
+
+    Only files old enough that no live writer can still own them are
+    removed, so concurrent savers never delete each other's work.
+    """
+    for orphan in path.parent.glob(f".{path.name}.tmp-*"):
+        try:
+            if time.time() - orphan.stat().st_mtime > max_age_seconds:
+                orphan.unlink()
+        except OSError:
+            pass
+
+
+def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    """Write ``arrays`` as an npz at ``path`` via temp file + ``os.replace``.
+
+    The temp name is unique per call, so concurrent saves to the same path
+    are last-writer-wins instead of interleaving bytes.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_tmp(path)
+    # O_EXCL guarantees uniqueness against concurrent savers; mode 0o666 is
+    # filtered by the caller's umask at call time, exactly like plain open().
+    tmp = None
+    for attempt in range(1000):
+        candidate = path.with_name(f".{path.name}.tmp-{os.getpid()}-{attempt}")
+        try:
+            descriptor = os.open(candidate, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
+            tmp = candidate
+            break
+        except FileExistsError:
+            continue
+    if tmp is None:
+        raise ArtifactError(f"could not create a unique temp file next to {path}")
+    replaced = False
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        replaced = True
+    finally:
+        # Clean up only our own failed write: after a successful replace the
+        # name may already belong to a concurrent writer's fresh temp file.
+        if not replaced:
+            try:
+                tmp.unlink()
+            except FileNotFoundError:
+                pass
+
+
+def _resolve_identity(
+    model: "RecommenderModel",
+    dataset: Optional["GroupBuyingDataset"],
+    settings,
+    model_name: Optional[str],
+) -> Tuple[str, Optional[Dict[str, Any]], Optional[Dict[str, Any]], Optional[Dict[str, Any]]]:
+    """Work out (name, settings dict, gbgcn config dict, schema fingerprint)."""
+    name = model_name or getattr(model, "_registry_name", None) or model.name
+    settings = settings if settings is not None else getattr(model, "_registry_settings", None)
+    settings_dict = settings.to_dict() if settings is not None else None
+    config = getattr(model, "config", None)
+    config_dict = dataclasses.asdict(config) if dataclasses.is_dataclass(config) else None
+    if dataset is None:
+        dataset = getattr(model, "_artifact_dataset", None)
+    schema = dataset_fingerprint(dataset) if dataset is not None else None
+    return name, settings_dict, config_dict, schema
+
+
+def save_model(
+    model: "RecommenderModel",
+    path: Union[str, Path],
+    *,
+    dataset: Optional["GroupBuyingDataset"] = None,
+    settings=None,
+    model_name: Optional[str] = None,
+) -> ArtifactHeader:
+    """Persist ``model`` as a versioned artifact at ``path``.
+
+    Registry-built models (:func:`repro.models.registry.build_model`)
+    already carry their registry name, settings and dataset fingerprint, so
+    ``save_model(model, path)`` needs nothing else.  Models constructed by
+    hand can pass ``dataset`` (for the schema fingerprint) and
+    ``settings``/``model_name`` explicitly; GBGCN variants additionally
+    record their :class:`~repro.core.gbgcn.GBGCNConfig` so they round-trip
+    even without registry settings.  Returns the written header.
+    """
+    path = Path(path)
+    name, settings_dict, config_dict, schema = _resolve_identity(model, dataset, settings, model_name)
+    # Zero-copy views: the arrays are only read while np.savez streams them
+    # out, so snapshotting the whole model first would just double memory.
+    state = model.state_arrays()
+    header = ArtifactHeader(
+        format_version=FORMAT_VERSION,
+        model_name=name,
+        settings=settings_dict,
+        gbgcn_config=config_dict,
+        schema=schema,
+        state_keys=sorted(state),
+        library_version=_library_version(),
+    )
+    arrays: Dict[str, np.ndarray] = {
+        _HEADER_KEY: np.frombuffer(header.to_json().encode("utf-8"), dtype=np.uint8)
+    }
+    for key, value in state.items():
+        arrays[_STATE_PREFIX + key] = np.ascontiguousarray(value)
+    _atomic_write_npz(path, arrays)
+    return header
+
+
+def _library_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def _open_archive(path: Path):
+    if not path.exists():
+        raise ArtifactFormatError(f"artifact file does not exist: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError) as error:
+        raise ArtifactFormatError(f"{path} is not a readable npz artifact: {error}") from error
+    if not hasattr(archive, "files"):
+        # np.load returns a bare ndarray for .npy content.
+        raise ArtifactFormatError(f"{path} is a single-array .npy file, not an npz artifact")
+    return archive
+
+
+def read_header(path: Union[str, Path]) -> ArtifactHeader:
+    """Read and validate only the JSON header of an artifact."""
+    path = Path(path)
+    with _open_archive(path) as archive:
+        return _header_from_archive(archive, path)
+
+
+def _header_from_archive(archive, path: Path) -> ArtifactHeader:
+    if _HEADER_KEY not in archive.files:
+        raise ArtifactFormatError(
+            f"{path} is an npz archive but carries no {_HEADER_KEY!r} entry; "
+            f"it was not written by repro.persist.save_model"
+        )
+    try:
+        raw = archive[_HEADER_KEY]
+        header_bytes = bytes(np.asarray(raw, dtype=np.uint8))
+    except (zipfile.BadZipFile, OSError, ValueError, TypeError) as error:
+        raise ArtifactFormatError(f"artifact header of {path} is unreadable: {error}") from error
+    return ArtifactHeader.from_json(header_bytes.decode("utf-8", errors="replace"))
+
+
+def _state_from_archive(archive, header: ArtifactHeader, path: Path) -> Dict[str, np.ndarray]:
+    state: Dict[str, np.ndarray] = {}
+    try:
+        for key in archive.files:
+            if key.startswith(_STATE_PREFIX):
+                state[key[len(_STATE_PREFIX):]] = archive[key]
+    except (zipfile.BadZipFile, OSError, ValueError) as error:
+        raise ArtifactFormatError(f"artifact {path} has unreadable state arrays: {error}") from error
+    missing = set(header.state_keys) - set(state)
+    if missing:
+        raise ArtifactFormatError(
+            f"artifact {path} is missing state arrays recorded in its header: {sorted(missing)}"
+        )
+    return state
+
+
+def read_state_dict(path: Union[str, Path]) -> Tuple[ArtifactHeader, Dict[str, np.ndarray]]:
+    """Read the header and the full parameter state of an artifact."""
+    path = Path(path)
+    with _open_archive(path) as archive:
+        header = _header_from_archive(archive, path)
+        state = _state_from_archive(archive, header, path)
+    return header, state
+
+
+def _check_schema(header: ArtifactHeader, dataset: "GroupBuyingDataset", path: Path) -> None:
+    if header.schema is None:
+        raise SchemaMismatchError(
+            f"artifact {path} records no dataset-schema fingerprint, so it cannot be verified "
+            f"against this dataset; re-save it with save_model(..., dataset=...), or — if you "
+            f"trust its provenance — restore the weights into a pre-built model with "
+            f"repro.persist.load_state_into(..., verify_schema=False)"
+        )
+    actual = dataset_fingerprint(dataset)
+    differences = fingerprint_mismatch(header.schema, actual)
+    if differences:
+        raise SchemaMismatchError(
+            f"artifact {path} was trained on a different dataset than the one supplied "
+            f"({'; '.join(differences)}); load it with the original training dataset "
+            f"(user/item ids are only meaningful relative to it)"
+        )
+
+
+def _rebuild_model(header: ArtifactHeader, dataset: "GroupBuyingDataset", path: Path) -> "RecommenderModel":
+    from ..models.registry import ALL_MODEL_NAMES, ModelSettings, build_model
+
+    settings = None
+    if header.settings is not None:
+        try:
+            settings = ModelSettings.from_dict(header.settings)
+        except (TypeError, ValueError) as error:
+            raise ArtifactFormatError(f"artifact {path} has invalid settings: {error}") from error
+
+    if header.gbgcn_config is not None and header.model_name.startswith("GBGCN"):
+        # The recorded config is the source of truth for GBGCN variants: it
+        # was captured from ``model.config`` at save time, whereas a config
+        # re-derived from settings can disagree for hand-built models (e.g.
+        # a custom alpha that no ModelSettings field produces).
+        from ..core.gbgcn import GBGCN, GBGCNConfig
+        from ..core.pretrain import GBGCNPretrainModel
+        from ..graph.hetero import build_hetero_graph
+
+        try:
+            config = GBGCNConfig(**header.gbgcn_config)
+        except (TypeError, ValueError) as error:
+            raise ArtifactFormatError(f"artifact {path} has an invalid GBGCN config: {error}") from error
+        model_class = GBGCNPretrainModel if header.model_name == "GBGCN-pretrain" else GBGCN
+        model = model_class(dataset.num_users, dataset.num_items, build_hetero_graph(dataset), config=config)
+        # Rebind identity so re-saving the loaded model stays self-describing
+        # (schema fingerprint included).
+        model.bind_artifact_metadata(header.model_name, settings, dataset)
+        return model
+
+    if settings is not None:
+        try:
+            return build_model(header.model_name, dataset, settings)
+        except (TypeError, ValueError) as error:
+            raise ArtifactFormatError(
+                f"artifact {path} cannot be rebuilt as registry model "
+                f"{header.model_name!r}: {error}"
+            ) from error
+    raise ArtifactFormatError(
+        f"artifact {path} (model {header.model_name!r}) records neither registry settings nor a "
+        f"GBGCN config, so the model cannot be rebuilt; valid registry names are {ALL_MODEL_NAMES}. "
+        f"Build the model yourself and restore weights with repro.persist.load_state_into"
+    )
+
+
+def load_model(path: Union[str, Path], train_dataset: "GroupBuyingDataset") -> "RecommenderModel":
+    """Reconstruct the model stored at ``path`` on top of ``train_dataset``.
+
+    The dataset must be the training dataset the artifact was saved against
+    (its schema fingerprint is verified); the rebuilt model has exactly the
+    saved weights and an invalidated evaluation cache, ready for
+    ``prepare_for_evaluation`` / serving.
+    """
+    path = Path(path)
+    with _open_archive(path) as archive:
+        # Validate against the header before decompressing any state arrays,
+        # so a rejected load costs O(header), not O(archive).
+        header = _header_from_archive(archive, path)
+        _check_schema(header, train_dataset, path)
+        state = _state_from_archive(archive, header, path)
+    model = _rebuild_model(header, train_dataset, path)
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise ArtifactFormatError(
+            f"artifact {path} state does not fit the rebuilt {header.model_name!r} model: {error}"
+        ) from error
+    # load_state_dict invalidates the model's evaluation cache itself.
+    model.eval()
+    return model
+
+
+def load_state_into(
+    model: "RecommenderModel",
+    path: Union[str, Path],
+    dataset: Optional["GroupBuyingDataset"] = None,
+    verify_schema: bool = True,
+) -> ArtifactHeader:
+    """Restore an artifact's weights into an already-built ``model``.
+
+    The escape hatch for models the header cannot rebuild (hand-constructed
+    models saved without registry settings): the caller provides the model,
+    the artifact provides the weights.  Schema verification runs whenever a
+    dataset is known — passed explicitly, or carried by a registry-built
+    model — and raises :class:`SchemaMismatchError` when the recorded
+    fingerprint differs *or* when the artifact recorded none (a check that
+    cannot run must not pass silently).  ``verify_schema=False`` is the
+    deliberate opt-out for artifacts saved without a fingerprint whose
+    provenance the caller trusts anyway.
+    """
+    path = Path(path)
+    if verify_schema:
+        if dataset is None:
+            # Mirror save_model's identity resolution: registry-built models
+            # carry their training dataset, so verification is on by default.
+            dataset = getattr(model, "_artifact_dataset", None)
+    else:
+        dataset = None
+    with _open_archive(path) as archive:
+        header = _header_from_archive(archive, path)
+        target_name = getattr(model, "_registry_name", None) or model.name
+        if header.model_name != target_name:
+            # Different models can share parameter keys and shapes (MF vs
+            # SocialMF), so key/shape validation alone cannot catch this.
+            raise ModelMismatchError(
+                f"artifact {path} holds a {header.model_name!r} model, but the supplied model is "
+                f"{target_name!r}; pass the matching model (or rebuild via load_model)"
+            )
+        if dataset is not None:
+            _check_schema(header, dataset, path)
+        state = _state_from_archive(archive, header, path)
+    try:
+        model.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise ArtifactFormatError(
+            f"artifact {path} state does not fit the supplied {model.name!r} model: {error}"
+        ) from error
+    return header

@@ -1,0 +1,56 @@
+"""Typed errors raised by the model-artifact persistence layer.
+
+Every failure mode of :mod:`repro.persist` raises a subclass of
+:class:`ArtifactError`, so callers can catch one exception type at the
+serving boundary while tests (and operators reading logs) still see a
+precise category: an unreadable/garbled file, a format produced by a
+newer library version, or an artifact being loaded against the wrong
+dataset.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ArtifactError",
+    "ArtifactFormatError",
+    "ArtifactVersionError",
+    "ModelMismatchError",
+    "SchemaMismatchError",
+]
+
+
+class ArtifactError(Exception):
+    """Base class for every model-artifact persistence failure."""
+
+
+class ArtifactFormatError(ArtifactError):
+    """The file is not a readable model artifact.
+
+    Raised for corrupted archives, truncated/garbled JSON headers, files
+    that are valid ``.npz`` archives but were not written by
+    :func:`repro.persist.save_model`, and headers missing required fields.
+    """
+
+
+class ArtifactVersionError(ArtifactError):
+    """The artifact declares a format version this library cannot read."""
+
+
+class ModelMismatchError(ArtifactError):
+    """The artifact holds a different model than the one supplied.
+
+    Raised by ``load_state_into`` when the header's recorded model name
+    disagrees with the target model — different models can share parameter
+    keys and shapes (MF vs SocialMF), so a key/shape check alone would let
+    the wrong model's weights load silently.
+    """
+
+
+class SchemaMismatchError(ArtifactError):
+    """The artifact was trained on a dataset with a different schema.
+
+    Loading a model against a dataset whose user/item universe (or
+    behavior/social structure) differs from the training dataset would
+    produce silently wrong recommendations, so the fingerprint recorded at
+    save time must match the dataset supplied at load time.
+    """

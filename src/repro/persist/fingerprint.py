@@ -1,0 +1,75 @@
+"""Dataset-schema fingerprints for train-once / serve-anywhere artifacts.
+
+An artifact is only meaningful relative to the dataset it was trained on:
+row ``u`` of a user embedding *is* user ``u`` of that dataset.  The
+fingerprint captures the dataset's schema — the user/item universe sizes,
+the behavior and social-edge counts, and a digest of the full behavior and
+social structure (initiators, items, thresholds, participant lists, edges)
+— so :func:`repro.persist.load_model` can refuse to resurrect a model on
+top of the wrong universe instead of serving garbage recommendations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..data.dataset import GroupBuyingDataset
+
+__all__ = ["dataset_fingerprint", "fingerprint_mismatch"]
+
+
+def dataset_fingerprint(dataset: "GroupBuyingDataset") -> Dict[str, Any]:
+    """Schema fingerprint of a :class:`~repro.data.dataset.GroupBuyingDataset`.
+
+    The digest hashes the behaviors as five packed int64 arrays —
+    initiators, items, thresholds, participant counts, and the flattened
+    participant lists (the counts array makes the flattening unambiguous) —
+    followed by the social edge pairs, all in dataset order, so two datasets
+    fingerprint equal iff their structure is identical element for element.
+    Computed once per dataset instance and cached on it (datasets are
+    immutable), so repeated ``build_model`` / ``load_model`` calls against
+    the same dataset pay the hashing only once.
+    """
+    cached = getattr(dataset, "_fingerprint_cache", None)
+    if cached is not None:
+        return dict(cached)
+    hasher = hashlib.sha256()
+    behaviors = dataset.behaviors
+    count = len(behaviors)
+    columns = (
+        np.fromiter((b.initiator for b in behaviors), dtype=np.int64, count=count),
+        np.fromiter((b.item for b in behaviors), dtype=np.int64, count=count),
+        np.fromiter((b.threshold for b in behaviors), dtype=np.int64, count=count),
+        np.fromiter((len(b.participants) for b in behaviors), dtype=np.int64, count=count),
+        np.fromiter((p for b in behaviors for p in b.participants), dtype=np.int64),
+    )
+    for column in columns:
+        hasher.update(column.tobytes())
+    hasher.update(b"|social|")
+    edges = np.asarray([edge.as_tuple() for edge in dataset.social_edges], dtype=np.int64)
+    hasher.update(edges.tobytes())
+    fingerprint = {
+        "num_users": int(dataset.num_users),
+        "num_items": int(dataset.num_items),
+        "num_behaviors": int(dataset.num_behaviors),
+        "num_social_edges": int(dataset.num_social_edges),
+        "digest": hasher.hexdigest(),
+    }
+    try:
+        dataset._fingerprint_cache = fingerprint
+    except AttributeError:
+        pass  # e.g. a dataset with __slots__; caching is best-effort
+    return dict(fingerprint)
+
+
+def fingerprint_mismatch(recorded: Dict[str, Any], actual: Dict[str, Any]) -> List[str]:
+    """Human-readable list of fields on which two fingerprints disagree."""
+    differences = []
+    for key in ("num_users", "num_items", "num_behaviors", "num_social_edges", "digest"):
+        if recorded.get(key) != actual.get(key):
+            differences.append(f"{key}: artifact={recorded.get(key)!r} dataset={actual.get(key)!r}")
+    return differences

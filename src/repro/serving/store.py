@@ -12,7 +12,10 @@ store makes that lifecycle explicit and safe:
   re-propagates instead of serving stale scores;
 * :meth:`EmbeddingStore.callback` returns a training callback that wires
   invalidation into the :class:`~repro.training.trainer.Trainer` loop and
-  refreshes once when training ends.
+  refreshes once when training ends;
+* :meth:`EmbeddingStore.from_artifact` cold-starts the whole lifecycle
+  from a ``repro.persist`` model artifact on disk — train once, serve
+  anywhere, no retraining in the serving process.
 
 Score requests (:meth:`scores` / :meth:`score_all_items`) transparently
 refresh a stale store, so callers never observe pre-training embeddings.
@@ -39,6 +42,21 @@ class EmbeddingStore:
         #: Number of completed refreshes; bumps on every :meth:`refresh`.
         self.version = 0
         self._fresh = False
+
+    @classmethod
+    def from_artifact(cls, path, train_dataset, auto_refresh: bool = True) -> "EmbeddingStore":
+        """Cold-start a serving store from a model artifact on disk.
+
+        Rebuilds the model with ``repro.persist.load_model`` (verifying the
+        dataset-schema fingerprint), propagates its embeddings once, and
+        returns a fresh store — top-k serving without any in-process
+        training.
+        """
+        from ..persist import load_model
+
+        store = cls(load_model(path, train_dataset), auto_refresh=auto_refresh)
+        store.refresh()
+        return store
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -85,13 +103,18 @@ class EmbeddingStore:
     # Serving
     # ------------------------------------------------------------------
     def scores(self, users: np.ndarray, item_ids: np.ndarray) -> np.ndarray:
-        """``(len(users), len(item_ids))`` score block from cached state."""
+        """``(len(users), len(item_ids))`` score block from cached state.
+
+        May be a read-only view for some models (e.g. ItemPop broadcasts one
+        popularity row across users) — copy before mutating in place.
+        """
         self._ensure_fresh()
         with self._eval_mode():
             return np.asarray(self.model.score_batch(users, item_ids), dtype=np.float64)
 
     def score_all_items(self, users: np.ndarray) -> np.ndarray:
-        """Full-catalog score block for a batch of users."""
+        """Full-catalog score block for a batch of users (may be a read-only
+        view, see :meth:`scores`)."""
         self._ensure_fresh()
         with self._eval_mode():
             return np.asarray(self.model.score_all_items(users), dtype=np.float64)

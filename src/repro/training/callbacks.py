@@ -88,30 +88,68 @@ class CSVLogger(Callback):
 
 
 class ModelCheckpoint(Callback):
-    """Saves the model's ``state_dict`` to an ``.npz`` file.
+    """Writes full model artifacts (``repro.persist`` format) during training.
 
-    With ``save_best_only`` (default) a checkpoint is written only when the
-    epoch's validation metric improves on every previous epoch; otherwise a
-    checkpoint is written after every epoch (overwriting the previous one).
-    Load with ``np.load(path)`` and ``model.load_state_dict(dict(archive))``.
+    Two modes:
+
+    * ``save_best_only`` (default) — an artifact is written only when the
+      epoch's validation metric improves on every previous epoch;
+    * periodic — with ``save_best_only=False`` an artifact is written every
+      ``period`` epochs (overwriting the previous one).
+
+    Each save is a complete versioned artifact — JSON header (model name,
+    settings, dataset fingerprint) plus the full ``state_dict`` — written
+    atomically (temp file + ``os.replace``), so a crash mid-write leaves the
+    previous artifact intact.  Load with ``repro.persist.load_model(path,
+    train_dataset)`` for registry-built models, or restore weights into a
+    pre-built model with ``repro.persist.load_state_into``.
+
+    ``dataset`` / ``settings`` / ``model_name`` are forwarded to
+    :func:`repro.persist.save_model` for models that do not already carry
+    their registry identity.
     """
 
-    def __init__(self, path: Union[str, Path], save_best_only: bool = True) -> None:
+    def __init__(
+        self,
+        path: Union[str, Path],
+        save_best_only: bool = True,
+        period: int = 1,
+        dataset=None,
+        settings=None,
+        model_name: Optional[str] = None,
+    ) -> None:
+        if period < 1:
+            raise ValueError("period must be at least 1")
+        if save_best_only and period != 1:
+            raise ValueError(
+                "period applies to periodic checkpointing; pass save_best_only=False with it"
+            )
         self.path = Path(path)
         self.save_best_only = save_best_only
+        self.period = period
+        self.dataset = dataset
+        self.settings = settings
+        self.model_name = model_name
         self._best_metric = -np.inf
         self.num_saves = 0
 
     def _save(self, trainer) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        state = trainer.model.state_dict()
-        np.savez(self.path, **state)
+        from ..persist import save_model
+
+        save_model(
+            trainer.model,
+            self.path,
+            dataset=self.dataset,
+            settings=self.settings,
+            model_name=self.model_name,
+        )
         self.num_saves += 1
-        logger.debug("checkpoint written to %s", self.path)
+        logger.debug("checkpoint artifact written to %s", self.path)
 
     def on_epoch_end(self, trainer, record) -> None:
         if not self.save_best_only:
-            self._save(trainer)
+            if record.epoch % self.period == 0:
+                self._save(trainer)
             return
         metric = record.validation_metric
         if metric is None:

@@ -142,8 +142,23 @@ class Trainer:
         self.callbacks.on_train_end(self, history)
         return history
 
-    def restore_best(self) -> None:
-        """Load the parameters of the best validation epoch, if any were saved."""
+    def restore_best(self, checkpoint_path=None, dataset=None) -> None:
+        """Load the parameters of the best validation epoch, if any were saved.
+
+        An explicit ``checkpoint_path`` always wins: the parameters are
+        restored from that model artifact (written by
+        :class:`ModelCheckpoint` / ``repro.persist.save_model``); pass the
+        training ``dataset`` as well to verify the artifact's schema
+        fingerprint before loading.  Without a path, the in-memory best
+        state tracked during :meth:`fit` is restored — or nothing happens
+        when none was tracked, so the implicit end-of-``fit`` restore never
+        overwrites freshly trained weights with an old artifact from disk.
+        """
+        if checkpoint_path is not None:
+            from ..persist import load_state_into
+
+            load_state_into(self.model, checkpoint_path, dataset=dataset)
+            return
         if self._best_state is not None:
+            # load_state_dict invalidates the model's evaluation cache itself.
             self.model.load_state_dict(self._best_state)
-            self.model.invalidate_cache()

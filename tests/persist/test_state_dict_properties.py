@@ -1,0 +1,232 @@
+"""Seeded property tests for the ``state_dict`` contract.
+
+Invariants every registry model must hold for artifacts to be trustworthy:
+
+* determinism — two builds with the same seed produce the same keys (in
+  the same order) and the same array shapes/dtypes;
+* layout — every state array is C-contiguous (what the npz writer and the
+  batched scorers assume);
+* isolation — ``state_dict`` snapshots and ``load_state_dict`` copies, so
+  no parameter aliases the caller's arrays or another parameter.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import ALL_MODEL_NAMES, ModelSettings, build_model
+from repro.models.base import EXTRA_STATE_PREFIX
+
+pytestmark = pytest.mark.persist
+
+SETTINGS = ModelSettings(embedding_dim=8, seed=42)
+
+ALL_NAMES = ALL_MODEL_NAMES + ["GBGCN-pretrain"]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_keys_stable_across_builds_with_same_seed(name, tiny_dataset):
+    first = build_model(name, tiny_dataset, SETTINGS)
+    second = build_model(name, tiny_dataset, SETTINGS)
+    first_state = first.state_dict()
+    second_state = second.state_dict()
+    assert list(first_state) == list(second_state)
+    for key in first_state:
+        assert first_state[key].shape == second_state[key].shape, key
+        assert first_state[key].dtype == second_state[key].dtype, key
+        # Same seed → identical initialization, parameter for parameter.
+        assert np.array_equal(first_state[key], second_state[key]), key
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_state_arrays_are_c_contiguous(name, tiny_dataset):
+    model = build_model(name, tiny_dataset, SETTINGS)
+    for key, value in model.state_dict().items():
+        assert value.flags["C_CONTIGUOUS"], key
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_state_dict_is_a_snapshot(name, tiny_dataset):
+    """Mutating the returned dict must not touch the live model."""
+    model = build_model(name, tiny_dataset, SETTINGS)
+    state = model.state_dict()
+    for value in state.values():
+        value.fill(123.0)
+    fresh = model.state_dict()
+    for key, value in fresh.items():
+        assert not np.array_equal(value, np.full_like(value, 123.0)) or value.size == 0, key
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_no_aliasing_after_load_state_dict(name, tiny_dataset):
+    source = build_model(name, tiny_dataset, SETTINGS)
+    target = build_model(name, tiny_dataset, ModelSettings(embedding_dim=8, seed=7))
+    state = source.state_dict()
+    target.load_state_dict(state)
+
+    # No parameter may share memory with the dict it was loaded from ...
+    own = dict(target.named_parameters())
+    for key, parameter in own.items():
+        assert not np.shares_memory(parameter.data, state[key]), key
+    # ... nor with any other parameter of the model.
+    keys = list(own)
+    for i, a in enumerate(keys):
+        for b in keys[i + 1:]:
+            assert not np.shares_memory(own[a].data, own[b].data), (a, b)
+
+    # And the loaded values really are the source's values.
+    for key, value in target.state_dict().items():
+        assert np.array_equal(value, state[key]), key
+
+
+@pytest.mark.parametrize("name", ["ItemPop", "ItemKNN"])
+def test_extra_state_does_not_alias_after_load(name, tiny_dataset):
+    """Mutating the loaded-from dict must not reach into the live model."""
+    source = build_model(name, tiny_dataset, SETTINGS)
+    target = build_model(name, tiny_dataset, SETTINGS)
+    state = source.state_dict()
+    target.load_state_dict(state)
+    users = np.arange(tiny_dataset.num_users, dtype=np.int64)
+    expected = target.score_all_items(users)
+    for value in state.values():
+        value.fill(0)
+    assert np.array_equal(target.score_all_items(users), expected)
+
+
+def test_itemknn_load_skips_similarity_refit(tiny_dataset, tmp_path):
+    """An artifact load must restore the saved similarity, never refit it."""
+    from repro.persist import load_model, save_model
+
+    model = build_model("ItemKNN", tiny_dataset, SETTINGS)
+    assert model._similarity is None  # fitting is lazy until first use
+    path = tmp_path / "knn.npz"
+    save_model(model, path)  # forces the fit so the artifact carries it
+
+    loaded = load_model(path, tiny_dataset)
+    assert loaded._similarity is not None  # supplied by the artifact ...
+    fitted = model.similarity
+    assert (loaded._similarity != fitted).nnz == 0  # ... and identical to a fit
+
+
+def test_failed_param_load_leaves_model_untouched(tiny_dataset):
+    """A shape-mismatched entry must not partially overwrite parameters."""
+    model = build_model("MF", tiny_dataset, SETTINGS)
+    before = model.state_dict()
+    bad = build_model("MF", tiny_dataset, SETTINGS).state_dict()
+    # Corrupt the alphabetically-last key so a naive in-order commit would
+    # have already written the earlier parameters before noticing.
+    last_key = sorted(k for k in bad if not k.startswith(EXTRA_STATE_PREFIX))[-1]
+    bad = {k: (v * 7.0 if not k.startswith(EXTRA_STATE_PREFIX) else v) for k, v in bad.items()}
+    bad[last_key] = np.zeros((1, 1))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        model.load_state_dict(bad)
+    after = model.state_dict()
+    for key in before:
+        assert np.array_equal(after[key], before[key]), key
+
+
+def test_failed_extra_load_leaves_model_untouched(tiny_dataset, tmp_path):
+    """load_state_into with a corrupted similarity must not mix matrices."""
+    from repro.persist import ArtifactError, load_state_into, save_model
+
+    source = build_model("ItemKNN", tiny_dataset, SETTINGS)
+    path = tmp_path / "knn.npz"
+    save_model(source, path)
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    key = "state/" + EXTRA_STATE_PREFIX + "similarity.indices"
+    corrupted = arrays[key].copy()
+    corrupted[0] = tiny_dataset.num_items + 5
+    arrays[key] = corrupted
+    np.savez(path, **arrays)
+
+    target = build_model("ItemKNN", tiny_dataset, SETTINGS)
+    users = np.arange(tiny_dataset.num_users, dtype=np.int64)
+    expected = target.score_all_items(users)
+    with pytest.raises(ArtifactError):
+        load_state_into(target, path)
+    assert np.array_equal(target.score_all_items(users), expected)
+
+
+class _DualStateModel:
+    """A model with BOTH parameters and extra state, to pin down the
+    transactional ordering no current registry model exercises."""
+
+    def __new__(cls, num_users, num_items):
+        from repro.models.base import RecommenderModel
+        from repro.nn import Parameter
+
+        class Dual(RecommenderModel):
+            def __init__(self):
+                super().__init__(num_users, num_items)
+                self.weight = Parameter(np.zeros((num_users, 2)))
+                self.counts = np.zeros(num_items)
+
+            def extra_state(self):
+                return {"counts": self.counts}
+
+            def load_extra_state(self, extra):
+                counts = np.asarray(extra["counts"], dtype=np.float64)
+                if counts.shape != (self.num_items,):
+                    raise ValueError("bad counts shape")
+                self.counts = counts
+
+        return Dual()
+
+
+def test_dual_state_load_is_all_or_nothing(tiny_dataset):
+    model = _DualStateModel(tiny_dataset.num_users, tiny_dataset.num_items)
+    good = model.state_dict()
+
+    # Bad extra state: parameters must stay untouched.
+    bad_extra = dict(good)
+    bad_extra["weight"] = np.ones_like(good["weight"])
+    bad_extra[EXTRA_STATE_PREFIX + "counts"] = np.zeros(tiny_dataset.num_items + 3)
+    with pytest.raises(ValueError, match="counts"):
+        model.load_state_dict(bad_extra)
+    assert np.array_equal(model.weight.data, good["weight"])
+
+    # Bad parameters: extra state must stay untouched.
+    bad_params = dict(good)
+    bad_params["weight"] = np.zeros((1, 1))
+    bad_params[EXTRA_STATE_PREFIX + "counts"] = np.ones(tiny_dataset.num_items)
+    with pytest.raises(ValueError, match="shape mismatch"):
+        model.load_state_dict(bad_params)
+    assert np.array_equal(model.counts, good[EXTRA_STATE_PREFIX + "counts"])
+
+
+def test_extra_state_keys_are_prefixed(tiny_dataset):
+    model = build_model("ItemKNN", tiny_dataset, SETTINGS)
+    state = model.state_dict()
+    extra_keys = [key for key in state if key.startswith(EXTRA_STATE_PREFIX)]
+    assert extra_keys, "ItemKNN must serialize its similarity matrices as extra state"
+    assert any("similarity" in key for key in extra_keys)
+
+
+def test_extra_state_mismatch_raises(tiny_dataset):
+    model = build_model("ItemKNN", tiny_dataset, SETTINGS)
+    state = model.state_dict()
+    state.pop(EXTRA_STATE_PREFIX + "similarity.data")
+    with pytest.raises(KeyError, match="missing"):
+        build_model("ItemKNN", tiny_dataset, SETTINGS).load_state_dict(state)
+
+
+def test_strict_false_ignores_unknown_extra_state(tiny_dataset):
+    model = build_model("MF", tiny_dataset, SETTINGS)
+    state = model.state_dict()
+    state[EXTRA_STATE_PREFIX + "bogus"] = np.ones(3)
+    build_model("MF", tiny_dataset, SETTINGS).load_state_dict(state, strict=False)
+
+
+def test_strict_false_skips_partial_extra_state(tiny_dataset):
+    """A partial extra set is left unapplied, like missing parameters."""
+    source = build_model("ItemKNN", tiny_dataset, SETTINGS)
+    partial = {
+        key: value
+        for key, value in source.state_dict().items()
+        if key == EXTRA_STATE_PREFIX + "similarity.data"
+    }
+    target = build_model("ItemKNN", tiny_dataset, SETTINGS)
+    users = np.arange(tiny_dataset.num_users, dtype=np.int64)
+    expected = target.score_all_items(users)
+    target.load_state_dict(partial, strict=False)
+    assert np.array_equal(target.score_all_items(users), expected)

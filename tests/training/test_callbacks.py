@@ -8,6 +8,7 @@ import pytest
 from repro.data import to_user_item_interactions, TrainingNegativeSampler
 from repro.models import MatrixFactorization
 from repro.optim import Adam
+from repro.persist import load_state_into, read_header, read_state_dict
 from repro.training import (
     CallbackList,
     CSVLogger,
@@ -107,11 +108,10 @@ class TestModelCheckpoint:
         Trainer(model, optimizer, iterator, evaluator=evaluator, callbacks=[checkpoint]).fit(2)
         assert path.exists()
         assert checkpoint.num_saves >= 1
-        archive = np.load(path)
         restored = MatrixFactorization(
             model.num_users, model.num_items, 8, rng=np.random.default_rng(1)
         )
-        restored.load_state_dict({key: archive[key] for key in archive.files})
+        load_state_into(restored, path)
         items = np.arange(5)
         assert np.allclose(restored.rank_scores(0, items), model.rank_scores(0, items))
 
@@ -129,3 +129,56 @@ class TestModelCheckpoint:
         checkpoint = ModelCheckpoint(path, save_best_only=False)
         Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(3)
         assert checkpoint.num_saves == 3
+
+    def test_periodic_mode_saves_every_nth_epoch(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, _ = trainer_parts
+        path = tmp_path / "periodic.npz"
+        checkpoint = ModelCheckpoint(path, save_best_only=False, period=2)
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(5)
+        assert checkpoint.num_saves == 2  # epochs 2 and 4
+        assert path.exists()
+
+    def test_invalid_period_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="period"):
+            ModelCheckpoint(tmp_path / "x.npz", save_best_only=False, period=0)
+
+    def test_period_with_save_best_only_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="save_best_only=False"):
+            ModelCheckpoint(tmp_path / "x.npz", period=5)
+
+    def test_checkpoint_writes_versioned_artifact(self, trainer_parts, tmp_path):
+        model, optimizer, iterator, _ = trainer_parts
+        path = tmp_path / "latest.npz"
+        checkpoint = ModelCheckpoint(path, save_best_only=False)
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(1)
+        header = read_header(path)
+        assert header.model_name == "MF"
+        assert sorted(header.state_keys) == sorted(model.state_dict())
+
+    def test_crash_mid_write_leaves_previous_artifact_intact(
+        self, trainer_parts, tmp_path, monkeypatch
+    ):
+        """An interrupted save must never clobber the last good checkpoint."""
+        model, optimizer, iterator, _ = trainer_parts
+        path = tmp_path / "latest.npz"
+        checkpoint = ModelCheckpoint(path, save_best_only=False)
+        trainer = Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint])
+        trainer.fit(1)
+        _, good_state = read_state_dict(path)
+
+        def crash_mid_write(file, *args, **kwargs):
+            file.write(b"partial garbage that would corrupt the archive")
+            raise OSError("simulated crash: disk full mid-write")
+
+        monkeypatch.setattr(np, "savez", crash_mid_write)
+        with pytest.raises(OSError, match="disk full"):
+            checkpoint._save(trainer)
+        monkeypatch.undo()
+
+        # The previous artifact is untouched and still loads bit for bit.
+        _, state_after = read_state_dict(path)
+        assert set(state_after) == set(good_state)
+        for key in good_state:
+            assert np.array_equal(state_after[key], good_state[key])
+        # No temp files leak into the checkpoint directory.
+        assert [p.name for p in tmp_path.iterdir()] == ["latest.npz"]
