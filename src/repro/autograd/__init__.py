@@ -12,6 +12,7 @@ from .functional import (
     cosine_similarity,
     dropout,
     embedding_lookup,
+    gathered_dot_difference,
     identity,
     l2_norm_squared,
     leaky_relu,
@@ -25,7 +26,15 @@ from .functional import (
     stack,
     tanh,
 )
-from .sparse import row_normalize, sparse_matmul, to_csr
+from .sparse import cache_transpose, row_normalize, sparse_matmul, to_csr
+from .sparse_grad import (
+    RowSparseGrad,
+    grad_to_dense,
+    set_sparse_grads,
+    sparse_grads_enabled,
+    use_dense_grads,
+    use_sparse_grads,
+)
 from .gradcheck import GradientCheckError, check_gradients, numerical_gradient
 
 __all__ = [
@@ -38,6 +47,7 @@ __all__ = [
     "cosine_similarity",
     "dropout",
     "embedding_lookup",
+    "gathered_dot_difference",
     "identity",
     "l2_norm_squared",
     "leaky_relu",
@@ -53,6 +63,13 @@ __all__ = [
     "row_normalize",
     "sparse_matmul",
     "to_csr",
+    "cache_transpose",
+    "RowSparseGrad",
+    "grad_to_dense",
+    "set_sparse_grads",
+    "sparse_grads_enabled",
+    "use_dense_grads",
+    "use_sparse_grads",
     "GradientCheckError",
     "check_gradients",
     "numerical_gradient",

@@ -13,6 +13,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from .sparse_grad import RowSparseGrad, sparse_grads_enabled
 from .tensor import Tensor, as_tensor, is_grad_enabled
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "stack",
     "dropout",
     "embedding_lookup",
+    "gathered_dot_difference",
     "segment_sum",
     "segment_mean",
     "l2_norm_squared",
@@ -36,14 +38,29 @@ __all__ = [
 ]
 
 
+def _stable_sigmoid(values: np.ndarray) -> np.ndarray:
+    """Overflow-safe sigmoid evaluated with a single ``exp`` pass.
+
+    For ``c = clip(x, -60, 60)``: the positive branch ``1 / (1 + exp(-c))``
+    and the negative branch ``exp(c) / (1 + exp(c))`` both only evaluate
+    ``exp`` at ``-|c| = -min(|x|, 60)``, so one ``exp`` feeds both branches
+    with bit-for-bit the same results as computing them separately.  The
+    chain reuses one scratch array and writes the negative branch with a
+    masked divide — this is the hottest elementwise kernel in cross-view
+    propagation, called on full embedding tables every batch.
+    """
+    magnitude = np.abs(values)
+    np.minimum(magnitude, 60.0, out=magnitude)
+    np.negative(magnitude, out=magnitude)
+    decay = np.exp(magnitude, out=magnitude)
+    denominator = decay + 1.0
+    return np.where(values >= 0, 1.0 / denominator, decay / denominator)
+
+
 def sigmoid(x: Tensor) -> Tensor:
     """Numerically stable logistic sigmoid."""
     x = as_tensor(x)
-    out_data = np.where(
-        x.data >= 0,
-        1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60))),
-        np.exp(np.clip(x.data, -60, 60)) / (1.0 + np.exp(np.clip(x.data, -60, 60))),
-    )
+    out_data = _stable_sigmoid(x.data)
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
@@ -60,11 +77,7 @@ def log_sigmoid(x: Tensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if x.requires_grad:
-            sig = np.where(
-                x.data >= 0,
-                1.0 / (1.0 + np.exp(-np.clip(x.data, -60, 60))),
-                np.exp(np.clip(x.data, -60, 60)) / (1.0 + np.exp(np.clip(x.data, -60, 60))),
-            )
+            sig = _stable_sigmoid(x.data)
             x._accumulate(grad * (1.0 - sig))
 
     return Tensor._make(out_data, (x,), backward)
@@ -198,18 +211,83 @@ def dropout(x: Tensor, rate: float, rng: Optional[np.random.Generator] = None, t
 
 
 def embedding_lookup(table: Tensor, indices: np.ndarray) -> Tensor:
-    """Gather rows ``indices`` from ``table`` with scatter-add gradients."""
+    """Gather rows ``indices`` from ``table`` with scatter-add gradients.
+
+    With the row-sparse engine enabled (the default) the backward emits a
+    :class:`~repro.autograd.sparse_grad.RowSparseGrad` — unique touched rows
+    plus per-row value blocks, reduced with a sorted segment sum — instead
+    of allocating a dense ``zeros_like(table)`` and ``np.add.at``-scattering
+    into it.  Both paths produce bitwise-identical dense gradients.
+    """
     table = as_tensor(table)
     indices = np.asarray(indices, dtype=np.int64)
     out_data = table.data[indices]
 
     def backward(grad: np.ndarray) -> None:
-        if table.requires_grad:
+        if not table.requires_grad:
+            return
+        if sparse_grads_enabled():
+            table._accumulate(RowSparseGrad.from_scatter(table.data.shape, indices, grad))
+        else:
             full = np.zeros_like(table.data)
             np.add.at(full, indices, grad)
             table._accumulate(full)
 
     return Tensor._make(out_data, (table,), backward)
+
+
+def gathered_dot_difference(
+    a: Tensor,
+    b: Tensor,
+    shared_rows: np.ndarray,
+    positive_rows: np.ndarray,
+    negative_rows: np.ndarray,
+) -> Tensor:
+    """``<a[shared], b[positive]> - <a[shared], b[negative]>`` per row, fused.
+
+    This is the pairwise-ranking primitive: ``a`` rows are gathered *once*
+    and shared by the positive and the negative dot, the per-row products
+    are reduced with ``einsum`` without materializing them in the graph,
+    and the backward emits exactly one scatter into ``a`` (with the
+    ``b[positive] - b[negative]`` difference as values) and one combined
+    ``±`` scatter into ``b``.  Compared with composing gather / multiply /
+    sum / subtract tensors, each table sees one coalesce per batch instead
+    of one per term, and none of the ``(rows, dim)`` intermediates enter
+    the autograd graph.
+    """
+    a = as_tensor(a)
+    b = as_tensor(b)
+    shared_rows = np.asarray(shared_rows, dtype=np.int64)
+    positive_rows = np.asarray(positive_rows, dtype=np.int64)
+    negative_rows = np.asarray(negative_rows, dtype=np.int64)
+    gathered_a = a.data[shared_rows]
+    gathered_pos = b.data[positive_rows]
+    gathered_neg = b.data[negative_rows]
+    out_data = np.einsum("ij,ij->i", gathered_a, gathered_pos) - np.einsum(
+        "ij,ij->i", gathered_a, gathered_neg
+    )
+
+    def _scatter(tensor: Tensor, rows: np.ndarray, contributions: np.ndarray) -> None:
+        if sparse_grads_enabled():
+            tensor._accumulate(RowSparseGrad.from_scatter(tensor.data.shape, rows, contributions))
+        else:
+            full = np.zeros_like(tensor.data)
+            np.add.at(full, rows, contributions)
+            tensor._accumulate(full)
+
+    def backward(grad: np.ndarray) -> None:
+        column_grad = grad[:, None]
+        if a.requires_grad:
+            _scatter(a, shared_rows, column_grad * (gathered_pos - gathered_neg))
+        if b.requires_grad:
+            positive_contribution = column_grad * gathered_a
+            _scatter(
+                b,
+                np.concatenate((positive_rows, negative_rows)),
+                np.concatenate((positive_contribution, -positive_contribution)),
+            )
+
+    return Tensor._make(out_data, (a, b), backward)
 
 
 def segment_sum(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:

@@ -13,7 +13,30 @@ import scipy.sparse as sp
 
 from .tensor import Tensor, as_tensor
 
-__all__ = ["sparse_matmul", "row_normalize", "to_csr"]
+__all__ = ["sparse_matmul", "row_normalize", "to_csr", "cache_transpose"]
+
+#: Attribute under which a propagation matrix memoizes its CSR transpose.
+_TRANSPOSE_CACHE_ATTR = "_repro_transpose_csr"
+
+
+def cache_transpose(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Precompute (and memoize on ``matrix``) the CSR form of ``matrix.T``.
+
+    ``csr.T`` is a free CSC view, but multiplying a CSC matrix with a dense
+    block walks columns — re-converting to CSR once per *propagation matrix*
+    instead of per backward call keeps the backward product on the fast
+    row-major kernel.  The cached transpose accumulates per output row in
+    ascending column order, exactly like the CSC product it replaces, so
+    gradients are unchanged bit for bit.
+    """
+    cached = getattr(matrix, _TRANSPOSE_CACHE_ATTR, None)
+    if cached is None:
+        cached = matrix.T.tocsr()
+        try:
+            setattr(matrix, _TRANSPOSE_CACHE_ATTR, cached)
+        except AttributeError:  # exotic sparse types without instance dicts
+            pass
+    return cached
 
 
 def to_csr(matrix) -> sp.csr_matrix:
@@ -39,7 +62,13 @@ def row_normalize(matrix) -> sp.csr_matrix:
 
 
 def sparse_matmul(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
-    """Differentiable product ``matrix @ dense`` with a constant sparse matrix."""
+    """Differentiable product ``matrix @ dense`` with a constant sparse matrix.
+
+    The backward needs ``matrix.T @ grad``; the CSR transpose is resolved
+    through :func:`cache_transpose`, so graph layers that reuse one
+    propagation matrix across every batch (in-view / cross-view propagation,
+    the social averaging matrix) pay the transpose conversion exactly once.
+    """
     if not sp.issparse(matrix):
         raise TypeError("sparse_matmul expects a scipy sparse matrix as the left operand")
     dense = as_tensor(dense)
@@ -48,6 +77,6 @@ def sparse_matmul(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if dense.requires_grad:
-            dense._accumulate(csr.T @ grad)
+            dense._accumulate(cache_transpose(matrix) @ grad)
 
     return Tensor._make(np.asarray(out_data), (dense,), backward)

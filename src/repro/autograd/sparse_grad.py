@@ -1,0 +1,276 @@
+"""Row-sparse gradients for embedding tables.
+
+A mini-batch touches a few hundred embedding rows out of (potentially)
+millions, yet the dense backward of ``embedding_lookup`` /
+``Tensor.__getitem__`` used to allocate a full ``zeros_like(table)`` and
+``np.add.at``-scatter into it on *every* lookup, and every optimizer step
+then re-read the whole table.  :class:`RowSparseGrad` stores only the
+unique touched row indices plus one value block per row, so the gradient
+path costs ``O(batch)`` instead of ``O(table)`` per lookup.
+
+Bitwise-compatibility contract
+------------------------------
+The dense path remains the oracle: with sparse gradients disabled
+(:func:`use_dense_grads`) the engine behaves exactly as before, and with
+them enabled every densified gradient is ``np.array_equal`` to the dense
+one.  This works because the sparse path performs the *same* float
+additions in the *same* left-to-right order as ``np.add.at`` /
+``dense + scatter``:
+
+* coalescing uses a stable argsort followed by ``np.add.reduceat``, which
+  folds repeated-index contributions in occurrence order — exactly the
+  fold order of ``np.add.at``;
+* merging two sparse gradients concatenates chronologically before
+  coalescing, matching ``full_a + full_b``;
+* accumulating a sparse gradient into a dense one adds row blocks in
+  place, matching ``dense + full_scatter`` elementwise.
+
+(The only representable difference is the sign of zero contributions,
+which ``np.array_equal`` — like ``==`` — treats as equal.)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Tuple, Union
+
+import numpy as np
+
+try:  # scipy's C kernel for CSR x dense-block products (fallback below).
+    from scipy.sparse import _sparsetools as _scipy_sparsetools
+except ImportError:  # pragma: no cover - scipy always ships it today
+    _scipy_sparsetools = None
+
+__all__ = [
+    "RowSparseGrad",
+    "GradLike",
+    "sparse_grads_enabled",
+    "set_sparse_grads",
+    "use_dense_grads",
+    "use_sparse_grads",
+    "coalesce_rows",
+    "grad_to_dense",
+]
+
+
+_SPARSE_GRADS_ENABLED = True
+
+
+def sparse_grads_enabled() -> bool:
+    """Whether lookup backwards currently emit :class:`RowSparseGrad`."""
+    return _SPARSE_GRADS_ENABLED
+
+
+def set_sparse_grads(enabled: bool) -> bool:
+    """Globally enable/disable sparse gradient emission; returns the old value."""
+    global _SPARSE_GRADS_ENABLED
+    previous = _SPARSE_GRADS_ENABLED
+    _SPARSE_GRADS_ENABLED = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def use_dense_grads():
+    """Context manager forcing the (oracle) dense gradient path."""
+    previous = set_sparse_grads(False)
+    try:
+        yield
+    finally:
+        set_sparse_grads(previous)
+
+
+@contextlib.contextmanager
+def use_sparse_grads():
+    """Context manager forcing the row-sparse gradient path."""
+    previous = set_sparse_grads(True)
+    try:
+        yield
+    finally:
+        set_sparse_grads(previous)
+
+
+def coalesce_rows(indices: np.ndarray, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum ``values`` blocks that share a row index, in occurrence order.
+
+    Returns ``(unique_sorted_indices, reduced_values)``.  Duplicate rows are
+    reduced with a *selection-matrix* product: a CSR matrix with one
+    ``1.0`` per contribution (row = compact output row, column = original
+    position, columns stored ascending) multiplied against the raw value
+    block.  The CSR kernel accumulates each output row sequentially in
+    stored-column order — i.e. in original occurrence order — which is
+    exactly the left-to-right fold ``np.add.at`` performs, so the sparse
+    path stays bit-for-bit interchangeable with the dense scatter.
+    (``np.add.reduceat`` would *not* do: its per-segment pairwise summation
+    rounds differently.)
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    block_shape = values.shape[1:]
+    count = indices.size
+    if count == 0:
+        return indices.copy(), values.reshape((0,) + block_shape).copy()
+    order = np.argsort(indices, kind="stable")
+    sorted_indices = indices[order]
+    boundaries = np.flatnonzero(sorted_indices[1:] != sorted_indices[:-1]) + 1
+    if boundaries.size + 1 == count:
+        # All rows distinct: ``values[order]`` is already the reduction (and
+        # materializes a fresh owned array callers can mutate freely).
+        return sorted_indices, values[order]
+    starts = np.concatenate(([0], boundaries))
+    unique = sorted_indices[starts]
+    num_unique = unique.size
+    block_size = int(np.prod(block_shape)) if block_shape else 1
+    if block_size == 0:
+        return unique, np.zeros((num_unique,) + block_shape, dtype=np.float64)
+    flat_values = np.ascontiguousarray(values).reshape(count, block_size)
+    indptr = np.concatenate((starts, [count]))
+    reduced = np.zeros((num_unique, block_size), dtype=np.float64)
+    if _scipy_sparsetools is not None:
+        _scipy_sparsetools.csr_matvecs(
+            num_unique,
+            count,
+            block_size,
+            indptr,
+            order,
+            np.ones(count, dtype=np.float64),
+            flat_values.ravel(),
+            reduced.ravel(),
+        )
+    else:  # pragma: no cover - exercised only without scipy's C kernel
+        import scipy.sparse as sp
+
+        selector = sp.csr_matrix(
+            (np.ones(count, dtype=np.float64), order, indptr), shape=(num_unique, count)
+        )
+        reduced = selector @ flat_values
+    return unique, reduced.reshape((num_unique,) + block_shape)
+
+
+class RowSparseGrad:
+    """Gradient of a 2-D (or N-D) table touched only at ``indices`` rows.
+
+    ``indices`` is always sorted and unique (coalesced), ``values`` holds one
+    block per index with shape ``(len(indices),) + shape[1:]``.  Both arrays
+    are owned by the instance, so in-place scaling (gradient clipping) is
+    safe.
+    """
+
+    __slots__ = ("shape", "indices", "values")
+
+    def __init__(self, shape: Tuple[int, ...], indices: np.ndarray, values: np.ndarray) -> None:
+        self.shape = tuple(shape)
+        self.indices = indices
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_scatter(cls, shape: Tuple[int, ...], indices: np.ndarray, values) -> "RowSparseGrad":
+        """Build a coalesced sparse gradient from raw scatter contributions.
+
+        ``indices`` may repeat and be in any order (negative indices are
+        normalized); ``values`` may have extra leading dimensions, which are
+        flattened so each row of the result pairs one index with one block.
+        """
+        num_rows = shape[0]
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        values = np.asarray(values, dtype=np.float64)
+        block_shape = shape[1:]
+        values = values.reshape((indices.size,) + block_shape)
+        if indices.size and indices.min() < 0:
+            indices = np.where(indices < 0, indices + num_rows, indices)
+        unique, reduced = coalesce_rows(indices, values)
+        return cls(shape, unique, reduced)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nnz_rows(self) -> int:
+        """Number of distinct rows carrying gradient."""
+        return int(self.indices.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of table rows touched (the bench's rows-touched ratio)."""
+        return self.nnz_rows / self.shape[0] if self.shape[0] else 0.0
+
+    @property
+    def dtype(self):
+        return self.values.dtype
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    def __repr__(self) -> str:
+        return f"RowSparseGrad(shape={self.shape}, nnz_rows={self.nnz_rows})"
+
+    # ------------------------------------------------------------------
+    # Conversion / arithmetic
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full dense gradient (a fresh, owned array)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        if self.indices.size:
+            dense[self.indices] = self.values
+        return dense
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        # NumPy interop: np.asarray / np.allclose / np.array_equal on a
+        # sparse gradient transparently see the dense equivalent.
+        dense = self.to_dense()
+        return dense.astype(dtype) if dtype is not None else dense
+
+    def copy(self) -> "RowSparseGrad":
+        return RowSparseGrad(self.shape, self.indices.copy(), self.values.copy())
+
+    def add_(self, other: "RowSparseGrad") -> "RowSparseGrad":
+        """Merge another sparse gradient into this one (chronological fold).
+
+        ``self`` is the earlier contribution: shared rows fold as
+        ``self_row + other_row``, matching ``full_self + full_other`` on the
+        dense path.  Returns the merged gradient (a new instance).
+        """
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        if not other.indices.size:
+            return self
+        if not self.indices.size:
+            return other
+        indices = np.concatenate([self.indices, other.indices])
+        values = np.concatenate([self.values, other.values], axis=0)
+        unique, reduced = coalesce_rows(indices, values)
+        return RowSparseGrad(self.shape, unique, reduced)
+
+    def add_to_dense_(self, dense: np.ndarray) -> np.ndarray:
+        """In-place ``dense[rows] += values``; returns ``dense``."""
+        if dense.shape != self.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {dense.shape}")
+        if self.indices.size:
+            dense[self.indices] += self.values
+        return dense
+
+    def scale_(self, factor: float) -> "RowSparseGrad":
+        """In-place multiply all stored values by ``factor`` (clipping)."""
+        self.values *= factor
+        return self
+
+    def scaled(self, factor: float) -> "RowSparseGrad":
+        return RowSparseGrad(self.shape, self.indices.copy(), self.values * factor)
+
+    def __mul__(self, factor: float) -> "RowSparseGrad":
+        return self.scaled(factor)
+
+    __rmul__ = __mul__
+
+
+GradLike = Union[np.ndarray, RowSparseGrad]
+
+
+def grad_to_dense(grad: GradLike) -> np.ndarray:
+    """Densify a gradient of either representation."""
+    if isinstance(grad, RowSparseGrad):
+        return grad.to_dense()
+    return np.asarray(grad)

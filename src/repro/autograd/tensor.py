@@ -11,7 +11,14 @@ Design notes
   records the operation that produced it (a closure stored in
   ``_backward``) together with its parent tensors.
 * ``Tensor.backward()`` performs a topological sort of the recorded graph and
-  accumulates gradients into ``Tensor.grad`` (a plain ``numpy.ndarray``).
+  accumulates gradients into ``Tensor.grad``.  A gradient is usually a plain
+  ``numpy.ndarray``; integer-array row gathers (``Tensor.__getitem__`` and
+  :func:`~repro.autograd.functional.embedding_lookup`) emit a
+  :class:`~repro.autograd.sparse_grad.RowSparseGrad` instead when the
+  row-sparse engine is enabled, so a mini-batch never pays a full-table
+  scatter.  Interior nodes densify their gradient right before their own
+  backward runs; only *leaves* (parameters, inputs) can end up holding the
+  sparse representation, which the optimizers consume directly.
 * Broadcasting is supported for elementwise arithmetic; gradients are
   "unbroadcast" (summed over broadcast axes) before accumulation.
 * Gradient tracking can be suspended with the :func:`no_grad` context
@@ -24,6 +31,8 @@ import contextlib
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from .sparse_grad import RowSparseGrad, sparse_grads_enabled
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "as_tensor"]
 
@@ -74,7 +83,22 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A NumPy-backed tensor with reverse-mode automatic differentiation."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_grad_owned")
+
+    #: Leaves that outlive the backward pass (parameters) copy their first
+    #: dense gradient so later in-place updates (clipping, accumulation)
+    #: can never write through an aliased interior buffer.  Interior nodes
+    #: skip that copy — their gradients are only read, once, by their own
+    #: backward closure.
+    _copy_first_grad = False
+
+    #: Parameters keep accumulating sparse gradients in the sparse
+    #: representation (the optimizers consume it row-sliced).  Interior
+    #: nodes are densified by their own backward anyway, so on a second
+    #: sparse contribution they densify immediately — in-place row adds
+    #: into an owned dense buffer are much cheaper than repeated
+    #: sparse-sparse coalescing.
+    _keep_sparse_grad = False
 
     def __init__(
         self,
@@ -86,10 +110,11 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self.grad: Optional[np.ndarray] = None
+        self.grad: Optional[Union[np.ndarray, RowSparseGrad]] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
         self.name = name
+        self._grad_owned = False
 
     # ------------------------------------------------------------------
     # Basic introspection helpers
@@ -136,6 +161,13 @@ class Tensor:
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
         self.grad = None
+        self._grad_owned = False
+
+    def dense_grad(self) -> Optional[np.ndarray]:
+        """The accumulated gradient as a dense array (``None`` if absent)."""
+        if isinstance(self.grad, RowSparseGrad):
+            return self.grad.to_dense()
+        return self.grad
 
     # ------------------------------------------------------------------
     # Graph construction helpers
@@ -155,12 +187,46 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: Union[np.ndarray, RowSparseGrad]) -> None:
+        # Sparse incoming gradient (row gathers).  Freshly coalesced by the
+        # emitting op, so it is always safe to own.
+        if isinstance(grad, RowSparseGrad):
+            if self.grad is None:
+                self.grad = grad
+            elif isinstance(self.grad, RowSparseGrad):
+                if self._keep_sparse_grad:
+                    self.grad = self.grad.add_(grad)
+                else:
+                    dense = self.grad.to_dense()
+                    grad.add_to_dense_(dense)
+                    self.grad = dense
+            else:
+                if not self._grad_owned:
+                    self.grad = self.grad.copy()
+                grad.add_to_dense_(self.grad)
+            self._grad_owned = True
+            return
+
         grad = np.asarray(grad, dtype=np.float64)
         if self.grad is None:
-            self.grad = grad.copy()
+            # Interior nodes store the incoming buffer by reference (it is
+            # only ever read); long-lived leaves copy, see _copy_first_grad.
+            if self._copy_first_grad:
+                self.grad = grad.copy()
+                self._grad_owned = True
+            else:
+                self.grad = grad
+                self._grad_owned = False
+        elif isinstance(self.grad, RowSparseGrad):
+            dense = self.grad.to_dense()
+            dense += grad
+            self.grad = dense
+            self._grad_owned = True
+        elif self._grad_owned:
+            self.grad += grad
         else:
             self.grad = self.grad + grad
+            self._grad_owned = True
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -194,7 +260,15 @@ class Tensor:
         self._accumulate(grad)
         for node in reversed(ordering):
             if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+                node_grad = node.grad
+                if isinstance(node_grad, RowSparseGrad):
+                    # Interior consumers (matmul, concat, ...) need a dense
+                    # array; a single densify here replaces one full-table
+                    # zeros + add.at per contributing gather.
+                    node_grad = node_grad.to_dense()
+                    node.grad = node_grad
+                    node._grad_owned = True
+                node._backward(node_grad)
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
@@ -326,7 +400,9 @@ class Tensor:
                 axes = tuple(a % self.data.ndim for a in axes)
                 for a in sorted(axes):
                     expanded = np.expand_dims(expanded, a)
-            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+            # The broadcast view is read-only and _accumulate never mutates
+            # an unowned buffer, so no defensive copy is needed.
+            self._accumulate(np.broadcast_to(expanded, self.shape))
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -388,9 +464,20 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
         original_shape = self.shape
+        # Row gathers (integer-array / scalar indices along axis 0) can emit
+        # a row-sparse gradient; any other indexing falls back to the dense
+        # scatter, which stays the oracle path.
+        row_gather = self.data.ndim >= 1 and (
+            isinstance(index, (int, np.integer))
+            or (isinstance(index, np.ndarray) and index.dtype.kind in "iu")
+        )
 
         def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
+            if not self.requires_grad:
+                return
+            if row_gather and sparse_grads_enabled():
+                self._accumulate(RowSparseGrad.from_scatter(original_shape, index, grad))
+            else:
                 full = np.zeros(original_shape, dtype=np.float64)
                 np.add.at(full, index, grad)
                 self._accumulate(full)

@@ -23,7 +23,7 @@ from typing import Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import Tensor, no_grad
+from ..autograd import Tensor, gathered_dot_difference, no_grad
 from ..graph.hetero import HeteroGroupBuyingGraph
 from ..models.base import DataMode, RecommenderModel
 from ..nn import Embedding, social_regularization
@@ -130,25 +130,48 @@ class GBGCN(RecommenderModel):
     # Training
     # ------------------------------------------------------------------
     def batch_loss(self, batch: GroupBuyingBatch) -> Tensor:
-        embeddings = self.propagate()
-        friend_average = self.predictor.friend_average(embeddings.user_participant)
-
-        def score_pairs(users: np.ndarray, items: np.ndarray) -> Tensor:
-            return self.predictor.score_pairs(
-                users,
-                items,
-                embeddings.user_initiator,
-                embeddings.item_initiator,
-                friend_average,
-                embeddings.item_participant,
-            )
-
-        loss = self.loss_function(batch, score_pairs)
-
         touched_users = np.unique(
             np.concatenate([batch.initiators, batch.participants, batch.failed_friends])
         ) if batch.participants.size or batch.failed_friends.size else np.unique(batch.initiators)
         touched_items = np.unique(np.concatenate([batch.items, batch.negative_items]))
+
+        # Cross-view outputs are consumed only by the per-row score gathers
+        # below, so the training pass restricts that stage to the touched
+        # rows (row-identical results, O(batch) instead of O(table) FC
+        # transforms).  The ablation flags need full-width pooling, so the
+        # restriction is dropped for a shared view.
+        restrict_users = not self.config.share_user_roles
+        restrict_items = not self.config.share_item_roles
+        in_view = self.in_view(self.user_embedding.weight, self.item_embedding.weight)
+        embeddings = self.cross_view(
+            in_view,
+            user_initiator_rows=touched_users if restrict_users else None,
+            item_rows=touched_items if restrict_items else None,
+        )
+        friend_average = self.predictor.friend_average(embeddings.user_participant)
+        alpha = self.predictor.alpha
+
+        def score_pair_difference(users, positive_items, negative_items) -> Tensor:
+            # Map the global index arrays onto the compact (restricted) rows.
+            user_rows = np.searchsorted(touched_users, users) if restrict_users else users
+            positive_rows = (
+                np.searchsorted(touched_items, positive_items) if restrict_items else positive_items
+            )
+            negative_rows = (
+                np.searchsorted(touched_items, negative_items) if restrict_items else negative_items
+            )
+            own = gathered_dot_difference(
+                embeddings.user_initiator, embeddings.item_initiator, user_rows, positive_rows, negative_rows
+            )
+            # The friend average stays in the full user index space (it is
+            # built from every friend of a scored user).
+            friends = gathered_dot_difference(
+                friend_average, embeddings.item_participant, users, positive_rows, negative_rows
+            )
+            return own * (1.0 - alpha) + friends * alpha
+
+        loss = self.loss_function(batch, score_pair_difference=score_pair_difference)
+
         regularizer = self.regularization(
             [self.user_embedding(touched_users), self.item_embedding(touched_items)]
         ) * (1.0 / max(len(batch), 1))

@@ -45,15 +45,32 @@ class DoublePairwiseLoss:
         if self.beta < 0:
             raise ValueError("beta must be non-negative")
 
-    def __call__(self, batch: GroupBuyingBatch, score_pairs: ScoreFunction) -> Tensor:
+    def __call__(
+        self,
+        batch: GroupBuyingBatch,
+        score_pairs: Optional[ScoreFunction] = None,
+        score_pair_difference: Optional[Callable[[np.ndarray, np.ndarray, np.ndarray], Tensor]] = None,
+    ) -> Tensor:
         """Mean fine-grained loss of ``batch`` given a differentiable scorer.
 
         ``score_pairs(users, items)`` must return the Eq. 9 scores for the
         aligned index arrays; the loss calls it for initiators,
         participants of successful behaviors and friends of initiators of
         failed behaviors.
+
+        When the scorer also provides ``score_pair_difference(users, pos,
+        neg)`` (returning ``score(u, pos) - score(u, neg)`` per row), the
+        loss uses that instead: every BPR term only ever consumes the
+        difference, all three terms are scored through one call on
+        concatenated index arrays, and the fused form shares the user-side
+        gather between the positive and negative dot — this is the training
+        hot path for GBGCN and its pre-training stage.
         """
         batch_size = max(len(batch), 1)
+        if score_pair_difference is not None:
+            return self._from_differences(batch, score_pair_difference, batch_size)
+        if score_pairs is None:
+            raise TypeError("either score_pairs or score_pair_difference is required")
 
         # Initiator term, shared by Eq. 10 and Eq. 11: the initiator prefers
         # the launched item over the sampled negative in both cases.
@@ -76,4 +93,45 @@ class DoublePairwiseLoss:
             friend_negative = score_pairs(batch.failed_friends, batch.negative_items[rows])
             loss = loss + (-log_sigmoid(friend_negative - friend_positive)).sum() * self.beta
 
+        return loss * (1.0 / batch_size)
+
+    def _from_differences(
+        self,
+        batch: GroupBuyingBatch,
+        score_pair_difference: Callable[[np.ndarray, np.ndarray, np.ndarray], Tensor],
+        batch_size: int,
+    ) -> Tensor:
+        """Loss from one fused ``score(u, pos) - score(u, neg)`` evaluation."""
+        user_parts = [batch.initiators]
+        positive_parts = [batch.items]
+        negative_parts = [batch.negative_items]
+        has_participants = bool(batch.participants.size)
+        if has_participants:
+            rows = batch.participant_segment
+            user_parts.append(batch.participants)
+            positive_parts.append(batch.items[rows])
+            negative_parts.append(batch.negative_items[rows])
+        has_failed = self.beta > 0 and bool(batch.failed_friends.size)
+        if has_failed:
+            rows = batch.failed_friend_segment
+            user_parts.append(batch.failed_friends)
+            positive_parts.append(batch.items[rows])
+            negative_parts.append(batch.negative_items[rows])
+
+        differences = score_pair_difference(
+            np.concatenate(user_parts),
+            np.concatenate(positive_parts),
+            np.concatenate(negative_parts),
+        )
+        bounds = np.cumsum([0] + [part.shape[0] for part in user_parts])
+
+        loss = -log_sigmoid(differences[slice(bounds[0], bounds[1])]).sum()
+        if has_participants:
+            loss = loss + (-log_sigmoid(differences[slice(bounds[1], bounds[2])])).sum()
+        if has_failed:
+            start = 2 if has_participants else 1
+            # Friends of failed groups prefer the negative item: the BPR
+            # argument is score(neg) - score(pos) = -difference.
+            friend_differences = differences[slice(bounds[start], bounds[start + 1])]
+            loss = loss + (-log_sigmoid(-friend_differences)).sum() * self.beta
         return loss * (1.0 / batch_size)

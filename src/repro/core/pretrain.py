@@ -60,17 +60,18 @@ class GBGCNPretrainModel(RecommenderModel):
     def batch_loss(self, batch: GroupBuyingBatch) -> Tensor:
         friend_average = self.predictor.friend_average(self.user_embedding.weight)
 
-        def score_pairs(users: np.ndarray, items: np.ndarray) -> Tensor:
-            return self.predictor.score_pairs(
+        def score_pair_difference(users, positive_items, negative_items) -> Tensor:
+            return self.predictor.score_pair_difference(
                 users,
-                items,
+                positive_items,
+                negative_items,
                 self.user_embedding.weight,
                 self.item_embedding.weight,
                 friend_average,
                 self.item_embedding.weight,
             )
 
-        loss = self.loss_function(batch, score_pairs)
+        loss = self.loss_function(batch, score_pair_difference=score_pair_difference)
         touched_items = np.unique(np.concatenate([batch.items, batch.negative_items]))
         regularizer = self.regularization(
             [self.user_embedding(batch.initiators), self.item_embedding(touched_items)]

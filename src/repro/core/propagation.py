@@ -22,7 +22,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import Tensor, concat, sparse_matmul
+from ..autograd import Tensor, cache_transpose, concat, sparse_matmul
 from ..graph.hetero import HeteroGroupBuyingGraph
 from ..nn import Linear, Module, resolve_activation
 
@@ -67,11 +67,20 @@ class InViewPropagation(Module):
         self.num_layers = num_layers
         self.share_user_roles = share_user_roles
         self.share_item_roles = share_item_roles
-        # Row-normalized propagation matrices of both views.
+        # Row-normalized propagation matrices of both views.  Their CSR
+        # transposes (the backward operand) are precomputed once here, not
+        # re-derived on every backward call.
         self._init_user_from_item = graph.initiator_view.user_to_item_propagation()
         self._init_item_from_user = graph.initiator_view.item_to_user_propagation()
         self._part_user_from_item = graph.participant_view.user_to_item_propagation()
         self._part_item_from_user = graph.participant_view.item_to_user_propagation()
+        for matrix in (
+            self._init_user_from_item,
+            self._init_item_from_user,
+            self._part_user_from_item,
+            self._part_item_from_user,
+        ):
+            cache_transpose(matrix)
 
     def forward(self, user_embedding: Tensor, item_embedding: Tensor) -> ViewEmbeddings:
         """Propagate raw embeddings and return per-view concatenated embeddings."""
@@ -135,6 +144,15 @@ class CrossViewPropagation(Module):
         # and incoming (participant <- initiators who shared to them).
         self._share_outgoing = graph.sharing.outgoing_propagation()
         self._share_incoming = graph.sharing.incoming_propagation()
+        for matrix in (
+            self._init_user_from_item,
+            self._init_item_from_user,
+            self._part_user_from_item,
+            self._part_item_from_user,
+            self._share_outgoing,
+            self._share_incoming,
+        ):
+            cache_transpose(matrix)
 
         # Transformation matrices W_{source,target} with their biases.
         self.transform_vi_ui = Linear(feature_dim, feature_dim, rng=rng)
@@ -144,20 +162,57 @@ class CrossViewPropagation(Module):
         self.transform_ui_up = Linear(feature_dim, feature_dim, rng=rng)
         self.transform_up_vp = Linear(feature_dim, feature_dim, rng=rng)
 
-    def forward(self, in_view: ViewEmbeddings) -> ViewEmbeddings:
-        """Apply Eq. 4-7 and return the concatenation of input and output (Eq. 8)."""
+    def forward(
+        self,
+        in_view: ViewEmbeddings,
+        user_initiator_rows: Optional[np.ndarray] = None,
+        item_rows: Optional[np.ndarray] = None,
+    ) -> ViewEmbeddings:
+        """Apply Eq. 4-7 and return the concatenation of input and output (Eq. 8).
+
+        ``user_initiator_rows`` / ``item_rows`` optionally restrict the
+        *output* stage to the given (sorted, unique) rows.  The cross-view
+        stage is the last propagation step, so its initiator-view user rows
+        and both item-view rows are consumed exclusively by per-row score
+        gathers during training — computing the FC transform, activation and
+        Eq. 8 concatenation only for the rows a mini-batch actually scores
+        makes the stage cost ``O(batch)`` instead of ``O(table)``, with
+        row-identical results (each output row depends only on its own
+        slice of the propagation matrix).  The participant-view *user*
+        embeddings are always computed in full: the role-weighted predictor
+        averages them over every friend of a scored user.  Restricted rows
+        come back as compact tensors (row ``k`` is table row
+        ``user_initiator_rows[k]`` / ``item_rows[k]``); the default
+        (``None``) keeps the full-table behavior, which evaluation and the
+        Table V ablations use.  Row restriction is ignored for a view whose
+        roles are shared (the pooling average needs aligned shapes).
+        """
         activation = self._activation
+        restrict_users = user_initiator_rows is not None and not self.share_user_roles
+        restrict_items = item_rows is not None and not self.share_item_roles
+
+        def maybe_rows(matrix, restrict: bool, rows):
+            return matrix[rows] if restrict else matrix
 
         # Eq. 4: initiator-view users hear from their items and from the
         # participant-view embeddings of users they shared to.
-        item_message_i = sparse_matmul(self._init_user_from_item, in_view.item_initiator)
-        shared_to_message = sparse_matmul(self._share_outgoing, in_view.user_participant)
+        item_message_i = sparse_matmul(
+            maybe_rows(self._init_user_from_item, restrict_users, user_initiator_rows),
+            in_view.item_initiator,
+        )
+        shared_to_message = sparse_matmul(
+            maybe_rows(self._share_outgoing, restrict_users, user_initiator_rows),
+            in_view.user_participant,
+        )
         user_initiator = activation(self.transform_vi_ui(item_message_i)) + activation(
             self.transform_up_ui(shared_to_message)
         )
 
         # Eq. 5: initiator-view items hear from initiator-view users.
-        user_message_i = sparse_matmul(self._init_item_from_user, in_view.user_initiator)
+        user_message_i = sparse_matmul(
+            maybe_rows(self._init_item_from_user, restrict_items, item_rows),
+            in_view.user_initiator,
+        )
         item_initiator = activation(self.transform_ui_vi(user_message_i))
 
         # Eq. 6: participant-view users hear from their items and from the
@@ -169,17 +224,28 @@ class CrossViewPropagation(Module):
         )
 
         # Eq. 7: participant-view items hear from participant-view users.
-        user_message_p = sparse_matmul(self._part_item_from_user, in_view.user_participant)
+        user_message_p = sparse_matmul(
+            maybe_rows(self._part_item_from_user, restrict_items, item_rows),
+            in_view.user_participant,
+        )
         item_participant = activation(self.transform_up_vp(user_message_p))
 
         stage = ViewEmbeddings(user_initiator, item_initiator, user_participant, item_participant).pooled(
             self.share_user_roles, self.share_item_roles
         )
 
-        # Eq. 8: concatenate the cross-view output with its input.
+        # Eq. 8: concatenate the cross-view output with its input (gathered
+        # down to the same rows when the stage is restricted).
+        in_user_initiator = (
+            in_view.user_initiator[user_initiator_rows] if restrict_users else in_view.user_initiator
+        )
+        in_item_initiator = in_view.item_initiator[item_rows] if restrict_items else in_view.item_initiator
+        in_item_participant = (
+            in_view.item_participant[item_rows] if restrict_items else in_view.item_participant
+        )
         return ViewEmbeddings(
-            user_initiator=concat([in_view.user_initiator, stage.user_initiator], axis=-1),
-            item_initiator=concat([in_view.item_initiator, stage.item_initiator], axis=-1),
+            user_initiator=concat([in_user_initiator, stage.user_initiator], axis=-1),
+            item_initiator=concat([in_item_initiator, stage.item_initiator], axis=-1),
             user_participant=concat([in_view.user_participant, stage.user_participant], axis=-1),
-            item_participant=concat([in_view.item_participant, stage.item_participant], axis=-1),
+            item_participant=concat([in_item_participant, stage.item_participant], axis=-1),
         )

@@ -19,9 +19,9 @@ from typing import List, Optional, TYPE_CHECKING
 import numpy as np
 import scipy.sparse as sp
 
-from ..autograd import Tensor, concat, no_grad, sparse_matmul
+from ..autograd import Tensor, concat, gathered_dot_difference, no_grad, sparse_matmul
 from ..graph.bipartite import BipartiteGraph
-from ..nn import Embedding, bpr_loss
+from ..nn import Embedding, bpr_difference_loss
 from .base import DataMode, RecommenderModel
 
 if TYPE_CHECKING:
@@ -82,12 +82,14 @@ class LightGCN(RecommenderModel):
     def batch_loss(self, batch: "InteractionBatch") -> Tensor:
         embeddings = self.propagate()
         user_embeddings, item_embeddings = self._split(embeddings)
-        users = user_embeddings[batch.users]
-        positives = item_embeddings[batch.positive_items]
-        negatives = item_embeddings[batch.negative_items]
-        positive_scores = (users * positives).sum(axis=-1)
-        negative_scores = (users * negatives).sum(axis=-1)
-        loss = bpr_loss(positive_scores, negative_scores)
+        differences = gathered_dot_difference(
+            user_embeddings,
+            item_embeddings,
+            batch.users,
+            batch.positive_items,
+            batch.negative_items,
+        )
+        loss = bpr_difference_loss(differences)
         # LightGCN regularizes the *ego* embeddings of the sampled triples.
         regularizer = self.regularization(
             [

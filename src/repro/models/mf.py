@@ -58,6 +58,9 @@ class MatrixFactorization(RecommenderModel):
         return (user_vectors * item_vectors).sum(axis=-1)
 
     def batch_loss(self, batch: InteractionBatch) -> Tensor:
+        # MF is a Table III row: its loss keeps the seed composition (two
+        # score_pairs calls) so reproduction trajectories stay bitwise
+        # stable; the lookups still emit row-sparse gradients.
         positive = self.score_pairs(batch.users, batch.positive_items)
         negative = self.score_pairs(batch.users, batch.negative_items)
         loss = bpr_loss(positive, negative)

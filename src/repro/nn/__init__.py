@@ -11,6 +11,7 @@ from .layers import (
     resolve_activation,
 )
 from .losses import (
+    bpr_difference_loss,
     bpr_loss,
     l2_regularization,
     log_loss,
@@ -30,6 +31,7 @@ __all__ = [
     "Linear",
     "resolve_activation",
     "bpr_loss",
+    "bpr_difference_loss",
     "l2_regularization",
     "log_loss",
     "regression_pairwise_loss",

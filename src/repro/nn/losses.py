@@ -24,6 +24,7 @@ from ..autograd import Tensor, as_tensor, l2_norm_squared, log_sigmoid, sigmoid,
 
 __all__ = [
     "bpr_loss",
+    "bpr_difference_loss",
     "log_loss",
     "regression_pairwise_loss",
     "l2_regularization",
@@ -35,7 +36,24 @@ def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
     """Mean BPR loss ``-log sigmoid(pos - neg)`` over paired score tensors."""
     positive_scores = as_tensor(positive_scores)
     negative_scores = as_tensor(negative_scores)
+    if positive_scores.size == 0:
+        return Tensor(0.0)
     return -log_sigmoid(positive_scores - negative_scores).mean()
+
+
+def bpr_difference_loss(differences: Tensor) -> Tensor:
+    """Mean BPR loss from precomputed ``pos - neg`` score differences.
+
+    Models whose scores are embedding inner products feed this from
+    :func:`~repro.autograd.gathered_dot_difference`, which shares the
+    user-side gather between the positive and negative dot and emits one
+    row-sparse scatter per table in the backward.  An empty batch yields a
+    zero loss instead of a division by zero.
+    """
+    differences = as_tensor(differences)
+    if differences.size == 0:
+        return Tensor(0.0)
+    return -log_sigmoid(differences).mean()
 
 
 def log_loss(scores: Tensor, labels: np.ndarray, eps: float = 1e-9) -> Tensor:
@@ -83,12 +101,20 @@ def social_regularization(
     """
     if weight == 0.0:
         return Tensor(0.0)
-    friend_mean = sparse_matmul(social_matrix, user_embeddings)
-    difference = user_embeddings - friend_mean
     # Users with no friends have an all-zero friend mean; penalizing them
     # would just shrink their embeddings towards zero, so mask them out.
     has_friends = (social_matrix.getnnz(axis=1) > 0).astype(np.float64).reshape(-1, 1)
-    difference = difference * Tensor(has_friends)
     if user_indices is not None:
-        difference = difference[np.asarray(user_indices, dtype=np.int64)]
+        # Batch-restricted form: slice the averaging matrix down to the
+        # batch rows *before* propagating, so the term costs O(batch) — the
+        # full-table matmul, subtraction and masking below would each touch
+        # every user per mini-batch.
+        rows = np.asarray(user_indices, dtype=np.int64)
+        friend_mean = sparse_matmul(social_matrix.tocsr()[rows], user_embeddings)
+        difference = user_embeddings[rows] - friend_mean
+        difference = difference * Tensor(has_friends[rows])
+        return (difference ** 2).sum() * weight
+    friend_mean = sparse_matmul(social_matrix, user_embeddings)
+    difference = user_embeddings - friend_mean
+    difference = difference * Tensor(has_friends)
     return (difference ** 2).sum() * weight

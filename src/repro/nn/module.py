@@ -18,7 +18,20 @@ __all__ = ["Parameter", "Module"]
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as trainable by :class:`Module`."""
+    """A :class:`Tensor` that is registered as trainable by :class:`Module`.
+
+    A parameter's ``grad`` holds either a dense ``numpy.ndarray`` or a
+    :class:`~repro.autograd.RowSparseGrad` (when every contribution came
+    from row gathers such as embedding lookups); ``zero_grad`` resets both.
+    The optimizers in :mod:`repro.optim` consume either representation —
+    sparse gradients take the row-sliced fast path.  Unlike interior graph
+    nodes, a parameter always *owns* its gradient buffer (the first dense
+    contribution is copied), so in-place gradient clipping and accumulation
+    across batches can never write through an aliased activation buffer.
+    """
+
+    _copy_first_grad = True
+    _keep_sparse_grad = True
 
     def __init__(self, data, name: Optional[str] = None) -> None:
         super().__init__(data, requires_grad=True, name=name)

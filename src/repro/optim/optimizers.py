@@ -6,35 +6,92 @@ information" (Section III-C3); both optimizers are provided here together
 with global-norm gradient clipping.  Adagrad and RMSprop are included for
 the optimizer-sensitivity ablations (several baselines the paper cites were
 originally tuned with them).
+
+Row-sparse gradients
+--------------------
+Embedding lookups emit :class:`~repro.autograd.RowSparseGrad` (unique
+touched rows + per-row values) instead of a dense full-table gradient.
+Every optimizer has a row-sliced fast path for that representation, so a
+``step()`` costs ``O(rows touched)`` rather than ``O(table)``:
+
+* **SGD** (no momentum) and **Adagrad** update touched rows exactly as the
+  dense oracle would — untouched rows receive a zero update there, so the
+  trajectories are identical.  SGD *with* momentum densifies (the velocity
+  of every row decays each step).
+* **Adam** and **RMSprop** accept ``lazy=True`` to use *lazily-corrected*
+  per-row moments: each row remembers the step at which it was last
+  touched and catches up the missed ``beta2``/``alpha`` decay in one
+  multiply when touched again.  Untouched rows are not stepped at all
+  (lazy-Adam semantics: dense Adam would keep nudging them as the first
+  moment decays; skipping that is what makes the step sub-linear in table
+  size).  The default (``lazy=False``) densifies sparse gradients so the
+  trajectory stays exactly the dense oracle's — the reproduction
+  experiments depend on that; opt into ``lazy`` for throughput.
+* A nonzero ``weight_decay`` densifies every sparse fast path: the decay
+  term mathematically touches all rows each step, so a row-sliced update
+  would silently change the training trajectory (``torch.optim.SparseAdam``
+  rejects the combination outright for the same reason).
+
+Optimizer state is keyed by the parameter's *position* in the parameter
+list — never by ``id()``, which the allocator reuses after garbage
+collection and which could silently alias moment state across unrelated
+parameters.  The state is inspectable/restorable through ``state_dict`` /
+``load_state_dict``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from ..autograd import RowSparseGrad
 from ..nn.module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam", "Adagrad", "RMSprop", "clip_grad_norm"]
 
 
+def _grad_squared_sum(grad) -> float:
+    """Total squared entries of a dense or row-sparse gradient.
+
+    Sparse gradients are densified for the reduction: NumPy's pairwise
+    summation groups addends by array position, so summing the compacted
+    value block directly would round differently from the dense oracle in
+    the last ulp.  Scaling (the expensive repeated part) stays sparse.
+    """
+    if isinstance(grad, RowSparseGrad):
+        grad = grad.to_dense()
+    return float((grad ** 2).sum())
+
+
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the norm before clipping (useful for monitoring).
+    Handles dense and row-sparse gradients; sparse gradients are scaled on
+    their value blocks only.  Returns the norm before clipping (useful for
+    monitoring).
     """
     parameters = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    total = float(np.sqrt(sum(_grad_squared_sum(p.grad) for p in parameters)))
     if max_norm > 0 and total > max_norm:
         scale = max_norm / (total + 1e-12)
         for parameter in parameters:
-            parameter.grad *= scale
+            if isinstance(parameter.grad, RowSparseGrad):
+                parameter.grad.scale_(scale)
+            else:
+                parameter.grad *= scale
     return total
 
 
 class Optimizer:
-    """Base optimizer holding a parameter list and a learning rate."""
+    """Base optimizer holding a parameter list and a learning rate.
+
+    Subclasses keep their per-parameter state in ``self._state[index]``
+    (one dict per parameter, aligned with ``self.parameters``) and reuse
+    ``_apply_weight_decay`` for the dense decoupled-L2 term, which composes
+    into a persistent scratch buffer instead of allocating a fresh
+    ``wd * data`` temporary every step.
+    """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
         self.parameters: List[Parameter] = list(parameters)
@@ -43,6 +100,10 @@ class Optimizer:
         if lr <= 0:
             raise ValueError("learning rate must be positive")
         self.lr = lr
+        self.weight_decay = 0.0
+        self._step_count = 0
+        self._state: List[Dict[str, np.ndarray]] = [{} for _ in self.parameters]
+        self._decay_scratch: List[Optional[np.ndarray]] = [None] * len(self.parameters)
 
     def zero_grad(self) -> None:
         for parameter in self.parameters:
@@ -50,6 +111,56 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # State inspection / restoration
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Copies of all per-parameter state, keyed by parameter index."""
+        return {
+            "step_count": self._step_count,
+            "param_state": [
+                {key: value.copy() if isinstance(value, np.ndarray) else value for key, value in state.items()}
+                for state in self._state
+            ],
+        }
+
+    def load_state_dict(self, payload: Dict[str, Any]) -> None:
+        """Restore state captured by :meth:`state_dict` (index-aligned)."""
+        param_state = payload["param_state"]
+        if len(param_state) != len(self.parameters):
+            raise ValueError(
+                f"state for {len(param_state)} parameters cannot be loaded into "
+                f"an optimizer holding {len(self.parameters)}"
+            )
+        self._step_count = int(payload["step_count"])
+        self._state = [
+            {key: value.copy() if isinstance(value, np.ndarray) else value for key, value in state.items()}
+            for state in param_state
+        ]
+
+    # ------------------------------------------------------------------
+    # Shared update helpers
+    # ------------------------------------------------------------------
+    def _apply_weight_decay(self, index: int, parameter: Parameter, gradient: np.ndarray) -> np.ndarray:
+        """Dense ``gradient + weight_decay * parameter.data`` without the
+        per-step temporary: the product lands in a persistent per-parameter
+        scratch buffer (float addition is commutative bitwise, so composing
+        ``wd * data`` first is identical to the naive expression)."""
+        if not self.weight_decay:
+            return gradient
+        buffer = self._decay_scratch[index]
+        if buffer is None or buffer.shape != parameter.data.shape:
+            buffer = np.empty_like(parameter.data)
+            self._decay_scratch[index] = buffer
+        np.multiply(parameter.data, self.weight_decay, out=buffer)
+        buffer += gradient
+        return buffer
+
+    @staticmethod
+    def _per_row(steps: np.ndarray, ndim: int) -> np.ndarray:
+        """Reshape a per-row integer vector to broadcast over value blocks."""
+        return steps.reshape((-1,) + (1,) * (ndim - 1))
 
 
 class SGD(Optimizer):
@@ -65,19 +176,36 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for parameter in self.parameters:
-            if parameter.grad is None:
-                continue
+        self._step_count += 1
+        for index, parameter in enumerate(self.parameters):
             gradient = parameter.grad
-            if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
+            if gradient is None:
+                continue
+            if isinstance(gradient, RowSparseGrad):
+                if self.momentum or self.weight_decay:
+                    # Momentum decays every row's velocity and weight decay
+                    # touches every row each step, so a row-sliced update
+                    # would diverge from the oracle trajectory.
+                    gradient = gradient.to_dense()
+                else:
+                    rows = gradient.indices
+                    if rows.size:
+                        parameter.data[rows] -= self.lr * gradient.values
+                    continue
+            gradient = self._apply_weight_decay(index, parameter, gradient)
             if self.momentum:
-                velocity = self._velocity.get(id(parameter))
-                velocity = self.momentum * velocity + gradient if velocity is not None else gradient
-                self._velocity[id(parameter)] = velocity
+                state = self._state[index]
+                velocity = state.get("velocity")
+                if velocity is None:
+                    # Copy: the gradient may live in the decay scratch
+                    # buffer (reused next step) or in parameter.grad.
+                    velocity = gradient.copy()
+                else:
+                    velocity *= self.momentum
+                    velocity += gradient
+                state["velocity"] = velocity
                 update = velocity
             else:
                 update = gradient
@@ -85,7 +213,7 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimizer [Kingma & Ba, 2015]."""
+    """Adam [Kingma & Ba, 2015], with opt-in lazy per-row sparse moments."""
 
     def __init__(
         self,
@@ -94,36 +222,78 @@ class Adam(Optimizer):
         betas: tuple = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        lazy: bool = False,
     ) -> None:
         super().__init__(parameters, lr)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._step_count = 0
-        self._first_moment: Dict[int, np.ndarray] = {}
-        self._second_moment: Dict[int, np.ndarray] = {}
+        self.lazy = lazy
+
+    def _moment_state(self, index: int, parameter: Parameter, lazy: bool) -> Dict[str, np.ndarray]:
+        state = self._state[index]
+        if "first" not in state:
+            state["first"] = np.zeros_like(parameter.data)
+            state["second"] = np.zeros_like(parameter.data)
+        if lazy and "last_step" not in state:
+            # Dense history (if any) already decayed every row through the
+            # previous step, so lazy tracking starts there — starting at 0
+            # would double-apply that decay on the first sparse touch.
+            state["last_step"] = np.full(
+                parameter.data.shape[0], self._step_count - 1, dtype=np.int64
+            )
+        return state
 
     def step(self) -> None:
         self._step_count += 1
-        bias1 = 1.0 - self.beta1 ** self._step_count
-        bias2 = 1.0 - self.beta2 ** self._step_count
-        for parameter in self.parameters:
-            if parameter.grad is None:
-                continue
+        step = self._step_count
+        bias1 = 1.0 - self.beta1 ** step
+        bias2 = 1.0 - self.beta2 ** step
+        for index, parameter in enumerate(self.parameters):
             gradient = parameter.grad
-            if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
-            key = id(parameter)
-            first = self._first_moment.get(key)
-            second = self._second_moment.get(key)
-            first = self.beta1 * first + (1 - self.beta1) * gradient if first is not None else (1 - self.beta1) * gradient
-            second = (
-                self.beta2 * second + (1 - self.beta2) * gradient ** 2
-                if second is not None
-                else (1 - self.beta2) * gradient ** 2
-            )
-            self._first_moment[key] = first
-            self._second_moment[key] = second
+            if gradient is None:
+                continue
+            if isinstance(gradient, RowSparseGrad):
+                if self.weight_decay or not self.lazy:
+                    # Weight decay updates every row each step (like
+                    # torch.optim.SparseAdam, which rejects it outright),
+                    # and without the lazy opt-in the trajectory must stay
+                    # exactly the dense oracle's.
+                    gradient = gradient.to_dense()
+                else:
+                    state = self._moment_state(index, parameter, lazy=True)
+                    rows = gradient.indices
+                    if not rows.size:
+                        continue
+                    values = gradient.values
+                    first, second, last_step = state["first"], state["second"], state["last_step"]
+                    # One multiply catches up the exponential decay the rows
+                    # missed while untouched *and* applies this step's decay:
+                    # first_t = beta1^(t-s) * first_s + (1-beta1) * g.
+                    exponent = self._per_row(step - last_step[rows], parameter.data.ndim)
+                    first_rows = first[rows] * self.beta1 ** exponent + (1 - self.beta1) * values
+                    second_rows = second[rows] * self.beta2 ** exponent + (1 - self.beta2) * values ** 2
+                    first[rows] = first_rows
+                    second[rows] = second_rows
+                    last_step[rows] = step
+                    corrected_first = first_rows / bias1
+                    corrected_second = second_rows / bias2
+                    parameter.data[rows] -= self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)
+                    continue
+            state = self._moment_state(index, parameter, lazy=False)
+            gradient = self._apply_weight_decay(index, parameter, gradient)
+            last_step = state.get("last_step")
+            if last_step is not None:
+                # A dense step after sparse history: reconcile every row
+                # first so the moments match their lazily-decayed values.
+                missed = self._per_row(step - 1 - last_step, parameter.data.ndim)
+                state["first"] *= self.beta1 ** missed
+                state["second"] *= self.beta2 ** missed
+                last_step[:] = step
+            first = self.beta1 * state["first"] + (1 - self.beta1) * gradient
+            second = self.beta2 * state["second"] + (1 - self.beta2) * gradient ** 2
+            state["first"] = first
+            state["second"] = second
             corrected_first = first / bias1
             corrected_second = second / bias2
             parameter.data = parameter.data - self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)
@@ -131,7 +301,11 @@ class Adam(Optimizer):
 
 class Adagrad(Optimizer):
     """Adagrad [Duchi et al., 2011]: per-parameter learning rates from the
-    accumulated squared gradient."""
+    accumulated squared gradient.
+
+    The row-sparse step matches the dense trajectory exactly: Adagrad has
+    no state decay, and untouched rows receive a zero update either way.
+    """
 
     def __init__(
         self,
@@ -143,25 +317,40 @@ class Adagrad(Optimizer):
         super().__init__(parameters, lr)
         self.eps = eps
         self.weight_decay = weight_decay
-        self._accumulator: Dict[int, np.ndarray] = {}
 
     def step(self) -> None:
-        for parameter in self.parameters:
-            if parameter.grad is None:
-                continue
+        self._step_count += 1
+        for index, parameter in enumerate(self.parameters):
             gradient = parameter.grad
-            if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
-            key = id(parameter)
-            accumulated = self._accumulator.get(key)
-            accumulated = accumulated + gradient ** 2 if accumulated is not None else gradient ** 2
-            self._accumulator[key] = accumulated
-            parameter.data = parameter.data - self.lr * gradient / (np.sqrt(accumulated) + self.eps)
+            if gradient is None:
+                continue
+            state = self._state[index]
+            if isinstance(gradient, RowSparseGrad):
+                if self.weight_decay:
+                    # Weight decay touches every row each step: keep the
+                    # dense trajectory.
+                    gradient = gradient.to_dense()
+                else:
+                    rows = gradient.indices
+                    if not rows.size:
+                        continue
+                    accumulator = state.get("accumulator")
+                    if accumulator is None:
+                        accumulator = state["accumulator"] = np.zeros_like(parameter.data)
+                    values = gradient.values
+                    accumulator[rows] += values ** 2
+                    parameter.data[rows] -= self.lr * values / (np.sqrt(accumulator[rows]) + self.eps)
+                    continue
+            gradient = self._apply_weight_decay(index, parameter, gradient)
+            accumulator = state.get("accumulator")
+            accumulator = accumulator + gradient ** 2 if accumulator is not None else gradient ** 2
+            state["accumulator"] = accumulator
+            parameter.data = parameter.data - self.lr * gradient / (np.sqrt(accumulator) + self.eps)
 
 
 class RMSprop(Optimizer):
     """RMSprop [Tieleman & Hinton, 2012]: exponentially decayed squared-gradient
-    normalization."""
+    normalization, with opt-in lazily-decayed per-row sparse averages."""
 
     def __init__(
         self,
@@ -170,6 +359,7 @@ class RMSprop(Optimizer):
         alpha: float = 0.99,
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        lazy: bool = False,
     ) -> None:
         super().__init__(parameters, lr)
         if not 0.0 <= alpha < 1.0:
@@ -177,21 +367,54 @@ class RMSprop(Optimizer):
         self.alpha = alpha
         self.eps = eps
         self.weight_decay = weight_decay
-        self._square_average: Dict[int, np.ndarray] = {}
+        self.lazy = lazy
 
     def step(self) -> None:
-        for parameter in self.parameters:
-            if parameter.grad is None:
-                continue
+        self._step_count += 1
+        step = self._step_count
+        for index, parameter in enumerate(self.parameters):
             gradient = parameter.grad
-            if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
-            key = id(parameter)
-            average = self._square_average.get(key)
+            if gradient is None:
+                continue
+            state = self._state[index]
+            if isinstance(gradient, RowSparseGrad):
+                if self.weight_decay or not self.lazy:
+                    # Weight decay touches every row each step, and without
+                    # the lazy opt-in the trajectory must stay exactly the
+                    # dense oracle's.
+                    gradient = gradient.to_dense()
+                else:
+                    rows = gradient.indices
+                    if not rows.size:
+                        continue
+                    average = state.get("square_average")
+                    if average is None:
+                        average = state["square_average"] = np.zeros_like(parameter.data)
+                    if "last_step" not in state:
+                        # Dense history already decayed every row through the
+                        # previous step; lazy tracking resumes from there.
+                        state["last_step"] = np.full(
+                            parameter.data.shape[0], step - 1, dtype=np.int64
+                        )
+                    values = gradient.values
+                    last_step = state["last_step"]
+                    exponent = self._per_row(step - last_step[rows], parameter.data.ndim)
+                    average[rows] = average[rows] * self.alpha ** exponent + (1 - self.alpha) * values ** 2
+                    last_step[rows] = step
+                    parameter.data[rows] -= self.lr * values / (np.sqrt(average[rows]) + self.eps)
+                    continue
+            gradient = self._apply_weight_decay(index, parameter, gradient)
+            average = state.get("square_average")
+            last_step = state.get("last_step")
+            if last_step is not None:
+                missed = self._per_row(step - 1 - last_step, parameter.data.ndim)
+                state["square_average"] *= self.alpha ** missed
+                last_step[:] = step
+                average = state["square_average"]
             average = (
                 self.alpha * average + (1 - self.alpha) * gradient ** 2
                 if average is not None
                 else (1 - self.alpha) * gradient ** 2
             )
-            self._square_average[key] = average
+            state["square_average"] = average
             parameter.data = parameter.data - self.lr * gradient / (np.sqrt(average) + self.eps)

@@ -171,47 +171,79 @@ class GroupBuyingBatchIterator:
         self.max_failed_friends = max_failed_friends
         self._rng = make_rng(seed)
         self._friend_lists = dataset.friend_lists()
+        # Columnar views of the (immutable) behavior list, built once so
+        # each batch is a handful of fancy-index gathers instead of a
+        # Python loop over behavior objects.
+        behaviors = dataset.behaviors
+        self._initiators = np.asarray([b.initiator for b in behaviors], dtype=np.int64)
+        self._items = np.asarray([b.item for b in behaviors], dtype=np.int64)
+        self._success = np.asarray([b.is_successful for b in behaviors], dtype=bool)
+        counts = np.asarray([len(b.participants) for b in behaviors], dtype=np.int64)
+        self._participant_counts = counts
+        self._participant_offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        self._participant_flat = np.asarray(
+            [p for b in behaviors for p in b.participants], dtype=np.int64
+        )
 
-    def _build_batch(self, behaviors: Sequence) -> GroupBuyingBatch:
-        initiators = np.asarray([b.initiator for b in behaviors], dtype=np.int64)
-        items = np.asarray([b.item for b in behaviors], dtype=np.int64)
-        success = np.asarray([b.is_successful for b in behaviors], dtype=bool)
+    def _build_batch(self, behavior_indices: np.ndarray) -> GroupBuyingBatch:
+        behavior_indices = np.asarray(behavior_indices, dtype=np.int64)
+        num_rows = behavior_indices.size
+        initiators = self._initiators[behavior_indices]
+        items = self._items[behavior_indices]
+        success = self._success[behavior_indices]
         negatives = self.sampler.sample_batch(initiators, count=1)[:, 0]
 
-        participants: List[int] = []
-        participant_segment: List[int] = []
-        failed_friends: List[int] = []
-        failed_friend_segment: List[int] = []
-        for row, behavior in enumerate(behaviors):
-            if behavior.is_successful:
-                participants.extend(behavior.participants)
-                participant_segment.extend([row] * len(behavior.participants))
-            else:
-                friends = self._friend_lists[behavior.initiator]
-                if friends.size > self.max_failed_friends:
-                    friends = self._rng.choice(friends, size=self.max_failed_friends, replace=False)
-                failed_friends.extend(int(f) for f in friends)
-                failed_friend_segment.extend([row] * len(friends))
+        # Participants of successful behaviors: one ragged gather from the
+        # flattened participant array.
+        counts = np.where(success, self._participant_counts[behavior_indices], 0)
+        total = int(counts.sum())
+        if total:
+            ends = np.cumsum(counts)
+            within = np.arange(total, dtype=np.int64) - np.repeat(ends - counts, counts)
+            positions = np.repeat(self._participant_offsets[behavior_indices], counts) + within
+            participants = self._participant_flat[positions]
+            participant_segment = np.repeat(np.arange(num_rows, dtype=np.int64), counts)
+        else:
+            participants = np.empty(0, dtype=np.int64)
+            participant_segment = np.empty(0, dtype=np.int64)
+
+        # Friends of initiators of failed behaviors (subsampled above the
+        # cap, consuming the RNG in row order exactly as the original loop).
+        friend_blocks: List[np.ndarray] = []
+        friend_rows: List[int] = []
+        for row in np.flatnonzero(~success):
+            friends = self._friend_lists[initiators[row]]
+            if friends.size > self.max_failed_friends:
+                friends = self._rng.choice(friends, size=self.max_failed_friends, replace=False)
+            friend_blocks.append(friends)
+            friend_rows.append(int(row))
+        if friend_blocks:
+            failed_friends = np.concatenate(friend_blocks).astype(np.int64, copy=False)
+            failed_friend_segment = np.repeat(
+                np.asarray(friend_rows, dtype=np.int64),
+                np.asarray([block.size for block in friend_blocks], dtype=np.int64),
+            )
+        else:
+            failed_friends = np.empty(0, dtype=np.int64)
+            failed_friend_segment = np.empty(0, dtype=np.int64)
 
         return GroupBuyingBatch(
             initiators=initiators,
             items=items,
             negative_items=negatives,
             success=success,
-            participants=np.asarray(participants, dtype=np.int64),
-            participant_segment=np.asarray(participant_segment, dtype=np.int64),
-            failed_friends=np.asarray(failed_friends, dtype=np.int64),
-            failed_friend_segment=np.asarray(failed_friend_segment, dtype=np.int64),
+            participants=participants,
+            participant_segment=participant_segment,
+            failed_friends=failed_friends,
+            failed_friend_segment=failed_friend_segment,
         )
 
     def __iter__(self) -> Iterator[GroupBuyingBatch]:
-        behaviors = self.dataset.behaviors
-        if not behaviors:
+        if not self.dataset.behaviors:
             return
-        order = self._rng.permutation(len(behaviors))
+        order = self._rng.permutation(len(self.dataset.behaviors))
         for start in range(0, len(order), self.batch_size):
-            chunk = [behaviors[index] for index in order[start : start + self.batch_size]]
-            yield self._build_batch(chunk)
+            yield self._build_batch(order[start : start + self.batch_size])
 
     def num_batches(self) -> int:
         return int(np.ceil(len(self.dataset.behaviors) / self.batch_size))

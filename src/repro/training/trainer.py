@@ -122,7 +122,10 @@ class Trainer:
                 epoch=epoch,
                 mean_loss=mean_loss,
                 validation_metric=validation_metric,
-                seconds=timer.mean("epoch"),
+                # This epoch's own duration — the running mean would make
+                # every record after epoch 1 wrong in history/Table-IV
+                # outputs and callbacks.
+                seconds=timer.last("epoch"),
             )
             history.records.append(record)
             self.callbacks.on_epoch_end(self, record)

@@ -16,6 +16,8 @@ class TimingRecord:
     name: str
     total_seconds: float = 0.0
     calls: int = 0
+    #: Duration of the most recent call (not the running mean).
+    last_seconds: float = 0.0
 
     @property
     def mean_seconds(self) -> float:
@@ -67,6 +69,7 @@ class Timer:
                 record = timer.records.setdefault(name, TimingRecord(name))
                 record.total_seconds += elapsed
                 record.calls += 1
+                record.last_seconds = elapsed
 
         return _Context()
 
@@ -74,6 +77,11 @@ class Timer:
         """Mean seconds per call for phase ``name`` (0 if never timed)."""
         record = self.records.get(name)
         return record.mean_seconds if record else 0.0
+
+    def last(self, name: str) -> float:
+        """Seconds of the most recent call of phase ``name`` (0 if never timed)."""
+        record = self.records.get(name)
+        return record.last_seconds if record else 0.0
 
     def summary(self) -> List[TimingRecord]:
         """All records sorted by name."""

@@ -1,0 +1,173 @@
+"""RowSparseGrad: coalescing, merging, accumulation and bitwise parity.
+
+The contract under test everywhere: with sparse gradients enabled, every
+densified gradient is ``np.array_equal`` to what the dense oracle path
+(``zeros`` + ``np.add.at`` + dense accumulation) produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    RowSparseGrad,
+    Tensor,
+    embedding_lookup,
+    grad_to_dense,
+    sparse_grads_enabled,
+    use_dense_grads,
+    use_sparse_grads,
+)
+from repro.autograd.sparse_grad import coalesce_rows
+from repro.nn.module import Parameter
+
+
+def dense_scatter(shape, indices, values):
+    full = np.zeros(shape)
+    np.add.at(full, indices, values)
+    return full
+
+
+class TestCoalesceRows:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_add_at_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(0, 37, size=400)
+        values = rng.normal(size=(400, 9))
+        unique, reduced = coalesce_rows(indices, values)
+        assert np.all(unique[1:] > unique[:-1])  # sorted, strictly unique
+        full = dense_scatter((37, 9), indices, values)
+        rebuilt = np.zeros((37, 9))
+        rebuilt[unique] = reduced
+        assert (full == rebuilt).all()
+
+    def test_all_unique_fast_path(self):
+        indices = np.array([5, 1, 9])
+        values = np.arange(6.0).reshape(3, 2)
+        unique, reduced = coalesce_rows(indices, values)
+        assert unique.tolist() == [1, 5, 9]
+        assert np.array_equal(reduced, values[[1, 0, 2]])
+        # The result must be freshly owned, not a view of the input.
+        reduced[0, 0] = 123.0
+        assert values[1, 0] == 2.0
+
+    def test_empty(self):
+        unique, reduced = coalesce_rows(np.array([], dtype=np.int64), np.zeros((0, 4)))
+        assert unique.size == 0 and reduced.shape == (0, 4)
+
+    def test_one_dimensional_blocks(self):
+        indices = np.array([2, 2, 0])
+        values = np.array([1.0, 2.0, 5.0])
+        unique, reduced = coalesce_rows(indices, values)
+        assert unique.tolist() == [0, 2]
+        assert reduced.tolist() == [5.0, 3.0]
+
+
+class TestRowSparseGrad:
+    def test_from_scatter_normalizes_negative_and_multidim_indices(self):
+        values = np.ones((2, 2, 3))
+        grad = RowSparseGrad.from_scatter((5, 3), np.array([[-1, 0], [0, -1]]), values)
+        assert grad.indices.tolist() == [0, 4]
+        assert np.array_equal(grad.to_dense(), dense_scatter((5, 3), [4, 0, 0, 4], np.ones((4, 3))))
+
+    def test_merge_matches_dense_sum_bitwise(self):
+        rng = np.random.default_rng(7)
+        a_idx = rng.integers(0, 20, size=50)
+        b_idx = rng.integers(0, 20, size=30)
+        a_vals = rng.normal(size=(50, 4))
+        b_vals = rng.normal(size=(30, 4))
+        merged = RowSparseGrad.from_scatter((20, 4), a_idx, a_vals).add_(
+            RowSparseGrad.from_scatter((20, 4), b_idx, b_vals)
+        )
+        oracle = dense_scatter((20, 4), a_idx, a_vals) + dense_scatter((20, 4), b_idx, b_vals)
+        assert (merged.to_dense() == oracle).all()
+
+    def test_add_to_dense_in_place(self):
+        grad = RowSparseGrad.from_scatter((4, 2), np.array([1, 3]), np.ones((2, 2)))
+        dense = np.full((4, 2), 2.0)
+        out = grad.add_to_dense_(dense)
+        assert out is dense
+        assert dense[1].tolist() == [3.0, 3.0] and dense[0].tolist() == [2.0, 2.0]
+
+    def test_scale_and_numpy_interop(self):
+        grad = RowSparseGrad.from_scatter((3, 2), np.array([2]), np.array([[1.0, -2.0]]))
+        grad.scale_(0.5)
+        assert np.allclose(grad, [[0, 0], [0, 0], [0.5, -1.0]])  # __array__
+        doubled = grad * 2.0
+        assert doubled.values.tolist() == [[1.0, -2.0]]
+        assert grad.nnz_rows == 1 and grad.density == pytest.approx(1 / 3)
+
+    def test_empty_scatter(self):
+        grad = RowSparseGrad.from_scatter((6, 2), np.array([], dtype=np.int64), np.zeros((0, 2)))
+        assert grad.nnz_rows == 0
+        assert np.array_equal(grad.to_dense(), np.zeros((6, 2)))
+
+
+class TestEngineToggle:
+    def test_context_managers_restore_state(self):
+        assert sparse_grads_enabled()
+        with use_dense_grads():
+            assert not sparse_grads_enabled()
+            with use_sparse_grads():
+                assert sparse_grads_enabled()
+            assert not sparse_grads_enabled()
+        assert sparse_grads_enabled()
+
+
+class TestAccumulationSemantics:
+    def test_parameter_keeps_sparse_representation(self):
+        table = Parameter(np.random.default_rng(0).normal(size=(10, 4)))
+        out = embedding_lookup(table, np.array([1, 1, 3]))
+        other = embedding_lookup(table, np.array([5]))
+        (out.sum() + other.sum()).backward()
+        assert isinstance(table.grad, RowSparseGrad)
+        assert table.grad.indices.tolist() == [1, 3, 5]
+
+    def test_interior_node_densifies_on_second_contribution(self):
+        base = Tensor(np.random.default_rng(0).normal(size=(10, 4)), requires_grad=True)
+        interior = base * 1.0
+        first = embedding_lookup(interior, np.array([1, 2]))
+        second = embedding_lookup(interior, np.array([2, 7]))
+        (first.sum() + second.sum()).backward()
+        # Interior node's grad was consumed dense; the leaf behind it too.
+        assert isinstance(base.grad, np.ndarray)
+        expected = np.zeros((10, 4))
+        expected[[1, 2, 7]] = 1.0
+        expected[2] = 2.0
+        assert np.array_equal(base.grad, expected)
+
+    def test_dense_plus_sparse_accumulation(self):
+        table = Parameter(np.ones((6, 3)))
+        dense_path = table * 2.0  # contributes a dense gradient
+        sparse_path = embedding_lookup(table, np.array([0, 0, 4]))
+        (dense_path.sum() + (sparse_path * 3.0).sum()).backward()
+        expected = np.full((6, 3), 2.0)
+        expected[0] += 6.0
+        expected[4] += 3.0
+        assert np.array_equal(grad_to_dense(table.grad), expected)
+
+    def test_lookup_parity_with_dense_oracle(self):
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            idx = rng.integers(0, 30, size=100)
+            weights = rng.normal(size=(100, 5))
+            sparse_table = Parameter(rng.normal(size=(30, 5)))
+            dense_table = Parameter(sparse_table.data.copy())
+            (embedding_lookup(sparse_table, idx) * weights).sum().backward()
+            with use_dense_grads():
+                (embedding_lookup(dense_table, idx) * weights).sum().backward()
+            assert isinstance(sparse_table.grad, RowSparseGrad)
+            assert np.array_equal(sparse_table.grad.to_dense(), dense_table.grad)
+
+    def test_getitem_fallbacks_stay_dense(self):
+        t = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        t[1:3].sum().backward()  # slice index -> dense scatter
+        assert isinstance(t.grad, np.ndarray)
+        t2 = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        t2[np.array([True, False, True, False])].sum().backward()  # bool mask
+        assert isinstance(t2.grad, np.ndarray)
+
+    def test_second_backward_accumulates(self):
+        table = Parameter(np.ones((5, 2)))
+        for _ in range(2):
+            embedding_lookup(table, np.array([3])).sum().backward()
+        assert grad_to_dense(table.grad)[3].tolist() == [2.0, 2.0]

@@ -1,0 +1,146 @@
+"""Registry-wide sparse-vs-dense gradient parity (bitwise, not allclose).
+
+The dense engine (``use_dense_grads``) is the oracle: for every registry
+model plus GBGCN-pretrain, a training step under the row-sparse engine must
+produce the exact same loss and — after densification — the exact same
+gradient array for every parameter (``np.array_equal``).  Repeated-index
+batches, empty batches and ``clip_grad_norm`` interaction included.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import RowSparseGrad, grad_to_dense, use_dense_grads, use_sparse_grads
+from repro.models import ALL_MODEL_NAMES, ModelSettings, build_model
+from repro.optim import clip_grad_norm
+from repro.training.batches import GroupBuyingBatch, InteractionBatch
+from repro.training.factory import build_batch_iterator
+
+PARITY_MODELS = ALL_MODEL_NAMES + ["GBGCN-pretrain"]
+NON_TRAINABLE = {"ItemPop", "ItemKNN"}
+
+
+def training_step(name, train_dataset, sparse, batch_transform=None, grad_clip=None):
+    """One loss/backward (optionally clipped) under the chosen grad engine."""
+    settings = ModelSettings(embedding_dim=8, num_layers=2)
+    model = build_model(name, train_dataset, settings)
+    iterator = build_batch_iterator(model, train_dataset, batch_size=64, seed=3)
+    batch = next(iter(iterator))
+    if batch_transform is not None:
+        batch = batch_transform(batch)
+    engine = use_sparse_grads() if sparse else use_dense_grads()
+    with engine:
+        loss = model.batch_loss(batch)
+        loss.backward()
+        if grad_clip is not None:
+            clip_grad_norm(model.parameters(), grad_clip)
+    grads = {
+        param_name: grad_to_dense(parameter.grad)
+        for param_name, parameter in model.named_parameters()
+        if parameter.grad is not None
+    }
+    sparse_count = sum(
+        isinstance(parameter.grad, RowSparseGrad) for parameter in model.parameters()
+    )
+    return float(loss.data), grads, sparse_count
+
+
+def assert_parity(name, train_dataset, batch_transform=None, grad_clip=None):
+    sparse_loss, sparse_grads, _ = training_step(
+        name, train_dataset, sparse=True, batch_transform=batch_transform, grad_clip=grad_clip
+    )
+    dense_loss, dense_grads, dense_sparse_count = training_step(
+        name, train_dataset, sparse=False, batch_transform=batch_transform, grad_clip=grad_clip
+    )
+    assert dense_sparse_count == 0  # the oracle path never emits sparse grads
+    assert sparse_loss == dense_loss
+    assert set(sparse_grads) == set(dense_grads)
+    for param_name in dense_grads:
+        assert np.array_equal(sparse_grads[param_name], dense_grads[param_name]), (
+            f"{name}: gradient mismatch for parameter '{param_name}'"
+        )
+    return sparse_grads
+
+
+@pytest.mark.parametrize("name", PARITY_MODELS)
+def test_gradients_bitwise_equal(name, small_split):
+    train = small_split.train
+    if name in NON_TRAINABLE:
+        model = build_model(name, train, ModelSettings(embedding_dim=8))
+        assert model.parameters() == []
+        return
+    grads = assert_parity(name, train)
+    assert grads  # every trainable model must actually produce gradients
+
+
+def test_embedding_models_emit_sparse_grads(small_split):
+    _, _, sparse_count = training_step("MF", small_split.train, sparse=True)
+    assert sparse_count > 0  # guard: the sparse engine is actually engaged
+
+
+class TestEdgeCaseBatches:
+    def _repeat_interactions(self, batch: InteractionBatch) -> InteractionBatch:
+        return InteractionBatch(
+            users=np.concatenate([batch.users, batch.users[:7], batch.users[:7]]),
+            positive_items=np.concatenate(
+                [batch.positive_items, batch.positive_items[:7], batch.positive_items[:7]]
+            ),
+            negative_items=np.concatenate(
+                [batch.negative_items, batch.negative_items[:7], batch.negative_items[:7]]
+            ),
+        )
+
+    def _repeat_group_buying(self, batch: GroupBuyingBatch) -> GroupBuyingBatch:
+        rows = len(batch)
+        return GroupBuyingBatch(
+            initiators=np.concatenate([batch.initiators, batch.initiators]),
+            items=np.concatenate([batch.items, batch.items]),
+            negative_items=np.concatenate([batch.negative_items, batch.negative_items]),
+            success=np.concatenate([batch.success, batch.success]),
+            participants=np.concatenate([batch.participants, batch.participants]),
+            participant_segment=np.concatenate(
+                [batch.participant_segment, batch.participant_segment + rows]
+            ),
+            failed_friends=np.concatenate([batch.failed_friends, batch.failed_friends]),
+            failed_friend_segment=np.concatenate(
+                [batch.failed_friend_segment, batch.failed_friend_segment + rows]
+            ),
+        )
+
+    def _empty_interactions(self, batch: InteractionBatch) -> InteractionBatch:
+        empty = np.empty(0, dtype=np.int64)
+        return InteractionBatch(users=empty, positive_items=empty, negative_items=empty)
+
+    def _empty_group_buying(self, batch: GroupBuyingBatch) -> GroupBuyingBatch:
+        empty = np.empty(0, dtype=np.int64)
+        return GroupBuyingBatch(
+            initiators=empty,
+            items=empty,
+            negative_items=empty,
+            success=np.empty(0, dtype=bool),
+            participants=empty,
+            participant_segment=empty,
+            failed_friends=empty,
+            failed_friend_segment=empty,
+        )
+
+    def test_repeated_index_batch_mf(self, small_split):
+        assert_parity("MF", small_split.train, batch_transform=self._repeat_interactions)
+
+    def test_repeated_index_batch_gbgcn(self, small_split):
+        assert_parity("GBGCN", small_split.train, batch_transform=self._repeat_group_buying)
+
+    def test_empty_batch_mf(self, small_split):
+        assert_parity("MF", small_split.train, batch_transform=self._empty_interactions)
+
+    def test_empty_batch_gbgcn(self, small_split):
+        assert_parity("GBGCN", small_split.train, batch_transform=self._empty_group_buying)
+
+    @pytest.mark.parametrize("name", ["MF", "LightGCN", "GBGCN", "GBGCN-pretrain"])
+    def test_clip_grad_norm_interaction(self, name, small_split):
+        # A tiny max_norm guarantees clipping actually rescales.
+        assert_parity(name, small_split.train, grad_clip=1e-3)
+
+    def test_clip_preserves_sparse_representation(self, small_split):
+        _, _, count_before = training_step("MF", small_split.train, sparse=True, grad_clip=1e-3)
+        assert count_before > 0

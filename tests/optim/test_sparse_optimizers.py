@@ -1,0 +1,300 @@
+"""Sparse-aware optimizer steps, stable state keying, and allocation checks."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.autograd import RowSparseGrad
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adagrad, Adam, Optimizer, RMSprop, clip_grad_norm
+
+
+def sparse_grad(shape, indices, values):
+    return RowSparseGrad.from_scatter(shape, np.asarray(indices), np.asarray(values))
+
+
+def run_trajectory(optimizer_factory, sparse, steps=6, rows=24, table=(40, 6), seed=7, **kwargs):
+    """Feed identical gradients as sparse or dense and return final weights."""
+    rng = np.random.default_rng(seed)
+    parameter = Parameter(np.random.default_rng(0).normal(size=table))
+    optimizer = optimizer_factory([parameter], **kwargs)
+    for _ in range(steps):
+        indices = rng.integers(0, table[0], size=rows)
+        values = rng.normal(size=(rows,) + table[1:])
+        optimizer.zero_grad()
+        if sparse:
+            parameter.grad = sparse_grad(table, indices, values)
+        else:
+            full = np.zeros(table)
+            np.add.at(full, indices, values)
+            parameter.grad = full
+        optimizer.step()
+    return parameter.data, optimizer
+
+
+class TestSparseFastPaths:
+    def test_sgd_matches_dense_bitwise(self):
+        sparse, _ = run_trajectory(lambda p: SGD(p, lr=0.1), sparse=True)
+        dense, _ = run_trajectory(lambda p: SGD(p, lr=0.1), sparse=False)
+        assert np.array_equal(sparse, dense)
+
+    def test_sgd_momentum_densifies_and_matches(self):
+        sparse, _ = run_trajectory(lambda p: SGD(p, lr=0.1, momentum=0.9), sparse=True)
+        dense, _ = run_trajectory(lambda p: SGD(p, lr=0.1, momentum=0.9), sparse=False)
+        assert np.array_equal(sparse, dense)
+
+    def test_default_adam_matches_dense_bitwise(self):
+        # Without the lazy opt-in, sparse gradients densify inside Adam so
+        # the trajectory is exactly the dense oracle's (the reproduction
+        # pipelines rely on this).
+        sparse, _ = run_trajectory(lambda p: Adam(p, lr=0.05), sparse=True)
+        dense, _ = run_trajectory(lambda p: Adam(p, lr=0.05), sparse=False)
+        assert np.array_equal(sparse, dense)
+
+    def test_default_rmsprop_matches_dense_bitwise(self):
+        sparse, _ = run_trajectory(lambda p: RMSprop(p, lr=0.01), sparse=True)
+        dense, _ = run_trajectory(lambda p: RMSprop(p, lr=0.01), sparse=False)
+        assert np.array_equal(sparse, dense)
+
+    def test_adagrad_matches_dense_bitwise(self):
+        sparse, _ = run_trajectory(lambda p: Adagrad(p, lr=0.05), sparse=True)
+        dense, _ = run_trajectory(lambda p: Adagrad(p, lr=0.05), sparse=False)
+        assert np.array_equal(sparse, dense)
+
+    def test_rmsprop_matches_dense_trajectory(self):
+        # The lazy decay catch-up multiplies by alpha**k instead of k times
+        # by alpha, so equality holds only up to that reassociation.
+        sparse, _ = run_trajectory(lambda p: RMSprop(p, lr=0.01, lazy=True), sparse=True)
+        dense, _ = run_trajectory(lambda p: RMSprop(p, lr=0.01), sparse=False)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-12, atol=1e-15)
+
+    def test_adam_lazy_skips_untouched_rows(self):
+        parameter = Parameter(np.zeros((10, 3)))
+        optimizer = Adam([parameter], lr=0.1, lazy=True)
+        parameter.grad = sparse_grad((10, 3), [2], np.ones((1, 3)))
+        optimizer.step()
+        optimizer.zero_grad()
+        parameter.grad = sparse_grad((10, 3), [5], np.ones((1, 3)))
+        optimizer.step()
+        # Dense Adam would keep moving row 2 at step 2 (its first moment is
+        # still nonzero); lazy Adam leaves untouched rows alone.
+        after_first = parameter.data[2].copy()
+        assert np.all(parameter.data[5] != 0)
+        assert np.array_equal(parameter.data[2], after_first)
+
+    def test_adam_lazy_catch_up_matches_manual_recursion(self):
+        beta1, beta2 = 0.9, 0.999
+        parameter = Parameter(np.zeros((4, 2)))
+        optimizer = Adam([parameter], lr=0.1, betas=(beta1, beta2), lazy=True)
+        grads = {1: [0], 3: [0]}  # row 0 touched at steps 1 and 3
+        first = second = 0.0
+        for step in (1, 2, 3):
+            optimizer.zero_grad()
+            if step in grads:
+                parameter.grad = sparse_grad((4, 2), [0], np.ones((1, 2)))
+                optimizer.step()
+            else:
+                parameter.grad = sparse_grad((4, 2), np.array([], dtype=np.int64), np.zeros((0, 2)))
+                optimizer.step()
+        # Manual lazy recursion: moments decay beta^(t-s) between touches.
+        first = (1 - beta1)  # step 1
+        second = (1 - beta2)
+        first = first * beta1 ** 2 + (1 - beta1)  # step 3 (2 steps elapsed)
+        second = second * beta2 ** 2 + (1 - beta2)
+        state = optimizer.state_dict()["param_state"][0]
+        np.testing.assert_allclose(state["first"][0], first)
+        np.testing.assert_allclose(state["second"][0], second)
+        assert state["last_step"][0] == 3
+
+    def test_rmsprop_lazy_sparse_step_after_dense_history(self):
+        # Regression: a dense step creates 'square_average' without the lazy
+        # row tracker; the next sparse step must not KeyError and must only
+        # apply one step of decay (the dense steps already decayed all rows).
+        parameter = Parameter(np.zeros((4, 2)))
+        optimizer = RMSprop([parameter], lr=0.01, alpha=0.9, lazy=True)
+        parameter.grad = np.ones((4, 2))
+        optimizer.step()
+        optimizer.zero_grad()
+        parameter.grad = sparse_grad((4, 2), [1], np.ones((1, 2)))
+        optimizer.step()
+        average = optimizer.state_dict()["param_state"][0]["square_average"]
+        np.testing.assert_allclose(average[1], 0.1 * 0.9 + 0.1)
+
+    def test_adam_lazy_sparse_step_after_dense_history(self):
+        # Regression: lazy tracking starts at the current step count, so the
+        # decay dense steps already applied is not double-counted.
+        beta1, beta2 = 0.9, 0.999
+        parameter = Parameter(np.zeros((4, 2)))
+        optimizer = Adam([parameter], lr=0.1, betas=(beta1, beta2), lazy=True)
+        parameter.grad = np.ones((4, 2))
+        optimizer.step()  # dense: first = (1-beta1)
+        optimizer.zero_grad()
+        parameter.grad = sparse_grad((4, 2), [1], np.ones((1, 2)))
+        optimizer.step()  # sparse: exponent must be exactly 1
+        state = optimizer.state_dict()["param_state"][0]
+        np.testing.assert_allclose(state["first"][1], (1 - beta1) * beta1 + (1 - beta1))
+        np.testing.assert_allclose(state["second"][1], (1 - beta2) * beta2 + (1 - beta2))
+        assert state["last_step"][1] == 2
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda p: SGD(p, lr=0.1, weight_decay=0.2),
+            lambda p: Adam(p, lr=0.1, weight_decay=0.2),
+            lambda p: Adagrad(p, lr=0.1, weight_decay=0.2),
+            lambda p: RMSprop(p, lr=0.01, weight_decay=0.2),
+        ],
+    )
+    def test_weight_decay_densifies_to_the_dense_trajectory(self, factory):
+        # Weight decay touches every row each step, so the sparse fast path
+        # steps aside and the trajectory matches the dense oracle exactly.
+        sparse, _ = run_trajectory(factory, sparse=True)
+        dense, _ = run_trajectory(factory, sparse=False)
+        assert np.array_equal(sparse, dense)
+
+    def test_empty_sparse_grad_is_a_noop(self):
+        for factory in (
+            lambda p: SGD(p, lr=0.1),
+            lambda p: Adam(p, lr=0.1),
+            lambda p: Adagrad(p, lr=0.1),
+            lambda p: RMSprop(p, lr=0.1),
+        ):
+            parameter = Parameter(np.ones((5, 2)))
+            optimizer = factory([parameter])
+            parameter.grad = sparse_grad((5, 2), np.array([], dtype=np.int64), np.zeros((0, 2)))
+            optimizer.step()
+            assert np.array_equal(parameter.data, np.ones((5, 2)))
+
+    def test_one_dimensional_parameter_rows(self):
+        parameter = Parameter(np.zeros(8))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.grad = sparse_grad((8,), [3, 3], np.array([1.0, 1.0]))
+        optimizer.step()
+        assert parameter.data[3] != 0 and np.all(parameter.data[:3] == 0)
+
+
+class TestStateKeying:
+    def test_state_is_keyed_by_index_not_id(self):
+        parameters = [Parameter(np.zeros((3, 2))), Parameter(np.zeros((4, 2)))]
+        optimizer = Adam(parameters, lr=0.1)
+        for parameter in parameters:
+            parameter.grad = np.ones_like(parameter.data)
+        optimizer.step()
+        state = optimizer.state_dict()
+        assert state["step_count"] == 1
+        assert len(state["param_state"]) == 2
+        assert state["param_state"][0]["first"].shape == (3, 2)
+        assert state["param_state"][1]["first"].shape == (4, 2)
+        # No id()-keyed mappings anywhere in the optimizer.
+        assert not any(isinstance(key, int) and key > 10_000 for key in vars(optimizer))
+
+    def test_state_dict_returns_copies(self):
+        parameter = Parameter(np.zeros((3, 2)))
+        optimizer = Adagrad([parameter], lr=0.1)
+        parameter.grad = np.ones((3, 2))
+        optimizer.step()
+        snapshot = optimizer.state_dict()
+        snapshot["param_state"][0]["accumulator"][:] = 999.0
+        assert not np.any(optimizer.state_dict()["param_state"][0]["accumulator"] == 999.0)
+
+    def test_load_state_dict_resumes_identically(self):
+        def make():
+            return Parameter(np.full((5, 2), 0.5))
+
+        rng = np.random.default_rng(3)
+        grads = [rng.normal(size=(5, 2)) for _ in range(4)]
+
+        straight = make()
+        optimizer = Adam([straight], lr=0.05)
+        for grad in grads:
+            straight.grad = grad.copy()
+            optimizer.step()
+
+        resumed = make()
+        first_half = Adam([resumed], lr=0.05)
+        for grad in grads[:2]:
+            resumed.grad = grad.copy()
+            first_half.step()
+        second_half = Adam([resumed], lr=0.05)
+        second_half.load_state_dict(first_half.state_dict())
+        for grad in grads[2:]:
+            resumed.grad = grad.copy()
+            second_half.step()
+        assert np.array_equal(straight.data, resumed.data)
+
+    def test_load_state_dict_rejects_mismatched_length(self):
+        optimizer = SGD([Parameter(np.zeros(3))], lr=0.1, momentum=0.9)
+        with pytest.raises(ValueError):
+            optimizer.load_state_dict({"step_count": 0, "param_state": [{}, {}]})
+
+
+class TestClipGradNorm:
+    def test_mixed_sparse_dense_norm_and_scaling(self):
+        rng = np.random.default_rng(5)
+        idx = rng.integers(0, 12, size=9)
+        vals = rng.normal(size=(9, 3)) * 10
+        dense_grad = rng.normal(size=(4, 3)) * 10
+        p_sparse = Parameter(np.zeros((12, 3)))
+        p_dense = Parameter(np.zeros((4, 3)))
+        p_sparse.grad = sparse_grad((12, 3), idx, vals)
+        p_dense.grad = dense_grad.copy()
+
+        q_sparse = Parameter(np.zeros((12, 3)))
+        q_dense = Parameter(np.zeros((4, 3)))
+        full = np.zeros((12, 3))
+        np.add.at(full, idx, vals)
+        q_sparse.grad = full
+        q_dense.grad = dense_grad.copy()
+
+        norm_mixed = clip_grad_norm([p_sparse, p_dense], max_norm=1.0)
+        norm_dense = clip_grad_norm([q_sparse, q_dense], max_norm=1.0)
+        assert norm_mixed == norm_dense
+        assert isinstance(p_sparse.grad, RowSparseGrad)  # representation preserved
+        assert np.array_equal(p_sparse.grad.to_dense(), q_sparse.grad)
+        assert np.array_equal(p_dense.grad, q_dense.grad)
+
+    def test_no_clip_below_threshold(self):
+        parameter = Parameter(np.zeros((4, 2)))
+        parameter.grad = sparse_grad((4, 2), [1], np.full((1, 2), 0.01))
+        before = parameter.grad.values.copy()
+        clip_grad_norm([parameter], max_norm=10.0)
+        assert np.array_equal(parameter.grad.values, before)
+
+
+class TestWeightDecayAllocation:
+    def _allocations_per_step(self, weight_decay, steps=3):
+        """Large-block allocation count of the last dense step (tracemalloc)."""
+        parameter = Parameter(np.zeros((2000, 32)))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=weight_decay)
+        gradient = np.ones_like(parameter.data)
+        for _ in range(steps - 1):  # warm up (scratch buffer gets created)
+            parameter.grad = gradient
+            optimizer.step()
+        parameter.grad = gradient
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        optimizer.step()
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        threshold = parameter.data.nbytes // 2
+        return sum(
+            1
+            for stat in after.compare_to(before, "lineno")
+            if stat.size_diff >= threshold
+        )
+
+    def test_weight_decay_adds_no_per_step_allocation(self):
+        # The wd * data temporary lands in a persistent scratch buffer, so a
+        # decayed step allocates exactly as many large blocks as a plain one.
+        assert self._allocations_per_step(0.1) == self._allocations_per_step(0.0)
+
+    def test_scratch_buffer_is_reused(self):
+        parameter = Parameter(np.zeros((100, 4)))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.ones_like(parameter.data)
+        optimizer.step()
+        buffer_id = id(optimizer._decay_scratch[0])
+        parameter.grad = np.ones_like(parameter.data)
+        optimizer.step()
+        assert id(optimizer._decay_scratch[0]) == buffer_id
