@@ -1,0 +1,189 @@
+"""Multi-model catalog serving benchmark: cold-start latency + mixed traffic.
+
+Writes ``BENCH_serving.json`` at the repo root — the perf-trajectory record
+for the serving path (the training trajectory lives in
+``BENCH_training.json``).  Two measurements over a three-model catalog
+(GBGCN, GBGCN-pretrain, MF) at the repo's 2000-user serving scale:
+
+* **cold-start latency** — ``ModelCatalog.warm`` per model (artifact load
+  + one propagation), min of 3 cold starts each;
+* **mixed-traffic throughput** — a stream of single-user top-10 requests
+  spread across all three models by a sticky ``TrafficSplit``, served in
+  batches through ``ServingGateway.top_k_mixed`` (grouped: one dense block
+  per model per batch) vs the naive per-request loop on the same stream.
+
+The grouped path must beat per-request serving by a wide margin; the
+asserted floor (3x) is far below typical measurements so the test only
+fails on a real regression.  Marked ``slow``: set ``REPRO_RUN_SLOW=1``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import GroupBuyingDataset, leave_one_out_split
+from repro.data.schema import GroupBuyingBehavior, SocialEdge
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import EmbeddingStore, ModelCatalog, ServingGateway, TopKRecommender, TrafficSplit
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+NUM_USERS = 2000
+NUM_ITEMS = 1500
+NUM_BEHAVIORS = 10000
+EMBEDDING_DIM = 16
+TOP_K = 10
+REQUEST_BATCH = 256
+
+CATALOG_MODELS = {"gbgcn": "GBGCN", "gbgcn-pretrain": "GBGCN-pretrain", "mf": "MF"}
+SPLIT_WEIGHTS = {"gbgcn": 0.6, "gbgcn-pretrain": 0.2, "mf": 0.2}
+
+_RESULTS = {}
+
+
+def _serving_scale_split(seed=11):
+    rng = np.random.default_rng(seed)
+    initiators = rng.integers(0, NUM_USERS, size=NUM_BEHAVIORS)
+    items = rng.integers(0, NUM_ITEMS, size=NUM_BEHAVIORS)
+    behaviors = []
+    for initiator, item in zip(initiators, items):
+        count = int(rng.integers(0, 3))
+        participants = tuple(
+            int(p) for p in rng.integers(0, NUM_USERS, size=count) if p != initiator
+        )
+        behaviors.append(
+            GroupBuyingBehavior(
+                initiator=int(initiator), item=int(item), participants=participants, threshold=1
+            )
+        )
+    edges = [
+        SocialEdge(int(a), int(b))
+        for a, b in rng.integers(0, NUM_USERS, size=(3 * NUM_USERS, 2))
+        if a != b
+    ]
+    dataset = GroupBuyingDataset(NUM_USERS, NUM_ITEMS, behaviors, edges, name="catalog-bench")
+    return leave_one_out_split(dataset, seed=1)
+
+
+@pytest.fixture(scope="module")
+def catalog_setup(tmp_path_factory):
+    split = _serving_scale_split()
+    directory = tmp_path_factory.mktemp("catalog-bench")
+    settings = ModelSettings(embedding_dim=EMBEDDING_DIM)
+    for stem, model_name in CATALOG_MODELS.items():
+        save_model(build_model(model_name, split.train, settings), directory / f"{stem}.npz")
+    return directory, split
+
+
+@pytest.mark.slow
+def test_cold_start_latency(catalog_setup):
+    directory, split = catalog_setup
+    catalog = ModelCatalog(directory, split.train)
+    latencies = {}
+    for name in catalog.names:
+        samples = []
+        for _ in range(3):
+            catalog.evict(name)
+            samples.append(catalog.warm(name))
+        latencies[name] = min(samples)
+        print(f"\nBENCH catalog cold start {name}: {latencies[name] * 1000:.1f} ms")
+    artifact_kib = {
+        name: round((directory / f"{name}.npz").stat().st_size / 1024, 1) for name in catalog.names
+    }
+    _RESULTS["cold_start"] = {
+        name: {
+            "seconds": round(seconds, 4),
+            "artifact_kib": artifact_kib[name],
+        }
+        for name, seconds in latencies.items()
+    }
+    # Cold start must stay interactive (load + one propagation), far under
+    # any retraining path; generous bound for machine noise.
+    assert all(seconds < 30.0 for seconds in latencies.values())
+
+
+@pytest.mark.slow
+def test_mixed_traffic_throughput(catalog_setup):
+    directory, split = catalog_setup
+    catalog = ModelCatalog(directory, split.train)
+    gateway = ServingGateway(catalog, default_model="gbgcn")
+    traffic = TrafficSplit(SPLIT_WEIGHTS, seed=7)
+
+    rng = np.random.default_rng(3)
+    request_users = rng.integers(0, NUM_USERS, size=4096).astype(np.int64)
+    assignments = traffic.assign(request_users)
+    requests = [(str(model), int(user)) for model, user in zip(assignments, request_users)]
+
+    catalog.warm_all()  # measure steady-state routing, not cold starts
+
+    started = time.perf_counter()
+    batched_results = [
+        gateway.top_k_mixed(requests[start : start + REQUEST_BATCH], k=TOP_K)
+        for start in range(0, len(requests), REQUEST_BATCH)
+    ]
+    grouped_seconds = time.perf_counter() - started
+    grouped_rps = len(requests) / grouped_seconds
+
+    # The naive path: one recommend call per request (what serving without
+    # the gateway's per-model grouping would do).  Timed on a slice and
+    # scaled, to keep the benchmark quick.
+    naive_slice = requests[:512]
+    started = time.perf_counter()
+    for name, user in naive_slice:
+        catalog.recommender(name).recommend(np.asarray([user], dtype=np.int64), k=TOP_K)
+    naive_seconds = (time.perf_counter() - started) * (len(requests) / len(naive_slice))
+    naive_rps = len(requests) / naive_seconds
+
+    # Parity: grouped rows match a dedicated per-model store, bitwise.
+    sample = batched_results[0]
+    for stem in CATALOG_MODELS:
+        rows = np.asarray([i for i, name in enumerate(sample.models) if name == stem])
+        if rows.size == 0:
+            continue
+        store = EmbeddingStore.from_artifact(directory / f"{stem}.npz", split.train)
+        reference = TopKRecommender(store, k=TOP_K, dataset=split.train).recommend(
+            sample.users[rows]
+        )
+        assert np.array_equal(sample.items[rows], reference.items)
+
+    share = {name: int(np.sum(assignments == name)) for name in sorted(SPLIT_WEIGHTS)}
+    print(
+        f"\nBENCH mixed traffic: {grouped_rps:,.0f} req/s grouped vs "
+        f"{naive_rps:,.0f} req/s per-request ({grouped_rps / naive_rps:.1f}x), "
+        f"{len(requests)} requests, split {share}"
+    )
+    _RESULTS["mixed_traffic"] = {
+        "num_requests": len(requests),
+        "request_batch": REQUEST_BATCH,
+        "top_k": TOP_K,
+        "traffic_split": SPLIT_WEIGHTS,
+        "requests_per_second_grouped": round(grouped_rps, 1),
+        "requests_per_second_per_request_loop": round(naive_rps, 1),
+        "grouped_speedup": round(grouped_rps / naive_rps, 2),
+    }
+    assert grouped_rps >= naive_rps * 3.0
+
+
+@pytest.mark.slow
+def test_write_bench_serving_json():
+    """Persist the trajectory point (runs after the timing tests)."""
+    if not _RESULTS:
+        pytest.skip("no timings collected in this run")
+    payload = {
+        "schema": "repro-serving-bench/v1",
+        "config": {
+            "num_users": NUM_USERS,
+            "num_items": NUM_ITEMS,
+            "num_behaviors": NUM_BEHAVIORS,
+            "embedding_dim": EMBEDDING_DIM,
+            "catalog_models": CATALOG_MODELS,
+        },
+        "results": _RESULTS,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")

@@ -14,6 +14,7 @@ the full round trip a practitioner would follow with their own data:
 
 from __future__ import annotations
 
+import os
 import tempfile
 from pathlib import Path
 
@@ -30,6 +31,10 @@ from repro.eval import LeaveOneOutEvaluator
 from repro.training import TrainingSettings, train_gbgcn_with_pretraining
 from repro.utils import configure_logging
 
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
 
 def main() -> None:
     configure_logging()
@@ -38,7 +43,11 @@ def main() -> None:
     # behaviors.tsv and social.tsv in the documented format works.
     with tempfile.TemporaryDirectory() as tmp:
         export_dir = Path(tmp) / "my-groupbuying-export"
-        original = generate_dataset(BeibeiLikeConfig(num_users=250, num_items=100, num_behaviors=1200, seed=3))
+        original = generate_dataset(
+            BeibeiLikeConfig(num_users=60, num_items=30, num_behaviors=280, seed=3)
+            if TINY
+            else BeibeiLikeConfig(num_users=250, num_items=100, num_behaviors=1200, seed=3)
+        )
         save_dataset(original, export_dir)
         print(f"Wrote example export to {export_dir} "
               f"({len(list(export_dir.iterdir()))} files)")
@@ -50,8 +59,12 @@ def main() -> None:
         print()
 
         split = leave_one_out_split(dataset, seed=4)
-        evaluator = LeaveOneOutEvaluator(split, num_negatives=99, seed=6)
-        settings = TrainingSettings(num_epochs=6, pretrain_epochs=2, batch_size=512, validate_every=2)
+        evaluator = LeaveOneOutEvaluator(split, num_negatives=20 if TINY else 99, seed=6)
+        settings = (
+            TrainingSettings(num_epochs=2, pretrain_epochs=1, batch_size=512, validate_every=1)
+            if TINY
+            else TrainingSettings(num_epochs=6, pretrain_epochs=2, batch_size=512, validate_every=2)
+        )
         model, _, _ = train_gbgcn_with_pretraining(
             split, config=GBGCNConfig(embedding_dim=16), settings=settings, evaluator=evaluator
         )

@@ -14,6 +14,7 @@ does — for sparse initiators.
 
 from __future__ import annotations
 
+import os
 from collections import defaultdict
 from typing import Dict, List
 
@@ -25,6 +26,10 @@ from repro.eval import LeaveOneOutEvaluator, rank_of_positive, recall_at_k
 from repro.models import build_model, ModelSettings
 from repro.training import TrainingSettings, train_gbgcn_with_pretraining, train_model
 from repro.utils import configure_logging, format_table
+
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
 
 
 def per_segment_recall(model, split, evaluator, segments: Dict[str, List[int]], k: int = 10) -> Dict[str, float]:
@@ -44,10 +49,18 @@ def per_segment_recall(model, split, evaluator, segments: Dict[str, List[int]], 
 
 def main() -> None:
     configure_logging()
-    dataset = generate_dataset(BeibeiLikeConfig(num_users=350, num_items=130, num_behaviors=1800, seed=17))
+    dataset = generate_dataset(
+        BeibeiLikeConfig(num_users=70, num_items=30, num_behaviors=320, seed=17)
+        if TINY
+        else BeibeiLikeConfig(num_users=350, num_items=130, num_behaviors=1800, seed=17)
+    )
     split = leave_one_out_split(dataset, seed=2)
-    evaluator = LeaveOneOutEvaluator(split, num_negatives=199, seed=5)
-    settings = TrainingSettings(num_epochs=8, pretrain_epochs=3, batch_size=512, validate_every=2)
+    evaluator = LeaveOneOutEvaluator(split, num_negatives=20 if TINY else 199, seed=5)
+    settings = (
+        TrainingSettings(num_epochs=2, pretrain_epochs=1, batch_size=512, validate_every=1)
+        if TINY
+        else TrainingSettings(num_epochs=8, pretrain_epochs=3, batch_size=512, validate_every=2)
+    )
 
     # Segment test users by how many behaviors they initiated in training.
     initiated = defaultdict(int)

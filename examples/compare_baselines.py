@@ -12,13 +12,19 @@ prints Recall@K / NDCG@K for each, showing the ordering the paper reports
 
 from __future__ import annotations
 
+import os
+
 from repro.experiments import ExperimentConfig, prepare_workload, run_table3
 from repro.utils import configure_logging
+
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
 
 
 def main() -> None:
     configure_logging()
-    config = ExperimentConfig.quick().scaled_epochs(8)
+    config = ExperimentConfig.tiny() if TINY else ExperimentConfig.quick().scaled_epochs(8)
     workload = prepare_workload(config)
     result = run_table3(
         workload=workload,

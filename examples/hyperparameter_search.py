@@ -14,24 +14,38 @@ and worst grid points.
 
 from __future__ import annotations
 
+import os
+
 from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
 from repro.eval import LeaveOneOutEvaluator, bootstrap_confidence_interval
 from repro.models import ModelSettings, build_model
 from repro.training import TrainingSettings, grid_search, train_model
 from repro.utils import configure_logging
 
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
 
 def main() -> None:
     configure_logging()
 
     # A compact workload so the whole grid trains in a couple of minutes.
-    dataset = generate_dataset(BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=11))
+    dataset = generate_dataset(
+        BeibeiLikeConfig(num_users=60, num_items=30, num_behaviors=280, seed=11)
+        if TINY
+        else BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=11)
+    )
     split = leave_one_out_split(dataset, seed=2)
-    evaluator = LeaveOneOutEvaluator(split, num_negatives=199, seed=5)
-    training = TrainingSettings(num_epochs=6, batch_size=512)
+    evaluator = LeaveOneOutEvaluator(split, num_negatives=20 if TINY else 199, seed=5)
+    training = TrainingSettings(num_epochs=1 if TINY else 6, batch_size=512)
 
     # 1. Search alpha (initiator vs. participants weight) and the L2 weight.
-    grid = {"alpha": [0.2, 0.6, 0.9], "l2_weight": [1e-4, 1e-2]}
+    grid = (
+        {"alpha": [0.2, 0.9], "l2_weight": [1e-4]}
+        if TINY
+        else {"alpha": [0.2, 0.6, 0.9], "l2_weight": [1e-4, 1e-2]}
+    )
     result = grid_search(
         "GBMF",
         split,

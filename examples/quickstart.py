@@ -9,11 +9,17 @@ Runs in well under a minute on a laptop CPU:
 
 from __future__ import annotations
 
+import os
+
 from repro.core import GBGCNConfig
 from repro.data import BeibeiLikeConfig, compute_statistics, generate_dataset, leave_one_out_split
 from repro.eval import LeaveOneOutEvaluator
 from repro.training import TrainingSettings, train_gbgcn_with_pretraining
 from repro.utils import configure_logging
+
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
 
 
 def main() -> None:
@@ -21,7 +27,11 @@ def main() -> None:
 
     # 1. Generate a Beibei-like group-buying dataset (users, items, social
     #    network, launch/join behaviors with success thresholds).
-    dataset = generate_dataset(BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=7))
+    dataset = generate_dataset(
+        BeibeiLikeConfig(num_users=60, num_items=30, num_behaviors=280, seed=7)
+        if TINY
+        else BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=7)
+    )
     print("Dataset statistics (Table II format):")
     print(compute_statistics(dataset).format())
     print()
@@ -29,11 +39,15 @@ def main() -> None:
     # 2. Leave-one-out split and evaluation protocol (999 negatives is the
     #    paper's setting; 199 keeps the quickstart snappy).
     split = leave_one_out_split(dataset, seed=1)
-    evaluator = LeaveOneOutEvaluator(split, num_negatives=199, seed=3)
+    evaluator = LeaveOneOutEvaluator(split, num_negatives=20 if TINY else 199, seed=3)
 
     # 3. Two-stage training: Adam pre-training of raw embeddings, then SGD
     #    fine-tuning of the full multi-view GCN (Section III-C of the paper).
-    settings = TrainingSettings(num_epochs=10, pretrain_epochs=4, batch_size=512, validate_every=2)
+    settings = (
+        TrainingSettings(num_epochs=2, pretrain_epochs=1, batch_size=512, validate_every=1)
+        if TINY
+        else TrainingSettings(num_epochs=10, pretrain_epochs=4, batch_size=512, validate_every=2)
+    )
     config = GBGCNConfig(embedding_dim=16, num_layers=2, alpha=0.6, beta=0.05)
     model, history, _ = train_gbgcn_with_pretraining(split, config=config, settings=settings, evaluator=evaluator)
     print(f"Trained GBGCN for {history.num_epochs} epochs; best validation epoch: {history.best_epoch}")

@@ -22,6 +22,7 @@ Runs in well under a minute on a laptop CPU:
 
 from __future__ import annotations
 
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -36,15 +37,27 @@ from repro.serving import EmbeddingStore, TopKRecommender
 from repro.training import TrainingSettings, train_gbgcn_with_pretraining
 from repro.utils import configure_logging
 
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
 
 def main() -> None:
     configure_logging()
 
     # 1. Data + a briefly trained GBGCN.
-    dataset = generate_dataset(BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=7))
+    dataset = generate_dataset(
+        BeibeiLikeConfig(num_users=60, num_items=30, num_behaviors=280, seed=7)
+        if TINY
+        else BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=7)
+    )
     split = leave_one_out_split(dataset, seed=1)
-    evaluator = LeaveOneOutEvaluator(split, num_negatives=199, seed=3)
-    settings = TrainingSettings(num_epochs=8, pretrain_epochs=4, batch_size=512, validate_every=2)
+    evaluator = LeaveOneOutEvaluator(split, num_negatives=20 if TINY else 199, seed=3)
+    settings = (
+        TrainingSettings(num_epochs=2, pretrain_epochs=1, batch_size=512, validate_every=1)
+        if TINY
+        else TrainingSettings(num_epochs=8, pretrain_epochs=4, batch_size=512, validate_every=2)
+    )
     config = GBGCNConfig(embedding_dim=16, num_layers=2, alpha=0.6, beta=0.05)
     model, history, _ = train_gbgcn_with_pretraining(split, config=config, settings=settings, evaluator=evaluator)
     print(f"Trained GBGCN for {history.num_epochs} epochs (best epoch: {history.best_epoch})")

@@ -17,6 +17,8 @@ sparsity issue") and its second challenge ("complicated social influence"):
 
 from __future__ import annotations
 
+import os
+
 from repro.analysis import analyze_social_influence, run_sparsity_study
 from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
 from repro.eval import LeaveOneOutEvaluator
@@ -24,13 +26,21 @@ from repro.models import ModelSettings
 from repro.training import TrainingSettings
 from repro.utils import configure_logging
 
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
 
 def main() -> None:
     configure_logging()
 
-    dataset = generate_dataset(BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=21))
+    dataset = generate_dataset(
+        BeibeiLikeConfig(num_users=60, num_items=30, num_behaviors=280, seed=21)
+        if TINY
+        else BeibeiLikeConfig(num_users=300, num_items=120, num_behaviors=1600, seed=21)
+    )
     split = leave_one_out_split(dataset, seed=4)
-    evaluator = LeaveOneOutEvaluator(split, num_negatives=199, seed=9)
+    evaluator = LeaveOneOutEvaluator(split, num_negatives=20 if TINY else 199, seed=9)
 
     # 1. Sparsity study (the paper's future-work experiment).
     study = run_sparsity_study(
@@ -38,8 +48,8 @@ def main() -> None:
         evaluator,
         model_names=("MF", "GBMF"),
         fractions=(0.5, 1.0),
-        model_settings=ModelSettings(embedding_dim=16),
-        training=TrainingSettings(num_epochs=6, batch_size=512),
+        model_settings=ModelSettings(embedding_dim=8 if TINY else 16),
+        training=TrainingSettings(num_epochs=1 if TINY else 6, batch_size=512),
     )
     print("Recall@10 per training-set fraction:")
     print(study.format())

@@ -12,10 +12,12 @@ The package is organized bottom-up:
 * :mod:`repro.core` — GBGCN itself (propagation, prediction, loss);
 * :mod:`repro.training`, :mod:`repro.eval` — training pipelines and the
   leave-one-out evaluation protocol;
-* :mod:`repro.serving` — the online serving layer (cached batch scoring
-  and top-K recommendation);
+* :mod:`repro.serving` — the online serving layer: cached batch scoring,
+  top-K recommendation, and the multi-model fleet (artifact-backed
+  ``ModelCatalog`` + routing ``ServingGateway``);
 * :mod:`repro.persist` — versioned model artifacts (train once, serve
-  anywhere: save/load any registry model with bitwise score parity);
+  anywhere: save/load any registry model with bitwise score parity,
+  header-only directory indexing for catalogs);
 * :mod:`repro.analysis`, :mod:`repro.experiments` — embedding analyses and
   the scripts regenerating every table and figure.
 

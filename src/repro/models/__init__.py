@@ -12,7 +12,14 @@ from .diffnet import DiffNet
 from .agree import AGREE
 from .sigr import SIGR
 from .gbmf import GBMF
-from .registry import ALL_MODEL_NAMES, EXTRA_MODEL_NAMES, MODEL_NAMES, ModelSettings, build_model
+from .registry import (
+    ALL_MODEL_NAMES,
+    EXTRA_MODEL_NAMES,
+    MODEL_NAMES,
+    SERVABLE_MODEL_NAMES,
+    ModelSettings,
+    build_model,
+)
 
 __all__ = [
     "DataMode",
@@ -32,6 +39,7 @@ __all__ = [
     "MODEL_NAMES",
     "EXTRA_MODEL_NAMES",
     "ALL_MODEL_NAMES",
+    "SERVABLE_MODEL_NAMES",
     "ModelSettings",
     "build_model",
 ]

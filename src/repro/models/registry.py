@@ -37,7 +37,14 @@ from .popularity import ItemPopularity
 from .sigr import SIGR
 from .socialmf import SocialMF
 
-__all__ = ["ModelSettings", "MODEL_NAMES", "EXTRA_MODEL_NAMES", "ALL_MODEL_NAMES", "build_model"]
+__all__ = [
+    "ModelSettings",
+    "MODEL_NAMES",
+    "EXTRA_MODEL_NAMES",
+    "ALL_MODEL_NAMES",
+    "SERVABLE_MODEL_NAMES",
+    "build_model",
+]
 
 
 @dataclass
@@ -107,6 +114,13 @@ EXTRA_MODEL_NAMES: List[str] = [
 ]
 
 ALL_MODEL_NAMES: List[str] = MODEL_NAMES + EXTRA_MODEL_NAMES
+
+#: Every name :func:`build_model` accepts — and therefore every model name a
+#: ``repro.persist`` artifact can record and a
+#: :class:`~repro.serving.catalog.ModelCatalog` can cold-start.  Extends
+#: ``ALL_MODEL_NAMES`` with the pre-training stage model, which is buildable
+#: and servable but not a Table III row.
+SERVABLE_MODEL_NAMES: List[str] = ALL_MODEL_NAMES + ["GBGCN-pretrain"]
 
 
 def _friendship(dataset: GroupBuyingDataset) -> FriendshipGraph:
@@ -255,4 +269,4 @@ def _construct_model(
             l2_weight=settings.l2_weight,
             rng=rng,
         )
-    raise ValueError(f"unknown model '{name}'; expected one of {ALL_MODEL_NAMES}")
+    raise ValueError(f"unknown model '{name}'; expected one of {SERVABLE_MODEL_NAMES}")

@@ -24,6 +24,7 @@ from .artifact import (
     FORMAT_NAME,
     FORMAT_VERSION,
     ArtifactHeader,
+    copy_artifact,
     load_model,
     load_state_into,
     read_header,
@@ -38,6 +39,7 @@ from .errors import (
     SchemaMismatchError,
 )
 from .fingerprint import dataset_fingerprint, fingerprint_mismatch
+from .index import ArtifactInfo, ArtifactScan, read_artifact_header, scan_artifact_directory
 
 __all__ = [
     "FORMAT_NAME",
@@ -51,8 +53,13 @@ __all__ = [
     "dataset_fingerprint",
     "fingerprint_mismatch",
     "save_model",
+    "copy_artifact",
     "load_model",
     "load_state_into",
     "read_header",
     "read_state_dict",
+    "ArtifactInfo",
+    "ArtifactScan",
+    "read_artifact_header",
+    "scan_artifact_directory",
 ]

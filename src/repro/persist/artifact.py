@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import shutil
 import time
 import zipfile
 from dataclasses import dataclass
@@ -50,6 +51,7 @@ __all__ = [
     "FORMAT_VERSION",
     "ArtifactHeader",
     "save_model",
+    "copy_artifact",
     "read_header",
     "read_state_dict",
     "load_model",
@@ -140,16 +142,15 @@ def _sweep_stale_tmp(path: Path, max_age_seconds: float = 3600.0) -> None:
             pass
 
 
-def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
-    """Write ``arrays`` as an npz at ``path`` via temp file + ``os.replace``.
+def _atomic_replace_write(path: Path, write) -> None:
+    """Write via a unique temp file + ``os.replace``; ``write(handle)`` fills it.
 
-    The temp name is unique per call, so concurrent saves to the same path
-    are last-writer-wins instead of interleaving bytes.
+    The temp name is unique per call (O_EXCL), so concurrent writes to the
+    same path are last-writer-wins instead of interleaving bytes.  Mode
+    0o666 is filtered by the caller's umask, exactly like plain ``open()``.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     _sweep_stale_tmp(path)
-    # O_EXCL guarantees uniqueness against concurrent savers; mode 0o666 is
-    # filtered by the caller's umask at call time, exactly like plain open().
     tmp = None
     for attempt in range(1000):
         candidate = path.with_name(f".{path.name}.tmp-{os.getpid()}-{attempt}")
@@ -164,7 +165,7 @@ def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
     replaced = False
     try:
         with os.fdopen(descriptor, "wb") as handle:
-            np.savez(handle, **arrays)
+            write(handle)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
@@ -177,6 +178,10 @@ def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
                 tmp.unlink()
             except FileNotFoundError:
                 pass
+
+
+def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
+    _atomic_replace_write(path, lambda handle: np.savez(handle, **arrays))
 
 
 def _resolve_identity(
@@ -214,6 +219,22 @@ def save_model(
     ``settings``/``model_name`` explicitly; GBGCN variants additionally
     record their :class:`~repro.core.gbgcn.GBGCNConfig` so they round-trip
     even without registry settings.  Returns the written header.
+
+    Usage — save a registry model, inspect the header, load it back:
+
+    >>> import tempfile
+    >>> from pathlib import Path
+    >>> from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+    >>> from repro.models import build_model
+    >>> from repro.persist import load_model, save_model
+    >>> split = leave_one_out_split(generate_dataset(
+    ...     BeibeiLikeConfig(num_users=40, num_items=20, num_behaviors=160, seed=0)))
+    >>> path = Path(tempfile.mkdtemp()) / "mf.npz"
+    >>> header = save_model(build_model("MF", split.train), path)
+    >>> (header.model_name, header.format_version)
+    ('MF', 1)
+    >>> load_model(path, split.train).name      # exact weights, fresh process
+    'MF'
     """
     path = Path(path)
     name, settings_dict, config_dict, schema = _resolve_identity(model, dataset, settings, model_name)
@@ -236,6 +257,29 @@ def save_model(
         arrays[_STATE_PREFIX + key] = np.ascontiguousarray(value)
     _atomic_write_npz(path, arrays)
     return header
+
+
+def copy_artifact(source: Union[str, Path], destination: Union[str, Path]) -> None:
+    """Replicate an existing artifact byte for byte, atomically.
+
+    The cheap way to *publish* an artifact that is already on disk (e.g. a
+    checkpoint into a catalog directory): no model snapshot, no
+    re-compression — just a copy with the same temp-file + ``os.replace``
+    guarantee as :func:`save_model`, so a reader (a serving
+    :class:`~repro.serving.catalog.ModelCatalog` hot-swap check) never sees
+    a half-written file.  Copying a path onto itself is a no-op.
+    """
+    source, destination = Path(source), Path(destination)
+    if not source.exists():
+        raise ArtifactFormatError(f"artifact to copy does not exist: {source}")
+    if source.resolve() == destination.resolve():
+        return
+
+    def write(handle):
+        with open(source, "rb") as reader:
+            shutil.copyfileobj(reader, handle)
+
+    _atomic_replace_write(destination, write)
 
 
 def _library_version() -> str:
@@ -322,7 +366,18 @@ def _check_schema(header: ArtifactHeader, dataset: "GroupBuyingDataset", path: P
 
 
 def _rebuild_model(header: ArtifactHeader, dataset: "GroupBuyingDataset", path: Path) -> "RecommenderModel":
-    from ..models.registry import ALL_MODEL_NAMES, ModelSettings, build_model
+    from ..models.registry import SERVABLE_MODEL_NAMES, ModelSettings, build_model
+
+    if header.model_name not in SERVABLE_MODEL_NAMES:
+        # Diagnose the unknown name up front (rather than as a generic
+        # build failure) so a catalog scan over a mixed directory says
+        # exactly which file holds which unloadable model.
+        raise ArtifactFormatError(
+            f"artifact {path} records unknown model {header.model_name!r}; this library can "
+            f"rebuild {SERVABLE_MODEL_NAMES}.  If the artifact came from a newer library "
+            f"version, upgrade; otherwise build the model yourself and restore weights with "
+            f"repro.persist.load_state_into"
+        )
 
     settings = None
     if header.settings is not None:
@@ -361,7 +416,8 @@ def _rebuild_model(header: ArtifactHeader, dataset: "GroupBuyingDataset", path: 
             ) from error
     raise ArtifactFormatError(
         f"artifact {path} (model {header.model_name!r}) records neither registry settings nor a "
-        f"GBGCN config, so the model cannot be rebuilt; valid registry names are {ALL_MODEL_NAMES}. "
+        f"GBGCN config, so the model cannot be rebuilt; valid registry names are "
+        f"{SERVABLE_MODEL_NAMES}. "
         f"Build the model yourself and restore weights with repro.persist.load_state_into"
     )
 

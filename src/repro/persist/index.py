@@ -1,0 +1,145 @@
+"""Header-only artifact inspection: cheap metadata reads and directory scans.
+
+A model catalog that manages dozens of artifacts cannot afford to
+decompress every parameter table just to learn *what* each file holds.
+This module reads only the JSON ``__header__`` entry of an artifact (a few
+hundred bytes; ``np.load`` over an npz is lazy, so the ``state/...`` arrays
+are never touched) and pairs it with the file's stat identity — size and
+mtime — which is what hot-swap detection compares.
+
+Example — write two artifacts, then index the directory without loading a
+single weight array:
+
+>>> import tempfile
+>>> from pathlib import Path
+>>> from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+>>> from repro.models import build_model
+>>> from repro.persist import save_model, scan_artifact_directory
+>>> split = leave_one_out_split(generate_dataset(
+...     BeibeiLikeConfig(num_users=40, num_items=20, num_behaviors=160, seed=0)))
+>>> catalog_dir = Path(tempfile.mkdtemp())
+>>> _ = save_model(build_model("MF", split.train), catalog_dir / "mf.npz")
+>>> _ = save_model(build_model("ItemPop", split.train), catalog_dir / "pop.npz")
+>>> scan = scan_artifact_directory(catalog_dir)
+>>> sorted(scan.entries)
+['mf', 'pop']
+>>> scan.entries["mf"].header.model_name
+'MF'
+>>> scan.failures
+{}
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+from .artifact import ArtifactHeader, read_header
+from .errors import ArtifactError, ArtifactFormatError
+
+__all__ = ["ArtifactInfo", "ArtifactScan", "read_artifact_header", "scan_artifact_directory"]
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One artifact's identity: validated header plus file-stat metadata.
+
+    ``size_bytes`` / ``mtime_ns`` identify the *bytes on disk* at read
+    time; a writer replacing the file (atomically, as ``save_model`` does)
+    changes at least one of them, which is how
+    :class:`~repro.serving.catalog.ModelCatalog` detects hot-swaps.
+    """
+
+    path: Path
+    header: ArtifactHeader
+    size_bytes: int
+    mtime_ns: int
+
+    @property
+    def name(self) -> str:
+        """Catalog name of the artifact: the file stem (``gbgcn.npz`` → ``gbgcn``)."""
+        return self.path.stem
+
+    @property
+    def model_name(self) -> str:
+        """The registry model the artifact holds (``GBGCN``, ``MF``, ...)."""
+        return self.header.model_name
+
+    def stat_differs(self, other: "ArtifactInfo") -> bool:
+        """Whether ``other`` describes different bytes for the same path."""
+        return (self.size_bytes, self.mtime_ns) != (other.size_bytes, other.mtime_ns)
+
+
+@dataclass
+class ArtifactScan:
+    """Result of :func:`scan_artifact_directory`.
+
+    ``entries`` maps catalog name (file stem) to :class:`ArtifactInfo` for
+    every readable artifact; ``failures`` maps file name to the error
+    message for files matching the pattern that are *not* valid artifacts,
+    so an operator can diagnose a broken catalog directory from the scan
+    alone.
+    """
+
+    directory: Path
+    entries: Dict[str, ArtifactInfo] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
+
+
+def read_artifact_header(path: Union[str, Path]) -> ArtifactInfo:
+    """Read an artifact's header and stat identity without loading weights.
+
+    Only the ``__header__`` entry of the npz archive is decompressed —
+    cost is independent of model size — making this safe to call over a
+    whole directory of multi-hundred-MiB artifacts.  Raises the usual
+    typed :class:`~repro.persist.errors.ArtifactError` subclasses for
+    files that are not valid artifacts.
+    """
+    path = Path(path)
+    # Stat before reading: if the file is replaced between the stat and the
+    # read we record the *older* identity, so the next freshness check
+    # still notices the swap (never the reverse, which would miss it).
+    try:
+        stat = os.stat(path)
+    except OSError as error:
+        raise ArtifactFormatError(f"artifact file is not readable: {path} ({error})") from error
+    header = read_header(path)
+    return ArtifactInfo(
+        path=path, header=header, size_bytes=stat.st_size, mtime_ns=stat.st_mtime_ns
+    )
+
+
+def scan_artifact_directory(
+    directory: Union[str, Path], pattern: str = "*.npz", strict: bool = False
+) -> ArtifactScan:
+    """Index every artifact in ``directory`` via header-only reads.
+
+    Files matching ``pattern`` that fail header validation are recorded in
+    :attr:`ArtifactScan.failures` (with ``strict=True`` the first failure
+    raises instead — useful in tests and CI).  Two files whose stems
+    collide (``gbgcn.npz`` vs a ``gbgcn.NPZ`` copy) are a hard error in
+    both modes: a catalog name must identify exactly one artifact.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ArtifactFormatError(f"artifact directory does not exist: {directory}")
+    scan = ArtifactScan(directory=directory)
+    for path in sorted(directory.glob(pattern)):
+        if not path.is_file():
+            continue
+        try:
+            info = read_artifact_header(path)
+        except ArtifactError as error:
+            if strict:
+                raise
+            scan.failures[path.name] = str(error)
+            continue
+        if info.name in scan.entries:
+            raise ArtifactFormatError(
+                f"catalog name {info.name!r} is ambiguous in {directory}: both "
+                f"{scan.entries[info.name].path.name!r} and {path.name!r} match"
+            )
+        scan.entries[info.name] = info
+    return scan

@@ -1,23 +1,50 @@
-"""Online serving layer: cached batch scoring and top-K recommendation.
+"""Online serving layer: cached scoring, top-K lists, and multi-model routing.
 
-This package turns a trained :class:`~repro.models.base.RecommenderModel`
-into a request-serving component:
+This package turns trained :class:`~repro.models.base.RecommenderModel`
+instances into a request-serving system, one layer at a time:
 
-* :class:`EmbeddingStore` owns the propagate-once / serve-many lifecycle
-  (precompute after training, invalidate after parameter updates);
+* :class:`EmbeddingStore` owns one model's propagate-once / serve-many
+  lifecycle (precompute after training, invalidate after parameter
+  updates, cold-start from a ``repro.persist`` artifact);
 * :class:`TopKRecommender` answers batched top-``k`` requests with one
-  matrix product plus an ``np.argpartition`` partial sort.
+  matrix product plus an ``np.argpartition`` partial sort;
+* :class:`ModelCatalog` manages a *directory* of artifacts as a model
+  fleet — header-only scans, lazy cold-starts, an LRU residency budget,
+  and hot-swap when an artifact file is republished;
+* :class:`ServingGateway` routes named, A/B-split and mixed-model traffic
+  onto the catalog, grouping batches so each model scores once.
 
-Typical wiring::
+Single-model wiring::
 
     store = EmbeddingStore(model)
     trainer = Trainer(model, optimizer, batches, callbacks=[store.callback()])
     trainer.fit(num_epochs)
     recommender = TopKRecommender(store, k=10, dataset=split.full)
     result = recommender.recommend(user_batch)
+
+Multi-model wiring (see ``examples/serving_catalog.py``)::
+
+    catalog = ModelCatalog("artifacts/", split.train, resident_budget=2)
+    gateway = ServingGateway(catalog, default_model="gbgcn")
+    gateway.top_k(user_batch, k=10)                          # named routing
+    gateway.top_k_split(TrafficSplit({"gbgcn": 0.9, "mf": 0.1}), user_batch)
 """
 
+from .catalog import CatalogEntry, CatalogError, ModelCatalog, UnknownCatalogModelError
+from .gateway import GatewayResult, ServingGateway, TrafficSplit
 from .store import EmbeddingStore, EmbeddingStoreCallback
 from .topk import TopKRecommender, TopKResult
 
-__all__ = ["EmbeddingStore", "EmbeddingStoreCallback", "TopKRecommender", "TopKResult"]
+__all__ = [
+    "EmbeddingStore",
+    "EmbeddingStoreCallback",
+    "TopKRecommender",
+    "TopKResult",
+    "ModelCatalog",
+    "CatalogEntry",
+    "CatalogError",
+    "UnknownCatalogModelError",
+    "ServingGateway",
+    "GatewayResult",
+    "TrafficSplit",
+]

@@ -1,0 +1,417 @@
+"""The :class:`ModelCatalog`: a directory of model artifacts as a serving fleet.
+
+One :class:`~repro.serving.store.EmbeddingStore` serves one model.  The
+catalog scales that to *many* models — every GBGCN variant and baseline of
+the paper's Table II/III comparison, or the candidates of an A/B rollout —
+behind one object pointed at a directory of ``repro.persist`` artifacts:
+
+* **header-only scan** — :meth:`ModelCatalog.scan` indexes the directory
+  with :func:`~repro.persist.read_artifact_header` (no weight array is
+  decompressed), validates each artifact's dataset-schema fingerprint
+  against the serving dataset and its model name against the registry, and
+  records unloadable files in :attr:`ModelCatalog.rejected` with a
+  diagnosable reason;
+* **lazy cold-start** — weights are loaded and embeddings propagated only
+  on a model's first request (or an explicit :meth:`warm`);
+* **LRU residency budget** — at most ``resident_budget`` models keep their
+  weights and propagated embeddings in memory; the least recently used is
+  evicted when the budget would overflow (explicit :meth:`evict` works
+  too);
+* **hot-swap** — every access re-stats the artifact file; when a trainer
+  (e.g. :class:`~repro.training.callbacks.ModelCheckpoint` publishing into
+  the catalog directory) atomically replaces it, the catalog reloads the
+  new bytes and bumps the entry's ``version``.
+
+Example — three artifacts, a budget of two residents, bitwise-identical
+results to a hand-wired per-model store:
+
+>>> import tempfile
+>>> import numpy as np
+>>> from pathlib import Path
+>>> from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+>>> from repro.models import build_model
+>>> from repro.persist import save_model
+>>> from repro.serving import EmbeddingStore, ModelCatalog, TopKRecommender
+>>> split = leave_one_out_split(generate_dataset(
+...     BeibeiLikeConfig(num_users=40, num_items=20, num_behaviors=160, seed=0)))
+>>> directory = Path(tempfile.mkdtemp())
+>>> for spec in ("MF", "ItemPop", "LightGCN"):
+...     _ = save_model(build_model(spec, split.train), directory / f"{spec.lower()}.npz")
+>>> catalog = ModelCatalog(directory, split.train, resident_budget=2)
+>>> sorted(catalog.names)
+['itempop', 'lightgcn', 'mf']
+>>> catalog.resident_names  # nothing loaded yet: cold-start is lazy
+[]
+>>> users = np.asarray([0, 1, 2])
+>>> result = catalog.recommender("mf", k=5).recommend(users)   # first request loads
+>>> catalog.resident_names
+['mf']
+>>> reference = TopKRecommender(
+...     EmbeddingStore.from_artifact(directory / "mf.npz", split.train),
+...     k=5, dataset=split.train)
+>>> bool(np.array_equal(result.items, reference.recommend(users).items))
+True
+>>> _ = catalog.warm("itempop"); _ = catalog.warm("lightgcn")
+>>> catalog.resident_names     # budget is 2: 'mf' (least recent) was evicted
+['itempop', 'lightgcn']
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import scipy.sparse as sp
+
+from ..data.dataset import GroupBuyingDataset, observed_item_matrix
+from ..persist.errors import ArtifactError
+from ..persist.fingerprint import dataset_fingerprint, fingerprint_mismatch
+from ..persist.index import ArtifactInfo, read_artifact_header, scan_artifact_directory
+from .store import EmbeddingStore
+from .topk import TopKRecommender
+
+__all__ = ["CatalogError", "UnknownCatalogModelError", "CatalogEntry", "ModelCatalog"]
+
+
+class CatalogError(Exception):
+    """Base class for model-catalog failures (unknown names, vanished files)."""
+
+
+class UnknownCatalogModelError(CatalogError, KeyError):
+    """The requested name is not a servable entry of the catalog."""
+
+
+@dataclass
+class CatalogEntry:
+    """One servable artifact of the catalog (metadata only — never weights).
+
+    ``version`` starts at 1 and is bumped on every hot-swap reload, so
+    callers can detect "same name, new model" across requests.
+    """
+
+    info: ArtifactInfo
+    version: int = 1
+    #: Wall-clock seconds of the most recent cold start (0.0 until loaded once).
+    last_cold_start_seconds: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.info.name
+
+    @property
+    def model_name(self) -> str:
+        return self.info.model_name
+
+    @property
+    def path(self) -> Path:
+        return self.info.path
+
+
+@dataclass
+class _Resident:
+    """A loaded model: its store plus the lazily built recommender."""
+
+    store: EmbeddingStore
+    version: int
+    recommender: Optional[TopKRecommender] = None
+
+
+@dataclass
+class CatalogStats:
+    """Lifecycle counters since catalog construction (monotonic)."""
+
+    cold_starts: int = 0
+    hits: int = 0
+    evictions: int = 0
+    reloads: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "cold_starts": self.cold_starts,
+            "hits": self.hits,
+            "evictions": self.evictions,
+            "reloads": self.reloads,
+        }
+
+
+class ModelCatalog:
+    """Artifact-backed multi-model catalog with lazy cold-start and LRU residency.
+
+    Parameters
+    ----------
+    directory:
+        The artifact directory to scan (``pattern`` selects the files).
+    train_dataset:
+        The dataset every artifact must have been trained on; each header's
+        schema fingerprint is verified against it at scan time, so a model
+        trained on a different universe can never be served by accident.
+    serving_dataset:
+        The dataset supplying observed interactions for top-k exclusion
+        (defaults to ``train_dataset``; pass the *full* dataset when the
+        training split should also be excluded).
+    resident_budget:
+        Maximum number of models kept loaded at once (``None`` = unbounded).
+    default_k, exclude_observed:
+        Defaults for recommenders built by :meth:`recommender`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        train_dataset: GroupBuyingDataset,
+        *,
+        serving_dataset: Optional[GroupBuyingDataset] = None,
+        resident_budget: Optional[int] = None,
+        default_k: int = 10,
+        exclude_observed: bool = True,
+        pattern: str = "*.npz",
+    ) -> None:
+        if resident_budget is not None and resident_budget < 1:
+            raise ValueError("resident_budget must be at least 1 (or None for unbounded)")
+        self.directory = Path(directory)
+        self.train_dataset = train_dataset
+        self.serving_dataset = serving_dataset if serving_dataset is not None else train_dataset
+        self.resident_budget = resident_budget
+        self.default_k = default_k
+        self.exclude_observed = exclude_observed
+        self.pattern = pattern
+        #: Servable entries by catalog name (file stem), filled by :meth:`scan`.
+        self.entries: Dict[str, CatalogEntry] = {}
+        #: Files matching the pattern that cannot be served, with the reason.
+        self.rejected: Dict[str, str] = {}
+        self.stats = CatalogStats()
+        self._residents: "OrderedDict[str, _Resident]" = OrderedDict()
+        self._observed: Optional[sp.csr_matrix] = None
+        self.scan()
+
+    # ------------------------------------------------------------------
+    # Directory scanning & validation
+    # ------------------------------------------------------------------
+    def scan(self) -> List[str]:
+        """(Re-)index the artifact directory via header-only reads.
+
+        Returns the sorted servable names.  Entries whose file vanished are
+        dropped (and evicted); changed files are *not* reloaded here —
+        hot-swap happens lazily on next access, so a scan never pays a cold
+        start.  Invalid files land in :attr:`rejected` with a message that
+        names the path and the failure, never in :attr:`entries`.
+        """
+        scan = scan_artifact_directory(self.directory, pattern=self.pattern)
+        self.rejected = dict(scan.failures)
+        fresh: Dict[str, CatalogEntry] = {}
+        for name, info in scan.entries.items():
+            reason = self._validate(info)
+            if reason is not None:
+                self.rejected[info.path.name] = reason
+                continue
+            previous = self.entries.get(name)
+            # Keep the previous entry object (and its recorded stat identity)
+            # so a replaced file is still detected — and version-bumped — by
+            # the lazy hot-swap check on next access, not silently absorbed.
+            fresh[name] = previous if previous is not None else CatalogEntry(info=info)
+        for name in list(self._residents):
+            if name not in fresh:
+                self.evict(name)
+        self.entries = fresh
+        return sorted(self.entries)
+
+    def _validate(self, info: ArtifactInfo) -> Optional[str]:
+        """Reason the artifact cannot be served here, or ``None`` if it can."""
+        from ..models.registry import SERVABLE_MODEL_NAMES
+
+        if info.model_name not in SERVABLE_MODEL_NAMES:
+            return (
+                f"{info.path}: unknown model {info.model_name!r}; "
+                f"this registry serves {SERVABLE_MODEL_NAMES}"
+            )
+        if info.header.schema is None:
+            return (
+                f"{info.path}: artifact records no dataset-schema fingerprint, so it cannot "
+                f"be verified against the serving dataset"
+            )
+        differences = fingerprint_mismatch(info.header.schema, dataset_fingerprint(self.train_dataset))
+        if differences:
+            return (
+                f"{info.path}: artifact was trained on a different dataset than this catalog "
+                f"serves ({'; '.join(differences)})"
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        """Sorted servable catalog names."""
+        return sorted(self.entries)
+
+    @property
+    def resident_names(self) -> List[str]:
+        """Loaded models, least recently used first."""
+        return list(self._residents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, name: str) -> CatalogEntry:
+        """The catalog entry called ``name`` (metadata only, no load)."""
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise UnknownCatalogModelError(
+                f"unknown model {name!r}; catalog at {self.directory} serves {self.names}"
+                + (f" (rejected files: {sorted(self.rejected)})" if self.rejected else "")
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Lifecycle: cold-start, LRU, hot-swap
+    # ------------------------------------------------------------------
+    def store(self, name: str) -> EmbeddingStore:
+        """The serving store for ``name``, cold-starting or reloading as needed.
+
+        Every call re-stats the artifact file: a replaced file triggers a
+        reload of the new bytes (version bump), a vanished file raises
+        :class:`CatalogError`.  Access marks the model most recently used.
+        """
+        entry = self.entry(name)
+        self._refresh_entry(entry)
+        resident = self._residents.get(name)
+        if resident is not None and resident.version == entry.version:
+            self._residents.move_to_end(name)
+            self.stats.hits += 1
+            return resident.store
+        if resident is not None:  # stale bytes: hot-swap
+            del self._residents[name]
+            self.stats.reloads += 1
+        return self._cold_start(entry).store
+
+    def recommender(self, name: str, k: Optional[int] = None) -> TopKRecommender:
+        """A ready top-k recommender for ``name`` (built once per residency).
+
+        The recommender shares the catalog-wide observed-item matrix, so
+        loading the tenth model costs one model load, not one model load
+        plus one interaction-matrix rebuild.  The cached recommender always
+        carries the catalog's ``default_k``; passing ``k`` returns a one-off
+        recommender with that default (sharing the same store and matrix)
+        and never alters what later ``k``-less calls see.  Per-request ``k``
+        belongs to ``recommend(users, k)``.
+        """
+        store = self.store(name)  # ensures residency & freshness
+        resident = self._residents[name]
+        if resident.recommender is None:
+            resident.recommender = self._build_recommender(store, self.default_k)
+        if k is None or k == resident.recommender.k:
+            return resident.recommender
+        return self._build_recommender(store, k)
+
+    def _build_recommender(self, store: EmbeddingStore, k: int) -> TopKRecommender:
+        return TopKRecommender(
+            store,
+            k=k,
+            exclude_observed=self.exclude_observed,
+            dataset=self.serving_dataset if self.exclude_observed else None,
+            observed_matrix=self._observed_matrix() if self.exclude_observed else None,
+        )
+
+    def warm(self, name: str) -> float:
+        """Load ``name`` now; returns the cold-start seconds (0.0 if already resident)."""
+        before = self.stats.cold_starts
+        self.store(name)
+        loaded = self.stats.cold_starts > before
+        return self.entry(name).last_cold_start_seconds if loaded else 0.0
+
+    def warm_all(self) -> Dict[str, float]:
+        """Load every servable model (subject to the LRU budget); name → seconds."""
+        return {name: self.warm(name) for name in self.names}
+
+    def evict(self, name: str) -> bool:
+        """Release ``name``'s weights and embeddings; returns whether it was resident."""
+        resident = self._residents.pop(name, None)
+        if resident is None:
+            return False
+        self.stats.evictions += 1
+        return True
+
+    def evict_all(self) -> None:
+        for name in list(self._residents):
+            self.evict(name)
+
+    def _refresh_entry(self, entry: CatalogEntry) -> None:
+        """Hot-swap detection: re-stat the file, re-read the header if replaced."""
+        try:
+            stat = os.stat(entry.path)
+        except FileNotFoundError:
+            self.evict(entry.name)
+            self.entries.pop(entry.name, None)
+            raise CatalogError(
+                f"artifact file for {entry.name!r} disappeared: {entry.path} "
+                f"(entry dropped; re-publish the artifact or rescan)"
+            ) from None
+        except OSError as error:
+            # Transient IO/permission trouble (NFS hiccup, mid-sync EACCES):
+            # fail this request but keep the entry — the file is still there.
+            raise CatalogError(
+                f"artifact file for {entry.name!r} is temporarily unreadable: "
+                f"{entry.path} ({error})"
+            ) from error
+        if (stat.st_size, stat.st_mtime_ns) == (entry.info.size_bytes, entry.info.mtime_ns):
+            return
+        try:
+            info = read_artifact_header(entry.path)
+            reason = self._validate(info)
+        except ArtifactError as error:
+            info, reason = None, f"{entry.path}: {error}"
+        if reason is not None:
+            # The replacement is unservable: drop the entry so requests fail
+            # loudly instead of silently serving the previous version.
+            self.evict(entry.name)
+            self.entries.pop(entry.name, None)
+            self.rejected[entry.path.name] = reason
+            raise CatalogError(f"hot-swapped artifact is not servable: {reason}")
+        entry.info = info
+        entry.version += 1
+
+    def _cold_start(self, entry: CatalogEntry) -> _Resident:
+        from ..persist import load_model
+
+        started = time.perf_counter()
+        model = load_model(entry.path, self.train_dataset)
+        store = EmbeddingStore(model)
+        store.refresh()
+        entry.last_cold_start_seconds = time.perf_counter() - started
+        self.stats.cold_starts += 1
+        resident = _Resident(store=store, version=entry.version)
+        self._residents[entry.name] = resident
+        self._enforce_budget(keep=entry.name)
+        return resident
+
+    def _enforce_budget(self, keep: str) -> None:
+        if self.resident_budget is None:
+            return
+        while len(self._residents) > self.resident_budget:
+            victim = next(name for name in self._residents if name != keep)
+            self.evict(victim)
+
+    def _observed_matrix(self) -> sp.csr_matrix:
+        if self._observed is None:
+            dataset = self.serving_dataset
+            self._observed = observed_item_matrix(
+                dataset.user_item_set(include_participants=True),
+                dataset.num_users,
+                dataset.num_items,
+            )
+        return self._observed
+
+    def __repr__(self) -> str:
+        budget = "unbounded" if self.resident_budget is None else str(self.resident_budget)
+        return (
+            f"ModelCatalog({self.directory}, models={self.names}, "
+            f"resident={self.resident_names}, budget={budget})"
+        )

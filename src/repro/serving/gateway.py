@@ -1,0 +1,242 @@
+"""The :class:`ServingGateway`: one front door for a catalog of models.
+
+The gateway is the request-routing layer on top of a
+:class:`~repro.serving.catalog.ModelCatalog`.  It adds what a multi-model
+deployment needs beyond "give me model X":
+
+* **named routing** — every scoring / top-k request names a catalog model
+  (or falls back to the gateway's default), and the underlying
+  per-model :class:`~repro.serving.topk.TopKRecommender` is reused across
+  requests instead of rebuilt;
+* **weighted traffic splits** — :class:`TrafficSplit` deterministically
+  buckets users into variants by hash (sticky: the same user always sees
+  the same model for a given split seed), so A/B experiments need no
+  session state;
+* **mixed-model batching** — a batch whose rows target different models is
+  grouped per model and each model computes *one* dense score block for
+  all of its rows, instead of one block per request.
+
+Example — route, split, and batch across two artifacts:
+
+>>> import tempfile
+>>> import numpy as np
+>>> from pathlib import Path
+>>> from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+>>> from repro.models import build_model
+>>> from repro.persist import save_model
+>>> from repro.serving import ModelCatalog, ServingGateway, TrafficSplit
+>>> split = leave_one_out_split(generate_dataset(
+...     BeibeiLikeConfig(num_users=40, num_items=20, num_behaviors=160, seed=0)))
+>>> directory = Path(tempfile.mkdtemp())
+>>> for spec in ("MF", "ItemPop"):
+...     _ = save_model(build_model(spec, split.train), directory / f"{spec.lower()}.npz")
+>>> gateway = ServingGateway(ModelCatalog(directory, split.train), default_model="mf")
+>>> users = np.arange(8)
+>>> gateway.top_k(users, k=3).items.shape      # routed to the default model
+(8, 3)
+>>> ab = gateway.top_k_split(TrafficSplit({"mf": 0.5, "itempop": 0.5}, seed=1), users, k=3)
+>>> sorted(set(ab.models))                     # both variants served this batch
+['itempop', 'mf']
+>>> mixed = gateway.top_k_mixed([("mf", 3), ("itempop", 3), ("mf", 5)], k=3)
+>>> mixed.models
+['mf', 'itempop', 'mf']
+>>> bool(np.array_equal(mixed.users, np.asarray([3, 3, 5])))
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .catalog import ModelCatalog
+from .topk import TopKResult
+
+__all__ = ["TrafficSplit", "GatewayResult", "ServingGateway"]
+
+
+def _hash_unit_interval(users: np.ndarray, seed: int) -> np.ndarray:
+    """Deterministic per-user points in ``[0, 1)`` (SplitMix64 finalizer).
+
+    Stable across processes and numpy versions — unlike ``np.random`` —
+    so a user's A/B assignment never changes between serving restarts.
+    """
+    with np.errstate(over="ignore"):
+        x = users.astype(np.uint64) + np.uint64(seed) * np.uint64(0x9E3779B97F4A7C15)
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+    return x.astype(np.float64) / float(2**64)
+
+
+class TrafficSplit:
+    """A weighted, sticky assignment of users to model variants.
+
+    ``weights`` maps catalog model names to non-negative weights (any
+    scale; they are normalized).  Assignment hashes the user id with the
+    split's ``seed``: deterministic, stateless, and independent across
+    seeds — two concurrent experiments with different seeds decorrelate.
+
+    >>> split = TrafficSplit({"control": 0.8, "treatment": 0.2}, seed=7)
+    >>> import numpy as np
+    >>> assignments = split.assign(np.arange(1000))
+    >>> bool(0.75 < np.mean(assignments == "control") < 0.85)
+    True
+    >>> bool((split.assign(np.arange(1000)) == assignments).all())  # sticky
+    True
+    """
+
+    def __init__(self, weights: Mapping[str, float], seed: int = 0) -> None:
+        if not weights:
+            raise ValueError("a traffic split needs at least one model")
+        total = float(sum(weights.values()))
+        if total <= 0 or any(weight < 0 for weight in weights.values()):
+            raise ValueError(f"weights must be non-negative with a positive sum, got {dict(weights)}")
+        self.models: List[str] = list(weights)
+        self.weights = {name: float(weight) / total for name, weight in weights.items()}
+        self.seed = seed
+        self._edges = np.cumsum([self.weights[name] for name in self.models])
+
+    def assign(self, users: np.ndarray) -> np.ndarray:
+        """Model name per user (object array aligned with ``users``)."""
+        users = np.asarray(users, dtype=np.int64)
+        buckets = np.searchsorted(self._edges, _hash_unit_interval(users, self.seed), side="right")
+        buckets = np.minimum(buckets, len(self.models) - 1)  # guard fp edge at 1.0
+        return np.asarray(self.models, dtype=object)[buckets]
+
+    def __repr__(self) -> str:
+        shares = ", ".join(f"{name}={share:.0%}" for name, share in self.weights.items())
+        return f"TrafficSplit({shares}, seed={self.seed})"
+
+
+@dataclass(frozen=True)
+class GatewayResult:
+    """Per-request recommendation lists from a multi-model batch.
+
+    Row ``i`` answers request ``i``: ``models[i]`` served ``users[i]`` and
+    produced ``items[i]`` / ``scores[i]`` (padded with -1 / ``-inf`` like
+    :class:`~repro.serving.topk.TopKResult`).
+    """
+
+    users: np.ndarray
+    models: List[str]
+    items: np.ndarray
+    scores: np.ndarray
+
+    def for_request(self, index: int) -> np.ndarray:
+        """Recommended items of request ``index`` (padding stripped)."""
+        items = self.items[index]
+        return items[items >= 0]
+
+
+class ServingGateway:
+    """Routes scoring and top-k traffic onto a :class:`ModelCatalog`.
+
+    ``default_model`` answers requests that name no model; per-model
+    recommenders (and their LRU residency) live in the catalog, so every
+    gateway sharing a catalog shares warm models.  ``request_counts``
+    tallies served rows per model — the observability hook A/B analysis
+    reads.
+    """
+
+    def __init__(self, catalog: ModelCatalog, default_model: Optional[str] = None) -> None:
+        if default_model is not None:
+            catalog.entry(default_model)  # fail fast on typos
+        self.catalog = catalog
+        self.default_model = default_model
+        self.request_counts: Dict[str, int] = {}
+
+    def _resolve(self, model: Optional[str]) -> str:
+        if model is not None:
+            return model
+        if self.default_model is None:
+            raise ValueError(
+                "request names no model and the gateway has no default_model; "
+                f"catalog serves {self.catalog.names}"
+            )
+        return self.default_model
+
+    def _count(self, model: str, rows: int) -> None:
+        self.request_counts[model] = self.request_counts.get(model, 0) + rows
+
+    # ------------------------------------------------------------------
+    # Single-model entry points
+    # ------------------------------------------------------------------
+    def top_k(self, users: np.ndarray, k: Optional[int] = None, model: Optional[str] = None) -> TopKResult:
+        """Top-k lists for ``users`` from one catalog model (or the default)."""
+        name = self._resolve(model)
+        users = np.asarray(users, dtype=np.int64)
+        result = self.catalog.recommender(name).recommend(users, k=k)
+        self._count(name, int(users.size))
+        return result
+
+    def scores(self, users: np.ndarray, item_ids: np.ndarray, model: Optional[str] = None) -> np.ndarray:
+        """Raw ``(users, items)`` score block from one catalog model."""
+        name = self._resolve(model)
+        users = np.asarray(users, dtype=np.int64)
+        block = self.catalog.store(name).scores(users, np.asarray(item_ids, dtype=np.int64))
+        self._count(name, int(users.size))
+        return block
+
+    # ------------------------------------------------------------------
+    # Multi-model entry points
+    # ------------------------------------------------------------------
+    def top_k_split(
+        self, split: TrafficSplit, users: np.ndarray, k: Optional[int] = None
+    ) -> GatewayResult:
+        """A/B-serve ``users``: assign each to a variant, score grouped per model."""
+        users = np.asarray(users, dtype=np.int64)
+        assignments = split.assign(users)
+        return self._grouped_top_k(users, [str(name) for name in assignments], k)
+
+    def top_k_mixed(
+        self, requests: Sequence[Tuple[str, int]], k: Optional[int] = None
+    ) -> GatewayResult:
+        """Serve a batch of ``(model_name, user)`` requests, grouped per model.
+
+        All rows targeting the same model are answered by a single
+        ``recommend`` call (one dense score block per model, not per row);
+        results come back aligned with ``requests``.
+        """
+        if not requests:
+            raise ValueError("top_k_mixed needs at least one (model, user) request")
+        models = [name for name, _ in requests]
+        users = np.asarray([user for _, user in requests], dtype=np.int64)
+        return self._grouped_top_k(users, models, k)
+
+    def _grouped_top_k(self, users: np.ndarray, models: List[str], k: Optional[int]) -> GatewayResult:
+        if not models:
+            width = self.catalog.default_k if k is None else k
+            empty = np.zeros((0, width), dtype=np.int64)
+            return GatewayResult(users=users, models=[], items=empty, scores=empty.astype(np.float64))
+        # Validate every name before scoring anything: a bad row should fail
+        # the batch up front, not after half the models already computed.
+        for name in dict.fromkeys(models):
+            self.catalog.entry(name)
+        order = {}
+        for index, name in enumerate(models):
+            order.setdefault(name, []).append(index)
+        items_out: Optional[np.ndarray] = None
+        scores_out: Optional[np.ndarray] = None
+        for name, indices in order.items():
+            rows = np.asarray(indices, dtype=np.int64)
+            result = self.catalog.recommender(name).recommend(users[rows], k=k)
+            if items_out is None:
+                width = result.items.shape[1]
+                items_out = np.full((len(models), width), -1, dtype=np.int64)
+                scores_out = np.full((len(models), width), -np.inf, dtype=np.float64)
+            items_out[rows] = result.items
+            scores_out[rows] = result.scores
+            self._count(name, int(rows.size))
+        assert items_out is not None and scores_out is not None
+        return GatewayResult(users=users, models=models, items=items_out, scores=scores_out)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingGateway(default={self.default_model!r}, "
+            f"models={self.catalog.names}, served={self.request_counts})"
+        )

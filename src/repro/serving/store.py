@@ -34,7 +34,26 @@ __all__ = ["EmbeddingStore", "EmbeddingStoreCallback"]
 
 
 class EmbeddingStore:
-    """Owns the propagate-once / serve-many lifecycle of one model."""
+    """Owns the propagate-once / serve-many lifecycle of one model.
+
+    Usage — refresh once, then answer any number of score requests from
+    the cached propagated embeddings:
+
+    >>> import numpy as np
+    >>> from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+    >>> from repro.models import build_model
+    >>> from repro.serving import EmbeddingStore
+    >>> split = leave_one_out_split(generate_dataset(
+    ...     BeibeiLikeConfig(num_users=40, num_items=20, num_behaviors=160, seed=0)))
+    >>> store = EmbeddingStore(build_model("GBGCN", split.train))
+    >>> store.refresh()
+    1
+    >>> store.score_all_items(np.asarray([0, 1])).shape
+    (2, 20)
+    >>> store.invalidate()          # after a parameter update
+    >>> store.is_fresh              # next request re-propagates transparently
+    False
+    """
 
     def __init__(self, model: RecommenderModel, auto_refresh: bool = True) -> None:
         self.model = model

@@ -49,7 +49,24 @@ class TopKResult:
 
 
 class TopKRecommender:
-    """Batched top-``k`` item recommendation with observed-item exclusion."""
+    """Batched top-``k`` item recommendation with observed-item exclusion.
+
+    Usage — wrap any model's :class:`EmbeddingStore` and ask for lists:
+
+    >>> import numpy as np
+    >>> from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+    >>> from repro.models import build_model
+    >>> from repro.serving import EmbeddingStore, TopKRecommender
+    >>> split = leave_one_out_split(generate_dataset(
+    ...     BeibeiLikeConfig(num_users=40, num_items=20, num_behaviors=160, seed=0)))
+    >>> store = EmbeddingStore(build_model("MF", split.train))
+    >>> recommender = TopKRecommender(store, k=5, dataset=split.full)
+    >>> result = recommender.recommend(np.asarray([0, 1, 2]))
+    >>> result.items.shape
+    (3, 5)
+    >>> len(recommender.recommend_user(0))  # single-user convenience wrapper
+    5
+    """
 
     def __init__(
         self,
@@ -58,27 +75,35 @@ class TopKRecommender:
         exclude_observed: bool = True,
         dataset: Optional[GroupBuyingDataset] = None,
         batch_size: int = 256,
+        observed_matrix: Optional[sp.csr_matrix] = None,
     ) -> None:
         """``dataset`` supplies the observed interactions to exclude; it is
         required when ``exclude_observed`` is set.  ``batch_size`` bounds the
-        dense ``(users, items)`` score block held in memory at once."""
+        dense ``(users, items)`` score block held in memory at once.  A
+        precomputed ``observed_matrix`` (see
+        :func:`~repro.data.dataset.observed_item_matrix`) skips the rebuild —
+        the :class:`~repro.serving.catalog.ModelCatalog` shares one across
+        every model serving the same dataset."""
         if k < 1:
             raise ValueError("k must be positive")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
-        if exclude_observed and dataset is None:
-            raise ValueError("exclude_observed=True requires a dataset")
+        if exclude_observed and dataset is None and observed_matrix is None:
+            raise ValueError("exclude_observed=True requires a dataset (or an observed_matrix)")
         self.store = store
         self.k = k
         self.batch_size = batch_size
         self.exclude_observed = exclude_observed
         self._observed_matrix: Optional[sp.csr_matrix] = None
         if exclude_observed:
-            self._observed_matrix = observed_item_matrix(
-                dataset.user_item_set(include_participants=True),
-                dataset.num_users,
-                dataset.num_items,
-            )
+            if observed_matrix is not None:
+                self._observed_matrix = observed_matrix
+            else:
+                self._observed_matrix = observed_item_matrix(
+                    dataset.user_item_set(include_participants=True),
+                    dataset.num_users,
+                    dataset.num_items,
+                )
 
     def recommend(self, users: np.ndarray, k: Optional[int] = None) -> TopKResult:
         """Top-``k`` items for every user in ``users``.

@@ -107,6 +107,14 @@ class ModelCheckpoint(Callback):
     ``dataset`` / ``settings`` / ``model_name`` are forwarded to
     :func:`repro.persist.save_model` for models that do not already carry
     their registry identity.
+
+    With ``catalog_dir`` set, every save is additionally *published* into
+    that directory as ``<catalog_name>.npz`` (``catalog_name`` defaults to
+    the model's registry name) — the file a
+    :class:`~repro.serving.catalog.ModelCatalog` pointed at the directory
+    picks up.  Publishes are atomic like every artifact write, so a serving
+    process hot-swaps from the old model straight to the new one, never
+    through a half-written file.
     """
 
     def __init__(
@@ -117,6 +125,8 @@ class ModelCheckpoint(Callback):
         dataset=None,
         settings=None,
         model_name: Optional[str] = None,
+        catalog_dir: Optional[Union[str, Path]] = None,
+        catalog_name: Optional[str] = None,
     ) -> None:
         if period < 1:
             raise ValueError("period must be at least 1")
@@ -124,17 +134,34 @@ class ModelCheckpoint(Callback):
             raise ValueError(
                 "period applies to periodic checkpointing; pass save_best_only=False with it"
             )
+        if catalog_name is not None and catalog_dir is None:
+            raise ValueError("catalog_name without catalog_dir publishes nowhere; set catalog_dir")
         self.path = Path(path)
         self.save_best_only = save_best_only
         self.period = period
         self.dataset = dataset
         self.settings = settings
         self.model_name = model_name
+        self.catalog_dir = None if catalog_dir is None else Path(catalog_dir)
+        self.catalog_name = catalog_name
         self._best_metric = -np.inf
         self.num_saves = 0
+        self.num_publishes = 0
+
+    def catalog_path(self, model) -> Optional[Path]:
+        """Where this checkpoint publishes ``model``, or ``None`` when it doesn't."""
+        if self.catalog_dir is None:
+            return None
+        name = (
+            self.catalog_name
+            or self.model_name
+            or getattr(model, "_registry_name", None)
+            or model.name
+        )
+        return self.catalog_dir / f"{name}.npz"
 
     def _save(self, trainer) -> None:
-        from ..persist import save_model
+        from ..persist import copy_artifact, save_model
 
         save_model(
             trainer.model,
@@ -145,6 +172,14 @@ class ModelCheckpoint(Callback):
         )
         self.num_saves += 1
         logger.debug("checkpoint artifact written to %s", self.path)
+        publish_path = self.catalog_path(trainer.model)
+        if publish_path is not None:
+            # Byte-for-byte replication of the artifact just written: no
+            # second model snapshot or npz compression inside the training
+            # loop, and published == checkpoint bytes by construction.
+            copy_artifact(self.path, publish_path)
+            self.num_publishes += 1
+            logger.debug("checkpoint artifact published to catalog at %s", publish_path)
 
     def on_epoch_end(self, trainer, record) -> None:
         if not self.save_best_only:

@@ -1,0 +1,38 @@
+"""Doctest lane (`-m docs`): the usage snippets in the docs must run.
+
+The API-reference docstrings of the serving and persist surfaces carry
+runnable examples (``>>>`` doctests).  This suite executes them, so the
+documented wiring — store lifecycle, artifact save/load, catalog,
+gateway — can never silently drift from the real API.  Collected by the
+bare tier-1 run (``python -m pytest -x -q``) and selectable alone with
+``python -m pytest -m docs``.
+"""
+
+import doctest
+
+import pytest
+
+import repro.persist.artifact
+import repro.persist.index
+import repro.serving.catalog
+import repro.serving.gateway
+import repro.serving.store
+import repro.serving.topk
+
+pytestmark = pytest.mark.docs
+
+DOCUMENTED_MODULES = [
+    repro.persist.artifact,
+    repro.persist.index,
+    repro.serving.store,
+    repro.serving.topk,
+    repro.serving.catalog,
+    repro.serving.gateway,
+]
+
+
+@pytest.mark.parametrize("module", DOCUMENTED_MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples_run(module):
+    result = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert result.attempted > 0, f"{module.__name__} documents no runnable examples"
+    assert result.failed == 0, f"{result.failed} doctest failure(s) in {module.__name__}"

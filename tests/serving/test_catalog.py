@@ -1,0 +1,230 @@
+"""ModelCatalog: scan, lazy cold-start, LRU budget, hot-swap, parity."""
+
+import numpy as np
+import pytest
+
+from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import (
+    CatalogError,
+    EmbeddingStore,
+    ModelCatalog,
+    TopKRecommender,
+    UnknownCatalogModelError,
+)
+
+SETTINGS = ModelSettings(embedding_dim=8)
+CATALOG_MODELS = {"gbgcn": "GBGCN", "gbgcn-pretrain": "GBGCN-pretrain", "mf": "MF"}
+
+
+def write_artifacts(directory, split):
+    for stem, model_name in CATALOG_MODELS.items():
+        save_model(build_model(model_name, split.train, SETTINGS), directory / f"{stem}.npz")
+
+
+@pytest.fixture()
+def catalog_dir(small_split, tmp_path):
+    directory = tmp_path / "models"
+    write_artifacts(directory, small_split)
+    return directory
+
+
+@pytest.fixture()
+def catalog(catalog_dir, small_split):
+    return ModelCatalog(catalog_dir, small_split.train)
+
+
+def some_users(split):
+    return np.asarray(sorted(split.test))[:16]
+
+
+class TestScan:
+    def test_lists_all_servable_artifacts(self, catalog):
+        assert catalog.names == sorted(CATALOG_MODELS)
+        assert len(catalog) == 3
+        assert "gbgcn" in catalog
+        assert catalog.rejected == {}
+
+    def test_nothing_is_loaded_before_first_request(self, catalog):
+        assert catalog.resident_names == []
+        assert catalog.stats.cold_starts == 0
+
+    def test_unknown_name_error_lists_catalog(self, catalog):
+        with pytest.raises(UnknownCatalogModelError, match=r"gbgcn.*mf"):
+            catalog.entry("nope")
+
+    def test_garbage_file_is_rejected_with_reason(self, catalog_dir, small_split):
+        (catalog_dir / "junk.npz").write_bytes(b"zzz")
+        catalog = ModelCatalog(catalog_dir, small_split.train)
+        assert catalog.names == sorted(CATALOG_MODELS)
+        assert "junk.npz" in catalog.rejected
+
+    def test_wrong_dataset_artifact_is_rejected(self, catalog_dir, small_split):
+        other = leave_one_out_split(
+            generate_dataset(BeibeiLikeConfig(num_users=50, num_items=25, num_behaviors=220, seed=123))
+        )
+        save_model(build_model("MF", other.train, SETTINGS), catalog_dir / "foreign.npz")
+        catalog = ModelCatalog(catalog_dir, small_split.train)
+        assert "foreign" not in catalog.names
+        assert "different dataset" in catalog.rejected["foreign.npz"]
+
+    def test_unknown_model_name_is_rejected_with_registry_names(self, catalog_dir, small_split):
+        model = build_model("MF", small_split.train, SETTINGS)
+        save_model(model, catalog_dir / "fancy.npz", model_name="FancyNet")
+        catalog = ModelCatalog(catalog_dir, small_split.train)
+        assert "fancy" not in catalog.names
+        assert "FancyNet" in catalog.rejected["fancy.npz"]
+        assert "GBGCN" in catalog.rejected["fancy.npz"]
+
+    def test_rescan_picks_up_new_artifact(self, catalog, catalog_dir, small_split):
+        assert "itempop" not in catalog
+        save_model(build_model("ItemPop", small_split.train, SETTINGS), catalog_dir / "itempop.npz")
+        catalog.scan()
+        assert "itempop" in catalog
+
+    def test_rescan_drops_removed_artifact_and_evicts(self, catalog, catalog_dir, small_split):
+        catalog.warm("mf")
+        (catalog_dir / "mf.npz").unlink()
+        catalog.scan()
+        assert "mf" not in catalog
+        assert "mf" not in catalog.resident_names
+
+
+class TestLazyColdStartAndParity:
+    def test_first_request_loads_only_that_model(self, catalog, small_split):
+        users = some_users(small_split)
+        catalog.recommender("mf").recommend(users)
+        assert catalog.resident_names == ["mf"]
+        assert catalog.stats.cold_starts == 1
+        assert catalog.entry("mf").last_cold_start_seconds > 0.0
+
+    @pytest.mark.parametrize("stem", sorted(CATALOG_MODELS))
+    def test_results_bitwise_identical_to_per_model_store(
+        self, stem, catalog, catalog_dir, small_split
+    ):
+        users = some_users(small_split)
+        result = catalog.recommender(stem, k=10).recommend(users)
+        reference_store = EmbeddingStore.from_artifact(catalog_dir / f"{stem}.npz", small_split.train)
+        reference = TopKRecommender(reference_store, k=10, dataset=small_split.train).recommend(users)
+        assert np.array_equal(result.items, reference.items)
+        assert np.array_equal(result.scores, reference.scores)
+
+    def test_recommender_is_reused_across_requests(self, catalog, small_split):
+        first = catalog.recommender("mf")
+        assert catalog.recommender("mf") is first
+        assert catalog.stats.cold_starts == 1
+        assert catalog.stats.hits >= 1
+
+    def test_k_override_does_not_clobber_cached_recommender(self, catalog, small_split):
+        users = some_users(small_split)
+        cached = catalog.recommender("mf")
+        assert cached.k == catalog.default_k
+        override = catalog.recommender("mf", k=3)
+        assert override is not cached
+        assert override.k == 3
+        assert override._observed_matrix is cached._observed_matrix  # still shared
+        # Later k-less calls keep the catalog default, unaffected by the override.
+        assert catalog.recommender("mf") is cached
+        assert catalog.recommender("mf").recommend(users).items.shape[1] == catalog.default_k
+
+    def test_observed_matrix_shared_across_models(self, catalog):
+        first = catalog.recommender("mf")._observed_matrix
+        second = catalog.recommender("gbgcn")._observed_matrix
+        assert first is second
+
+
+class TestResidencyBudget:
+    def test_lru_eviction_over_budget(self, catalog_dir, small_split):
+        catalog = ModelCatalog(catalog_dir, small_split.train, resident_budget=2)
+        catalog.warm("gbgcn")
+        catalog.warm("mf")
+        catalog.warm("gbgcn-pretrain")  # budget 2: 'gbgcn' is LRU, evicted
+        assert catalog.resident_names == ["mf", "gbgcn-pretrain"]
+        assert catalog.stats.evictions == 1
+
+    def test_access_refreshes_recency(self, catalog_dir, small_split):
+        catalog = ModelCatalog(catalog_dir, small_split.train, resident_budget=2)
+        users = some_users(small_split)
+        catalog.warm("gbgcn")
+        catalog.warm("mf")
+        catalog.recommender("gbgcn").recommend(users)  # gbgcn now most recent
+        catalog.warm("gbgcn-pretrain")
+        assert catalog.resident_names == ["gbgcn", "gbgcn-pretrain"]
+
+    def test_evicted_model_cold_starts_again_with_identical_results(
+        self, catalog_dir, small_split
+    ):
+        catalog = ModelCatalog(catalog_dir, small_split.train, resident_budget=1)
+        users = some_users(small_split)
+        before = catalog.recommender("mf").recommend(users)
+        catalog.recommender("gbgcn").recommend(users)  # evicts mf
+        assert catalog.resident_names == ["gbgcn"]
+        after = catalog.recommender("mf").recommend(users)
+        assert np.array_equal(before.items, after.items)
+        assert catalog.stats.cold_starts == 3
+
+    def test_warm_returns_cold_start_seconds_once(self, catalog):
+        first = catalog.warm("mf")
+        assert first > 0.0
+        assert catalog.warm("mf") == 0.0
+
+    def test_explicit_evict(self, catalog):
+        catalog.warm("mf")
+        assert catalog.evict("mf")
+        assert catalog.resident_names == []
+        assert not catalog.evict("mf")  # already gone
+
+    def test_warm_all_and_evict_all(self, catalog):
+        seconds = catalog.warm_all()
+        assert sorted(seconds) == sorted(CATALOG_MODELS)
+        assert all(value > 0.0 for value in seconds.values())
+        catalog.evict_all()
+        assert catalog.resident_names == []
+
+    def test_budget_must_be_positive(self, catalog_dir, small_split):
+        with pytest.raises(ValueError, match="resident_budget"):
+            ModelCatalog(catalog_dir, small_split.train, resident_budget=0)
+
+
+class TestHotSwap:
+    def test_replaced_artifact_is_reloaded_with_version_bump(
+        self, catalog, catalog_dir, small_split
+    ):
+        users = some_users(small_split)
+        before = catalog.recommender("mf").recommend(users)
+        assert catalog.entry("mf").version == 1
+
+        # Publish a differently-initialized MF into the same file (atomic
+        # replace, exactly what ModelCheckpoint's catalog publishing does).
+        replacement = build_model(
+            "MF", small_split.train, SETTINGS, rng=np.random.default_rng(2024)
+        )
+        save_model(replacement, catalog_dir / "mf.npz")
+
+        after = catalog.recommender("mf").recommend(users)
+        assert catalog.entry("mf").version == 2
+        assert catalog.stats.reloads == 1
+        assert not np.array_equal(before.scores, after.scores)
+
+        reference_store = EmbeddingStore.from_artifact(catalog_dir / "mf.npz", small_split.train)
+        reference = TopKRecommender(reference_store, k=10, dataset=small_split.train).recommend(users)
+        assert np.array_equal(after.items, reference.items)
+
+    def test_vanished_artifact_raises_and_drops_entry(self, catalog, catalog_dir, small_split):
+        catalog.warm("mf")
+        (catalog_dir / "mf.npz").unlink()
+        with pytest.raises(CatalogError, match="disappeared"):
+            catalog.store("mf")
+        assert "mf" not in catalog
+        assert "mf" not in catalog.resident_names
+
+    def test_swapped_in_unservable_artifact_fails_loudly(
+        self, catalog, catalog_dir, small_split
+    ):
+        catalog.warm("mf")
+        (catalog_dir / "mf.npz").write_bytes(b"corrupted by a partial copy")
+        with pytest.raises(CatalogError):
+            catalog.store("mf")
+        assert "mf" not in catalog
+        assert "mf.npz" in catalog.rejected

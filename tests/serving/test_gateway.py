@@ -1,0 +1,168 @@
+"""ServingGateway: routing, traffic splits, and mixed-model batching."""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import (
+    ModelCatalog,
+    ServingGateway,
+    TrafficSplit,
+    UnknownCatalogModelError,
+)
+
+SETTINGS = ModelSettings(embedding_dim=8)
+CATALOG_MODELS = {"gbgcn": "GBGCN", "mf": "MF", "itempop": "ItemPop"}
+
+
+@pytest.fixture()
+def catalog(small_split, tmp_path):
+    directory = tmp_path / "models"
+    for stem, model_name in CATALOG_MODELS.items():
+        save_model(build_model(model_name, small_split.train, SETTINGS), directory / f"{stem}.npz")
+    return ModelCatalog(directory, small_split.train)
+
+
+@pytest.fixture()
+def gateway(catalog):
+    return ServingGateway(catalog, default_model="gbgcn")
+
+
+def some_users(split, count=24):
+    return np.asarray(sorted(split.test))[:count]
+
+
+class TestTrafficSplit:
+    def test_rejects_empty_and_invalid_weights(self):
+        with pytest.raises(ValueError):
+            TrafficSplit({})
+        with pytest.raises(ValueError):
+            TrafficSplit({"a": -1.0, "b": 2.0})
+        with pytest.raises(ValueError):
+            TrafficSplit({"a": 0.0})
+
+    def test_weights_are_normalized(self):
+        split = TrafficSplit({"a": 3.0, "b": 1.0})
+        assert split.weights == {"a": 0.75, "b": 0.25}
+
+    def test_assignment_is_sticky_and_roughly_proportional(self):
+        split = TrafficSplit({"a": 0.7, "b": 0.3}, seed=5)
+        users = np.arange(4000)
+        first = split.assign(users)
+        assert (split.assign(users) == first).all()
+        share = float(np.mean(first == "a"))
+        assert 0.65 < share < 0.75
+
+    def test_different_seeds_decorrelate(self):
+        users = np.arange(2000)
+        one = TrafficSplit({"a": 0.5, "b": 0.5}, seed=1).assign(users)
+        two = TrafficSplit({"a": 0.5, "b": 0.5}, seed=2).assign(users)
+        assert (one != two).any()
+
+    def test_single_model_takes_all_traffic(self):
+        split = TrafficSplit({"only": 1.0})
+        assert (split.assign(np.arange(100)) == "only").all()
+
+
+class TestRouting:
+    def test_default_model_answers_unnamed_requests(self, gateway, catalog, small_split):
+        users = some_users(small_split)
+        result = gateway.top_k(users, k=5)
+        reference = catalog.recommender("gbgcn").recommend(users, k=5)
+        assert np.array_equal(result.items, reference.items)
+        assert gateway.request_counts == {"gbgcn": users.size}
+
+    def test_named_model_overrides_default(self, gateway, catalog, small_split):
+        users = some_users(small_split)
+        result = gateway.top_k(users, k=5, model="mf")
+        reference = catalog.recommender("mf").recommend(users, k=5)
+        assert np.array_equal(result.items, reference.items)
+
+    def test_scores_block(self, gateway, small_split):
+        users = some_users(small_split, count=4)
+        items = np.arange(6)
+        block = gateway.scores(users, items, model="mf")
+        assert block.shape == (4, 6)
+
+    def test_no_default_and_no_model_is_an_error(self, catalog, small_split):
+        gateway = ServingGateway(catalog)
+        with pytest.raises(ValueError, match="default_model"):
+            gateway.top_k(some_users(small_split))
+
+    def test_unknown_default_fails_at_construction(self, catalog):
+        with pytest.raises(UnknownCatalogModelError):
+            ServingGateway(catalog, default_model="nope")
+
+
+class TestMixedBatch:
+    def test_rows_align_with_requests_and_match_per_model_serving(
+        self, gateway, catalog, small_split
+    ):
+        users = some_users(small_split, count=9)
+        names = ["gbgcn", "mf", "itempop"]
+        requests = [(names[i % 3], int(user)) for i, user in enumerate(users)]
+        mixed = gateway.top_k_mixed(requests, k=5)
+
+        assert mixed.models == [name for name, _ in requests]
+        assert np.array_equal(mixed.users, users)
+        for name in names:
+            rows = np.asarray([i for i, (request_name, _) in enumerate(requests) if request_name == name])
+            reference = catalog.recommender(name).recommend(users[rows], k=5)
+            assert np.array_equal(mixed.items[rows], reference.items)
+            assert np.array_equal(mixed.scores[rows], reference.scores)
+
+    def test_each_model_scores_once_not_per_row(self, gateway, catalog, small_split):
+        users = some_users(small_split, count=12)
+        requests = [("mf", int(user)) for user in users]
+        gateway.top_k_mixed(requests, k=3)
+        # One cold start, and every subsequent access is a hit on the same
+        # resident -- the 12 rows were served by a single recommend call.
+        assert catalog.stats.cold_starts == 1
+
+    def test_bad_row_fails_before_any_model_scores(self, gateway, catalog, small_split):
+        users = some_users(small_split, count=3)
+        requests = [("mf", int(users[0])), ("nope", int(users[1])), ("gbgcn", int(users[2]))]
+        with pytest.raises(UnknownCatalogModelError):
+            gateway.top_k_mixed(requests, k=3)
+        assert gateway.request_counts == {}
+        assert catalog.stats.cold_starts == 0
+
+    def test_empty_requests_rejected(self, gateway):
+        with pytest.raises(ValueError, match="at least one"):
+            gateway.top_k_mixed([])
+
+    def test_for_request_strips_padding(self, gateway, small_split):
+        users = some_users(small_split, count=2)
+        mixed = gateway.top_k_mixed([("mf", int(users[0])), ("gbgcn", int(users[1]))], k=5)
+        for index in range(2):
+            items = mixed.for_request(index)
+            assert len(items) <= 5
+            assert (items >= 0).all()
+
+
+class TestTrafficSplitServing:
+    def test_every_user_is_served_by_their_assigned_model(self, gateway, catalog, small_split):
+        users = some_users(small_split)
+        split = TrafficSplit({"gbgcn": 0.5, "mf": 0.5}, seed=3)
+        result = gateway.top_k_split(split, users, k=5)
+
+        assignments = split.assign(users)
+        assert result.models == [str(name) for name in assignments]
+        for name in ("gbgcn", "mf"):
+            rows = np.flatnonzero(assignments == name)
+            if rows.size == 0:
+                continue
+            reference = catalog.recommender(name).recommend(users[rows], k=5)
+            assert np.array_equal(result.items[rows], reference.items)
+
+    def test_request_counts_tally_split_traffic(self, gateway, small_split):
+        users = some_users(small_split)
+        split = TrafficSplit({"gbgcn": 0.5, "mf": 0.5}, seed=3)
+        gateway.top_k_split(split, users, k=5)
+        assert sum(gateway.request_counts.values()) == users.size
+
+    def test_empty_user_batch(self, gateway):
+        result = gateway.top_k_split(TrafficSplit({"mf": 1.0}), np.asarray([], dtype=np.int64), k=5)
+        assert result.items.shape == (0, 5)
+        assert result.models == []

@@ -1,0 +1,56 @@
+"""Every documented entry point under ``examples/`` must actually run.
+
+README and the docs walk through these scripts; an API change that breaks
+one would otherwise only surface when a reader hits it.  Each script is
+executed in a subprocess (its own interpreter, like a reader would run it)
+with ``REPRO_EXAMPLE_SCALE=tiny``, the knob every example honors to shrink
+its dataset and epoch budget to smoke-test size.
+
+The test discovers scripts by globbing, so a future example is covered the
+day it lands — or fails loudly here if it forgets the tiny knob.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_discovered():
+    assert len(EXAMPLE_SCRIPTS) >= 8, EXAMPLE_SCRIPTS
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.stem)
+def test_example_runs_clean_at_tiny_scale(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_SCALE"] = "tiny"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-4000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-4000:]}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.stem)
+def test_example_honors_the_tiny_knob(script):
+    """Every example must read REPRO_EXAMPLE_SCALE so the smoke run stays fast."""
+    assert "REPRO_EXAMPLE_SCALE" in script.read_text(), (
+        f"{script.name} ignores REPRO_EXAMPLE_SCALE; add the tiny-scale knob "
+        f"(see examples/serving_catalog.py) so the smoke test stays fast"
+    )

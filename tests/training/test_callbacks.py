@@ -182,3 +182,88 @@ class TestModelCheckpoint:
             assert np.array_equal(state_after[key], good_state[key])
         # No temp files leak into the checkpoint directory.
         assert [p.name for p in tmp_path.iterdir()] == ["latest.npz"]
+
+
+class TestModelCheckpointCatalogPublish:
+    @pytest.fixture()
+    def registry_trainer_parts(self, small_split):
+        from repro.models import ModelSettings, build_model
+
+        train = small_split.train
+        model = build_model("MF", train, ModelSettings(embedding_dim=8))
+        conversion = to_user_item_interactions(train, mode="both")
+        sampler = TrainingNegativeSampler(train, seed=0)
+        iterator = InteractionBatchIterator(conversion, sampler, batch_size=256, seed=0)
+        return model, Adam(model.parameters(), lr=0.01), iterator
+
+    def test_publishes_into_catalog_dir_under_registry_name(
+        self, registry_trainer_parts, tmp_path
+    ):
+        model, optimizer, iterator = registry_trainer_parts
+        catalog_dir = tmp_path / "fleet"
+        checkpoint = ModelCheckpoint(
+            tmp_path / "latest.npz", save_best_only=False, catalog_dir=catalog_dir
+        )
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(2)
+        assert checkpoint.num_publishes == 2
+        published = catalog_dir / "MF.npz"
+        assert published.exists()
+        assert read_header(published).model_name == "MF"
+
+    def test_published_bytes_identical_to_checkpoint(self, registry_trainer_parts, tmp_path):
+        model, optimizer, iterator = registry_trainer_parts
+        checkpoint = ModelCheckpoint(
+            tmp_path / "latest.npz", save_best_only=False, catalog_dir=tmp_path / "fleet"
+        )
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(1)
+        assert (tmp_path / "fleet" / "MF.npz").read_bytes() == (tmp_path / "latest.npz").read_bytes()
+
+    def test_catalog_name_overrides_the_file_stem(self, registry_trainer_parts, tmp_path):
+        model, optimizer, iterator = registry_trainer_parts
+        checkpoint = ModelCheckpoint(
+            tmp_path / "latest.npz",
+            save_best_only=False,
+            catalog_dir=tmp_path / "fleet",
+            catalog_name="mf-canary",
+        )
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(1)
+        assert (tmp_path / "fleet" / "mf-canary.npz").exists()
+
+    def test_published_artifact_is_servable_by_a_catalog(
+        self, registry_trainer_parts, small_split, tmp_path
+    ):
+        from repro.serving import ModelCatalog
+
+        model, optimizer, iterator = registry_trainer_parts
+        checkpoint = ModelCheckpoint(
+            tmp_path / "latest.npz", save_best_only=False, catalog_dir=tmp_path / "fleet"
+        )
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(1)
+        catalog = ModelCatalog(tmp_path / "fleet", small_split.train)
+        assert catalog.names == ["MF"]
+        users = np.asarray(sorted(small_split.test))[:8]
+        result = catalog.recommender("MF", k=5).recommend(users)
+        assert result.items.shape == (users.size, 5)
+
+    def test_republish_hot_swaps_a_watching_catalog(
+        self, registry_trainer_parts, small_split, tmp_path
+    ):
+        from repro.serving import ModelCatalog
+
+        model, optimizer, iterator = registry_trainer_parts
+        checkpoint = ModelCheckpoint(
+            tmp_path / "latest.npz", save_best_only=False, catalog_dir=tmp_path / "fleet"
+        )
+        trainer = Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint])
+        trainer.fit(1)
+        catalog = ModelCatalog(tmp_path / "fleet", small_split.train)
+        users = np.asarray(sorted(small_split.test))[:8]
+        before = catalog.recommender("MF", k=5).recommend(users)
+        trainer.fit(2)  # trains further and republishes
+        after = catalog.recommender("MF", k=5).recommend(users)
+        assert catalog.entry("MF").version == 2
+        assert not np.array_equal(before.scores, after.scores)
+
+    def test_catalog_name_without_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="catalog_dir"):
+            ModelCheckpoint(tmp_path / "x.npz", catalog_name="mf")
