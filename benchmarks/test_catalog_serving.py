@@ -10,7 +10,14 @@ for the serving path (the training trajectory lives in
 * **mixed-traffic throughput** — a stream of single-user top-10 requests
   spread across all three models by a sticky ``TrafficSplit``, served in
   batches through ``ServingGateway.top_k_mixed`` (grouped: one dense block
-  per model per batch) vs the naive per-request loop on the same stream.
+  per model per batch) vs the naive per-request loop on the same stream;
+* **metrics overhead** — the same grouped stream against a catalog with
+  metrics collection enabled vs ``MetricsRegistry(enabled=False)``; the
+  recorded overhead must stay a small fraction of grouped throughput;
+* **warm vs cold request latency** — p50/p95/p99 of single-user requests
+  against a warm (resident, ``CatalogWarmer``-maintained) catalog vs
+  requests that pay the cold start in-line — the tail-latency cliff the
+  background warmer exists to remove.
 
 The grouped path must beat per-request serving by a wide margin; the
 asserted floor (3x) is far below typical measurements so the test only
@@ -18,6 +25,7 @@ fails on a real regression.  Marked ``slow``: set ``REPRO_RUN_SLOW=1``.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -28,7 +36,15 @@ from repro.data import GroupBuyingDataset, leave_one_out_split
 from repro.data.schema import GroupBuyingBehavior, SocialEdge
 from repro.models import ModelSettings, build_model
 from repro.persist import save_model
-from repro.serving import EmbeddingStore, ModelCatalog, ServingGateway, TopKRecommender, TrafficSplit
+from repro.serving import (
+    CatalogWarmer,
+    EmbeddingStore,
+    MetricsRegistry,
+    ModelCatalog,
+    ServingGateway,
+    TopKRecommender,
+    TrafficSplit,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
@@ -76,7 +92,14 @@ def catalog_setup(tmp_path_factory):
     directory = tmp_path_factory.mktemp("catalog-bench")
     settings = ModelSettings(embedding_dim=EMBEDDING_DIM)
     for stem, model_name in CATALOG_MODELS.items():
-        save_model(build_model(model_name, split.train, settings), directory / f"{stem}.npz")
+        path = directory / f"{stem}.npz"
+        save_model(build_model(model_name, split.train, settings), path)
+        # Age the artifacts past the content-check grace window so the
+        # timings measure steady-state serving (stat-only freshness checks),
+        # not the brief just-published window where every access re-reads
+        # the npz central directory.
+        aged_ns = os.stat(path).st_mtime_ns - int(600 * 1e9)
+        os.utime(path, ns=(aged_ns, aged_ns))
     return directory, split
 
 
@@ -166,7 +189,111 @@ def test_mixed_traffic_throughput(catalog_setup):
         "requests_per_second_per_request_loop": round(naive_rps, 1),
         "grouped_speedup": round(grouped_rps / naive_rps, 2),
     }
+    # Per-model gateway metrics for the grouped run (the observability the
+    # fleet exports in production): requests, rows, latency percentiles.
+    snapshot = gateway.metrics.snapshot()
+    _RESULTS["gateway_metrics"] = {
+        name: {
+            "requests": model["requests"],
+            "rows_served": model["rows_served"],
+            "request_p50_ms": round(model["request_latency"]["p50"] * 1000, 3),
+            "request_p99_ms": round(model["request_latency"]["p99"] * 1000, 3),
+        }
+        for name, model in snapshot["models"].items()
+    }
     assert grouped_rps >= naive_rps * 3.0
+
+
+@pytest.mark.slow
+def test_metrics_collection_overhead(catalog_setup):
+    """Metrics must cost a small fraction of grouped-batch throughput."""
+    directory, split = catalog_setup
+    rng = np.random.default_rng(3)
+    request_users = rng.integers(0, NUM_USERS, size=4096).astype(np.int64)
+    traffic = TrafficSplit(SPLIT_WEIGHTS, seed=7)
+    assignments = traffic.assign(request_users)
+    requests = [(str(model), int(user)) for model, user in zip(assignments, request_users)]
+
+    def make_gateway(metrics):
+        catalog = ModelCatalog(directory, split.train, metrics=metrics)
+        gateway = ServingGateway(catalog, default_model="gbgcn")
+        catalog.warm_all()
+        return gateway
+
+    def one_trial(gateway):
+        started = time.perf_counter()
+        for start in range(0, len(requests), REQUEST_BATCH):
+            gateway.top_k_mixed(requests[start : start + REQUEST_BATCH], k=TOP_K)
+        return len(requests) / (time.perf_counter() - started)
+
+    disabled_gateway = make_gateway(MetricsRegistry(enabled=False))
+    enabled_gateway = make_gateway(MetricsRegistry(enabled=True))
+    # Interleave the trials (after one untimed warm-up each) so run-order
+    # cache/turbo bias cannot masquerade as — or hide — metrics overhead.
+    one_trial(disabled_gateway), one_trial(enabled_gateway)
+    rps_disabled = rps_enabled = 0.0
+    for _ in range(3):
+        rps_disabled = max(rps_disabled, one_trial(disabled_gateway))
+        rps_enabled = max(rps_enabled, one_trial(enabled_gateway))
+    overhead_pct = max(0.0, (rps_disabled - rps_enabled) / rps_disabled * 100.0)
+    print(
+        f"\nBENCH metrics overhead: {rps_enabled:,.0f} req/s with metrics vs "
+        f"{rps_disabled:,.0f} req/s without ({overhead_pct:.2f}% overhead)"
+    )
+    _RESULTS["metrics_overhead"] = {
+        "requests_per_second_metrics_enabled": round(rps_enabled, 1),
+        "requests_per_second_metrics_disabled": round(rps_disabled, 1),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+    # The acceptance target is < 5%; the hard gate is looser so shared-CI
+    # timer noise cannot flake the suite on a non-regression.
+    assert overhead_pct < 15.0
+
+
+@pytest.mark.slow
+def test_warm_vs_cold_request_latency(catalog_setup):
+    """The tail-latency cliff the background warmer removes, quantified."""
+    directory, split = catalog_setup
+    catalog = ModelCatalog(directory, split.train)
+    gateway = ServingGateway(catalog)
+    rng = np.random.default_rng(9)
+    users = rng.integers(0, NUM_USERS, size=256).astype(np.int64)
+
+    # Warm path: residency maintained off-request by a warmer cycle.
+    warmer = CatalogWarmer(catalog)
+    warmer.run_once()
+    for user in users:
+        gateway.top_k(np.asarray([user]), k=TOP_K, model="gbgcn")
+    warm = catalog.metrics.snapshot()["models"]["gbgcn"]["request_latency"]
+
+    # Cold path: every request pays the artifact load + propagation in-line
+    # (what serving without the warmer risks after every hot-swap/eviction).
+    cold_metrics = MetricsRegistry()
+    cold_catalog = ModelCatalog(directory, split.train, metrics=cold_metrics)
+    cold_gateway = ServingGateway(cold_catalog)
+    for user in users[:24]:
+        cold_catalog.evict("gbgcn")
+        cold_gateway.top_k(np.asarray([user]), k=TOP_K, model="gbgcn")
+    cold = cold_metrics.snapshot()["models"]["gbgcn"]["request_latency"]
+
+    print(
+        f"\nBENCH warm vs cold p99: {warm['p99'] * 1000:.2f} ms warm vs "
+        f"{cold['p99'] * 1000:.2f} ms cold "
+        f"({cold['p99'] / max(warm['p99'], 1e-9):.0f}x cliff removed by the warmer)"
+    )
+    _RESULTS["warm_vs_cold_latency"] = {
+        "model": "gbgcn",
+        "warm_requests": warm["count"],
+        "cold_requests": cold["count"],
+        "warm_p50_ms": round(warm["p50"] * 1000, 3),
+        "warm_p95_ms": round(warm["p95"] * 1000, 3),
+        "warm_p99_ms": round(warm["p99"] * 1000, 3),
+        "cold_p50_ms": round(cold["p50"] * 1000, 3),
+        "cold_p95_ms": round(cold["p95"] * 1000, 3),
+        "cold_p99_ms": round(cold["p99"] * 1000, 3),
+    }
+    # A warm request must be far below the cold-start cliff.
+    assert warm["p99"] < cold["p99"]
 
 
 @pytest.mark.slow
@@ -175,7 +302,7 @@ def test_write_bench_serving_json():
     if not _RESULTS:
         pytest.skip("no timings collected in this run")
     payload = {
-        "schema": "repro-serving-bench/v1",
+        "schema": "repro-serving-bench/v2",
         "config": {
             "num_users": NUM_USERS,
             "num_items": NUM_ITEMS,

@@ -39,7 +39,13 @@ from .errors import (
     SchemaMismatchError,
 )
 from .fingerprint import dataset_fingerprint, fingerprint_mismatch
-from .index import ArtifactInfo, ArtifactScan, read_artifact_header, scan_artifact_directory
+from .index import (
+    ArtifactInfo,
+    ArtifactScan,
+    artifact_content_token,
+    read_artifact_header,
+    scan_artifact_directory,
+)
 
 __all__ = [
     "FORMAT_NAME",
@@ -60,6 +66,7 @@ __all__ = [
     "read_state_dict",
     "ArtifactInfo",
     "ArtifactScan",
+    "artifact_content_token",
     "read_artifact_header",
     "scan_artifact_directory",
 ]

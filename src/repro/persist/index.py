@@ -4,8 +4,14 @@ A model catalog that manages dozens of artifacts cannot afford to
 decompress every parameter table just to learn *what* each file holds.
 This module reads only the JSON ``__header__`` entry of an artifact (a few
 hundred bytes; ``np.load`` over an npz is lazy, so the ``state/...`` arrays
-are never touched) and pairs it with the file's stat identity — size and
-mtime — which is what hot-swap detection compares.
+are never touched) and pairs it with two freshness identities:
+
+* the file's **stat identity** — size and mtime — the cheap first-line
+  hot-swap check;
+* a **content token** — a digest of the npz central directory (member
+  names, CRC-32 checksums, sizes; still no decompression) — which catches
+  same-size replacements inside one mtime tick, where the stat identity is
+  blind (coarse-mtime filesystems, fast CI, ``os.utime``-pinned copies).
 
 Example — write two artifacts, then index the directory without loading a
 single weight array:
@@ -31,15 +37,52 @@ single weight array:
 
 from __future__ import annotations
 
+import hashlib
 import os
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Union
 
-from .artifact import ArtifactHeader, read_header
+from .artifact import ArtifactHeader, _header_from_archive, _open_archive
 from .errors import ArtifactError, ArtifactFormatError
 
-__all__ = ["ArtifactInfo", "ArtifactScan", "read_artifact_header", "scan_artifact_directory"]
+__all__ = [
+    "ArtifactInfo",
+    "ArtifactScan",
+    "artifact_content_token",
+    "read_artifact_header",
+    "scan_artifact_directory",
+]
+
+
+def artifact_content_token(path: Union[str, Path]) -> str:
+    """Digest of an artifact's npz central directory — content identity, cheap.
+
+    Hashes every zip member's name, CRC-32 and uncompressed size.  The CRCs
+    cover the actual array bytes, so two artifacts holding different weights
+    always token-differently even when their size and mtime collide; reading
+    the central directory touches only the tail of the file and decompresses
+    nothing.  Raises :class:`~repro.persist.errors.ArtifactFormatError` for
+    files that are not readable zip archives (including files that vanished).
+    """
+    path = Path(path)
+    try:
+        with zipfile.ZipFile(path) as archive:
+            return _token_from_members(archive.infolist())
+    except FileNotFoundError as error:
+        raise ArtifactFormatError(
+            f"artifact file vanished before its content could be read: {path}"
+        ) from error
+    except (zipfile.BadZipFile, OSError, ValueError) as error:
+        raise ArtifactFormatError(f"{path} is not a readable npz artifact: {error}") from error
+
+
+def _token_from_members(members) -> str:
+    hasher = hashlib.sha256()
+    for member in members:
+        hasher.update(f"{member.filename}:{member.CRC}:{member.file_size};".encode("utf-8"))
+    return hasher.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -48,14 +91,19 @@ class ArtifactInfo:
 
     ``size_bytes`` / ``mtime_ns`` identify the *bytes on disk* at read
     time; a writer replacing the file (atomically, as ``save_model`` does)
-    changes at least one of them, which is how
-    :class:`~repro.serving.catalog.ModelCatalog` detects hot-swaps.
+    usually changes at least one of them, which is how
+    :class:`~repro.serving.catalog.ModelCatalog` detects hot-swaps cheaply.
+    ``content_token`` (:func:`artifact_content_token`) is the backstop for
+    the stat identity's blind spot: a same-size replacement landing within
+    one mtime tick still changes the token, because the token covers the
+    zip members' CRC-32 checksums.
     """
 
     path: Path
     header: ArtifactHeader
     size_bytes: int
     mtime_ns: int
+    content_token: str = ""
 
     @property
     def name(self) -> str:
@@ -68,8 +116,16 @@ class ArtifactInfo:
         return self.header.model_name
 
     def stat_differs(self, other: "ArtifactInfo") -> bool:
-        """Whether ``other`` describes different bytes for the same path."""
+        """Whether ``other``'s stat identity differs (fast check; see :meth:`differs`)."""
         return (self.size_bytes, self.mtime_ns) != (other.size_bytes, other.mtime_ns)
+
+    def differs(self, other: "ArtifactInfo") -> bool:
+        """Whether ``other`` describes different bytes for the same path.
+
+        Compares the stat identity *and* the content token, so a
+        pinned-mtime same-size replacement is still reported as different.
+        """
+        return self.stat_differs(other) or self.content_token != other.content_token
 
 
 @dataclass
@@ -103,11 +159,29 @@ def read_artifact_header(path: Union[str, Path]) -> ArtifactInfo:
     # still notices the swap (never the reverse, which would miss it).
     try:
         stat = os.stat(path)
+    except FileNotFoundError as error:
+        # Distinguish a vanished file (a concurrent deletion/republish race
+        # — routine for a background rescan thread) from other IO trouble,
+        # so a directory scan can report it for what it is.
+        raise ArtifactFormatError(
+            f"artifact file vanished before it could be read: {path}"
+        ) from error
     except OSError as error:
         raise ArtifactFormatError(f"artifact file is not readable: {path} ({error})") from error
-    header = read_header(path)
+    # One archive open serves both reads: the content token comes from the
+    # zip central directory that np.load's NpzFile already parsed.
+    with _open_archive(path) as archive:
+        zip_backend = getattr(archive, "zip", None)
+        token = _token_from_members(zip_backend.infolist()) if zip_backend is not None else None
+        header = _header_from_archive(archive, path)
+    if token is None:  # numpy stopped exposing the zip backend; re-open
+        token = artifact_content_token(path)
     return ArtifactInfo(
-        path=path, header=header, size_bytes=stat.st_size, mtime_ns=stat.st_mtime_ns
+        path=path,
+        header=header,
+        size_bytes=stat.st_size,
+        mtime_ns=stat.st_mtime_ns,
+        content_token=token,
     )
 
 
@@ -118,23 +192,35 @@ def scan_artifact_directory(
 
     Files matching ``pattern`` that fail header validation are recorded in
     :attr:`ArtifactScan.failures` (with ``strict=True`` the first failure
-    raises instead — useful in tests and CI).  Two files whose stems
-    collide (``gbgcn.npz`` vs a ``gbgcn.NPZ`` copy) are a hard error in
-    both modes: a catalog name must identify exactly one artifact.
+    raises instead — useful in tests and CI).  The scan is safe against a
+    concurrent writer or deleter: a file that disappears between the
+    directory listing and the header read degrades to a ``failures`` entry
+    naming the race (never a propagated ``FileNotFoundError``), which is
+    what a background rescan thread needs to coexist with publishers.  Two
+    files whose stems collide (``gbgcn.npz`` vs a ``gbgcn.NPZ`` copy) are a
+    hard error in both modes: a catalog name must identify exactly one
+    artifact.
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise ArtifactFormatError(f"artifact directory does not exist: {directory}")
     scan = ArtifactScan(directory=directory)
     for path in sorted(directory.glob(pattern)):
-        if not path.is_file():
-            continue
         try:
+            if not path.is_file():
+                continue
             info = read_artifact_header(path)
         except ArtifactError as error:
             if strict:
                 raise
             scan.failures[path.name] = str(error)
+            continue
+        except OSError as error:
+            # A racing deletion can also surface from is_file()/glob stat
+            # calls on some filesystems; degrade identically.
+            if strict:
+                raise ArtifactFormatError(f"artifact file is not readable: {path} ({error})") from error
+            scan.failures[path.name] = f"artifact file is not readable: {path} ({error})"
             continue
         if info.name in scan.entries:
             raise ArtifactFormatError(

@@ -10,9 +10,16 @@ instances into a request-serving system, one layer at a time:
   matrix product plus an ``np.argpartition`` partial sort;
 * :class:`ModelCatalog` manages a *directory* of artifacts as a model
   fleet — header-only scans, lazy cold-starts, an LRU residency budget,
-  and hot-swap when an artifact file is republished;
+  and hot-swap when an artifact file is republished; safe under
+  concurrent traffic from any number of threads;
 * :class:`ServingGateway` routes named, A/B-split and mixed-model traffic
-  onto the catalog, grouping batches so each model scores once.
+  onto the catalog, grouping batches so each model scores once;
+* :class:`CatalogWarmer` is the background thread that rescans the
+  artifact directory and pre-warms/hot-swaps models *off* the request
+  path, so requests never pay cold-start or reload latency;
+* :class:`MetricsRegistry` collects per-model request counts, served
+  rows, cold-start/reload/eviction counters and latency histograms
+  (p50/p95/p99), exported as a plain dict via ``snapshot()``.
 
 Single-model wiring::
 
@@ -26,14 +33,18 @@ Multi-model wiring (see ``examples/serving_catalog.py``)::
 
     catalog = ModelCatalog("artifacts/", split.train, resident_budget=2)
     gateway = ServingGateway(catalog, default_model="gbgcn")
-    gateway.top_k(user_batch, k=10)                          # named routing
-    gateway.top_k_split(TrafficSplit({"gbgcn": 0.9, "mf": 0.1}), user_batch)
+    with CatalogWarmer(catalog, interval_seconds=5.0):       # hot off-path
+        gateway.top_k(user_batch, k=10)                      # named routing
+        gateway.top_k_split(TrafficSplit({"gbgcn": 0.9, "mf": 0.1}), user_batch)
+        print(catalog.metrics.snapshot()["totals"])
 """
 
 from .catalog import CatalogEntry, CatalogError, ModelCatalog, UnknownCatalogModelError
 from .gateway import GatewayResult, ServingGateway, TrafficSplit
+from .metrics import LatencyHistogram, MetricsRegistry, ModelMetrics
 from .store import EmbeddingStore, EmbeddingStoreCallback
 from .topk import TopKRecommender, TopKResult
+from .warmer import CatalogWarmer, CatalogWarmerError
 
 __all__ = [
     "EmbeddingStore",
@@ -44,7 +55,12 @@ __all__ = [
     "CatalogEntry",
     "CatalogError",
     "UnknownCatalogModelError",
+    "CatalogWarmer",
+    "CatalogWarmerError",
     "ServingGateway",
     "GatewayResult",
     "TrafficSplit",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ModelMetrics",
 ]

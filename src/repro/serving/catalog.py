@@ -17,10 +17,22 @@ behind one object pointed at a directory of ``repro.persist`` artifacts:
   weights and propagated embeddings in memory; the least recently used is
   evicted when the budget would overflow (explicit :meth:`evict` works
   too);
-* **hot-swap** — every access re-stats the artifact file; when a trainer
-  (e.g. :class:`~repro.training.callbacks.ModelCheckpoint` publishing into
-  the catalog directory) atomically replaces it, the catalog reloads the
-  new bytes and bumps the entry's ``version``.
+* **hot-swap** — every access re-checks the artifact file (stat identity
+  plus, by default, the content token that catches same-size replacements
+  within one mtime tick); when a trainer (e.g.
+  :class:`~repro.training.callbacks.ModelCheckpoint` publishing into the
+  catalog directory) atomically replaces it, the catalog reloads the new
+  bytes and bumps the entry's ``version``;
+* **thread safety** — any number of threads may call
+  :meth:`store`/:meth:`recommender`/:meth:`warm`/:meth:`evict`/:meth:`scan`
+  concurrently.  Catalog state is guarded by one internal lock, and each
+  entry carries a load lock so two threads racing on the same cold model
+  perform exactly one cold start (the loser waits and reuses the winner's
+  resident).  Model loads and propagation run *outside* the catalog lock,
+  so one model's 60 ms cold start never blocks another model's requests;
+* **observability** — lifecycle counters (:attr:`stats`) plus a per-model
+  :class:`~repro.serving.metrics.MetricsRegistry` (:attr:`metrics`)
+  recording cold-start latency histograms, reloads and evictions.
 
 Example — three artifacts, a budget of two residents, bitwise-identical
 results to a hand-wired per-model store:
@@ -54,23 +66,32 @@ True
 >>> _ = catalog.warm("itempop"); _ = catalog.warm("lightgcn")
 >>> catalog.resident_names     # budget is 2: 'mf' (least recent) was evicted
 ['itempop', 'lightgcn']
+>>> catalog.metrics.snapshot()["totals"]["cold_starts"]
+3
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import scipy.sparse as sp
 
 from ..data.dataset import GroupBuyingDataset, observed_item_matrix
 from ..persist.errors import ArtifactError
 from ..persist.fingerprint import dataset_fingerprint, fingerprint_mismatch
-from ..persist.index import ArtifactInfo, read_artifact_header, scan_artifact_directory
+from ..persist.index import (
+    ArtifactInfo,
+    artifact_content_token,
+    read_artifact_header,
+    scan_artifact_directory,
+)
+from .metrics import MetricsRegistry
 from .store import EmbeddingStore
 from .topk import TopKRecommender
 
@@ -90,13 +111,21 @@ class CatalogEntry:
     """One servable artifact of the catalog (metadata only — never weights).
 
     ``version`` starts at 1 and is bumped on every hot-swap reload, so
-    callers can detect "same name, new model" across requests.
+    callers can detect "same name, new model" across requests.  Entry
+    fields are only read/written under the owning catalog's lock; the
+    ``load_lock`` serializes cold starts of this entry across threads.
     """
 
     info: ArtifactInfo
     version: int = 1
     #: Wall-clock seconds of the most recent cold start (0.0 until loaded once).
     last_cold_start_seconds: float = 0.0
+    #: ``time.time_ns()`` of the last content-token verification (0 forces
+    #: one on first access), driving the periodic idle-tail re-check.
+    last_content_check_ns: int = 0
+
+    def __post_init__(self) -> None:
+        self.load_lock = threading.Lock()
 
     @property
     def name(self) -> str:
@@ -122,7 +151,11 @@ class _Resident:
 
 @dataclass
 class CatalogStats:
-    """Lifecycle counters since catalog construction (monotonic)."""
+    """Lifecycle counters since catalog construction (monotonic).
+
+    Mutated only under the catalog lock, so concurrent traffic never
+    drops an increment; read access needs no lock (ints are snapshots).
+    """
 
     cold_starts: int = 0
     hits: int = 0
@@ -141,6 +174,14 @@ class CatalogStats:
 class ModelCatalog:
     """Artifact-backed multi-model catalog with lazy cold-start and LRU residency.
 
+    Safe for concurrent use from any number of threads; see the module
+    docstring for the locking discipline.
+
+    ``content_check_grace_seconds`` (class attribute, overridable per
+    instance) bounds how long after a file's mtime the content token is
+    re-verified on every access, and the cadence of the periodic re-check
+    past that (see ``verify_content`` below).
+
     Parameters
     ----------
     directory:
@@ -157,7 +198,32 @@ class ModelCatalog:
         Maximum number of models kept loaded at once (``None`` = unbounded).
     default_k, exclude_observed:
         Defaults for recommenders built by :meth:`recommender`.
+    verify_content:
+        When True (default), the per-access freshness check also compares
+        the artifact's content token (npz CRC digest), so a same-size
+        replacement within one mtime tick is still hot-swapped.  The token
+        is re-read while the file's mtime is recent
+        (:attr:`content_check_grace_seconds`) — the window where the stat
+        identity can be blind — and otherwise at most once per grace
+        period, which bounds detection of a swap first accessed much later
+        to one grace period; steady-state accesses cost one ``os.stat``.
+        ``False`` trusts ``(st_size, st_mtime_ns)`` alone; pair it with an
+        explicit :meth:`reload` (or a rescanning
+        :class:`~repro.serving.warmer.CatalogWarmer`) if your publisher can
+        produce stat-identical replacements.
+    metrics:
+        The :class:`~repro.serving.metrics.MetricsRegistry` to record
+        into; a fresh enabled registry by default (pass
+        ``MetricsRegistry(enabled=False)`` to disable collection).
     """
+
+    #: How long after an artifact's mtime the content token is re-verified
+    #: on every access (the stat identity's blind window is a replacement
+    #: inside the still-current mtime tick), and how often it is
+    #: re-verified thereafter (one periodic check per grace period, so an
+    #: idle model's hidden swap is found at most this late).  Generous:
+    #: any mtime granularity coarser than this would be pathological.
+    content_check_grace_seconds: float = 60.0
 
     def __init__(
         self,
@@ -169,6 +235,8 @@ class ModelCatalog:
         default_k: int = 10,
         exclude_observed: bool = True,
         pattern: str = "*.npz",
+        verify_content: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if resident_budget is not None and resident_budget < 1:
             raise ValueError("resident_budget must be at least 1 (or None for unbounded)")
@@ -179,13 +247,26 @@ class ModelCatalog:
         self.default_k = default_k
         self.exclude_observed = exclude_observed
         self.pattern = pattern
+        self.verify_content = verify_content
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Servable entries by catalog name (file stem), filled by :meth:`scan`.
         self.entries: Dict[str, CatalogEntry] = {}
         #: Files matching the pattern that cannot be served, with the reason.
         self.rejected: Dict[str, str] = {}
         self.stats = CatalogStats()
+        # Lock hierarchy (acquire outer before inner, never the reverse):
+        #   entry.load_lock  →  self._lock  →  MetricsRegistry._lock
+        # self._lock guards entries/rejected/_residents/stats/_observed and
+        # is held only for in-memory bookkeeping plus cheap freshness IO
+        # (stat + central-directory read), never for a model load.
+        self._lock = threading.RLock()
         self._residents: "OrderedDict[str, _Resident]" = OrderedDict()
-        self._observed: Optional[sp.csr_matrix] = None
+        # Built eagerly: the serving dataset is fixed for the catalog's
+        # lifetime, and building it lazily would put an O(dataset) scan
+        # inside the catalog lock on the first request.
+        self._observed: Optional[sp.csr_matrix] = (
+            self._build_observed_matrix() if exclude_observed else None
+        )
         self.scan()
 
     # ------------------------------------------------------------------
@@ -195,29 +276,44 @@ class ModelCatalog:
         """(Re-)index the artifact directory via header-only reads.
 
         Returns the sorted servable names.  Entries whose file vanished are
-        dropped (and evicted); changed files are *not* reloaded here —
-        hot-swap happens lazily on next access, so a scan never pays a cold
-        start.  Invalid files land in :attr:`rejected` with a message that
-        names the path and the failure, never in :attr:`entries`.
+        dropped (and evicted); replaced files are *detected* here (version
+        bump — including stat-identical replacements, caught by the content
+        token) but the new bytes are loaded lazily on next access, so a
+        scan never pays a cold start.  Invalid files land in
+        :attr:`rejected` with a message that names the path and the
+        failure, never in :attr:`entries`.  Safe to call concurrently with
+        serving traffic — this is what a background
+        :class:`~repro.serving.warmer.CatalogWarmer` cycle does.
         """
         scan = scan_artifact_directory(self.directory, pattern=self.pattern)
-        self.rejected = dict(scan.failures)
-        fresh: Dict[str, CatalogEntry] = {}
-        for name, info in scan.entries.items():
-            reason = self._validate(info)
-            if reason is not None:
-                self.rejected[info.path.name] = reason
-                continue
-            previous = self.entries.get(name)
-            # Keep the previous entry object (and its recorded stat identity)
-            # so a replaced file is still detected — and version-bumped — by
-            # the lazy hot-swap check on next access, not silently absorbed.
-            fresh[name] = previous if previous is not None else CatalogEntry(info=info)
-        for name in list(self._residents):
-            if name not in fresh:
-                self.evict(name)
-        self.entries = fresh
-        return sorted(self.entries)
+        scanned_at = time.time_ns()  # every scanned header carried a fresh token
+        with self._lock:
+            self.rejected = dict(scan.failures)
+            fresh: Dict[str, CatalogEntry] = {}
+            for name, info in scan.entries.items():
+                reason = self._validate(info)
+                if reason is not None:
+                    self.rejected[info.path.name] = reason
+                    continue
+                previous = self.entries.get(name)
+                if previous is None:
+                    fresh[name] = CatalogEntry(info=info, last_content_check_ns=scanned_at)
+                    continue
+                # Keep the previous entry object (same load lock, same
+                # version history).  A changed file — by stat identity *or*
+                # content token — bumps the version now, so the next access
+                # (or warm) reloads the new bytes without re-reading the
+                # header itself.
+                if previous.info.differs(info):
+                    previous.info = info
+                    previous.version += 1
+                previous.last_content_check_ns = scanned_at
+                fresh[name] = previous
+            for name in list(self._residents):
+                if name not in fresh:
+                    self._evict_locked(name)
+            self.entries = fresh
+            return sorted(self.entries)
 
     def _validate(self, info: ArtifactInfo) -> Optional[str]:
         """Reason the artifact cannot be served here, or ``None`` if it can."""
@@ -247,28 +343,33 @@ class ModelCatalog:
     @property
     def names(self) -> List[str]:
         """Sorted servable catalog names."""
-        return sorted(self.entries)
+        with self._lock:
+            return sorted(self.entries)
 
     @property
     def resident_names(self) -> List[str]:
         """Loaded models, least recently used first."""
-        return list(self._residents)
+        with self._lock:
+            return list(self._residents)
 
     def __contains__(self, name: str) -> bool:
-        return name in self.entries
+        with self._lock:
+            return name in self.entries
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)
 
     def entry(self, name: str) -> CatalogEntry:
         """The catalog entry called ``name`` (metadata only, no load)."""
-        try:
-            return self.entries[name]
-        except KeyError:
-            raise UnknownCatalogModelError(
-                f"unknown model {name!r}; catalog at {self.directory} serves {self.names}"
-                + (f" (rejected files: {sorted(self.rejected)})" if self.rejected else "")
-            ) from None
+        with self._lock:
+            try:
+                return self.entries[name]
+            except KeyError:
+                raise UnknownCatalogModelError(
+                    f"unknown model {name!r}; catalog at {self.directory} serves {self.names}"
+                    + (f" (rejected files: {sorted(self.rejected)})" if self.rejected else "")
+                ) from None
 
     # ------------------------------------------------------------------
     # Lifecycle: cold-start, LRU, hot-swap
@@ -276,21 +377,60 @@ class ModelCatalog:
     def store(self, name: str) -> EmbeddingStore:
         """The serving store for ``name``, cold-starting or reloading as needed.
 
-        Every call re-stats the artifact file: a replaced file triggers a
+        Every call re-checks the artifact file (stat identity, plus content
+        token unless ``verify_content=False``): a replaced file triggers a
         reload of the new bytes (version bump), a vanished file raises
         :class:`CatalogError`.  Access marks the model most recently used.
+        Thread-safe; concurrent requests for the same cold model perform a
+        single load.
         """
-        entry = self.entry(name)
-        self._refresh_entry(entry)
+        return self._acquire(name)[0]
+
+    def _acquire(self, name: str) -> Tuple[EmbeddingStore, float]:
+        """``(store, cold_start_seconds)`` — 0.0 when served from residency."""
+        # A load runs outside the catalog lock, so the artifact can be
+        # swapped *again* mid-load; when that happens the loaded bytes are
+        # discarded and the loop retries against the newest version.
+        for _ in range(16):
+            with self._lock:
+                entry = self.entry(name)
+                self._refresh_entry(entry)
+                resident = self._hit_locked(name, entry.version)
+                if resident is not None:
+                    return resident.store, 0.0
+                target_version = entry.version
+                path = entry.path
+                load_lock = entry.load_lock
+            with load_lock:
+                with self._lock:
+                    current = self.entries.get(name)
+                    if current is None or current.version != target_version:
+                        continue  # dropped or swapped while we waited; retry
+                    # The thread we waited on may have loaded exactly this
+                    # version — then this is a hit, not a second cold start.
+                    resident = self._hit_locked(name, target_version)
+                    if resident is not None:
+                        return resident.store, 0.0
+                loaded = self._cold_start(name, path, target_version)
+                if loaded is not None:
+                    return loaded
+        raise CatalogError(
+            f"artifact for {name!r} at {path} kept being replaced while loading; giving up"
+        )
+
+    def _hit_locked(self, name: str, version: int) -> Optional[_Resident]:
+        """The resident serving ``version``, recency-bumped — or None.  Lock held."""
         resident = self._residents.get(name)
-        if resident is not None and resident.version == entry.version:
+        if resident is not None and resident.version == version:
             self._residents.move_to_end(name)
             self.stats.hits += 1
-            return resident.store
-        if resident is not None:  # stale bytes: hot-swap
+            return resident
+        if resident is not None:
+            # Stale bytes: retire the old resident; caller cold-starts.
             del self._residents[name]
             self.stats.reloads += 1
-        return self._cold_start(entry).store
+            self.metrics.record_reload(name)
+        return None
 
     def recommender(self, name: str, k: Optional[int] = None) -> TopKRecommender:
         """A ready top-k recommender for ``name`` (built once per residency).
@@ -304,11 +444,18 @@ class ModelCatalog:
         belongs to ``recommend(users, k)``.
         """
         store = self.store(name)  # ensures residency & freshness
-        resident = self._residents[name]
-        if resident.recommender is None:
-            resident.recommender = self._build_recommender(store, self.default_k)
-        if k is None or k == resident.recommender.k:
-            return resident.recommender
+        with self._lock:
+            resident = self._residents.get(name)
+            if resident is None or resident.store is not store:
+                # Evicted or hot-swapped by a concurrent thread between the
+                # two calls: serve a one-off recommender over the store we
+                # already hold (its arrays are immutable) rather than racing.
+                return self._build_recommender(store, self.default_k if k is None else k)
+            if resident.recommender is None:
+                resident.recommender = self._build_recommender(store, self.default_k)
+            cached = resident.recommender
+        if k is None or k == cached.k:
+            return cached
         return self._build_recommender(store, k)
 
     def _build_recommender(self, store: EmbeddingStore, k: int) -> TopKRecommender:
@@ -322,10 +469,7 @@ class ModelCatalog:
 
     def warm(self, name: str) -> float:
         """Load ``name`` now; returns the cold-start seconds (0.0 if already resident)."""
-        before = self.stats.cold_starts
-        self.store(name)
-        loaded = self.stats.cold_starts > before
-        return self.entry(name).last_cold_start_seconds if loaded else 0.0
+        return self._acquire(name)[1]
 
     def warm_all(self) -> Dict[str, float]:
         """Load every servable model (subject to the LRU budget); name → seconds."""
@@ -333,27 +477,96 @@ class ModelCatalog:
 
     def evict(self, name: str) -> bool:
         """Release ``name``'s weights and embeddings; returns whether it was resident."""
+        with self._lock:
+            return self._evict_locked(name)
+
+    def _evict_locked(self, name: str) -> bool:
         resident = self._residents.pop(name, None)
         if resident is None:
             return False
         self.stats.evictions += 1
+        self.metrics.record_eviction(name)
         return True
 
     def evict_all(self) -> None:
-        for name in list(self._residents):
-            self.evict(name)
+        with self._lock:
+            for name in list(self._residents):
+                self._evict_locked(name)
+
+    def reload(self, name: str, force: bool = False) -> int:
+        """Re-check ``name``'s artifact now; returns the entry's version.
+
+        The escape hatch around every staleness heuristic: with
+        ``force=True`` the header is unconditionally re-read and the
+        version bumped — even when stat identity *and* content token look
+        unchanged — so the next access reloads the bytes from disk.  Use it
+        when a publisher bypasses the detectable channels entirely (e.g.
+        in-place writes through a cache that preserves CRCs), or after
+        ``verify_content=False`` deployments republish.  Without ``force``
+        this runs the ordinary freshness check (useful to take a hot-swap
+        *now* rather than on the next request).
+
+        A name the catalog has never indexed triggers a :meth:`scan` first
+        (directory IO outside the catalog lock, like any scan), so
+        ``reload`` works as a ``ModelCheckpoint(on_publish=...)`` hook even
+        for a model's very first publish into the directory.
+        """
+        if name not in self:
+            self.scan()
+        with self._lock:
+            entry = self.entry(name)
+            if not force:
+                self._refresh_entry(entry)
+                return entry.version
+            info = self._reread_entry(entry)
+            entry.info = info
+            entry.version += 1
+            entry.last_content_check_ns = time.time_ns()
+            if name in self._residents:
+                del self._residents[name]
+                self.stats.reloads += 1
+                self.metrics.record_reload(name)
+            return entry.version
+
+    def _reread_entry(self, entry: CatalogEntry) -> ArtifactInfo:
+        """Fresh validated ``ArtifactInfo`` for the entry's path (lock held).
+
+        Drops the entry and raises :class:`CatalogError` when the file on
+        disk is gone or no longer servable.
+        """
+        try:
+            info = read_artifact_header(entry.path)
+            reason = self._validate(info)
+        except (ArtifactError, FileNotFoundError) as error:
+            if not entry.path.exists():
+                self._vanished(entry)
+            info, reason = None, f"{entry.path}: {error}"
+        if reason is not None:
+            # The replacement is unservable: drop the entry so requests fail
+            # loudly instead of silently serving the previous version.
+            self._evict_locked(entry.name)
+            self.entries.pop(entry.name, None)
+            self.rejected[entry.path.name] = reason
+            self.metrics.record_error(entry.name)
+            raise CatalogError(f"hot-swapped artifact is not servable: {reason}")
+        return info
+
+    def _vanished(self, entry: CatalogEntry) -> None:
+        """Drop a disappeared entry and raise (lock held)."""
+        self._evict_locked(entry.name)
+        self.entries.pop(entry.name, None)
+        self.metrics.record_error(entry.name)
+        raise CatalogError(
+            f"artifact file for {entry.name!r} disappeared: {entry.path} "
+            f"(entry dropped; re-publish the artifact or rescan)"
+        ) from None
 
     def _refresh_entry(self, entry: CatalogEntry) -> None:
-        """Hot-swap detection: re-stat the file, re-read the header if replaced."""
+        """Hot-swap detection (lock held): stat + content token, reload header if replaced."""
         try:
             stat = os.stat(entry.path)
         except FileNotFoundError:
-            self.evict(entry.name)
-            self.entries.pop(entry.name, None)
-            raise CatalogError(
-                f"artifact file for {entry.name!r} disappeared: {entry.path} "
-                f"(entry dropped; re-publish the artifact or rescan)"
-            ) from None
+            self._vanished(entry)
         except OSError as error:
             # Transient IO/permission trouble (NFS hiccup, mid-sync EACCES):
             # fail this request but keep the entry — the file is still there.
@@ -362,51 +575,103 @@ class ModelCatalog:
                 f"{entry.path} ({error})"
             ) from error
         if (stat.st_size, stat.st_mtime_ns) == (entry.info.size_bytes, entry.info.mtime_ns):
-            return
-        try:
-            info = read_artifact_header(entry.path)
-            reason = self._validate(info)
-        except ArtifactError as error:
-            info, reason = None, f"{entry.path}: {error}"
-        if reason is not None:
-            # The replacement is unservable: drop the entry so requests fail
-            # loudly instead of silently serving the previous version.
-            self.evict(entry.name)
-            self.entries.pop(entry.name, None)
-            self.rejected[entry.path.name] = reason
-            raise CatalogError(f"hot-swapped artifact is not servable: {reason}")
+            if not self.verify_content:
+                return
+            # Stat identity unchanged — but a same-size replacement within
+            # one mtime tick is invisible to stat.  The content token (npz
+            # CRC digest, no decompression) closes that hole.  Reading it
+            # on *every* access would put file IO on the steady-state hot
+            # path, so it runs only when the swap could actually be hiding:
+            # while the file's mtime is recent (a same-tick replacement can
+            # only happen inside the still-current tick), or once per grace
+            # period as a periodic re-check — which bounds the detection
+            # delay for a swap whose first access comes much later (idle
+            # tail models) to one grace period instead of "forever".
+            now = time.time_ns()
+            grace_ns = int(self.content_check_grace_seconds * 1e9)
+            if now - stat.st_mtime_ns > grace_ns and now - entry.last_content_check_ns < grace_ns:
+                return
+            try:
+                token = artifact_content_token(entry.path)
+            except ArtifactError as error:
+                if not entry.path.exists():
+                    self._vanished(entry)
+                raise CatalogError(
+                    f"artifact file for {entry.name!r} is temporarily unreadable: "
+                    f"{entry.path} ({error})"
+                ) from error
+            if token == entry.info.content_token:
+                entry.last_content_check_ns = now
+                return
+        info = self._reread_entry(entry)
         entry.info = info
         entry.version += 1
+        entry.last_content_check_ns = time.time_ns()
 
-    def _cold_start(self, entry: CatalogEntry) -> _Resident:
+    def _cold_start(self, name: str, path: Path, version: int) -> Optional[Tuple[EmbeddingStore, float]]:
+        """Load ``path`` and register the resident for ``version``.
+
+        Called with the entry's load lock held but *not* the catalog lock —
+        the expensive part (artifact read + propagation) must never block
+        unrelated requests.  Returns ``None`` when the loaded bytes are
+        already outdated (entry swapped again mid-load) so the caller
+        retries.
+        """
         from ..persist import load_model
 
         started = time.perf_counter()
-        model = load_model(entry.path, self.train_dataset)
+        try:
+            model = load_model(path, self.train_dataset)
+        except (ArtifactError, FileNotFoundError) as error:
+            # TOCTOU: the freshness check passed, then the file vanished or
+            # turned unservable before the weights were read.  Degrade to a
+            # dropped entry with a diagnosable CatalogError — never leak
+            # FileNotFoundError into a serving request.
+            with self._lock:
+                self._evict_locked(name)
+                self.entries.pop(name, None)
+                self.metrics.record_error(name)
+                if path.exists():
+                    self.rejected[path.name] = f"{path}: {error}"
+            if not path.exists():
+                raise CatalogError(
+                    f"artifact file for {name!r} disappeared: {path} "
+                    f"(entry dropped; re-publish the artifact or rescan)"
+                ) from error
+            raise CatalogError(
+                f"artifact for {name!r} became unloadable during cold start: {error}"
+            ) from error
         store = EmbeddingStore(model)
         store.refresh()
-        entry.last_cold_start_seconds = time.perf_counter() - started
-        self.stats.cold_starts += 1
-        resident = _Resident(store=store, version=entry.version)
-        self._residents[entry.name] = resident
-        self._enforce_budget(keep=entry.name)
-        return resident
+        seconds = time.perf_counter() - started
+        with self._lock:
+            entry = self.entries.get(name)
+            if entry is None or entry.version != version:
+                return None  # swapped again while loading; retry with new bytes
+            entry.last_cold_start_seconds = seconds
+            self.stats.cold_starts += 1
+            self.metrics.record_cold_start(name, seconds)
+            self._residents[name] = _Resident(store=store, version=version)
+            self._residents.move_to_end(name)
+            self._enforce_budget(keep=name)
+        return store, seconds
 
     def _enforce_budget(self, keep: str) -> None:
         if self.resident_budget is None:
             return
         while len(self._residents) > self.resident_budget:
             victim = next(name for name in self._residents if name != keep)
-            self.evict(victim)
+            self._evict_locked(victim)
+
+    def _build_observed_matrix(self) -> sp.csr_matrix:
+        dataset = self.serving_dataset
+        return observed_item_matrix(
+            dataset.user_item_set(include_participants=True),
+            dataset.num_users,
+            dataset.num_items,
+        )
 
     def _observed_matrix(self) -> sp.csr_matrix:
-        if self._observed is None:
-            dataset = self.serving_dataset
-            self._observed = observed_item_matrix(
-                dataset.user_item_set(include_participants=True),
-                dataset.num_users,
-                dataset.num_items,
-            )
         return self._observed
 
     def __repr__(self) -> str:

@@ -46,12 +46,15 @@ True
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .catalog import ModelCatalog
+from .metrics import MetricsRegistry
 from .topk import TopKResult
 
 __all__ = ["TrafficSplit", "GatewayResult", "ServingGateway"]
@@ -81,12 +84,21 @@ class TrafficSplit:
     split's ``seed``: deterministic, stateless, and independent across
     seeds — two concurrent experiments with different seeds decorrelate.
 
+    Zero-weight arms are legal (the idiomatic way to ramp a variant down
+    to 0% without rewriting call sites) and receive **exactly** zero
+    traffic: they are excluded from the bucket edges entirely, so not even
+    the floating-point boundary at hash 1.0 can route a user to a
+    zero-weight model.
+
     >>> split = TrafficSplit({"control": 0.8, "treatment": 0.2}, seed=7)
     >>> import numpy as np
     >>> assignments = split.assign(np.arange(1000))
     >>> bool(0.75 < np.mean(assignments == "control") < 0.85)
     True
     >>> bool((split.assign(np.arange(1000)) == assignments).all())  # sticky
+    True
+    >>> ramped_down = TrafficSplit({"control": 1.0, "treatment": 0.0}, seed=7)
+    >>> bool((ramped_down.assign(np.arange(1000)) == "control").all())
     True
     """
 
@@ -99,14 +111,19 @@ class TrafficSplit:
         self.models: List[str] = list(weights)
         self.weights = {name: float(weight) / total for name, weight in weights.items()}
         self.seed = seed
-        self._edges = np.cumsum([self.weights[name] for name in self.models])
+        # Only positive-weight arms own an interval.  Keeping zero-weight
+        # arms out of the edges is what makes "exactly zero traffic" hold:
+        # with them in, the fp guard clamping bucket == len(edges) down to
+        # the last arm could hand the hash ≈ 1.0 boundary to a 0% model.
+        self._active: List[str] = [name for name in self.models if self.weights[name] > 0.0]
+        self._edges = np.cumsum([self.weights[name] for name in self._active])
 
     def assign(self, users: np.ndarray) -> np.ndarray:
         """Model name per user (object array aligned with ``users``)."""
         users = np.asarray(users, dtype=np.int64)
         buckets = np.searchsorted(self._edges, _hash_unit_interval(users, self.seed), side="right")
-        buckets = np.minimum(buckets, len(self.models) - 1)  # guard fp edge at 1.0
-        return np.asarray(self.models, dtype=object)[buckets]
+        buckets = np.minimum(buckets, len(self._active) - 1)  # guard fp edge at 1.0
+        return np.asarray(self._active, dtype=object)[buckets]
 
     def __repr__(self) -> str:
         shares = ", ".join(f"{name}={share:.0%}" for name, share in self.weights.items())
@@ -138,17 +155,31 @@ class ServingGateway:
 
     ``default_model`` answers requests that name no model; per-model
     recommenders (and their LRU residency) live in the catalog, so every
-    gateway sharing a catalog shares warm models.  ``request_counts``
-    tallies served rows per model — the observability hook A/B analysis
-    reads.
+    gateway sharing a catalog shares warm models.  Thread-safe: requests
+    may arrive from any number of threads (the catalog serializes its own
+    state; the gateway's tallies sit behind a dedicated lock).
+
+    Observability: ``request_counts`` tallies served rows per model (the
+    quick hook A/B analysis reads), and every request's row count and
+    latency land in :attr:`metrics` — a
+    :class:`~repro.serving.metrics.MetricsRegistry` shared with the
+    catalog by default, so one ``metrics.snapshot()`` covers routing,
+    latency percentiles, cold starts, reloads and evictions together.
     """
 
-    def __init__(self, catalog: ModelCatalog, default_model: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        catalog: ModelCatalog,
+        default_model: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if default_model is not None:
             catalog.entry(default_model)  # fail fast on typos
         self.catalog = catalog
         self.default_model = default_model
+        self.metrics = metrics if metrics is not None else catalog.metrics
         self.request_counts: Dict[str, int] = {}
+        self._counts_lock = threading.Lock()
 
     def _resolve(self, model: Optional[str]) -> str:
         if model is not None:
@@ -160,8 +191,10 @@ class ServingGateway:
             )
         return self.default_model
 
-    def _count(self, model: str, rows: int) -> None:
-        self.request_counts[model] = self.request_counts.get(model, 0) + rows
+    def _count(self, model: str, rows: int, seconds: float) -> None:
+        with self._counts_lock:
+            self.request_counts[model] = self.request_counts.get(model, 0) + rows
+        self.metrics.record_request(model, rows, seconds)
 
     # ------------------------------------------------------------------
     # Single-model entry points
@@ -170,16 +203,18 @@ class ServingGateway:
         """Top-k lists for ``users`` from one catalog model (or the default)."""
         name = self._resolve(model)
         users = np.asarray(users, dtype=np.int64)
+        started = time.perf_counter()
         result = self.catalog.recommender(name).recommend(users, k=k)
-        self._count(name, int(users.size))
+        self._count(name, int(users.size), time.perf_counter() - started)
         return result
 
     def scores(self, users: np.ndarray, item_ids: np.ndarray, model: Optional[str] = None) -> np.ndarray:
         """Raw ``(users, items)`` score block from one catalog model."""
         name = self._resolve(model)
         users = np.asarray(users, dtype=np.int64)
+        started = time.perf_counter()
         block = self.catalog.store(name).scores(users, np.asarray(item_ids, dtype=np.int64))
-        self._count(name, int(users.size))
+        self._count(name, int(users.size), time.perf_counter() - started)
         return block
 
     # ------------------------------------------------------------------
@@ -224,6 +259,7 @@ class ServingGateway:
         scores_out: Optional[np.ndarray] = None
         for name, indices in order.items():
             rows = np.asarray(indices, dtype=np.int64)
+            started = time.perf_counter()
             result = self.catalog.recommender(name).recommend(users[rows], k=k)
             if items_out is None:
                 width = result.items.shape[1]
@@ -231,7 +267,7 @@ class ServingGateway:
                 scores_out = np.full((len(models), width), -np.inf, dtype=np.float64)
             items_out[rows] = result.items
             scores_out[rows] = result.scores
-            self._count(name, int(rows.size))
+            self._count(name, int(rows.size), time.perf_counter() - started)
         assert items_out is not None and scores_out is not None
         return GatewayResult(users=users, models=models, items=items_out, scores=scores_out)
 

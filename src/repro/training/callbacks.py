@@ -115,6 +115,14 @@ class ModelCheckpoint(Callback):
     picks up.  Publishes are atomic like every artifact write, so a serving
     process hot-swaps from the old model straight to the new one, never
     through a half-written file.
+
+    ``on_publish`` is called with the published path after every catalog
+    publish — the hook for a co-located serving catalog that should pick
+    the new bytes up *immediately* rather than on its next access or
+    warmer cycle::
+
+        ModelCheckpoint("best.npz", catalog_dir=fleet_dir,
+                        on_publish=lambda path: catalog.reload(path.stem, force=True))
     """
 
     def __init__(
@@ -127,6 +135,7 @@ class ModelCheckpoint(Callback):
         model_name: Optional[str] = None,
         catalog_dir: Optional[Union[str, Path]] = None,
         catalog_name: Optional[str] = None,
+        on_publish: Optional[Callable[[Path], None]] = None,
     ) -> None:
         if period < 1:
             raise ValueError("period must be at least 1")
@@ -136,6 +145,8 @@ class ModelCheckpoint(Callback):
             )
         if catalog_name is not None and catalog_dir is None:
             raise ValueError("catalog_name without catalog_dir publishes nowhere; set catalog_dir")
+        if on_publish is not None and catalog_dir is None:
+            raise ValueError("on_publish without catalog_dir never fires; set catalog_dir")
         self.path = Path(path)
         self.save_best_only = save_best_only
         self.period = period
@@ -144,6 +155,7 @@ class ModelCheckpoint(Callback):
         self.model_name = model_name
         self.catalog_dir = None if catalog_dir is None else Path(catalog_dir)
         self.catalog_name = catalog_name
+        self.on_publish = on_publish
         self._best_metric = -np.inf
         self.num_saves = 0
         self.num_publishes = 0
@@ -180,6 +192,8 @@ class ModelCheckpoint(Callback):
             copy_artifact(self.path, publish_path)
             self.num_publishes += 1
             logger.debug("checkpoint artifact published to catalog at %s", publish_path)
+            if self.on_publish is not None:
+                self.on_publish(publish_path)
 
     def on_epoch_end(self, trainer, record) -> None:
         if not self.save_best_only:

@@ -16,8 +16,10 @@ import repro.persist.artifact
 import repro.persist.index
 import repro.serving.catalog
 import repro.serving.gateway
+import repro.serving.metrics
 import repro.serving.store
 import repro.serving.topk
+import repro.serving.warmer
 
 pytestmark = pytest.mark.docs
 
@@ -28,6 +30,8 @@ DOCUMENTED_MODULES = [
     repro.serving.topk,
     repro.serving.catalog,
     repro.serving.gateway,
+    repro.serving.metrics,
+    repro.serving.warmer,
 ]
 
 

@@ -65,6 +65,54 @@ class TestTrafficSplit:
         assert (split.assign(np.arange(100)) == "only").all()
 
 
+class TestZeroWeightArms:
+    def test_zero_weight_arm_receives_exactly_zero_traffic(self):
+        split = TrafficSplit({"keep": 1.0, "ramped_down": 0.0}, seed=3)
+        assert (split.assign(np.arange(20000)) == "keep").all()
+
+    def test_boundary_hash_never_routes_to_zero_weight_last_arm(self, monkeypatch):
+        # Regression: the fp-edge guard `minimum(buckets, len(models) - 1)`
+        # used to clamp the hash ≈ 1.0 boundary onto the *last declared*
+        # arm — even a 0%-weight one.  Pin the hash to the worst case.
+        import repro.serving.gateway as gateway_module
+
+        monkeypatch.setattr(
+            gateway_module, "_hash_unit_interval", lambda users, seed: np.full(users.shape, 1.0)
+        )
+        split = TrafficSplit({"a": 0.5, "b": 0.5, "ramped_down": 0.0}, seed=1)
+        assert (split.assign(np.arange(8)) == "b").all()
+
+    def test_zero_weight_arm_stays_listed_but_inactive(self):
+        split = TrafficSplit({"a": 2.0, "z": 0.0}, seed=1)
+        assert split.models == ["a", "z"]  # declared arms keep their order
+        assert split.weights == {"a": 1.0, "z": 0.0}
+
+    def test_property_degenerate_weight_maps(self):
+        # Property: over random weight maps (including many zero arms and
+        # wildly different scales), zero-weight arms get exactly zero
+        # traffic and positive arms roughly their share.
+        rng = np.random.default_rng(42)
+        users = np.arange(6000)
+        for trial in range(25):
+            num_arms = int(rng.integers(1, 7))
+            weights = {}
+            for index in range(num_arms):
+                if rng.random() < 0.4 and index != 0:
+                    weights[f"m{index}"] = 0.0
+                else:
+                    weights[f"m{index}"] = float(rng.uniform(0.05, 10.0))
+            if sum(weights.values()) == 0.0:
+                weights["m0"] = 1.0
+            split = TrafficSplit(weights, seed=trial)
+            assignments = split.assign(users)
+            served = set(str(name) for name in np.unique(assignments))
+            zero_arms = {name for name, weight in weights.items() if weight == 0.0}
+            assert served.isdisjoint(zero_arms), (weights, served)
+            for name, share in split.weights.items():
+                observed = float(np.mean(assignments == name))
+                assert abs(observed - share) < 0.05, (weights, name, observed)
+
+
 class TestRouting:
     def test_default_model_answers_unnamed_requests(self, gateway, catalog, small_split):
         users = some_users(small_split)
@@ -166,3 +214,32 @@ class TestTrafficSplitServing:
         result = gateway.top_k_split(TrafficSplit({"mf": 1.0}), np.asarray([], dtype=np.int64), k=5)
         assert result.items.shape == (0, 5)
         assert result.models == []
+
+
+class TestGatewayMetrics:
+    def test_requests_rows_and_latency_recorded_per_model(self, gateway, small_split):
+        users = some_users(small_split, count=12)
+        gateway.top_k(users, k=5)                       # default model: gbgcn
+        gateway.top_k(users[:4], k=5, model="mf")
+        gateway.top_k_mixed([("mf", int(users[0])), ("itempop", int(users[1]))], k=3)
+
+        snap = gateway.metrics.snapshot()
+        assert snap["models"]["gbgcn"]["requests"] == 1
+        assert snap["models"]["gbgcn"]["rows_served"] == 12
+        assert snap["models"]["mf"]["requests"] == 2
+        assert snap["models"]["mf"]["rows_served"] == 5
+        assert snap["models"]["itempop"]["rows_served"] == 1
+        latency = snap["models"]["gbgcn"]["request_latency"]
+        assert latency["count"] == 1
+        assert 0.0 < latency["p50"] <= latency["max"] * 1.5
+        # request_counts (the quick A/B tally) agrees with the registry.
+        assert gateway.request_counts["mf"] == 5
+
+    def test_gateway_shares_the_catalog_registry_by_default(self, gateway, catalog, small_split):
+        users = some_users(small_split, count=4)
+        gateway.top_k(users, k=3, model="mf")
+        snap = catalog.metrics.snapshot()
+        # One snapshot covers both the gateway's request and the catalog's
+        # cold start for the same model.
+        assert snap["models"]["mf"]["requests"] == 1
+        assert snap["models"]["mf"]["cold_starts"] == 1

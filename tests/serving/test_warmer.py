@@ -1,0 +1,189 @@
+"""CatalogWarmer: background rescan/pre-warm, off-request hot-swap, errors."""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import (
+    CatalogWarmer,
+    CatalogWarmerError,
+    EmbeddingStore,
+    ModelCatalog,
+    TopKRecommender,
+)
+
+SETTINGS = ModelSettings(embedding_dim=8)
+CATALOG_MODELS = {"gbgcn": "GBGCN", "mf": "MF", "itempop": "ItemPop"}
+
+
+@pytest.fixture()
+def catalog_dir(small_split, tmp_path):
+    directory = tmp_path / "models"
+    for stem, model_name in CATALOG_MODELS.items():
+        save_model(build_model(model_name, small_split.train, SETTINGS), directory / f"{stem}.npz")
+    return directory
+
+
+@pytest.fixture()
+def catalog(catalog_dir, small_split):
+    return ModelCatalog(catalog_dir, small_split.train)
+
+
+def some_users(split):
+    return np.asarray(sorted(split.test))[:16]
+
+
+class TestRunOnce:
+    def test_warms_every_servable_model(self, catalog):
+        warmer = CatalogWarmer(catalog)
+        warmed = warmer.run_once()
+        assert sorted(warmed) == sorted(CATALOG_MODELS)
+        assert all(seconds > 0.0 for seconds in warmed.values())
+        assert sorted(catalog.resident_names) == sorted(CATALOG_MODELS)
+        # A second cycle is all residency hits — nothing reloads.
+        assert all(seconds == 0.0 for seconds in CatalogWarmer(catalog).run_once().values())
+
+    def test_warms_only_configured_names(self, catalog):
+        warmer = CatalogWarmer(catalog, names=["mf", "not-published-yet"])
+        warmed = warmer.run_once()
+        assert sorted(warmed) == ["mf"]  # unknown configured names are skipped, not errors
+        assert catalog.resident_names == ["mf"]
+
+    def test_rescan_picks_up_new_artifact(self, catalog, catalog_dir, small_split):
+        save_model(build_model("LightGCN", small_split.train, SETTINGS), catalog_dir / "lightgcn.npz")
+        warmed = CatalogWarmer(catalog).run_once()
+        assert "lightgcn" in warmed
+        assert "lightgcn" in catalog.resident_names
+
+    def test_hot_swap_happens_off_the_request_path(self, catalog, catalog_dir, small_split):
+        # The zero-latency guarantee: after the warmer cycle absorbs a
+        # republished artifact, the next request is a plain residency hit —
+        # it pays neither the reload detection nor the model load.
+        users = some_users(small_split)
+        warmer = CatalogWarmer(catalog)
+        warmer.run_once()
+        before = catalog.recommender("mf").recommend(users)
+
+        replacement = build_model("MF", small_split.train, SETTINGS, rng=np.random.default_rng(5))
+        save_model(replacement, catalog_dir / "mf.npz")
+        warmer.run_once()  # swap absorbed here, off the request path
+        reloads_after_cycle = catalog.stats.reloads
+        cold_starts_after_cycle = catalog.stats.cold_starts
+        assert reloads_after_cycle == 1
+
+        after = catalog.recommender("mf").recommend(users)
+        # The request itself triggered no reload and no cold start.
+        assert catalog.stats.reloads == reloads_after_cycle
+        assert catalog.stats.cold_starts == cold_starts_after_cycle
+        assert not np.array_equal(before.scores, after.scores)
+        reference_store = EmbeddingStore.from_artifact(catalog_dir / "mf.npz", small_split.train)
+        reference = TopKRecommender(reference_store, k=10, dataset=small_split.train).recommend(users)
+        assert np.array_equal(after.items, reference.items)
+
+    def test_synchronous_cycle_raises_on_unreadable_directory(self, catalog, catalog_dir):
+        shutil.rmtree(catalog_dir)
+        with pytest.raises(Exception, match="does not exist"):
+            CatalogWarmer(catalog).run_once()
+
+    def test_one_failing_model_does_not_starve_the_rest_of_the_cycle(
+        self, catalog, monkeypatch
+    ):
+        # 'gbgcn' sorts first: pre-fix, its failure aborted the cycle and
+        # 'itempop'/'mf' never got warmed.
+        import repro.persist as persist
+
+        real_load = persist.load_model
+
+        def failing_load(path, dataset):
+            if path.stem == "gbgcn":
+                raise FileNotFoundError(path)
+            return real_load(path, dataset)
+
+        monkeypatch.setattr(persist, "load_model", failing_load)
+        warmer = CatalogWarmer(catalog)
+        with pytest.raises(CatalogWarmerError, match="gbgcn"):
+            warmer.run_once()
+        assert sorted(catalog.resident_names) == ["itempop", "mf"]  # still warmed
+
+
+class TestBackgroundThread:
+    def test_start_cycle_stop(self, catalog):
+        warmer = CatalogWarmer(catalog, interval_seconds=0.05)
+        warmer.start()
+        assert warmer.running
+        assert warmer.wait_for_cycles(2, timeout=10.0)
+        warmer.stop()
+        assert not warmer.running
+        assert sorted(catalog.resident_names) == sorted(CATALOG_MODELS)
+        assert warmer.errors == []
+
+    def test_context_manager_form(self, catalog):
+        with CatalogWarmer(catalog, interval_seconds=0.05) as warmer:
+            assert warmer.wait_for_cycles(1, timeout=10.0)
+        assert not warmer.running
+
+    def test_double_start_rejected(self, catalog):
+        warmer = CatalogWarmer(catalog, interval_seconds=0.05).start()
+        try:
+            with pytest.raises(RuntimeError, match="already running"):
+                warmer.start()
+        finally:
+            warmer.stop()
+
+    def test_background_errors_are_recorded_and_raised_on_stop(self, catalog, catalog_dir):
+        warmer = CatalogWarmer(catalog, interval_seconds=0.02)
+        warmer.start()
+        assert warmer.wait_for_cycles(1, timeout=10.0)
+        shutil.rmtree(catalog_dir)  # every later cycle now fails
+        cycles_before = warmer.cycles
+        assert warmer.wait_for_cycles(cycles_before + 2, timeout=10.0)
+        assert warmer.last_error is not None
+        # The loop kept running between failures instead of dying silently.
+        assert len(warmer.errors) >= 1
+        with pytest.raises(CatalogWarmerError, match="cycle"):
+            warmer.stop()
+        assert not warmer.running
+        assert warmer.errors == []  # reported errors are drained on stop()
+
+    def test_restart_after_reported_failure_starts_clean(
+        self, catalog, catalog_dir, small_split, tmp_path
+    ):
+        # Regression: stop() used to keep reported errors, so a restarted
+        # warmer's clean stop() re-raised the previous run's failure.
+        warmer = CatalogWarmer(catalog, interval_seconds=0.02).start()
+        moved = tmp_path / "moved"
+        catalog_dir.rename(moved)  # cycles now fail...
+        warmer.wait_for_cycles(warmer.cycles + 2, timeout=10.0)
+        with pytest.raises(CatalogWarmerError):
+            warmer.stop()
+        moved.rename(catalog_dir)  # ...operator fixes the directory...
+        warmer.start()             # ...and restarts the same warmer
+        assert warmer.wait_for_cycles(warmer.cycles + 2, timeout=10.0)
+        warmer.stop()              # must NOT re-raise the handled old error
+        assert warmer.errors == []
+
+    def test_stop_can_suppress_error_reraise(self, catalog, catalog_dir):
+        warmer = CatalogWarmer(catalog, interval_seconds=0.02).start()
+        shutil.rmtree(catalog_dir)
+        warmer.wait_for_cycles(warmer.cycles + 2, timeout=10.0)
+        warmer.stop(raise_errors=False)  # no raise
+        assert warmer.last_error is not None
+
+    def test_exception_in_with_body_is_not_masked(self, catalog, catalog_dir):
+        with pytest.raises(KeyError, match="body-error"):
+            with CatalogWarmer(catalog, interval_seconds=0.02):
+                shutil.rmtree(catalog_dir)
+                raise KeyError("body-error")
+
+    def test_invalid_interval_rejected(self, catalog):
+        with pytest.raises(ValueError, match="interval_seconds"):
+            CatalogWarmer(catalog, interval_seconds=0.0)
+
+    def test_invalid_max_errors_rejected(self, catalog):
+        # max_errors=0 would make the retention slice `del errors[:-0]` a
+        # no-op and grow the error list without bound.
+        with pytest.raises(ValueError, match="max_errors"):
+            CatalogWarmer(catalog, max_errors=0)

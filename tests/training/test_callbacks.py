@@ -267,3 +267,41 @@ class TestModelCheckpointCatalogPublish:
     def test_catalog_name_without_dir_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="catalog_dir"):
             ModelCheckpoint(tmp_path / "x.npz", catalog_name="mf")
+
+    def test_on_publish_hook_fires_with_published_path(self, registry_trainer_parts, tmp_path):
+        model, optimizer, iterator = registry_trainer_parts
+        published_paths = []
+        checkpoint = ModelCheckpoint(
+            tmp_path / "latest.npz",
+            save_best_only=False,
+            catalog_dir=tmp_path / "fleet",
+            on_publish=published_paths.append,
+        )
+        Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint]).fit(2)
+        assert published_paths == [tmp_path / "fleet" / "MF.npz"] * 2
+
+    def test_on_publish_can_force_reload_a_colocated_catalog(
+        self, registry_trainer_parts, small_split, tmp_path
+    ):
+        # The documented wiring: a co-located serving catalog takes every
+        # publish immediately, without waiting for an access or a warmer
+        # cycle to notice the file change.
+        from repro.serving import ModelCatalog
+
+        model, optimizer, iterator = registry_trainer_parts
+        checkpoint = ModelCheckpoint(
+            tmp_path / "latest.npz", save_best_only=False, catalog_dir=tmp_path / "fleet"
+        )
+        trainer = Trainer(model, optimizer, iterator, evaluator=None, callbacks=[checkpoint])
+        trainer.fit(1)
+        catalog = ModelCatalog(tmp_path / "fleet", small_split.train)
+        catalog.warm("MF")
+        checkpoint.on_publish = lambda path: catalog.reload(path.stem, force=True)
+        trainer.fit(1)
+        # The reload already happened inside the publish — the entry is
+        # version-bumped before any serving request touches it.
+        assert catalog.entry("MF").version == 2
+
+    def test_on_publish_without_catalog_dir_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="on_publish"):
+            ModelCheckpoint(tmp_path / "x.npz", on_publish=lambda path: None)
