@@ -231,6 +231,20 @@ class GBGCN(RecommenderModel):
             cache["item_participant"],
         )
 
+    def scoring_factors(self):
+        # Eq. 9 is linear in the two item views, so it folds into one
+        # concatenated inner product: [(1-a)*u_init, a*friend_avg(u_part)]
+        # against [v_init, v_part].
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        cache = self._eval_cache
+        alpha = self.predictor.alpha
+        user_factors = np.hstack(
+            [(1.0 - alpha) * cache["user_initiator"], alpha * cache["friend_average"]]
+        )
+        item_factors = np.hstack([cache["item_initiator"], cache["item_participant"]])
+        return user_factors, item_factors
+
     def final_embeddings(self) -> Dict[str, np.ndarray]:
         """Final per-view user/item embeddings as NumPy arrays (Figures 5-6)."""
         if self._eval_cache is None:

@@ -109,6 +109,19 @@ class GBGCNPretrainModel(RecommenderModel):
             self.item_embedding.weight.data,
         )
 
+    def scoring_factors(self):
+        # Same linear fold as GBGCN's Eq. 9, over the raw (un-propagated)
+        # embeddings the pretrain stage scores with — both item views share
+        # one table here.
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        alpha = self.predictor.alpha
+        item_vectors = self.item_embedding.weight.data
+        user_factors = np.hstack(
+            [(1.0 - alpha) * self.user_embedding.weight.data, alpha * self._eval_cache]
+        )
+        return user_factors, np.hstack([item_vectors, item_vectors])
+
     def normalize_embeddings(self) -> None:
         """L2-normalize the raw embeddings, as the paper does before fine-tuning."""
         self.user_embedding.normalize_()

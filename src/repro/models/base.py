@@ -114,6 +114,26 @@ class RecommenderModel(Module):
         """Scores of every item in the catalog for a block of users."""
         return self.score_batch(users, np.arange(self.num_items, dtype=np.int64))
 
+    def scoring_factors(self):
+        """Optional inner-product decomposition of this model's scores.
+
+        Models whose score is a plain inner product return a
+        ``(user_factors, item_factors)`` pair of dense arrays such that
+        ``score_batch(users, items)`` equals
+        ``user_factors[users] @ item_factors[items].T`` (up to fp
+        accumulation order).  The serving layer builds approximate-
+        nearest-neighbour retrieval indexes (:mod:`repro.serving.retrieval`)
+        over ``item_factors``, so top-k requests can shortlist a few
+        hundred candidates instead of scoring the whole catalog.
+
+        Models with a non-linear score (NCF's MLP, ItemKNN's sparse
+        neighbourhood, attention models) return ``None`` — the serving
+        layer falls back to exact brute-force scoring for them.
+        Implementations may rely on cached propagated embeddings and must
+        prepare them if missing, mirroring ``score_batch``.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Serialization contract (used by repro.persist)
     # ------------------------------------------------------------------

@@ -113,6 +113,11 @@ class DiffNet(RecommenderModel):
         item_vectors = self.item_embedding.weight.data[np.asarray(item_ids, dtype=np.int64)]
         return user_vectors @ item_vectors.T
 
+    def scoring_factors(self):
+        if self._eval_users is None:
+            self.prepare_for_evaluation()
+        return self._eval_users, self.item_embedding.weight.data
+
     @property
     def name(self) -> str:
         return "DiffNet"

@@ -111,6 +111,17 @@ class GBMF(RecommenderModel):
         friends = self._eval_cache[users] @ item_vectors.T
         return (1.0 - self.alpha) * own + self.alpha * friends
 
+    def scoring_factors(self):
+        # The role blend is linear, so it folds into a concatenated factor
+        # pair: [(1-a)*u, a*friend_avg(u)] · [v, v].
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        item_vectors = self.item_embedding.weight.data
+        user_factors = np.hstack(
+            [(1.0 - self.alpha) * self.user_embedding.weight.data, self.alpha * self._eval_cache]
+        )
+        return user_factors, np.hstack([item_vectors, item_vectors])
+
     @property
     def name(self) -> str:
         return "GBMF"

@@ -120,6 +120,11 @@ class NGCF(RecommenderModel):
         item_vectors = embeddings[self.num_users + np.asarray(item_ids, dtype=np.int64)]
         return user_vectors @ item_vectors.T
 
+    def scoring_factors(self):
+        if self._eval_cache is None:
+            self.prepare_for_evaluation()
+        return self._eval_cache[: self.num_users], self._eval_cache[self.num_users :]
+
     @property
     def name(self) -> str:
         return "NGCF"

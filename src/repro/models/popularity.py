@@ -58,6 +58,14 @@ class ItemPopularity(RecommenderModel):
         # Read-only view: every row is the same array, with zero copies.
         return np.broadcast_to(row, (users.size, row.size))
 
+    def scoring_factors(self):
+        # Popularity is user-independent: a constant 1-dim user factor
+        # against the popularity column reproduces every score.
+        return (
+            np.ones((self.num_users, 1), dtype=np.float64),
+            self.scores.reshape(-1, 1).astype(np.float64),
+        )
+
     # ------------------------------------------------------------------
     # Serialization: the popularity vector is the entire model.
     # ------------------------------------------------------------------

@@ -83,6 +83,9 @@ class SocialMF(RecommenderModel):
         item_vectors = self.item_embedding.weight.data[np.asarray(item_ids, dtype=np.int64)]
         return user_vectors @ item_vectors.T
 
+    def scoring_factors(self):
+        return self.user_embedding.weight.data, self.item_embedding.weight.data
+
     @property
     def name(self) -> str:
         return "SocialMF"

@@ -28,6 +28,7 @@ from .artifact import (
     load_model,
     load_state_into,
     read_header,
+    read_retrieval_state,
     read_state_dict,
     save_model,
 )
@@ -64,6 +65,7 @@ __all__ = [
     "load_state_into",
     "read_header",
     "read_state_dict",
+    "read_retrieval_state",
     "ArtifactInfo",
     "ArtifactScan",
     "artifact_content_token",

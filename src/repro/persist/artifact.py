@@ -8,7 +8,13 @@ An artifact is a single ``.npz`` archive holding
   the :class:`~repro.core.gbgcn.GBGCNConfig`) needed to rebuild the model,
   and the dataset-schema fingerprint of the training dataset;
 * ``state/<key>`` — every array of the model's ``state_dict`` (trainable
-  parameters plus non-parameter state such as ItemKNN similarity matrices).
+  parameters plus non-parameter state such as ItemKNN similarity matrices);
+* ``index/<key>`` — optionally, the arrays of a prebuilt
+  :class:`~repro.serving.retrieval.RetrievalIndex` over the model's item
+  factors, with its parameters declared in the header's ``retrieval``
+  field.  Old readers ignore both (unknown header fields are filtered,
+  only ``state/`` arrays are collected), so embedding an index never
+  breaks format compatibility.
 
 :func:`save_model` writes atomically (temp file in the destination
 directory + ``os.replace`` after an fsync), so a crash mid-write can never
@@ -54,6 +60,7 @@ __all__ = [
     "copy_artifact",
     "read_header",
     "read_state_dict",
+    "read_retrieval_state",
     "load_model",
     "load_state_into",
 ]
@@ -67,6 +74,7 @@ FORMAT_VERSION = 1
 
 _HEADER_KEY = "__header__"
 _STATE_PREFIX = "state/"
+_INDEX_PREFIX = "index/"
 
 
 @dataclass
@@ -80,6 +88,9 @@ class ArtifactHeader:
     schema: Optional[Dict[str, Any]] = None
     state_keys: List[str] = dataclasses.field(default_factory=list)
     library_version: str = ""
+    #: Parameters of an embedded retrieval index (``index/`` arrays), or
+    #: ``None`` when the artifact carries model state only.
+    retrieval: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> str:
         payload = dataclasses.asdict(self)
@@ -118,7 +129,7 @@ class ArtifactHeader:
             raise ArtifactFormatError(
                 f"artifact header state_keys must be a list of strings, got {state_keys!r}"
             )
-        for field_name in ("settings", "gbgcn_config", "schema"):
+        for field_name in ("settings", "gbgcn_config", "schema", "retrieval"):
             value = payload.get(field_name)
             if value is not None and not isinstance(value, dict):
                 raise ArtifactFormatError(
@@ -209,6 +220,7 @@ def save_model(
     dataset: Optional["GroupBuyingDataset"] = None,
     settings=None,
     model_name: Optional[str] = None,
+    retrieval_index=None,
 ) -> ArtifactHeader:
     """Persist ``model`` as a versioned artifact at ``path``.
 
@@ -219,6 +231,12 @@ def save_model(
     ``settings``/``model_name`` explicitly; GBGCN variants additionally
     record their :class:`~repro.core.gbgcn.GBGCNConfig` so they round-trip
     even without registry settings.  Returns the written header.
+
+    ``retrieval_index`` embeds a prebuilt
+    :class:`~repro.serving.retrieval.RetrievalIndex` (its arrays under
+    ``index/``, its parameters in the header's ``retrieval`` field) so a
+    serving catalog can cold-start ANN retrieval without re-clustering —
+    recover it with :func:`read_retrieval_state`.
 
     Usage — save a registry model, inspect the header, load it back:
 
@@ -241,6 +259,19 @@ def save_model(
     # Zero-copy views: the arrays are only read while np.savez streams them
     # out, so snapshotting the whole model first would just double memory.
     state = model.state_arrays()
+    retrieval_params: Optional[Dict[str, Any]] = None
+    index_arrays: Dict[str, np.ndarray] = {}
+    if retrieval_index is not None:
+        if int(retrieval_index.num_items) != int(model.num_items):
+            raise ArtifactError(
+                f"retrieval index covers {retrieval_index.num_items} items but the model "
+                f"serves {model.num_items}; build the index from this model's item factors"
+            )
+        retrieval_params = dict(retrieval_index.params())
+        index_arrays = {
+            _INDEX_PREFIX + key: np.ascontiguousarray(value)
+            for key, value in retrieval_index.state_arrays().items()
+        }
     header = ArtifactHeader(
         format_version=FORMAT_VERSION,
         model_name=name,
@@ -249,12 +280,14 @@ def save_model(
         schema=schema,
         state_keys=sorted(state),
         library_version=_library_version(),
+        retrieval=retrieval_params,
     )
     arrays: Dict[str, np.ndarray] = {
         _HEADER_KEY: np.frombuffer(header.to_json().encode("utf-8"), dtype=np.uint8)
     }
     for key, value in state.items():
         arrays[_STATE_PREFIX + key] = np.ascontiguousarray(value)
+    arrays.update(index_arrays)
     _atomic_write_npz(path, arrays)
     return header
 
@@ -345,6 +378,40 @@ def read_state_dict(path: Union[str, Path]) -> Tuple[ArtifactHeader, Dict[str, n
         header = _header_from_archive(archive, path)
         state = _state_from_archive(archive, header, path)
     return header, state
+
+
+def read_retrieval_state(
+    path: Union[str, Path],
+) -> Optional[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+    """The embedded retrieval index of an artifact, or ``None``.
+
+    Returns ``(params, arrays)`` — the header's ``retrieval`` parameter
+    dict and the raw ``index/`` arrays — ready for
+    ``RetrievalIndex.from_state``.  ``None`` when the artifact was saved
+    without ``retrieval_index=`` (the common case); an artifact whose
+    header declares an index but whose ``index/`` arrays are missing is
+    corrupt and raises :class:`ArtifactFormatError`.
+    """
+    path = Path(path)
+    with _open_archive(path) as archive:
+        header = _header_from_archive(archive, path)
+        if header.retrieval is None:
+            return None
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for key in archive.files:
+                if key.startswith(_INDEX_PREFIX):
+                    arrays[key[len(_INDEX_PREFIX):]] = archive[key]
+        except (zipfile.BadZipFile, OSError, ValueError) as error:
+            raise ArtifactFormatError(
+                f"artifact {path} has unreadable retrieval-index arrays: {error}"
+            ) from error
+    if not arrays:
+        raise ArtifactFormatError(
+            f"artifact {path} declares a retrieval index in its header but carries no "
+            f"{_INDEX_PREFIX!r} arrays (truncated or hand-edited write?)"
+        )
+    return dict(header.retrieval), arrays
 
 
 def _check_schema(header: ArtifactHeader, dataset: "GroupBuyingDataset", path: Path) -> None:

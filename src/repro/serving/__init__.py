@@ -7,7 +7,10 @@ instances into a request-serving system, one layer at a time:
   lifecycle (precompute after training, invalidate after parameter
   updates, cold-start from a ``repro.persist`` artifact);
 * :class:`TopKRecommender` answers batched top-``k`` requests with one
-  matrix product plus an ``np.argpartition`` partial sort;
+  matrix product plus an ``np.argpartition`` partial sort — or, given a
+  :class:`RetrievalIndex`, from an IVF shortlist rescored through the
+  exact score path (sub-linear in catalog size; see
+  ``repro.serving.retrieval``);
 * :class:`ModelCatalog` manages a *directory* of artifacts as a model
   fleet — header-only scans, lazy cold-starts, an LRU residency budget,
   and hot-swap when an artifact file is republished; safe under
@@ -20,6 +23,11 @@ instances into a request-serving system, one layer at a time:
 * :class:`MetricsRegistry` collects per-model request counts, served
   rows, cold-start/reload/eviction counters and latency histograms
   (p50/p95/p99), exported as a plain dict via ``snapshot()``.
+
+Requests are validated at every public boundary: user IDs outside
+``[0, num_users)`` raise a typed :class:`ServingError` naming the model
+and the offending IDs, instead of wrapping around (negative numpy
+indexing) or crashing with a raw ``IndexError`` deep in the score path.
 
 Single-model wiring::
 
@@ -39,9 +47,17 @@ Multi-model wiring (see ``examples/serving_catalog.py``)::
         print(catalog.metrics.snapshot()["totals"])
 """
 
-from .catalog import CatalogEntry, CatalogError, ModelCatalog, UnknownCatalogModelError
+from .catalog import (
+    CatalogEntry,
+    CatalogError,
+    ModelCatalog,
+    RetrievalPolicy,
+    UnknownCatalogModelError,
+)
+from .errors import ServingError, validate_user_ids
 from .gateway import GatewayResult, ServingGateway, TrafficSplit
 from .metrics import LatencyHistogram, MetricsRegistry, ModelMetrics
+from .retrieval import RetrievalIndex, RetrievalIndexError, build_index_for_model
 from .store import EmbeddingStore, EmbeddingStoreCallback
 from .topk import TopKRecommender, TopKResult
 from .warmer import CatalogWarmer, CatalogWarmerError
@@ -55,6 +71,12 @@ __all__ = [
     "CatalogEntry",
     "CatalogError",
     "UnknownCatalogModelError",
+    "RetrievalPolicy",
+    "RetrievalIndex",
+    "RetrievalIndexError",
+    "build_index_for_model",
+    "ServingError",
+    "validate_user_ids",
     "CatalogWarmer",
     "CatalogWarmerError",
     "ServingGateway",

@@ -92,10 +92,17 @@ from ..persist.index import (
     scan_artifact_directory,
 )
 from .metrics import MetricsRegistry
+from .retrieval import RetrievalIndex, RetrievalIndexError, build_index_for_model
 from .store import EmbeddingStore
 from .topk import TopKRecommender
 
-__all__ = ["CatalogError", "UnknownCatalogModelError", "CatalogEntry", "ModelCatalog"]
+__all__ = [
+    "CatalogError",
+    "UnknownCatalogModelError",
+    "CatalogEntry",
+    "ModelCatalog",
+    "RetrievalPolicy",
+]
 
 
 class CatalogError(Exception):
@@ -140,6 +147,37 @@ class CatalogEntry:
         return self.info.path
 
 
+@dataclass(frozen=True)
+class RetrievalPolicy:
+    """How a catalog builds candidate-generation indexes for its residents.
+
+    Passing a policy to :class:`ModelCatalog` turns shortlist-then-rescore
+    retrieval on for every model that exposes
+    :meth:`~repro.models.base.RecommenderModel.scoring_factors`; models
+    without factors keep exact brute-force serving.  The index is built (or
+    read from the artifact, see ``prefer_artifact_index``) during cold
+    start — off the request path when a
+    :class:`~repro.serving.warmer.CatalogWarmer` drives warming — and a
+    hot-swapped artifact automatically gets a fresh index because a reload
+    is a new cold start.
+
+    ``num_cells`` / ``nprobe`` / ``seed`` are forwarded to
+    :meth:`~repro.serving.retrieval.RetrievalIndex.build` (``None`` picks
+    the scale-aware defaults).  ``min_items`` skips index construction for
+    catalogs where brute force is already cheap.  With
+    ``prefer_artifact_index`` (default) an index embedded in the artifact
+    (``save_model(..., retrieval_index=...)``) is loaded instead of
+    rebuilt; an unreadable or mismatched embedded index falls back to a
+    fresh build rather than failing the cold start.
+    """
+
+    num_cells: Optional[int] = None
+    nprobe: Optional[int] = None
+    seed: int = 0
+    min_items: int = 0
+    prefer_artifact_index: bool = True
+
+
 @dataclass
 class _Resident:
     """A loaded model: its store plus the lazily built recommender."""
@@ -147,6 +185,7 @@ class _Resident:
     store: EmbeddingStore
     version: int
     recommender: Optional[TopKRecommender] = None
+    retriever: Optional[RetrievalIndex] = None
 
 
 @dataclass
@@ -215,6 +254,12 @@ class ModelCatalog:
         The :class:`~repro.serving.metrics.MetricsRegistry` to record
         into; a fresh enabled registry by default (pass
         ``MetricsRegistry(enabled=False)`` to disable collection).
+    retrieval:
+        A :class:`RetrievalPolicy` enabling shortlist-then-rescore top-k
+        for factor-exposing models (``None`` — the default — serves every
+        model with exact brute force).  Indexes are built at cold start and
+        rebuilt on hot-swap, so a warmer-driven catalog never pays the
+        build on the request path.
     """
 
     #: How long after an artifact's mtime the content token is re-verified
@@ -237,6 +282,7 @@ class ModelCatalog:
         pattern: str = "*.npz",
         verify_content: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        retrieval: Optional[RetrievalPolicy] = None,
     ) -> None:
         if resident_budget is not None and resident_budget < 1:
             raise ValueError("resident_budget must be at least 1 (or None for unbounded)")
@@ -248,6 +294,7 @@ class ModelCatalog:
         self.exclude_observed = exclude_observed
         self.pattern = pattern
         self.verify_content = verify_content
+        self.retrieval = retrieval
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Servable entries by catalog name (file stem), filled by :meth:`scan`.
         self.entries: Dict[str, CatalogEntry] = {}
@@ -345,6 +392,24 @@ class ModelCatalog:
         """Sorted servable catalog names."""
         with self._lock:
             return sorted(self.entries)
+
+    @property
+    def num_users(self) -> int:
+        """Size of the user universe every cataloged model serves.
+
+        Fixed for the catalog's lifetime (every artifact's schema
+        fingerprint is validated against ``train_dataset``), so the gateway
+        can validate request user IDs without touching any model.
+        """
+        return self.train_dataset.num_users
+
+    def retriever(self, name: str) -> Optional[RetrievalIndex]:
+        """The resident retrieval index serving ``name`` (None when disabled,
+        not resident, or the model exposes no scoring factors)."""
+        self.store(name)  # ensure residency & freshness
+        with self._lock:
+            resident = self._residents.get(name)
+            return None if resident is None else resident.retriever
 
     @property
     def resident_names(self) -> List[str]:
@@ -450,21 +515,27 @@ class ModelCatalog:
                 # Evicted or hot-swapped by a concurrent thread between the
                 # two calls: serve a one-off recommender over the store we
                 # already hold (its arrays are immutable) rather than racing.
+                # No retriever here — brute force is always correct, and the
+                # race window is not worth an in-line index build.
                 return self._build_recommender(store, self.default_k if k is None else k)
+            retriever = resident.retriever
             if resident.recommender is None:
-                resident.recommender = self._build_recommender(store, self.default_k)
+                resident.recommender = self._build_recommender(store, self.default_k, retriever)
             cached = resident.recommender
         if k is None or k == cached.k:
             return cached
-        return self._build_recommender(store, k)
+        return self._build_recommender(store, k, retriever)
 
-    def _build_recommender(self, store: EmbeddingStore, k: int) -> TopKRecommender:
+    def _build_recommender(
+        self, store: EmbeddingStore, k: int, retriever: Optional[RetrievalIndex] = None
+    ) -> TopKRecommender:
         return TopKRecommender(
             store,
             k=k,
             exclude_observed=self.exclude_observed,
             dataset=self.serving_dataset if self.exclude_observed else None,
             observed_matrix=self._observed_matrix() if self.exclude_observed else None,
+            retriever=retriever,
         )
 
     def warm(self, name: str) -> float:
@@ -643,6 +714,11 @@ class ModelCatalog:
             ) from error
         store = EmbeddingStore(model)
         store.refresh()
+        # Retrieval-index construction is part of the cold start: it runs
+        # here, outside the catalog lock (and off the request path when a
+        # CatalogWarmer drives warming), and a hot-swap reload — which is a
+        # new cold start — therefore rebuilds the index for the new bytes.
+        retriever = self._build_retriever(store, path)
         seconds = time.perf_counter() - started
         with self._lock:
             entry = self.entries.get(name)
@@ -651,10 +727,30 @@ class ModelCatalog:
             entry.last_cold_start_seconds = seconds
             self.stats.cold_starts += 1
             self.metrics.record_cold_start(name, seconds)
-            self._residents[name] = _Resident(store=store, version=version)
+            self._residents[name] = _Resident(store=store, version=version, retriever=retriever)
             self._residents.move_to_end(name)
             self._enforce_budget(keep=name)
         return store, seconds
+
+    def _build_retriever(self, store: EmbeddingStore, path: Path) -> Optional[RetrievalIndex]:
+        """The resident's retrieval index per :attr:`retrieval` policy (or None)."""
+        policy = self.retrieval
+        if policy is None or store.model.num_items < policy.min_items:
+            return None
+        if policy.prefer_artifact_index:
+            try:
+                from ..persist import read_retrieval_state
+
+                state = read_retrieval_state(path)
+                if state is not None:
+                    index = RetrievalIndex.from_state(*state)
+                    if index.num_items == store.model.num_items:
+                        return index
+            except (ArtifactError, RetrievalIndexError, OSError):
+                pass  # unreadable/mismatched embedded index: rebuild below
+        return build_index_for_model(
+            store.model, num_cells=policy.num_cells, nprobe=policy.nprobe, seed=policy.seed
+        )
 
     def _enforce_budget(self, keep: str) -> None:
         if self.resident_budget is None:

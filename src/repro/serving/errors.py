@@ -1,0 +1,70 @@
+"""Typed request-boundary errors for the serving layer.
+
+Serving faces arbitrary traffic, and numpy's indexing semantics make two
+classes of bad input dangerous rather than merely invalid:
+
+* a *negative* user ID silently wraps around (``matrix[-1]`` is the last
+  row), so a request for user ``-1`` would be answered with user
+  ``num_users - 1``'s recommendations — a wrong-results bug with no crash
+  to flag it;
+* a *too-large* user ID surfaces as a raw ``IndexError`` from deep inside
+  the scipy/numpy score path, losing which request and which model were at
+  fault.
+
+:class:`ServingError` is the typed boundary both cases are folded into:
+:class:`~repro.serving.topk.TopKRecommender` and
+:class:`~repro.serving.gateway.ServingGateway` validate every user ID
+before any array is indexed and raise it naming the offending IDs (and, at
+the gateway, the model).  It subclasses :class:`ValueError` so existing
+callers catching broad input errors keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ServingError", "validate_user_ids"]
+
+
+class ServingError(ValueError):
+    """A serving request was rejected at the boundary (bad user IDs, bad k)."""
+
+
+def validate_user_ids(
+    users: np.ndarray, num_users: int, model: Optional[str] = None
+) -> np.ndarray:
+    """Return ``users`` as int64, or raise :class:`ServingError` naming offenders.
+
+    Every ID must satisfy ``0 <= user < num_users``.  Negative IDs are
+    called out separately from too-large ones because they are the
+    dangerous case (numpy wrap-around would silently serve another user's
+    rows); both are rejected before any array indexing happens.
+    """
+    users = np.asarray(users, dtype=np.int64)
+    bad = (users < 0) | (users >= num_users)
+    if not np.any(bad):
+        return users
+    offenders = np.unique(users[bad])
+    negative = offenders[offenders < 0]
+    too_large = offenders[offenders >= num_users]
+    parts = []
+    if negative.size:
+        parts.append(
+            f"negative user IDs {_preview(negative)} (numpy indexing would wrap around "
+            f"and serve another user's rows)"
+        )
+    if too_large.size:
+        parts.append(f"user IDs {_preview(too_large)} >= num_users ({num_users})")
+    target = f" for model {model!r}" if model is not None else ""
+    raise ServingError(
+        f"invalid user IDs in request{target}: " + "; ".join(parts) + f"; valid range is [0, {num_users})"
+    )
+
+
+def _preview(ids: Sequence[int], limit: int = 8) -> str:
+    ids = list(int(i) for i in ids[:limit + 1])
+    if len(ids) > limit:
+        return "[" + ", ".join(str(i) for i in ids[:limit]) + ", ...]"
+    return "[" + ", ".join(str(i) for i in ids) + "]"

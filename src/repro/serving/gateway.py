@@ -54,6 +54,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from .catalog import ModelCatalog
+from .errors import validate_user_ids
 from .metrics import MetricsRegistry
 from .topk import TopKResult
 
@@ -200,9 +201,16 @@ class ServingGateway:
     # Single-model entry points
     # ------------------------------------------------------------------
     def top_k(self, users: np.ndarray, k: Optional[int] = None, model: Optional[str] = None) -> TopKResult:
-        """Top-k lists for ``users`` from one catalog model (or the default)."""
+        """Top-k lists for ``users`` from one catalog model (or the default).
+
+        User IDs are validated at this boundary: anything outside
+        ``[0, num_users)`` raises a typed
+        :class:`~repro.serving.errors.ServingError` naming the model and
+        the offending IDs, instead of wrapping around (negative IDs) or
+        surfacing a raw ``IndexError`` from deep in the score path.
+        """
         name = self._resolve(model)
-        users = np.asarray(users, dtype=np.int64)
+        users = validate_user_ids(users, self.catalog.num_users, model=name)
         started = time.perf_counter()
         result = self.catalog.recommender(name).recommend(users, k=k)
         self._count(name, int(users.size), time.perf_counter() - started)
@@ -211,7 +219,7 @@ class ServingGateway:
     def scores(self, users: np.ndarray, item_ids: np.ndarray, model: Optional[str] = None) -> np.ndarray:
         """Raw ``(users, items)`` score block from one catalog model."""
         name = self._resolve(model)
-        users = np.asarray(users, dtype=np.int64)
+        users = validate_user_ids(users, self.catalog.num_users, model=name)
         started = time.perf_counter()
         block = self.catalog.store(name).scores(users, np.asarray(item_ids, dtype=np.int64))
         self._count(name, int(users.size), time.perf_counter() - started)
@@ -255,6 +263,10 @@ class ServingGateway:
         order = {}
         for index, name in enumerate(models):
             order.setdefault(name, []).append(index)
+        # Same up-front rule for user IDs: reject the whole batch (naming
+        # the model whose rows are bad) before any model scores.
+        for name, indices in order.items():
+            validate_user_ids(users[np.asarray(indices, dtype=np.int64)], self.catalog.num_users, model=name)
         items_out: Optional[np.ndarray] = None
         scores_out: Optional[np.ndarray] = None
         for name, indices in order.items():

@@ -138,6 +138,19 @@ class EmbeddingStore:
         with self._eval_mode():
             return np.asarray(self.model.score_all_items(users), dtype=np.float64)
 
+    def scoring_factors(self):
+        """The model's ``(user_factors, item_factors)`` over *fresh* state.
+
+        ``None`` when the model's score is not an inner product (see
+        :meth:`~repro.models.base.RecommenderModel.scoring_factors`).
+        Refreshes a stale store first, so the factors always reflect the
+        current parameters — the retrieval layer keys its caches on
+        :attr:`version`.
+        """
+        self._ensure_fresh()
+        with self._eval_mode():
+            return self.model.scoring_factors()
+
     # ------------------------------------------------------------------
     # Training integration
     # ------------------------------------------------------------------

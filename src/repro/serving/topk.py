@@ -2,26 +2,38 @@
 
 The online scenario GBGCN feeds (PAPER.md, Eq. 9) is "which items should
 this initiator launch a group for next?".  :class:`TopKRecommender` answers
-it for whole batches of users at once:
+it for whole batches of users at once, through one of two paths:
 
-* one :meth:`EmbeddingStore.score_all_items` call produces the
-  ``(users, items)`` score block from cached propagated embeddings;
-* observed items are masked per user through a sparse row slice, so a
-  user is never recommended a deal they already bought into;
-* ``np.argpartition`` selects the top ``k`` in O(items) per user instead
-  of a full O(items log items) argsort, and only the ``k`` winners are
-  sorted for presentation.
+* **dense** (default) — one :meth:`EmbeddingStore.score_all_items` call
+  produces the ``(users, items)`` score block from cached propagated
+  embeddings, observed items are masked per user through a sparse row
+  slice, and ``np.argpartition`` selects the top ``k`` in O(items) per
+  user;
+* **retrieval** (``retriever=``) — a
+  :class:`~repro.serving.retrieval.RetrievalIndex` shortlists a few
+  hundred candidates per user (IVF probe over the model's item factors),
+  and only the shortlist is rescored through the exact score path.  At
+  100k–1M items this replaces the O(items) wall with
+  O(sqrt(items) · nprobe) work per user; models without scoring factors
+  transparently fall back to the dense path.
+
+Input is validated at this boundary: user IDs outside ``[0, num_users)``
+raise :class:`~repro.serving.errors.ServingError` *before* any array is
+indexed — a negative ID would otherwise wrap around (numpy semantics) and
+silently serve another user's list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..data.dataset import GroupBuyingDataset, observed_item_matrix
+from .errors import ServingError, validate_user_ids
+from .retrieval import RetrievalIndex
 from .store import EmbeddingStore
 
 __all__ = ["TopKResult", "TopKRecommender"]
@@ -32,7 +44,9 @@ class TopKResult:
     """Aligned per-user recommendation lists.
 
     ``items[i, j]`` is the j-th best item for ``users[i]``; padded with -1
-    (and ``-inf`` score) when fewer than ``k`` items are recommendable.
+    (and ``-inf`` score) when fewer than ``k`` items are recommendable —
+    including when the caller's ``k`` exceeds the catalog size, so
+    ``items.shape[1]`` always equals the requested ``k``.
     """
 
     users: np.ndarray
@@ -66,6 +80,24 @@ class TopKRecommender:
     (3, 5)
     >>> len(recommender.recommend_user(0))  # single-user convenience wrapper
     5
+
+    With a retrieval index, rankings are produced from a shortlist instead
+    of the full catalog (identical here, because every cell is probed):
+
+    >>> from repro.serving.retrieval import build_index_for_model
+    >>> index = build_index_for_model(store.model, num_cells=4, nprobe=4)
+    >>> fast = TopKRecommender(store, k=5, dataset=split.full, retriever=index)
+    >>> bool(np.array_equal(fast.recommend(np.arange(3)).items, result.items))
+    True
+
+    Requests are validated: IDs outside ``[0, num_users)`` raise a typed
+    :class:`~repro.serving.errors.ServingError` instead of wrapping around
+    or crashing deep in the score path:
+
+    >>> recommender.recommend(np.asarray([-1]))
+    Traceback (most recent call last):
+        ...
+    repro.serving.errors.ServingError: invalid user IDs in request: negative user IDs [-1] (numpy indexing would wrap around and serve another user's rows); valid range is [0, 40)
     """
 
     def __init__(
@@ -76,6 +108,7 @@ class TopKRecommender:
         dataset: Optional[GroupBuyingDataset] = None,
         batch_size: int = 256,
         observed_matrix: Optional[sp.csr_matrix] = None,
+        retriever: Optional[RetrievalIndex] = None,
     ) -> None:
         """``dataset`` supplies the observed interactions to exclude; it is
         required when ``exclude_observed`` is set.  ``batch_size`` bounds the
@@ -83,17 +116,29 @@ class TopKRecommender:
         precomputed ``observed_matrix`` (see
         :func:`~repro.data.dataset.observed_item_matrix`) skips the rebuild —
         the :class:`~repro.serving.catalog.ModelCatalog` shares one across
-        every model serving the same dataset."""
+        every model serving the same dataset.  ``retriever`` switches the
+        recommender to shortlist-then-rescore mode (see the module
+        docstring); it must index exactly the store's item catalog."""
         if k < 1:
             raise ValueError("k must be positive")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         if exclude_observed and dataset is None and observed_matrix is None:
             raise ValueError("exclude_observed=True requires a dataset (or an observed_matrix)")
+        if retriever is not None and retriever.num_items != store.model.num_items:
+            raise ValueError(
+                f"retriever indexes {retriever.num_items} items but the model serves "
+                f"{store.model.num_items}; rebuild the index from this model's factors"
+            )
         self.store = store
         self.k = k
         self.batch_size = batch_size
         self.exclude_observed = exclude_observed
+        self.retriever = retriever
+        # Per-version cache of the model's user-side query factors; rebuilt
+        # after every store refresh (hot-swap, training step).
+        self._query_factors: Optional[np.ndarray] = None
+        self._query_version = -1
         self._observed_matrix: Optional[sp.csr_matrix] = None
         if exclude_observed:
             if observed_matrix is not None:
@@ -110,27 +155,47 @@ class TopKRecommender:
 
         Users are scored in ``batch_size`` blocks so only one dense
         ``(batch_size, items)`` score matrix is alive at a time; each block
-        keeps just its ``k`` winners.
+        keeps just its ``k`` winners.  The result always has exactly ``k``
+        columns: when fewer than ``k`` items are recommendable (small
+        catalog, or the user observed most of it) the tail is padded with
+        ``-1`` items and ``-inf`` scores, per the :class:`TopKResult`
+        contract — the requested shape is never silently shrunk.
+
+        User IDs outside ``[0, num_users)`` raise
+        :class:`~repro.serving.errors.ServingError` before anything is
+        scored.
         """
-        users = np.asarray(users, dtype=np.int64)
+        users = validate_user_ids(users, self.store.model.num_users)
         k = self.k if k is None else k
         if k < 1:
-            raise ValueError("k must be positive")
-        k = min(k, self.store.model.num_items)
+            raise ServingError(f"k must be positive, got {k}")
+        select_k = min(k, self.store.model.num_items)
         item_blocks = []
         score_blocks = []
         for start in range(0, users.size, self.batch_size):
             block = users[start : start + self.batch_size]
-            top_items, top_scores = self._top_k_block(block, k)
+            if self.retriever is not None and self._queries() is not None:
+                top_items, top_scores = self._top_k_block_retrieval(block, select_k)
+            else:
+                top_items, top_scores = self._top_k_block(block, select_k)
             item_blocks.append(top_items)
             score_blocks.append(top_scores)
         if not item_blocks:
-            empty = np.zeros((0, k), dtype=np.int64)
-            return TopKResult(users=users, items=empty, scores=empty.astype(np.float64))
-        return TopKResult(
-            users=users, items=np.vstack(item_blocks), scores=np.vstack(score_blocks)
-        )
+            items = np.zeros((0, k), dtype=np.int64)
+            return TopKResult(users=users, items=items, scores=items.astype(np.float64))
+        items = np.vstack(item_blocks)
+        scores = np.vstack(score_blocks)
+        if select_k < k:
+            # Pad to the requested width: the caller asked for k columns and
+            # gets k columns, with the documented -1 / -inf filler.
+            pad = ((0, 0), (0, k - select_k))
+            items = np.pad(items, pad, constant_values=-1)
+            scores = np.pad(scores, pad, constant_values=-np.inf)
+        return TopKResult(users=users, items=items, scores=scores)
 
+    # ------------------------------------------------------------------
+    # Dense path: one (batch, num_items) block
+    # ------------------------------------------------------------------
     def _top_k_block(self, users: np.ndarray, k: int) -> tuple:
         scores = self.store.score_all_items(users)
         if self._observed_matrix is not None:
@@ -148,6 +213,43 @@ class TopKRecommender:
         # Mask out -inf slots (users whose unobserved catalog is < k).
         invalid = ~np.isfinite(top_scores)
         top_items = np.where(invalid, -1, top_items)
+        return top_items, top_scores
+
+    # ------------------------------------------------------------------
+    # Retrieval path: IVF shortlist + exact rescore
+    # ------------------------------------------------------------------
+    def _queries(self) -> Optional[np.ndarray]:
+        """The model's user-side factors, cached per store version."""
+        if self._query_version != self.store.version or self._query_factors is None:
+            factors = self.store.scoring_factors()
+            self._query_factors = None if factors is None else np.asarray(factors[0], dtype=np.float64)
+            self._query_version = self.store.version
+        return self._query_factors
+
+    def _top_k_block_retrieval(self, users: np.ndarray, k: int) -> tuple:
+        queries = self._queries()[users]
+        shortlists = self.retriever.shortlist(queries)
+        top_items = np.full((users.size, k), -1, dtype=np.int64)
+        top_scores = np.full((users.size, k), -np.inf, dtype=np.float64)
+        for row, (user, candidates) in enumerate(zip(users, shortlists)):
+            if self._observed_matrix is not None:
+                row_slice = self._observed_matrix[int(user)]
+                if row_slice.nnz:
+                    candidates = candidates[~np.isin(candidates, row_slice.indices)]
+            if candidates.size == 0:
+                continue
+            # Exact rescoring through the existing score path: the ranking
+            # over the shortlist is bitwise what score_batch produces.
+            scores = self.store.scores(np.asarray([user]), candidates)[0]
+            take = min(k, candidates.size)
+            if take < candidates.size:
+                best = np.argpartition(-scores, take - 1)[:take]
+            else:
+                best = np.arange(candidates.size)
+            order = np.argsort(-scores[best], kind="stable")
+            chosen = best[order]
+            top_items[row, :take] = candidates[chosen]
+            top_scores[row, :take] = scores[chosen]
         return top_items, top_scores
 
     def recommend_user(self, user: int, k: Optional[int] = None) -> np.ndarray:

@@ -14,6 +14,11 @@ under live traffic.  The warmer moves that work onto a background thread:
 * **off-request hot-swap** — a replaced artifact is reloaded by the cycle,
   so the next request is a plain residency hit with zero reload latency.
 
+When the catalog has a :class:`~repro.serving.catalog.RetrievalPolicy`,
+each pre-warm/hot-swap also (re)builds or re-reads the model's ANN
+retrieval index inside the cold-start — on this thread, never on the
+request path, so requests never pay k-means clustering latency either.
+
 The thread is daemonic and stoppable; the context-manager form stops it on
 exit.  Exceptions raised by a cycle are never swallowed: synchronous
 :meth:`run_once` raises them directly, the background loop records them in

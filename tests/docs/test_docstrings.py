@@ -17,6 +17,7 @@ import repro.persist.index
 import repro.serving.catalog
 import repro.serving.gateway
 import repro.serving.metrics
+import repro.serving.retrieval
 import repro.serving.store
 import repro.serving.topk
 import repro.serving.warmer
@@ -28,6 +29,7 @@ DOCUMENTED_MODULES = [
     repro.persist.index,
     repro.serving.store,
     repro.serving.topk,
+    repro.serving.retrieval,
     repro.serving.catalog,
     repro.serving.gateway,
     repro.serving.metrics,

@@ -42,3 +42,85 @@ def test_accumulator_metrics_are_means(ranks):
     results = accumulator.results()
     assert np.isclose(results["Recall@5"], np.mean([recall_at_k(r, 5) for r in ranks]))
     assert np.isclose(results["NDCG@5"], np.mean([ndcg_at_k(r, 5) for r in ranks]))
+
+
+# ----------------------------------------------------------------------
+# LatencyHistogram.percentile: the estimate is conservative and bounded.
+# ----------------------------------------------------------------------
+from repro.serving import LatencyHistogram
+
+#: Adjacent bucket bounds differ by this factor (20 buckets per decade), so
+#: a percentile estimate can overshoot the true value by at most one bucket.
+_BUCKET_RATIO = 10.0 ** (1.0 / 20.0)
+
+_IN_BOUNDS = st.floats(min_value=1e-6, max_value=64.0, allow_nan=False, allow_infinity=False)
+
+
+def _true_percentile(samples, q):
+    """The exact value the histogram's rank rule targets: the ``rank``-th
+    smallest sample with ``rank = max(1, round(q / 100 * n))``."""
+    ordered = sorted(samples)
+    rank = max(1, int(round(q / 100.0 * len(ordered))))
+    return ordered[rank - 1]
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=st.lists(_IN_BOUNDS, min_size=1, max_size=200), q=st.floats(0.0, 100.0))
+def test_histogram_percentile_never_undershoots(samples, q):
+    histogram = LatencyHistogram()
+    for value in samples:
+        histogram.record(value)
+    assert histogram.percentile(q) >= _true_percentile(samples, q)
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=st.lists(_IN_BOUNDS, min_size=1, max_size=200), q=st.floats(0.0, 100.0))
+def test_histogram_percentile_overshoots_at_most_one_bucket(samples, q):
+    # Holds for in-bounds samples (1 µs … 64 s): the estimate is the upper
+    # bound of the bucket containing the target rank, at most one bucket
+    # ratio above the true value (with a hair of float slack).
+    histogram = LatencyHistogram()
+    for value in samples:
+        histogram.record(value)
+    assert histogram.percentile(q) <= _true_percentile(samples, q) * _BUCKET_RATIO * (1 + 1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(samples=st.lists(_IN_BOUNDS, min_size=1, max_size=100))
+def test_histogram_percentile_edges_are_exact(samples):
+    histogram = LatencyHistogram()
+    for value in samples:
+        histogram.record(value)
+    # q=100 targets the maximum and the clamp makes it exact; q=0 targets
+    # the minimum's bucket and never reports below the observed minimum.
+    assert histogram.percentile(100.0) == max(samples)
+    assert histogram.percentile(0.0) >= min(samples)
+    assert histogram.percentile(0.0) <= min(samples) * _BUCKET_RATIO * (1 + 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    samples=st.lists(_IN_BOUNDS, min_size=1, max_size=50),
+    overflow=st.lists(st.floats(min_value=64.001, max_value=1e4, allow_nan=False), min_size=1, max_size=10),
+)
+def test_histogram_overflow_bucket_reports_observed_max(samples, overflow):
+    # Samples beyond the last bound (64 s) share one overflow bucket whose
+    # "upper bound" is the exact observed maximum — tail latency is never
+    # truncated to 64 s.
+    histogram = LatencyHistogram()
+    for value in samples + overflow:
+        histogram.record(value)
+    assert histogram.percentile(100.0) == max(overflow)
+    assert histogram.percentile(99.9) <= max(overflow)
+
+
+def test_histogram_percentile_empty_and_invalid_q():
+    histogram = LatencyHistogram()
+    assert histogram.percentile(50.0) == 0.0
+    histogram.record(0.5)
+    import pytest
+
+    with pytest.raises(ValueError, match=r"\[0, 100\]"):
+        histogram.percentile(101.0)
+    with pytest.raises(ValueError, match=r"\[0, 100\]"):
+        histogram.percentile(-0.5)

@@ -1,0 +1,77 @@
+"""The committed BENCH_serving.json must be a valid v3 trajectory record.
+
+Tier-1 guard for the benchmark artifact both serving benchmarks co-write:
+``benchmarks/test_catalog_serving.py`` (catalog/gateway numbers) and
+``benchmarks/test_retrieval_scaling.py`` (the retrieval scaling curve).
+A partial rewrite that drops the other writer's section, or a schema bump
+without regenerating the file, fails here instead of going stale silently.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_serving.json"
+
+SCHEMA = "repro-serving-bench/v3"
+REQUIRED_SECTIONS = {
+    "cold_start",
+    "mixed_traffic",
+    "warm_vs_cold_latency",
+    "retrieval_scaling",
+}
+REQUIRED_POINT_KEYS = {
+    "num_items",
+    "num_cells",
+    "nprobe",
+    "index_build_seconds",
+    "recall_at_10",
+    "dense_request_ms",
+    "retrieval_request_ms",
+    "speedup",
+}
+
+
+@pytest.fixture(scope="module")
+def bench():
+    assert BENCH_PATH.exists(), f"{BENCH_PATH} missing; run the slow serving benchmarks"
+    return json.loads(BENCH_PATH.read_text())
+
+
+def test_schema_is_v3(bench):
+    assert bench["schema"] == SCHEMA
+
+
+def test_required_sections_present(bench):
+    assert REQUIRED_SECTIONS <= set(bench["results"])
+
+
+def test_scaling_curve_shape(bench):
+    curve = bench["results"]["retrieval_scaling"]
+    points = curve["points"]
+    assert len(points) >= 3
+    sizes = [point["num_items"] for point in points]
+    assert sizes == sorted(sizes)
+    assert sizes[-1] >= 1_000_000
+    for point in points:
+        assert REQUIRED_POINT_KEYS <= set(point), f"point {point['num_items']} missing keys"
+
+
+def test_recall_gate_held_at_every_scale(bench):
+    for point in bench["results"]["retrieval_scaling"]["points"]:
+        assert point["recall_at_10"] >= 0.95, f"{point['num_items']} items: {point['recall_at_10']}"
+
+
+def test_retrieval_beats_dense_at_scale(bench):
+    # The PR's acceptance criterion: at >= 100k items, shortlist-then-rescore
+    # must beat the dense per-request scan.
+    at_scale = [
+        point
+        for point in bench["results"]["retrieval_scaling"]["points"]
+        if point["num_items"] >= 100_000
+    ]
+    assert at_scale, "curve records no >=100k-item point"
+    for point in at_scale:
+        assert point["retrieval_request_ms"] < point["dense_request_ms"]
+        assert point["speedup"] > 1.0

@@ -1,0 +1,151 @@
+"""Request-boundary validation: user-ID bounds and the top-k shape contract.
+
+Regression suite for two serving bugs:
+
+* a **negative** user ID used to flow straight into numpy fancy indexing,
+  which wraps around — user ``-1`` silently got the *last* user's
+  recommendations (wrong results, no error);
+* a **too-large** user ID used to surface as a raw ``IndexError`` from
+  whichever model internal happened to index first — no model name, no
+  offending ID, deep stack.
+
+Both now raise :class:`repro.serving.ServingError` at the request boundary,
+naming the offending IDs (and, at the gateway, the model).
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import (
+    EmbeddingStore,
+    ModelCatalog,
+    ServingError,
+    ServingGateway,
+    TopKRecommender,
+    validate_user_ids,
+)
+
+SETTINGS = ModelSettings(embedding_dim=8)
+
+
+@pytest.fixture()
+def store(small_split):
+    return EmbeddingStore(build_model("MF", small_split.train, SETTINGS, rng=np.random.default_rng(0)))
+
+
+@pytest.fixture()
+def recommender(store, small_split):
+    return TopKRecommender(store, k=5, dataset=small_split.full)
+
+
+@pytest.fixture()
+def gateway(small_split, tmp_path):
+    directory = tmp_path / "fleet"
+    for stem, name in {"mf": "MF", "gbgcn": "GBGCN"}.items():
+        save_model(build_model(name, small_split.train, SETTINGS), directory / f"{stem}.npz")
+    return ServingGateway(ModelCatalog(directory, small_split.train), default_model="mf")
+
+
+class TestValidateUserIds:
+    def test_valid_ids_pass_through_as_int64(self):
+        out = validate_user_ids([0, 3, 7], num_users=10)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, [0, 3, 7])
+
+    def test_empty_batch_is_valid(self):
+        assert validate_user_ids(np.asarray([], dtype=np.int64), num_users=10).size == 0
+
+    def test_negative_ids_rejected_with_wraparound_explanation(self):
+        with pytest.raises(ServingError, match=r"\[-1\].*wrap around"):
+            validate_user_ids([0, -1], num_users=10)
+
+    def test_too_large_ids_rejected_with_range(self):
+        with pytest.raises(ServingError, match=r"\[12\] >= num_users \(10\)"):
+            validate_user_ids([12, 3], num_users=10)
+
+    def test_model_name_lands_in_message(self):
+        with pytest.raises(ServingError, match="for model 'gbgcn'"):
+            validate_user_ids([-5], num_users=10, model="gbgcn")
+
+    def test_servingerror_is_a_value_error(self):
+        # Callers that caught ValueError before this error type existed
+        # keep working.
+        assert issubclass(ServingError, ValueError)
+
+
+class TestRecommenderBoundary:
+    def test_negative_user_would_silently_wrap_without_validation(self, store, small_split):
+        """The pre-fix failure mode, demonstrated one layer below the guard:
+        numpy happily serves row -1 as the last user's row."""
+        num_users = small_split.train.num_users
+        wrapped = store.score_all_items(np.asarray([-1]))
+        last = store.score_all_items(np.asarray([num_users - 1]))
+        assert np.allclose(wrapped, last)  # identical rows — the silent bug
+
+    def test_negative_user_now_raises_typed_error(self, recommender):
+        with pytest.raises(ServingError, match=r"negative user IDs \[-1\]"):
+            recommender.recommend(np.asarray([0, -1]))
+
+    def test_too_large_user_now_raises_typed_error(self, recommender, small_split):
+        bad = small_split.train.num_users + 3
+        with pytest.raises(ServingError, match=rf"\[{bad}\]"):
+            recommender.recommend(np.asarray([bad]))
+
+    def test_recommend_user_convenience_is_guarded_too(self, recommender):
+        with pytest.raises(ServingError):
+            recommender.recommend_user(-2)
+
+    def test_nothing_is_scored_when_any_id_is_bad(self, recommender):
+        # The whole batch is rejected up front; a later valid row never
+        # produces a partial result.
+        with pytest.raises(ServingError):
+            recommender.recommend(np.asarray([5, -1, 2]))
+
+
+class TestGatewayBoundary:
+    def test_top_k_negative_user_names_model_and_id(self, gateway):
+        with pytest.raises(ServingError, match=r"for model 'mf'.*\[-1\]"):
+            gateway.top_k(np.asarray([-1]), k=3)
+
+    def test_top_k_too_large_user_is_typed_not_indexerror(self, gateway, small_split):
+        bad = small_split.train.num_users + 10
+        with pytest.raises(ServingError, match=rf"for model 'gbgcn'.*\[{bad}\]"):
+            gateway.top_k(np.asarray([0, bad]), k=3, model="gbgcn")
+
+    def test_scores_boundary_is_guarded(self, gateway):
+        with pytest.raises(ServingError, match="for model 'mf'"):
+            gateway.scores(np.asarray([-3]), np.asarray([0, 1]))
+
+    def test_mixed_batch_error_names_the_offending_model(self, gateway, small_split):
+        bad = small_split.train.num_users
+        with pytest.raises(ServingError, match="for model 'gbgcn'"):
+            gateway.top_k_mixed([("mf", 0), ("gbgcn", bad)], k=3)
+
+    def test_valid_traffic_is_unaffected(self, gateway):
+        result = gateway.top_k(np.asarray([0, 1, 2]), k=3)
+        assert result.items.shape == (3, 3)
+
+
+class TestTopKShapeContract:
+    def test_k_beyond_catalog_pads_instead_of_clamping(self, recommender, small_split):
+        num_items = small_split.train.num_items
+        result = recommender.recommend(np.asarray([0, 1]), k=num_items + 7)
+        assert result.items.shape == (2, num_items + 7)
+        assert (result.items[:, num_items:] == -1).all()
+        assert np.isneginf(result.scores[:, num_items:]).all()
+
+    def test_for_user_strips_padding(self, recommender, small_split):
+        num_items = small_split.train.num_items
+        result = recommender.recommend(np.asarray([0]), k=num_items + 7)
+        assert result.for_user(0).size <= num_items
+
+    def test_gateway_result_keeps_requested_width(self, gateway, small_split):
+        wide = small_split.train.num_items + 2
+        result = gateway.top_k(np.asarray([0, 1]), k=wide)
+        assert result.items.shape == (2, wide)
+
+    def test_nonpositive_k_raises_typed_error(self, recommender):
+        with pytest.raises(ServingError, match="k must be positive"):
+            recommender.recommend(np.asarray([0]), k=0)

@@ -127,10 +127,15 @@ class TestTopKRecommender:
             assert not recommended & observed[int(user)]
 
     def test_k_larger_than_catalog_pads(self, small_split, store):
+        # The result keeps the requested width; the impossible tail is
+        # explicit -1 / -inf padding, never a silently shrunk shape.
         num_items = small_split.full.num_items
         recommender = TopKRecommender(store, k=num_items + 5, exclude_observed=False)
         result = recommender.recommend(np.asarray([0], dtype=np.int64))
-        assert result.items.shape[1] <= num_items
+        assert result.items.shape == (1, num_items + 5)
+        assert (result.items[0, num_items:] == -1).all()
+        assert np.isneginf(result.scores[0, num_items:]).all()
+        assert (result.items[0, :num_items] >= 0).all()
 
     def test_recommend_user_convenience(self, small_split, store):
         recommender = TopKRecommender(store, k=5, dataset=small_split.full)
