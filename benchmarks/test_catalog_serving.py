@@ -303,17 +303,17 @@ def test_write_bench_serving_json():
         pytest.skip("no timings collected in this run")
     results = dict(_RESULTS)
     if OUTPUT_PATH.exists():
-        # The retrieval scaling curve is produced by a different benchmark
-        # (test_retrieval_scaling.py) on its own cadence; rewriting the
-        # catalog numbers must not drop it.
+        # Other benchmarks (test_retrieval_scaling.py, test_worker_scaling.py)
+        # write their own sections on their own cadence; rewriting the
+        # catalog numbers must not drop them.
         try:
             previous = json.loads(OUTPUT_PATH.read_text())
-            if "retrieval_scaling" in previous.get("results", {}):
-                results.setdefault("retrieval_scaling", previous["results"]["retrieval_scaling"])
+            for section, value in previous.get("results", {}).items():
+                results.setdefault(section, value)
         except (ValueError, OSError):
             pass
     payload = {
-        "schema": "repro-serving-bench/v3",
+        "schema": "repro-serving-bench/v4",
         "config": {
             "num_users": NUM_USERS,
             "num_items": NUM_ITEMS,

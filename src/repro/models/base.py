@@ -199,7 +199,9 @@ class RecommenderModel(Module):
             state[EXTRA_STATE_PREFIX + key] = value
         return state
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], strict: bool = True, copy: bool = True
+    ) -> None:
         parameters = {k: v for k, v in state.items() if not k.startswith(EXTRA_STATE_PREFIX)}
         extra = {
             k[len(EXTRA_STATE_PREFIX):]: v for k, v in state.items() if k.startswith(EXTRA_STATE_PREFIX)
@@ -217,10 +219,13 @@ class RecommenderModel(Module):
         # extra state (which itself validates into temporaries before
         # assigning), then commit the parameters — a failure at any point
         # leaves the model exactly as it was.  Copies keep model state from
-        # aliasing the caller's arrays (mirroring the parameter path).  With
-        # strict=False a partial extra set is skipped entirely — like missing
-        # parameters, the current values are left in place.
-        converted = self._validated_state(parameters, strict=strict)
+        # aliasing the caller's arrays (mirroring the parameter path); extra
+        # state is always copied, even under copy=False, because models
+        # mutate it (e.g. cached similarity rows) while mmap-bound
+        # *parameters* are only ever read.  With strict=False a partial
+        # extra set is skipped entirely — like missing parameters, the
+        # current values are left in place.
+        converted = self._validated_state(parameters, strict=strict, copy=copy)
         applicable = {k: np.array(v, copy=True) for k, v in extra.items() if k in expected}
         if expected and expected.issubset(applicable):
             self.load_extra_state(applicable)

@@ -125,18 +125,28 @@ class Module:
         """Return a copy of every parameter keyed by its qualified name."""
         return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], strict: bool = True, copy: bool = True
+    ) -> None:
         """Load parameter values from :meth:`state_dict` output.
 
         With ``strict=False`` unknown keys are ignored and missing keys are
         left at their current values, which is how the pre-trained raw
         embeddings are transferred into the full GBGCN model.
+
+        ``copy=False`` binds parameters directly to the caller's arrays
+        instead of private copies — the zero-copy path used by mmap-backed
+        artifact loads, where the arrays are read-only memory maps shared
+        across processes.  A module bound to read-only arrays can score but
+        not train; callers passing ``copy=False`` own that trade-off.
         """
-        converted = self._validated_state(state, strict=strict)
+        converted = self._validated_state(state, strict=strict, copy=copy)
         self._assign_state(converted)
 
-    def _validated_state(self, state: Dict[str, np.ndarray], strict: bool = True) -> Dict[str, np.ndarray]:
-        """Check keys and shapes, returning converted copies without assigning.
+    def _validated_state(
+        self, state: Dict[str, np.ndarray], strict: bool = True, copy: bool = True
+    ) -> Dict[str, np.ndarray]:
+        """Check keys and shapes, returning converted arrays without assigning.
 
         Splitting validation from assignment keeps :meth:`load_state_dict`
         all-or-nothing: a bad entry can never leave the module with half of
@@ -159,7 +169,7 @@ class Module:
                     f"shape mismatch for parameter '{name}': "
                     f"{own[name].data.shape} vs {value.shape}"
                 )
-            converted[name] = value.copy()
+            converted[name] = value.copy() if copy else value
         return converted
 
     def _assign_state(self, converted: Dict[str, np.ndarray]) -> None:

@@ -1,10 +1,14 @@
 """Versioned model-artifact persistence: train once, serve anywhere.
 
 The artifact layer closes the train/serve gap: a model trained in one
-process is written to a single ``.npz`` file (JSON header + full parameter
-state + dataset-schema fingerprint) and reconstructed in another process —
-or machine — with :func:`load_model`, without retraining and with bitwise
-identical scores.
+process is written to disk (JSON header + full parameter state +
+dataset-schema fingerprint) and reconstructed in another process — or
+machine — with :func:`load_model`, without retraining and with bitwise
+identical scores.  Two layouts exist: the default single-``.npz`` archive
+(format v1) and the mmap-able ``layout="dir"`` directory of raw ``.npy``
+files (format v2), which lets N serving worker processes share one
+page-cache copy of the weights; :func:`migrate_artifact` converts between
+them.
 
 Typical lifecycle::
 
@@ -17,16 +21,26 @@ Typical lifecycle::
     TopKRecommender(store, k=10, dataset=split.full).recommend(users)
 
 Every failure mode (corrupted file, truncated header, wrong dataset,
-future format version) raises a typed :class:`ArtifactError` subclass.
+future format version, unknown layout) raises a typed
+:class:`ArtifactError` subclass.
 """
 
 from .artifact import (
+    DIR_FORMAT_VERSION,
+    DIR_HEADER_FILENAME,
+    DIR_SUFFIX,
     FORMAT_NAME,
     FORMAT_VERSION,
+    LAYOUT_DIR,
+    LAYOUT_NPZ,
+    NPZ_FORMAT_VERSION,
+    TMP_SWEEP_MAX_AGE_SECONDS,
     ArtifactHeader,
+    artifact_layout,
     copy_artifact,
     load_model,
     load_state_into,
+    migrate_artifact,
     read_header,
     read_retrieval_state,
     read_state_dict,
@@ -35,6 +49,7 @@ from .artifact import (
 from .errors import (
     ArtifactError,
     ArtifactFormatError,
+    ArtifactLayoutError,
     ArtifactVersionError,
     ModelMismatchError,
     SchemaMismatchError,
@@ -44,6 +59,7 @@ from .index import (
     ArtifactInfo,
     ArtifactScan,
     artifact_content_token,
+    artifact_stat,
     read_artifact_header,
     scan_artifact_directory,
 )
@@ -51,15 +67,25 @@ from .index import (
 __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "NPZ_FORMAT_VERSION",
+    "DIR_FORMAT_VERSION",
+    "LAYOUT_NPZ",
+    "LAYOUT_DIR",
+    "DIR_HEADER_FILENAME",
+    "DIR_SUFFIX",
+    "TMP_SWEEP_MAX_AGE_SECONDS",
     "ArtifactHeader",
     "ArtifactError",
     "ArtifactFormatError",
+    "ArtifactLayoutError",
     "ArtifactVersionError",
     "ModelMismatchError",
     "SchemaMismatchError",
     "dataset_fingerprint",
     "fingerprint_mismatch",
+    "artifact_layout",
     "save_model",
+    "migrate_artifact",
     "copy_artifact",
     "load_model",
     "load_state_into",
@@ -69,6 +95,7 @@ __all__ = [
     "ArtifactInfo",
     "ArtifactScan",
     "artifact_content_token",
+    "artifact_stat",
     "read_artifact_header",
     "scan_artifact_directory",
 ]

@@ -1,28 +1,35 @@
 """Versioned model artifacts: save a trained model once, serve it anywhere.
 
-An artifact is a single ``.npz`` archive holding
+An artifact exists in one of two on-disk layouts:
 
-* ``__header__`` — a JSON document (stored as raw UTF-8 bytes) carrying the
-  format name and version, the registry model name, the
-  :class:`~repro.models.registry.ModelSettings` (and, for GBGCN variants,
-  the :class:`~repro.core.gbgcn.GBGCNConfig`) needed to rebuild the model,
-  and the dataset-schema fingerprint of the training dataset;
-* ``state/<key>`` — every array of the model's ``state_dict`` (trainable
-  parameters plus non-parameter state such as ItemKNN similarity matrices);
-* ``index/<key>`` — optionally, the arrays of a prebuilt
-  :class:`~repro.serving.retrieval.RetrievalIndex` over the model's item
-  factors, with its parameters declared in the header's ``retrieval``
-  field.  Old readers ignore both (unknown header fields are filtered,
-  only ``state/`` arrays are collected), so embedding an index never
-  breaks format compatibility.
+* ``layout="npz"`` (format v1, the default) — a single ``.npz`` archive
+  holding ``__header__`` (a JSON document stored as raw UTF-8 bytes),
+  ``state/<key>`` arrays, and optionally ``index/<key>`` arrays of an
+  embedded :class:`~repro.serving.retrieval.RetrievalIndex`;
+* ``layout="dir"`` (format v2) — a *directory* (conventionally suffixed
+  ``.npyd``) containing ``header.json`` plus one raw ``.npy`` file per
+  array (``state/<key>.npy``, ``index/<key>.npy``).  Raw ``.npy`` members
+  can be opened with ``np.load(..., mmap_mode="r")``, so N serving worker
+  processes share one page-cache copy of the weights instead of N private
+  heaps — the point of the layout.  :func:`migrate_artifact` converts
+  between the two layouts losslessly in either direction.
 
-:func:`save_model` writes atomically (temp file in the destination
-directory + ``os.replace`` after an fsync), so a crash mid-write can never
-clobber the previous artifact.  :func:`load_model` rebuilds the model from
-the header via the registry and restores the exact saved weights; schema
-mismatches and unknown format versions fail loudly with a typed
-:class:`~repro.persist.errors.ArtifactError` instead of producing garbage
-recommendations.
+The header carries the format name and version, the registry model name,
+the :class:`~repro.models.registry.ModelSettings` (and, for GBGCN
+variants, the :class:`~repro.core.gbgcn.GBGCNConfig`) needed to rebuild
+the model, and the dataset-schema fingerprint of the training dataset.
+Old readers ignore unknown header fields (they are filtered on read), so
+embedding an index never breaks format compatibility — and the ``npz``
+layout keeps being written at format v1, so artifacts saved by this
+library version still load under pre-v2 readers.
+
+:func:`save_model` writes atomically (unique temp name in the destination
+directory + ``os.replace``/``os.rename`` after an fsync), so a crash
+mid-write can never clobber the previous artifact.  :func:`load_model`
+rebuilds the model from the header via the registry and restores the
+exact saved weights; schema mismatches and unknown format versions fail
+loudly with a typed :class:`~repro.persist.errors.ArtifactError` instead
+of producing garbage recommendations.
 """
 
 from __future__ import annotations
@@ -30,18 +37,21 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import re
 import shutil
 import time
 import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union, TYPE_CHECKING
 
 import numpy as np
 
 from .errors import (
     ArtifactError,
     ArtifactFormatError,
+    ArtifactLayoutError,
     ArtifactVersionError,
     ModelMismatchError,
     SchemaMismatchError,
@@ -55,8 +65,17 @@ if TYPE_CHECKING:
 __all__ = [
     "FORMAT_NAME",
     "FORMAT_VERSION",
+    "NPZ_FORMAT_VERSION",
+    "DIR_FORMAT_VERSION",
+    "LAYOUT_NPZ",
+    "LAYOUT_DIR",
+    "DIR_HEADER_FILENAME",
+    "DIR_SUFFIX",
+    "TMP_SWEEP_MAX_AGE_SECONDS",
     "ArtifactHeader",
+    "artifact_layout",
     "save_model",
+    "migrate_artifact",
     "copy_artifact",
     "read_header",
     "read_state_dict",
@@ -67,10 +86,34 @@ __all__ = [
 
 #: Identifies the file as one of ours (guards against loading arbitrary npz).
 FORMAT_NAME = "repro-model-artifact"
-#: Bumped whenever the on-disk layout changes incompatibly.  Readers accept
-#: versions ``<= FORMAT_VERSION`` (there is only one so far) and refuse
-#: anything newer with an :class:`ArtifactVersionError`.
-FORMAT_VERSION = 1
+#: The single-file compressed-archive layout (format v1, the default).
+LAYOUT_NPZ = "npz"
+#: The mmap-able directory-of-``.npy``-files layout (format v2).
+LAYOUT_DIR = "dir"
+#: Format version written by the ``npz`` layout.  Deliberately left at 1:
+#: the archive's byte layout did not change when v2 was introduced, so new
+#: ``npz`` artifacts stay readable by pre-v2 library versions.
+NPZ_FORMAT_VERSION = 1
+#: Format version written by the ``dir`` layout (introduced the layout).
+DIR_FORMAT_VERSION = 2
+#: Highest format version this library can read.  Bumped whenever the
+#: on-disk layout changes incompatibly; readers accept versions
+#: ``<= FORMAT_VERSION`` and refuse anything newer with an
+#: :class:`ArtifactVersionError`.
+FORMAT_VERSION = 2
+#: Name of the JSON header file inside a ``dir``-layout artifact.
+DIR_HEADER_FILENAME = "header.json"
+#: Conventional path suffix for ``dir``-layout artifacts.  Not enforced on
+#: save, but directory scans (``scan_artifact_directory`` /
+#: ``ModelCatalog``) discover directory artifacts by this suffix.
+DIR_SUFFIX = ".npyd"
+
+#: Temp files/directories left next to an artifact are reaped before a
+#: save only when their recorded writer PID is no longer alive *and* they
+#: are older than this window (seconds).  Configurable for tests and for
+#: deployments with unusually long artifact-write times; see
+#: :func:`_sweep_stale_tmp` for the exact rules.
+TMP_SWEEP_MAX_AGE_SECONDS = 3600.0
 
 _HEADER_KEY = "__header__"
 _STATE_PREFIX = "state/"
@@ -139,15 +182,71 @@ class ArtifactHeader:
         return cls(**{key: value for key, value in payload.items() if key in known})
 
 
-def _sweep_stale_tmp(path: Path, max_age_seconds: float = 3600.0) -> None:
+_TMP_OWNER_PATTERN = re.compile(r"\.tmp-(\d+)-\d+$")
+
+
+def _owner_pid_alive(name: str) -> Optional[bool]:
+    """Whether the temp entry's recorded writer PID is a live process.
+
+    Temp names embed their writer as ``.{artifact}.tmp-{pid}-{attempt}``.
+    Returns ``None`` when no PID can be parsed from ``name`` (a foreign
+    temp entry) or when liveness cannot be determined.
+    """
+    match = _TMP_OWNER_PATTERN.search(name)
+    if match is None:
+        return None
+    pid = int(match.group(1))
+    if pid <= 0:
+        return None
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The process exists but belongs to another user.
+        return True
+    except OSError:
+        return None
+    return True
+
+
+def _sweep_stale_tmp(path: Path, max_age_seconds: Optional[float] = None) -> None:
     """Best-effort removal of temp orphans left by hard crashes (SIGKILL).
 
-    Only files old enough that no live writer can still own them are
-    removed, so concurrent savers never delete each other's work.
+    A temp entry is removed only when **both** hold:
+
+    1. its recorded writer PID — parsed from the ``tmp-{pid}-{attempt}``
+       name — is no longer a live process.  An ``st_mtime`` age check
+       alone is not safe with multiple writers: wall-clock skew (a
+       temp file stamped by one host's clock, judged by another's) or a
+       long-paused writer process can make a *live* writer's temp file
+       look hours old, and reaping it makes that writer's in-flight save
+       fail.  A live owner PID vetoes removal outright — as does a name
+       this protocol cannot attribute (no parseable PID).
+    2. it is older than ``max_age_seconds`` (module default
+       :data:`TMP_SWEEP_MAX_AGE_SECONDS`) — so even when a crashed
+       writer's PID has been recycled by an unrelated process (which
+       would veto under rule 1), the orphan is merely reaped later, and
+       a freshly-crashed writer's debris is not reaped while a human
+       might still want to inspect it.
+
+    Both single temp *files* (``npz`` layout) and temp *directories*
+    (``dir`` layout) are swept.
     """
+    if max_age_seconds is None:
+        max_age_seconds = TMP_SWEEP_MAX_AGE_SECONDS
     for orphan in path.parent.glob(f".{path.name}.tmp-*"):
+        # Reap only entries whose owner is *confirmed* dead.  A live owner
+        # vetoes; so does an unparseable name (not this protocol's entry —
+        # never delete what we cannot attribute) or an indeterminate PID.
+        if _owner_pid_alive(orphan.name) is not False:
+            continue
         try:
-            if time.time() - orphan.stat().st_mtime > max_age_seconds:
+            if time.time() - orphan.stat().st_mtime <= max_age_seconds:
+                continue
+            if orphan.is_dir():
+                shutil.rmtree(orphan, ignore_errors=True)
+            else:
                 orphan.unlink()
         except OSError:
             pass
@@ -195,6 +294,147 @@ def _atomic_write_npz(path: Path, arrays: Dict[str, np.ndarray]) -> None:
     _atomic_replace_write(path, lambda handle: np.savez(handle, **arrays))
 
 
+def _remove_entry(path: Path) -> None:
+    """Delete a file or a directory tree, best-effort."""
+    try:
+        if path.is_dir():
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            path.unlink()
+    except OSError:
+        pass
+
+
+def _atomic_replace_dir(path: Path, build: Callable[[Path], None]) -> None:
+    """Build a directory under a unique temp name, then swap it into place.
+
+    ``build(tmp)`` fills the freshly-created temp directory.  Publishing is
+    a single ``os.rename`` when ``path`` does not exist yet.  When it does
+    (hot-swap republish), POSIX ``rename`` cannot atomically replace a
+    non-empty directory, so the old artifact is first renamed aside and
+    then deleted — readers resolving member paths in that sub-millisecond
+    window see ``FileNotFoundError``, which every reader in this package
+    maps to a typed :class:`ArtifactError` and the serving catalog retries.
+    Concurrent writers to the same path converge last-writer-wins, the
+    same contract as the ``npz`` layout.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_tmp(path)
+    tmp = None
+    for attempt in range(1000):
+        candidate = path.with_name(f".{path.name}.tmp-{os.getpid()}-{attempt}")
+        try:
+            os.mkdir(candidate)  # exclusive creation, like O_EXCL for files
+            tmp = candidate
+            break
+        except FileExistsError:
+            continue
+    if tmp is None:
+        raise ArtifactError(f"could not create a unique temp directory next to {path}")
+    published = False
+    try:
+        build(tmp)
+        try:
+            os.rename(tmp, path)
+            published = True
+        except OSError:
+            if not path.exists():
+                raise
+            retired = None
+            for attempt in range(1000):
+                candidate = path.with_name(f".{path.name}.old-{os.getpid()}-{attempt}")
+                if not candidate.exists():
+                    retired = candidate
+                    break
+            if retired is None:
+                raise ArtifactError(f"could not retire the previous artifact at {path}")
+            os.rename(path, retired)
+            try:
+                os.rename(tmp, path)
+                published = True
+            except OSError:
+                if not path.exists():
+                    os.rename(retired, path)  # roll the old artifact back
+                    raise
+                # A concurrent writer claimed the name between our retire
+                # and publish; their artifact is complete — surface the
+                # lost race instead of silently dropping this save.
+                _remove_entry(retired)
+                raise ArtifactError(
+                    f"a concurrent writer republished {path} mid-swap; this save was dropped"
+                )
+            _remove_entry(retired)
+    finally:
+        if not published:
+            _remove_entry(tmp)
+
+
+def _crc32_of_file(path: Path) -> int:
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def _write_dir_artifact(path: Path, header: ArtifactHeader, arrays: Dict[str, np.ndarray]) -> None:
+    """Write a ``dir``-layout artifact: raw ``.npy`` members + ``header.json``.
+
+    ``arrays`` maps member keys (already carrying their ``state/`` /
+    ``index/`` group prefix) to arrays.  The header file additionally
+    records a ``members`` manifest — ``{relpath: {"crc32", "size"}}`` over
+    every array file — which plays the role the npz central directory
+    plays for content tokens (see :func:`repro.persist.index.artifact_content_token`).
+    The header file is written last and rewritten on every save, so its
+    ``(st_size, st_mtime_ns)`` stat identity changes on every publish.
+    """
+
+    def build(tmp: Path) -> None:
+        members: Dict[str, Dict[str, int]] = {}
+        for key in sorted(arrays):
+            member = f"{key}.npy"
+            target = tmp / member
+            target.parent.mkdir(parents=True, exist_ok=True)
+            with open(target, "wb") as handle:
+                np.save(handle, arrays[key], allow_pickle=False)
+                handle.flush()
+                os.fsync(handle.fileno())
+            members[member] = {
+                "crc32": _crc32_of_file(target),
+                "size": target.stat().st_size,
+            }
+        payload = json.loads(header.to_json())
+        payload["layout"] = LAYOUT_DIR
+        payload["members"] = members
+        text = json.dumps(payload, sort_keys=True)
+        header_path = tmp / DIR_HEADER_FILENAME
+        with open(header_path, "wb") as handle:
+            handle.write(text.encode("utf-8"))
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    _atomic_replace_dir(path, build)
+
+
+def artifact_layout(path: Union[str, Path]) -> str:
+    """The on-disk layout of the artifact at ``path``: ``"npz"`` or ``"dir"``.
+
+    Dispatches on the filesystem entry type (directory → ``dir`` layout),
+    not the name suffix, so unconventionally-named artifacts still
+    resolve.  Raises :class:`ArtifactFormatError` when nothing exists at
+    ``path``.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return LAYOUT_DIR
+    if path.exists():
+        return LAYOUT_NPZ
+    raise ArtifactFormatError(f"artifact does not exist: {path}")
+
+
 def _resolve_identity(
     model: "RecommenderModel",
     dataset: Optional["GroupBuyingDataset"],
@@ -213,6 +453,44 @@ def _resolve_identity(
     return name, settings_dict, config_dict, schema
 
 
+def _layout_version(layout: str) -> int:
+    if layout == LAYOUT_NPZ:
+        return NPZ_FORMAT_VERSION
+    if layout == LAYOUT_DIR:
+        return DIR_FORMAT_VERSION
+    raise ArtifactLayoutError(
+        f"unknown artifact layout {layout!r}; supported layouts are "
+        f"{LAYOUT_NPZ!r} (single-file archive) and {LAYOUT_DIR!r} (mmap-able directory)"
+    )
+
+
+def _write_artifact(
+    path: Path,
+    header: ArtifactHeader,
+    state: Dict[str, np.ndarray],
+    index_arrays: Dict[str, np.ndarray],
+    layout: str,
+) -> None:
+    """Write header + grouped arrays at ``path`` in the requested layout.
+
+    ``index_arrays`` keys already carry the ``index/`` prefix; ``state``
+    keys are bare and get the ``state/`` prefix here.
+    """
+    grouped: Dict[str, np.ndarray] = {}
+    for key, value in state.items():
+        grouped[_STATE_PREFIX + key] = np.ascontiguousarray(value)
+    for key, value in index_arrays.items():
+        grouped[key] = np.ascontiguousarray(value)
+    if layout == LAYOUT_DIR:
+        _write_dir_artifact(path, header, grouped)
+    else:
+        arrays: Dict[str, np.ndarray] = {
+            _HEADER_KEY: np.frombuffer(header.to_json().encode("utf-8"), dtype=np.uint8)
+        }
+        arrays.update(grouped)
+        _atomic_write_npz(path, arrays)
+
+
 def save_model(
     model: "RecommenderModel",
     path: Union[str, Path],
@@ -221,6 +499,7 @@ def save_model(
     settings=None,
     model_name: Optional[str] = None,
     retrieval_index=None,
+    layout: str = LAYOUT_NPZ,
 ) -> ArtifactHeader:
     """Persist ``model`` as a versioned artifact at ``path``.
 
@@ -238,6 +517,13 @@ def save_model(
     serving catalog can cold-start ANN retrieval without re-clustering —
     recover it with :func:`read_retrieval_state`.
 
+    ``layout`` selects the on-disk representation: ``"npz"`` (default) is
+    the single-file v1 archive; ``"dir"`` writes the mmap-able v2
+    directory of raw ``.npy`` files (conventionally suffixed ``.npyd`` so
+    catalog scans discover it) that :func:`load_model` opens with
+    ``np.load(mmap_mode="r")`` — the layout to publish when many worker
+    processes serve the same weights.
+
     Usage — save a registry model, inspect the header, load it back:
 
     >>> import tempfile
@@ -253,11 +539,20 @@ def save_model(
     ('MF', 1)
     >>> load_model(path, split.train).name      # exact weights, fresh process
     'MF'
+
+    The same model in the mmap-able directory layout:
+
+    >>> dir_path = path.with_suffix(".npyd")
+    >>> save_model(build_model("MF", split.train), dir_path, layout="dir").format_version
+    2
+    >>> sorted(p.name for p in dir_path.iterdir())[:1]
+    ['header.json']
     """
     path = Path(path)
+    version = _layout_version(layout)  # validates the layout up front
     name, settings_dict, config_dict, schema = _resolve_identity(model, dataset, settings, model_name)
-    # Zero-copy views: the arrays are only read while np.savez streams them
-    # out, so snapshotting the whole model first would just double memory.
+    # Zero-copy views: the arrays are only read while the writer streams
+    # them out, so snapshotting the whole model first would double memory.
     state = model.state_arrays()
     retrieval_params: Optional[Dict[str, Any]] = None
     index_arrays: Dict[str, np.ndarray] = {}
@@ -273,7 +568,7 @@ def save_model(
             for key, value in retrieval_index.state_arrays().items()
         }
     header = ArtifactHeader(
-        format_version=FORMAT_VERSION,
+        format_version=version,
         model_name=name,
         settings=settings_dict,
         gbgcn_config=config_dict,
@@ -282,14 +577,68 @@ def save_model(
         library_version=_library_version(),
         retrieval=retrieval_params,
     )
-    arrays: Dict[str, np.ndarray] = {
-        _HEADER_KEY: np.frombuffer(header.to_json().encode("utf-8"), dtype=np.uint8)
-    }
-    for key, value in state.items():
-        arrays[_STATE_PREFIX + key] = np.ascontiguousarray(value)
-    arrays.update(index_arrays)
-    _atomic_write_npz(path, arrays)
+    _write_artifact(path, header, state, index_arrays, layout)
     return header
+
+
+def migrate_artifact(
+    path: Union[str, Path],
+    to_layout: str,
+    destination: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Convert an artifact between the v1 ``npz`` and v2 ``dir`` layouts.
+
+    The cross-version migration shim: every header field (model identity,
+    settings, schema fingerprint, retrieval parameters) and every array —
+    model state *and* embedded retrieval index — carries over exactly;
+    only ``format_version`` changes to the target layout's version.  The
+    source artifact is left untouched.  ``destination`` defaults to the
+    source path with the conventional suffix swapped
+    (``model.npz`` ↔ ``model.npyd``); migrating to the layout the artifact
+    already has simply rewrites it at the destination.  Returns the
+    destination path.
+
+    >>> import tempfile
+    >>> from pathlib import Path
+    >>> import numpy as np
+    >>> from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+    >>> from repro.models import build_model
+    >>> from repro.persist import migrate_artifact, read_state_dict, save_model
+    >>> split = leave_one_out_split(generate_dataset(
+    ...     BeibeiLikeConfig(num_users=40, num_items=20, num_behaviors=160, seed=0)))
+    >>> path = Path(tempfile.mkdtemp()) / "mf.npz"
+    >>> _ = save_model(build_model("MF", split.train), path)
+    >>> migrated = migrate_artifact(path, to_layout="dir")
+    >>> migrated.name
+    'mf.npyd'
+    >>> old, new = read_state_dict(path)[1], read_state_dict(migrated)[1]
+    >>> all(np.array_equal(old[k], new[k]) for k in old)
+    True
+    """
+    path = Path(path)
+    version = _layout_version(to_layout)
+    header, state = read_state_dict(path)
+    retrieval = read_retrieval_state(path)
+    index_arrays: Dict[str, np.ndarray] = {}
+    retrieval_params: Optional[Dict[str, Any]] = None
+    if retrieval is not None:
+        retrieval_params, raw = retrieval
+        index_arrays = {_INDEX_PREFIX + key: value for key, value in raw.items()}
+    if destination is None:
+        suffix = DIR_SUFFIX if to_layout == LAYOUT_DIR else ".npz"
+        destination = path.with_suffix(suffix)
+    destination = Path(destination)
+    if destination.exists() and destination.resolve() == path.resolve():
+        raise ArtifactLayoutError(
+            f"cannot migrate {path} onto itself; pass a different destination"
+        )
+    migrated = dataclasses.replace(
+        header,
+        format_version=version,
+        library_version=_library_version(),
+    )
+    _write_artifact(destination, migrated, state, index_arrays, to_layout)
+    return destination
 
 
 def copy_artifact(source: Union[str, Path], destination: Union[str, Path]) -> None:
@@ -297,15 +646,21 @@ def copy_artifact(source: Union[str, Path], destination: Union[str, Path]) -> No
 
     The cheap way to *publish* an artifact that is already on disk (e.g. a
     checkpoint into a catalog directory): no model snapshot, no
-    re-compression — just a copy with the same temp-file + ``os.replace``
+    re-compression — just a copy with the same temp-name + rename
     guarantee as :func:`save_model`, so a reader (a serving
     :class:`~repro.serving.catalog.ModelCatalog` hot-swap check) never sees
-    a half-written file.  Copying a path onto itself is a no-op.
+    a half-written artifact.  Works for both layouts — a ``dir``-layout
+    source is copied member by member into a temp directory and swapped
+    into place.  Copying a path onto itself is a no-op.
     """
     source, destination = Path(source), Path(destination)
     if not source.exists():
         raise ArtifactFormatError(f"artifact to copy does not exist: {source}")
     if source.resolve() == destination.resolve():
+        return
+
+    if source.is_dir():
+        _atomic_replace_dir(destination, lambda tmp: shutil.copytree(source, tmp, dirs_exist_ok=True))
         return
 
     def write(handle):
@@ -334,9 +689,84 @@ def _open_archive(path: Path):
     return archive
 
 
+def _read_dir_payload(path: Path) -> Dict[str, Any]:
+    """The raw JSON payload of a ``dir``-layout artifact's header file."""
+    header_path = path / DIR_HEADER_FILENAME
+    try:
+        text = header_path.read_text("utf-8")
+    except FileNotFoundError as error:
+        raise ArtifactFormatError(
+            f"{path} is a directory without a {DIR_HEADER_FILENAME}; it is not a "
+            f"dir-layout artifact (or its writer crashed before publishing)"
+        ) from error
+    except OSError as error:
+        raise ArtifactFormatError(f"artifact header of {path} is unreadable: {error}") from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ArtifactFormatError(
+            f"artifact header {header_path} is not valid JSON (truncated or corrupted "
+            f"write?): {error}"
+        ) from error
+    if not isinstance(payload, dict):
+        raise ArtifactFormatError(
+            f"artifact header {header_path} must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _read_dir_header(path: Path) -> ArtifactHeader:
+    header_path = path / DIR_HEADER_FILENAME
+    try:
+        text = header_path.read_text("utf-8")
+    except FileNotFoundError as error:
+        raise ArtifactFormatError(
+            f"{path} is a directory without a {DIR_HEADER_FILENAME}; it is not a "
+            f"dir-layout artifact (or its writer crashed before publishing)"
+        ) from error
+    except OSError as error:
+        raise ArtifactFormatError(f"artifact header of {path} is unreadable: {error}") from error
+    return ArtifactHeader.from_json(text)
+
+
+def _dir_arrays(path: Path, group: str, mmap_mode: Optional[str]) -> Dict[str, np.ndarray]:
+    """All arrays of a member group (``"state"`` / ``"index"``) of a dir artifact.
+
+    Keys containing ``/`` (e.g. extra-state keys) map to nested
+    subdirectories on disk, so the walk is recursive.
+    """
+    root = path / group
+    arrays: Dict[str, np.ndarray] = {}
+    if not root.is_dir():
+        return arrays
+    for member in sorted(root.rglob("*.npy")):
+        if not member.is_file():
+            continue
+        key = member.relative_to(root).as_posix()[: -len(".npy")]
+        try:
+            arrays[key] = np.load(member, mmap_mode=mmap_mode, allow_pickle=False)
+        except (OSError, ValueError) as error:
+            raise ArtifactFormatError(
+                f"artifact {path} has an unreadable {group} array {member.name}: {error}"
+            ) from error
+    return arrays
+
+
+def _dir_state(path: Path, header: ArtifactHeader, mmap_mode: Optional[str]) -> Dict[str, np.ndarray]:
+    state = _dir_arrays(path, "state", mmap_mode)
+    missing = set(header.state_keys) - set(state)
+    if missing:
+        raise ArtifactFormatError(
+            f"artifact {path} is missing state arrays recorded in its header: {sorted(missing)}"
+        )
+    return state
+
+
 def read_header(path: Union[str, Path]) -> ArtifactHeader:
-    """Read and validate only the JSON header of an artifact."""
+    """Read and validate only the JSON header of an artifact (either layout)."""
     path = Path(path)
+    if path.is_dir():
+        return _read_dir_header(path)
     with _open_archive(path) as archive:
         return _header_from_archive(archive, path)
 
@@ -372,8 +802,11 @@ def _state_from_archive(archive, header: ArtifactHeader, path: Path) -> Dict[str
 
 
 def read_state_dict(path: Union[str, Path]) -> Tuple[ArtifactHeader, Dict[str, np.ndarray]]:
-    """Read the header and the full parameter state of an artifact."""
+    """Read the header and the full parameter state of an artifact (either layout)."""
     path = Path(path)
+    if path.is_dir():
+        header = _read_dir_header(path)
+        return header, _dir_state(path, header, mmap_mode=None)
     with _open_archive(path) as archive:
         header = _header_from_archive(archive, path)
         state = _state_from_archive(archive, header, path)
@@ -393,19 +826,25 @@ def read_retrieval_state(
     corrupt and raises :class:`ArtifactFormatError`.
     """
     path = Path(path)
-    with _open_archive(path) as archive:
-        header = _header_from_archive(archive, path)
+    if path.is_dir():
+        header = _read_dir_header(path)
         if header.retrieval is None:
             return None
-        arrays: Dict[str, np.ndarray] = {}
-        try:
-            for key in archive.files:
-                if key.startswith(_INDEX_PREFIX):
-                    arrays[key[len(_INDEX_PREFIX):]] = archive[key]
-        except (zipfile.BadZipFile, OSError, ValueError) as error:
-            raise ArtifactFormatError(
-                f"artifact {path} has unreadable retrieval-index arrays: {error}"
-            ) from error
+        arrays = _dir_arrays(path, "index", mmap_mode=None)
+    else:
+        with _open_archive(path) as archive:
+            header = _header_from_archive(archive, path)
+            if header.retrieval is None:
+                return None
+            arrays = {}
+            try:
+                for key in archive.files:
+                    if key.startswith(_INDEX_PREFIX):
+                        arrays[key[len(_INDEX_PREFIX):]] = archive[key]
+            except (zipfile.BadZipFile, OSError, ValueError) as error:
+                raise ArtifactFormatError(
+                    f"artifact {path} has unreadable retrieval-index arrays: {error}"
+                ) from error
     if not arrays:
         raise ArtifactFormatError(
             f"artifact {path} declares a retrieval index in its header but carries no "
@@ -489,24 +928,56 @@ def _rebuild_model(header: ArtifactHeader, dataset: "GroupBuyingDataset", path: 
     )
 
 
-def load_model(path: Union[str, Path], train_dataset: "GroupBuyingDataset") -> "RecommenderModel":
+def load_model(
+    path: Union[str, Path],
+    train_dataset: "GroupBuyingDataset",
+    *,
+    mmap: Optional[bool] = None,
+) -> "RecommenderModel":
     """Reconstruct the model stored at ``path`` on top of ``train_dataset``.
 
     The dataset must be the training dataset the artifact was saved against
     (its schema fingerprint is verified); the rebuilt model has exactly the
     saved weights and an invalidated evaluation cache, ready for
     ``prepare_for_evaluation`` / serving.
+
+    ``mmap`` controls how ``dir``-layout artifacts materialize their
+    weights: ``None`` (default) memory-maps them read-only — the model's
+    parameters alias the on-disk ``.npy`` files, so concurrent worker
+    processes loading the same artifact share one page-cache copy.  A
+    memory-mapped model is for *serving*: training an mmap-loaded model
+    raises (its parameter buffers are read-only) — pass ``mmap=False`` to
+    load private writable copies for fine-tuning.  The single-file
+    ``npz`` layout cannot be memory-mapped (its members are compressed
+    into one archive); requesting ``mmap=True`` on it raises and points at
+    :func:`migrate_artifact`.
     """
     path = Path(path)
-    with _open_archive(path) as archive:
-        # Validate against the header before decompressing any state arrays,
-        # so a rejected load costs O(header), not O(archive).
-        header = _header_from_archive(archive, path)
+    if path.is_dir():
+        use_mmap = mmap is None or bool(mmap)
+        header = _read_dir_header(path)
         _check_schema(header, train_dataset, path)
-        state = _state_from_archive(archive, header, path)
+        state = _dir_state(path, header, mmap_mode="r" if use_mmap else None)
+        # Zero-copy bind: mmap arrays must stay shared pages, and a plain
+        # (non-mmap) dir load already owns its freshly-read arrays.
+        copy = False
+    else:
+        if mmap:
+            raise ArtifactLayoutError(
+                f"artifact {path} uses the single-file npz layout, whose members are "
+                f"compressed and cannot be memory-mapped; convert it first with "
+                f"repro.persist.migrate_artifact({str(path)!r}, to_layout='dir')"
+            )
+        with _open_archive(path) as archive:
+            # Validate against the header before decompressing any state
+            # arrays, so a rejected load costs O(header), not O(archive).
+            header = _header_from_archive(archive, path)
+            _check_schema(header, train_dataset, path)
+            state = _state_from_archive(archive, header, path)
+        copy = True
     model = _rebuild_model(header, train_dataset, path)
     try:
-        model.load_state_dict(state)
+        model.load_state_dict(state, copy=copy)
     except (KeyError, ValueError) as error:
         raise ArtifactFormatError(
             f"artifact {path} state does not fit the rebuilt {header.model_name!r} model: {error}"
@@ -542,8 +1013,8 @@ def load_state_into(
             dataset = getattr(model, "_artifact_dataset", None)
     else:
         dataset = None
-    with _open_archive(path) as archive:
-        header = _header_from_archive(archive, path)
+
+    def check_identity(header: ArtifactHeader) -> None:
         target_name = getattr(model, "_registry_name", None) or model.name
         if header.model_name != target_name:
             # Different models can share parameter keys and shapes (MF vs
@@ -554,7 +1025,16 @@ def load_state_into(
             )
         if dataset is not None:
             _check_schema(header, dataset, path)
-        state = _state_from_archive(archive, header, path)
+
+    if path.is_dir():
+        header = _read_dir_header(path)
+        check_identity(header)
+        state = _dir_state(path, header, mmap_mode=None)
+    else:
+        with _open_archive(path) as archive:
+            header = _header_from_archive(archive, path)
+            check_identity(header)
+            state = _state_from_archive(archive, header, path)
     try:
         model.load_state_dict(state)
     except (KeyError, ValueError) as error:

@@ -13,6 +13,7 @@ from __future__ import annotations
 __all__ = [
     "ArtifactError",
     "ArtifactFormatError",
+    "ArtifactLayoutError",
     "ArtifactVersionError",
     "ModelMismatchError",
     "SchemaMismatchError",
@@ -34,6 +35,16 @@ class ArtifactFormatError(ArtifactError):
 
 class ArtifactVersionError(ArtifactError):
     """The artifact declares a format version this library cannot read."""
+
+
+class ArtifactLayoutError(ArtifactError):
+    """An unknown on-disk layout was requested or detected.
+
+    Raised by ``save_model(..., layout=...)`` and
+    ``migrate_artifact(..., to_layout=...)`` for layout names other than
+    the supported ``"npz"`` (single compressed-archive file, format v1) and
+    ``"dir"`` (mmap-able directory of raw ``.npy`` files, format v2).
+    """
 
 
 class ModelMismatchError(ArtifactError):

@@ -2,16 +2,19 @@
 
 A model catalog that manages dozens of artifacts cannot afford to
 decompress every parameter table just to learn *what* each file holds.
-This module reads only the JSON ``__header__`` entry of an artifact (a few
-hundred bytes; ``np.load`` over an npz is lazy, so the ``state/...`` arrays
-are never touched) and pairs it with two freshness identities:
+This module reads only the JSON header of an artifact (a few hundred
+bytes; for the ``npz`` layout ``np.load`` is lazy, so the ``state/...``
+arrays are never touched; for the ``dir`` layout only ``header.json`` is
+read) and pairs it with two freshness identities:
 
-* the file's **stat identity** — size and mtime — the cheap first-line
-  hot-swap check;
-* a **content token** — a digest of the npz central directory (member
-  names, CRC-32 checksums, sizes; still no decompression) — which catches
-  same-size replacements inside one mtime tick, where the stat identity is
-  blind (coarse-mtime filesystems, fast CI, ``os.utime``-pinned copies).
+* the **stat identity** — size and mtime of the artifact's *identity
+  carrier* (the file itself for ``npz``; the ``header.json``, rewritten on
+  every publish, for ``dir``) — the cheap first-line hot-swap check;
+* a **content token** — a digest over member names, CRC-32 checksums and
+  sizes (the npz central directory, or the ``dir`` header's ``members``
+  manifest; no array decompression either way) — which catches same-size
+  replacements inside one mtime tick, where the stat identity is blind
+  (coarse-mtime filesystems, fast CI, ``os.utime``-pinned copies).
 
 Example — write two artifacts, then index the directory without loading a
 single weight array:
@@ -38,35 +41,65 @@ single weight array:
 from __future__ import annotations
 
 import hashlib
+import json
 import os
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Union
 
-from .artifact import ArtifactHeader, _header_from_archive, _open_archive
+from .artifact import (
+    DIR_HEADER_FILENAME,
+    DIR_SUFFIX,
+    ArtifactHeader,
+    _header_from_archive,
+    _open_archive,
+    _read_dir_payload,
+)
 from .errors import ArtifactError, ArtifactFormatError
 
 __all__ = [
     "ArtifactInfo",
     "ArtifactScan",
     "artifact_content_token",
+    "artifact_stat",
     "read_artifact_header",
     "scan_artifact_directory",
 ]
 
 
-def artifact_content_token(path: Union[str, Path]) -> str:
-    """Digest of an artifact's npz central directory — content identity, cheap.
+def artifact_stat(path: Union[str, Path]) -> os.stat_result:
+    """Stat the artifact's identity carrier — the freshness primitive.
 
-    Hashes every zip member's name, CRC-32 and uncompressed size.  The CRCs
-    cover the actual array bytes, so two artifacts holding different weights
-    always token-differently even when their size and mtime collide; reading
-    the central directory touches only the tail of the file and decompresses
-    nothing.  Raises :class:`~repro.persist.errors.ArtifactFormatError` for
-    files that are not readable zip archives (including files that vanished).
+    For the single-file ``npz`` layout that is the file itself; for the
+    ``dir`` layout it is the ``header.json`` member, which the writer
+    rewrites on every publish, so its ``(st_size, st_mtime_ns)`` change
+    whenever the artifact does.  Statting the directory inode instead
+    would miss republishes that keep the same member names.  Raises
+    ``FileNotFoundError``/``OSError`` exactly like ``os.stat``.
     """
     path = Path(path)
+    if path.is_dir():
+        return os.stat(path / DIR_HEADER_FILENAME)
+    return os.stat(path)
+
+
+def artifact_content_token(path: Union[str, Path]) -> str:
+    """Digest of an artifact's member checksums — content identity, cheap.
+
+    Hashes every member's name, CRC-32 and uncompressed size: for the
+    ``npz`` layout from the zip central directory (reading only the tail
+    of the file), for the ``dir`` layout from the ``members`` manifest the
+    writer recorded in ``header.json``.  The CRCs cover the actual array
+    bytes, so two artifacts holding different weights always token
+    differently even when their size and mtime collide; nothing is
+    decompressed.  Raises
+    :class:`~repro.persist.errors.ArtifactFormatError` for paths that are
+    not readable artifacts (including files that vanished).
+    """
+    path = Path(path)
+    if path.is_dir():
+        return _token_from_manifest(_read_dir_payload(path), path)
     try:
         with zipfile.ZipFile(path) as archive:
             return _token_from_members(archive.infolist())
@@ -82,6 +115,25 @@ def _token_from_members(members) -> str:
     hasher = hashlib.sha256()
     for member in members:
         hasher.update(f"{member.filename}:{member.CRC}:{member.file_size};".encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _token_from_manifest(payload: Dict, path: Path) -> str:
+    """Content token of a ``dir``-layout artifact from its header manifest."""
+    members = payload.get("members")
+    if not isinstance(members, dict) or not members:
+        raise ArtifactFormatError(
+            f"dir-layout artifact {path} has no members manifest in its "
+            f"{DIR_HEADER_FILENAME}; it was not written by repro.persist.save_model"
+        )
+    hasher = hashlib.sha256()
+    for name in sorted(members):
+        entry = members[name]
+        if not isinstance(entry, dict) or "crc32" not in entry or "size" not in entry:
+            raise ArtifactFormatError(
+                f"dir-layout artifact {path} has a malformed manifest entry for {name!r}"
+            )
+        hasher.update(f"{name}:{entry['crc32']}:{entry['size']};".encode("utf-8"))
     return hasher.hexdigest()
 
 
@@ -147,18 +199,19 @@ class ArtifactScan:
 def read_artifact_header(path: Union[str, Path]) -> ArtifactInfo:
     """Read an artifact's header and stat identity without loading weights.
 
-    Only the ``__header__`` entry of the npz archive is decompressed —
-    cost is independent of model size — making this safe to call over a
-    whole directory of multi-hundred-MiB artifacts.  Raises the usual
-    typed :class:`~repro.persist.errors.ArtifactError` subclasses for
-    files that are not valid artifacts.
+    Only the header is read — the npz ``__header__`` entry, or a dir
+    artifact's ``header.json`` — so cost is independent of model size,
+    making this safe to call over a whole directory of multi-hundred-MiB
+    artifacts.  Raises the usual typed
+    :class:`~repro.persist.errors.ArtifactError` subclasses for paths that
+    are not valid artifacts.
     """
     path = Path(path)
-    # Stat before reading: if the file is replaced between the stat and the
-    # read we record the *older* identity, so the next freshness check
+    # Stat before reading: if the artifact is replaced between the stat and
+    # the read we record the *older* identity, so the next freshness check
     # still notices the swap (never the reverse, which would miss it).
     try:
-        stat = os.stat(path)
+        stat = artifact_stat(path)
     except FileNotFoundError as error:
         # Distinguish a vanished file (a concurrent deletion/republish race
         # — routine for a background rescan thread) from other IO trouble,
@@ -168,6 +221,19 @@ def read_artifact_header(path: Union[str, Path]) -> ArtifactInfo:
         ) from error
     except OSError as error:
         raise ArtifactFormatError(f"artifact file is not readable: {path} ({error})") from error
+    if path.is_dir():
+        # One payload read serves both the header and the content token, so
+        # they always describe the same publish even under concurrent swaps.
+        payload = _read_dir_payload(path)
+        header = ArtifactHeader.from_json(json.dumps(payload))
+        token = _token_from_manifest(payload, path)
+        return ArtifactInfo(
+            path=path,
+            header=header,
+            size_bytes=stat.st_size,
+            mtime_ns=stat.st_mtime_ns,
+            content_token=token,
+        )
     # One archive open serves both reads: the content token comes from the
     # zip central directory that np.load's NpzFile already parsed.
     with _open_archive(path) as archive:
@@ -186,29 +252,40 @@ def read_artifact_header(path: Union[str, Path]) -> ArtifactInfo:
 
 
 def scan_artifact_directory(
-    directory: Union[str, Path], pattern: str = "*.npz", strict: bool = False
+    directory: Union[str, Path],
+    pattern: str = "*.npz",
+    strict: bool = False,
+    dir_pattern: str = f"*{DIR_SUFFIX}",
 ) -> ArtifactScan:
     """Index every artifact in ``directory`` via header-only reads.
 
-    Files matching ``pattern`` that fail header validation are recorded in
+    Regular files matching ``pattern`` are read as ``npz``-layout
+    artifacts; subdirectories matching ``dir_pattern`` as ``dir``-layout
+    artifacts.  Entries that fail header validation are recorded in
     :attr:`ArtifactScan.failures` (with ``strict=True`` the first failure
     raises instead — useful in tests and CI).  The scan is safe against a
     concurrent writer or deleter: a file that disappears between the
     directory listing and the header read degrades to a ``failures`` entry
     naming the race (never a propagated ``FileNotFoundError``), which is
     what a background rescan thread needs to coexist with publishers.  Two
-    files whose stems collide (``gbgcn.npz`` vs a ``gbgcn.NPZ`` copy) are a
-    hard error in both modes: a catalog name must identify exactly one
+    entries whose stems collide (``gbgcn.npz`` vs a ``gbgcn.npyd`` dir) are
+    a hard error in both modes: a catalog name must identify exactly one
     artifact.
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise ArtifactFormatError(f"artifact directory does not exist: {directory}")
     scan = ArtifactScan(directory=directory)
-    for path in sorted(directory.glob(pattern)):
+    candidates: Dict[str, Path] = {}
+    for path in directory.glob(pattern):
+        if path.is_file():
+            candidates[path.name] = path
+    for path in directory.glob(dir_pattern):
+        if path.is_dir():
+            candidates[path.name] = path
+    for name in sorted(candidates):
+        path = candidates[name]
         try:
-            if not path.is_file():
-                continue
             info = read_artifact_header(path)
         except ArtifactError as error:
             if strict:

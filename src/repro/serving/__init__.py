@@ -22,7 +22,17 @@ instances into a request-serving system, one layer at a time:
   path, so requests never pay cold-start or reload latency;
 * :class:`MetricsRegistry` collects per-model request counts, served
   rows, cold-start/reload/eviction counters and latency histograms
-  (p50/p95/p99), exported as a plain dict via ``snapshot()``.
+  (p50/p95/p99), exported as a plain dict via ``snapshot()`` — snapshots
+  carry raw bucket counts, so ``MetricsRegistry.merge_snapshots`` can
+  fold many processes' metrics into one fleet-wide view;
+* :class:`WorkerPool` (``repro.serving.workers``) scales past one
+  process: N spawn-context workers, each a full catalog+gateway stack
+  over the same artifact directory, sharing mmap-loaded ``layout="dir"``
+  artifact weights through the page cache, with crash respawn and merged
+  fleet metrics;
+* :mod:`repro.serving.forksafe` keeps all of the above safe under
+  ``os.fork``: locks and daemon-thread state are re-initialized inside
+  forked children via ``os.register_at_fork`` hooks.
 
 Requests are validated at every public boundary: user IDs outside
 ``[0, num_users)`` raise a typed :class:`ServingError` naming the model
@@ -61,6 +71,7 @@ from .retrieval import RetrievalIndex, RetrievalIndexError, build_index_for_mode
 from .store import EmbeddingStore, EmbeddingStoreCallback
 from .topk import TopKRecommender, TopKResult
 from .warmer import CatalogWarmer, CatalogWarmerError
+from .workers import WorkerCrashError, WorkerPool, WorkerPoolError
 
 __all__ = [
     "EmbeddingStore",
@@ -85,4 +96,7 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "ModelMetrics",
+    "WorkerPool",
+    "WorkerPoolError",
+    "WorkerCrashError",
 ]

@@ -72,7 +72,6 @@ True
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from collections import OrderedDict
@@ -88,9 +87,11 @@ from ..persist.fingerprint import dataset_fingerprint, fingerprint_mismatch
 from ..persist.index import (
     ArtifactInfo,
     artifact_content_token,
+    artifact_stat,
     read_artifact_header,
     scan_artifact_directory,
 )
+from . import forksafe
 from .metrics import MetricsRegistry
 from .retrieval import RetrievalIndex, RetrievalIndexError, build_index_for_model
 from .store import EmbeddingStore
@@ -280,6 +281,7 @@ class ModelCatalog:
         default_k: int = 10,
         exclude_observed: bool = True,
         pattern: str = "*.npz",
+        dir_pattern: str = "*.npyd",
         verify_content: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         retrieval: Optional[RetrievalPolicy] = None,
@@ -293,6 +295,9 @@ class ModelCatalog:
         self.default_k = default_k
         self.exclude_observed = exclude_observed
         self.pattern = pattern
+        #: Subdirectories matching this glob are served as mmap-able
+        #: ``dir``-layout artifacts alongside ``pattern``-matched files.
+        self.dir_pattern = dir_pattern
         self.verify_content = verify_content
         self.retrieval = retrieval
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -314,7 +319,17 @@ class ModelCatalog:
         self._observed: Optional[sp.csr_matrix] = (
             self._build_observed_matrix() if exclude_observed else None
         )
+        # A fork()ed child inherits this catalog with whatever locks some
+        # other thread held mid-fork; re-initialize them there (forksafe
+        # module docstring has the full story).
+        forksafe.protect(self)
         self.scan()
+
+    def _reinit_after_fork_in_child(self) -> None:
+        """Replace locks a fork may have copied in a held state (child only)."""
+        self._lock = threading.RLock()
+        for entry in self.entries.values():
+            entry.load_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Directory scanning & validation
@@ -332,7 +347,9 @@ class ModelCatalog:
         serving traffic — this is what a background
         :class:`~repro.serving.warmer.CatalogWarmer` cycle does.
         """
-        scan = scan_artifact_directory(self.directory, pattern=self.pattern)
+        scan = scan_artifact_directory(
+            self.directory, pattern=self.pattern, dir_pattern=self.dir_pattern
+        )
         scanned_at = time.time_ns()  # every scanned header carried a fresh token
         with self._lock:
             self.rejected = dict(scan.failures)
@@ -635,7 +652,9 @@ class ModelCatalog:
     def _refresh_entry(self, entry: CatalogEntry) -> None:
         """Hot-swap detection (lock held): stat + content token, reload header if replaced."""
         try:
-            stat = os.stat(entry.path)
+            # artifact_stat: the file itself for npz artifacts, the
+            # header.json (rewritten every publish) for dir artifacts.
+            stat = artifact_stat(entry.path)
         except FileNotFoundError:
             self._vanished(entry)
         except OSError as error:

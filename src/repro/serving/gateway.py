@@ -53,6 +53,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from . import forksafe
 from .catalog import ModelCatalog
 from .errors import validate_user_ids
 from .metrics import MetricsRegistry
@@ -180,6 +181,11 @@ class ServingGateway:
         self.default_model = default_model
         self.metrics = metrics if metrics is not None else catalog.metrics
         self.request_counts: Dict[str, int] = {}
+        self._counts_lock = threading.Lock()
+        forksafe.protect(self)
+
+    def _reinit_after_fork_in_child(self) -> None:
+        """Replace the lock a fork may have copied in a held state (child only)."""
         self._counts_lock = threading.Lock()
 
     def _resolve(self, model: Optional[str]) -> str:

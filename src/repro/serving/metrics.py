@@ -13,7 +13,13 @@ like.  :class:`MetricsRegistry` collects exactly that, recorded in-line by
   estimated as the containing bucket's upper bound: conservatively high,
   by at most one bucket ratio (≈ +12%);
 * :meth:`MetricsRegistry.snapshot` exports the whole registry as a plain
-  nested dict, ready for ``json.dumps`` or a scrape endpoint.
+  nested dict, ready for ``json.dumps`` or a scrape endpoint — including
+  each histogram's **raw bucket counts**, so snapshots from many serving
+  worker processes can be combined with
+  :meth:`MetricsRegistry.merge_snapshots` into one fleet-wide view whose
+  counters are exact and whose percentiles are bucket-accurate (identical
+  to a single histogram fed the union of all streams — naively averaging
+  per-worker p99s, by contrast, is simply wrong).
 
 Construct with ``enabled=False`` for a no-op registry (every record call
 returns immediately) — the knob the overhead benchmark in
@@ -38,7 +44,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 __all__ = ["LatencyHistogram", "ModelMetrics", "MetricsRegistry"]
 
@@ -112,8 +118,18 @@ class LatencyHistogram:
     def mean_seconds(self) -> float:
         return self.total_seconds / self.count if self.count else 0.0
 
-    def snapshot(self) -> Dict[str, float]:
-        """Plain-dict summary: count, mean, min/max and p50/p95/p99 (seconds)."""
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict summary: count, mean, min/max, p50/p95/p99 — and the raw data.
+
+        Beyond the derived percentiles, the snapshot carries
+        ``total_seconds`` and ``buckets`` — the non-zero raw bucket counts,
+        keyed by stringified bucket index (JSON object keys are strings, so
+        stringifying here keeps a snapshot identical across a
+        ``json.dumps``/``loads`` round-trip).  Derived percentiles alone
+        cannot be aggregated across processes (a mean of p99s is not a
+        fleet p99); the raw counts are what make :meth:`merge` and
+        :meth:`MetricsRegistry.merge_snapshots` exact.
+        """
         return {
             "count": self.count,
             "mean": self.mean_seconds,
@@ -122,7 +138,68 @@ class LatencyHistogram:
             "p50": self.percentile(50.0),
             "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
+            "total_seconds": self.total_seconds,
+            "buckets": {str(index): count for index, count in enumerate(self.counts) if count},
         }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, object]) -> "LatencyHistogram":
+        """Reconstruct a histogram from a :meth:`snapshot` dict.
+
+        Raises ``ValueError`` for snapshots lacking raw ``buckets`` counts
+        (produced by pre-merge library versions — they carry only derived
+        percentiles, which cannot be merged) and for bucket data that does
+        not add up to its recorded ``count``.
+        """
+        buckets = snapshot.get("buckets")
+        if not isinstance(buckets, Mapping):
+            raise ValueError(
+                "histogram snapshot carries no raw bucket counts ('buckets'); it was "
+                "produced by an older snapshot format and cannot be reconstructed or merged"
+            )
+        hist = cls()
+        for key, value in buckets.items():
+            index = int(key)
+            if not 0 <= index < len(hist.counts):
+                raise ValueError(
+                    f"histogram snapshot bucket index {key!r} is out of range "
+                    f"[0, {len(hist.counts)})"
+                )
+            hist.counts[index] = int(value)
+        count = int(snapshot.get("count", 0))
+        if sum(hist.counts) != count:
+            raise ValueError(
+                f"histogram snapshot is inconsistent: bucket counts sum to "
+                f"{sum(hist.counts)} but count is {count}"
+            )
+        hist.count = count
+        hist.total_seconds = float(snapshot.get("total_seconds", 0.0))
+        if count:
+            hist.min_seconds = float(snapshot["min"])
+            hist.max_seconds = float(snapshot["max"])
+        return hist
+
+    def merge(self, other: Union["LatencyHistogram", Mapping[str, object]]) -> "LatencyHistogram":
+        """Fold ``other`` (a histogram or a snapshot dict) into this one, in place.
+
+        Counters (``count``, ``total_seconds``, per-bucket counts) merge
+        *exactly*; min/max combine exactly; percentiles of the merged
+        histogram are bucket-accurate — the same estimate a single
+        histogram fed the union of both streams would report, because both
+        sides share the static bucket bounds.  Returns ``self`` so merges
+        chain.  Like all histogram mutation, not internally locked.
+        """
+        if not isinstance(other, LatencyHistogram):
+            other = LatencyHistogram.from_snapshot(other)
+        for index, bucket_count in enumerate(other.counts):
+            if bucket_count:
+                self.counts[index] += bucket_count
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        if other.count:
+            self.min_seconds = min(self.min_seconds, other.min_seconds)
+            self.max_seconds = max(self.max_seconds, other.max_seconds)
+        return self
 
 
 class ModelMetrics:
@@ -179,6 +256,15 @@ class MetricsRegistry:
         self.enabled = enabled
         self._lock = threading.Lock()
         self._models: Dict[str, ModelMetrics] = {}
+        # A fork mid-record would hand the child a permanently-held _lock;
+        # the forksafe hook swaps in a fresh one inside the child.
+        from . import forksafe
+
+        forksafe.protect(self)
+
+    def _reinit_after_fork_in_child(self) -> None:
+        """Replace the lock a fork may have copied in a held state (child only)."""
+        self._lock = threading.Lock()
 
     def _model(self, name: str) -> ModelMetrics:
         # Callers hold self._lock.
@@ -242,6 +328,65 @@ class MetricsRegistry:
             "errors": sum(m["errors"] for m in models.values()),
         }
         return {"enabled": self.enabled, "models": models, "totals": totals}
+
+    _COUNTER_KEYS = ("requests", "rows_served", "cold_starts", "reloads", "evictions", "errors")
+    _LATENCY_KEYS = ("request_latency", "cold_start_latency")
+
+    @staticmethod
+    def merge_snapshots(snapshots: Iterable[Dict[str, object]]) -> Dict[str, object]:
+        """Combine per-process :meth:`snapshot` dicts into one fleet-wide view.
+
+        The cross-process aggregation path for a
+        :class:`~repro.serving.workers.WorkerPool`: each worker snapshots
+        its own registry, the parent merges.  Counters sum exactly;
+        latency histograms merge through their raw bucket counts
+        (:meth:`LatencyHistogram.merge`), so the fleet p50/p95/p99 equal
+        what one process observing all requests would have reported — not
+        an average of per-worker percentiles.  The result has the same
+        shape as :meth:`snapshot` plus a ``workers`` count, and its
+        ``totals`` section gains fleet-wide ``request_latency`` /
+        ``cold_start_latency`` histograms (a single-process snapshot keeps
+        latency per model only).  Snapshots lacking raw bucket counts
+        raise ``ValueError``.
+
+        >>> a, b = MetricsRegistry(), MetricsRegistry()
+        >>> a.record_request("gbgcn", rows=10, seconds=0.001)
+        >>> b.record_request("gbgcn", rows=30, seconds=0.100)
+        >>> fleet = MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+        >>> fleet["workers"], fleet["totals"]["requests"], fleet["totals"]["rows_served"]
+        (2, 2, 40)
+        >>> fleet["models"]["gbgcn"]["request_latency"]["count"]
+        2
+        >>> 0.1 <= fleet["totals"]["request_latency"]["p99"] <= 0.113
+        True
+        """
+        snapshots = list(snapshots)
+        counter_keys = MetricsRegistry._COUNTER_KEYS
+        latency_keys = MetricsRegistry._LATENCY_KEYS
+        merged: Dict[str, Dict[str, object]] = {}
+        histograms: Dict[Tuple[str, str], LatencyHistogram] = {}
+        for snap in snapshots:
+            for name, model in dict(snap.get("models", {})).items():
+                out = merged.setdefault(name, {key: 0 for key in counter_keys})
+                for key in counter_keys:
+                    out[key] += int(model.get(key, 0))
+                for key in latency_keys:
+                    histograms.setdefault((name, key), LatencyHistogram()).merge(model[key])
+        fleet = {key: LatencyHistogram() for key in latency_keys}
+        for (name, key), histogram in histograms.items():
+            merged[name][key] = histogram.snapshot()
+            fleet[key].merge(histogram)
+        totals: Dict[str, object] = {
+            key: sum(int(model[key]) for model in merged.values()) for key in counter_keys
+        }
+        for key in latency_keys:
+            totals[key] = fleet[key].snapshot()
+        return {
+            "enabled": any(bool(snap.get("enabled")) for snap in snapshots),
+            "workers": len(snapshots),
+            "models": merged,
+            "totals": totals,
+        }
 
     def reset(self) -> None:
         """Drop every recorded value (counters restart from zero)."""

@@ -53,6 +53,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import forksafe
 from .catalog import CatalogError, ModelCatalog
 
 __all__ = ["CatalogWarmerError", "CatalogWarmer"]
@@ -110,6 +111,20 @@ class CatalogWarmer:
         #: ``(cycle_number, exception)`` pairs from failed background cycles.
         self.errors: List[Tuple[int, BaseException]] = []
         self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._state_lock = threading.Lock()
+        forksafe.protect(self)
+
+    def _reinit_after_fork_in_child(self) -> None:
+        """Reset thread state a fork silently invalidated (child only).
+
+        The daemon thread does not exist in the forked child, but the
+        inherited ``_thread`` handle claims it does — ``start()`` would
+        refuse to run and ``stop()`` would join a ghost.  Locks are
+        replaced for the same reason as everywhere else; the child decides
+        for itself whether to ``start()`` a fresh warmer.
+        """
+        self._thread = None
         self._stop_event = threading.Event()
         self._state_lock = threading.Lock()
 

@@ -15,12 +15,14 @@ import pytest
 import repro.persist.artifact
 import repro.persist.index
 import repro.serving.catalog
+import repro.serving.forksafe
 import repro.serving.gateway
 import repro.serving.metrics
 import repro.serving.retrieval
 import repro.serving.store
 import repro.serving.topk
 import repro.serving.warmer
+import repro.serving.workers
 
 pytestmark = pytest.mark.docs
 
@@ -34,6 +36,8 @@ DOCUMENTED_MODULES = [
     repro.serving.gateway,
     repro.serving.metrics,
     repro.serving.warmer,
+    repro.serving.workers,
+    repro.serving.forksafe,
 ]
 
 

@@ -223,20 +223,26 @@ class TestSchemaMismatch:
 
     def test_stale_tmp_from_hard_crash_is_reclaimed(self, small_split, tmp_path):
         import os
+        import subprocess
+        import sys
         import time
 
         model = build_model("MF", small_split.train, SETTINGS)
         path = tmp_path / "mf.npz"
-        stale = tmp_path / ".mf.npz.tmp-stale"
+        # Debris from a writer that is confirmed dead (a real, exited PID)
+        # and older than the sweep window: the only reapable combination.
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        stale = tmp_path / f".mf.npz.tmp-{probe.pid}-0"
         stale.write_bytes(b"partial write from a process killed yesterday")
         old = time.time() - 86400
         os.utime(stale, (old, old))
-        fresh = tmp_path / ".mf.npz.tmp-live"
+        fresh = tmp_path / f".mf.npz.tmp-{os.getpid()}-0"
         fresh.write_bytes(b"another writer, mid-save right now")
 
         save_model(model, path)
-        assert not stale.exists()  # old orphan reclaimed ...
-        assert fresh.exists()  # ... but a possibly-live writer is left alone
+        assert not stale.exists()  # old dead-owner orphan reclaimed ...
+        assert fresh.exists()  # ... but a live writer is left alone
         assert path.exists()
 
     def test_artifact_without_fingerprint_refuses_load_model(self, artifact, small_split):

@@ -15,7 +15,7 @@ import pytest
 from repro.models import ALL_MODEL_NAMES, ModelSettings, build_model
 from repro.optim import Adam
 from repro.persist import (
-    FORMAT_VERSION,
+    NPZ_FORMAT_VERSION,
     load_model,
     load_state_into,
     read_header,
@@ -58,7 +58,9 @@ class TestSaveLoadScoreParity:
         path = tmp_path / "model.npz"
         save_model(model, path)
         header = read_header(path)
-        assert header.format_version == FORMAT_VERSION
+        # npz artifacts still carry the v1 stamp (the layout is unchanged,
+        # so v1 readers keep reading them); only ``layout="dir"`` is v2.
+        assert header.format_version == NPZ_FORMAT_VERSION
         assert header.model_name == name
         assert header.settings == SETTINGS.to_dict()
         assert header.schema["num_users"] == train.num_users

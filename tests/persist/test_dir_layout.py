@@ -1,0 +1,207 @@
+"""The v2 ``layout="dir"`` artifact: mmap parity, migration, mixed scans.
+
+The npz suite (``test_artifact_roundtrip.py``) proves save → load → score
+bitwise parity for the v1 archive layout; this suite proves the same
+guarantee for the v2 directory layout — *through the mmap path that the
+multi-process serving tier depends on* — plus the bridges between the two:
+
+* every servable model saved with ``layout="dir"`` loads (memory-mapped)
+  and scores bit-identically to the in-memory model;
+* mmap-loaded parameters are read-only views over the on-disk files, not
+  private copies (the whole point of the layout: N worker processes share
+  one page-cache copy);
+* ``migrate_artifact`` converts either direction without changing a bit
+  of the state;
+* ``scan_artifact_directory`` indexes mixed npz/dir fleets, and the
+  content token notices a republished directory artifact even when the
+  stat identity is pinned.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelSettings, build_model
+from repro.models.registry import SERVABLE_MODEL_NAMES
+from repro.persist import (
+    DIR_FORMAT_VERSION,
+    DIR_HEADER_FILENAME,
+    LAYOUT_DIR,
+    LAYOUT_NPZ,
+    NPZ_FORMAT_VERSION,
+    ArtifactError,
+    ArtifactLayoutError,
+    artifact_layout,
+    copy_artifact,
+    load_model,
+    migrate_artifact,
+    read_header,
+    read_state_dict,
+    save_model,
+)
+from repro.persist.index import (
+    artifact_content_token,
+    artifact_stat,
+    read_artifact_header,
+    scan_artifact_directory,
+)
+
+pytestmark = pytest.mark.persist
+
+SETTINGS = ModelSettings(embedding_dim=8)
+
+
+def scoring_users(dataset) -> np.ndarray:
+    return np.arange(min(24, dataset.num_users), dtype=np.int64)
+
+
+class TestDirLayoutParity:
+    @pytest.mark.parametrize("name", SERVABLE_MODEL_NAMES)
+    def test_mmap_load_scores_bitwise_identically(self, name, small_split, tmp_path):
+        train = small_split.train
+        model = build_model(name, train, SETTINGS)
+        model.eval()
+        users = scoring_users(train)
+        expected = model.score_all_items(users)
+
+        path = tmp_path / "model.npyd"
+        save_model(model, path, layout=LAYOUT_DIR)
+        loaded = load_model(path, train)  # mmap is the default for dirs
+
+        assert type(loaded) is type(model)
+        got = loaded.score_all_items(users)
+        assert got.dtype == expected.dtype
+        assert got.tobytes() == expected.tobytes()
+
+    @pytest.mark.parametrize("name", SERVABLE_MODEL_NAMES)
+    def test_state_dict_matches_npz_bit_for_bit(self, name, small_split, tmp_path):
+        train = small_split.train
+        model = build_model(name, train, SETTINGS)
+        save_model(model, tmp_path / "m.npz", layout=LAYOUT_NPZ)
+        save_model(model, tmp_path / "m.npyd", layout=LAYOUT_DIR)
+        _, npz_state = read_state_dict(tmp_path / "m.npz")
+        _, dir_state = read_state_dict(tmp_path / "m.npyd")
+        assert sorted(npz_state) == sorted(dir_state)
+        for key, value in npz_state.items():
+            assert dir_state[key].dtype == value.dtype
+            assert dir_state[key].tobytes() == value.tobytes()
+
+    def test_header_versions_by_layout(self, small_split, tmp_path):
+        model = build_model("MF", small_split.train, SETTINGS)
+        save_model(model, tmp_path / "m.npz")
+        save_model(model, tmp_path / "m.npyd", layout=LAYOUT_DIR)
+        assert read_header(tmp_path / "m.npz").format_version == NPZ_FORMAT_VERSION
+        assert read_header(tmp_path / "m.npyd").format_version == DIR_FORMAT_VERSION
+        assert artifact_layout(tmp_path / "m.npz") == LAYOUT_NPZ
+        assert artifact_layout(tmp_path / "m.npyd") == LAYOUT_DIR
+
+    def test_unknown_layout_rejected_at_save(self, small_split, tmp_path):
+        model = build_model("MF", small_split.train, SETTINGS)
+        with pytest.raises(ArtifactLayoutError, match="zip"):
+            save_model(model, tmp_path / "m.x", layout="zip")
+
+
+class TestMmapSemantics:
+    def test_mmap_parameters_are_readonly_views_of_the_files(self, small_split, tmp_path):
+        path = tmp_path / "m.npyd"
+        save_model(build_model("MF", small_split.train, SETTINGS), path, layout=LAYOUT_DIR)
+        loaded = load_model(path, small_split.train)
+        state = loaded.state_dict()
+        assert state, "model exposes no state"
+        for key, value in loaded.named_parameters():
+            weight = value.data
+            assert not weight.flags.writeable, f"{key} is writable; expected an mmap view"
+            assert weight.base is not None, f"{key} owns its buffer; expected an mmap view"
+
+    def test_mmap_false_loads_private_writable_copies(self, small_split, tmp_path):
+        path = tmp_path / "m.npyd"
+        save_model(build_model("MF", small_split.train, SETTINGS), path, layout=LAYOUT_DIR)
+        loaded = load_model(path, small_split.train, mmap=False)
+        for _, value in loaded.named_parameters():
+            assert value.data.flags.writeable
+
+    def test_mmap_true_on_npz_points_at_migration(self, small_split, tmp_path):
+        path = tmp_path / "m.npz"
+        save_model(build_model("MF", small_split.train, SETTINGS), path)
+        with pytest.raises(ArtifactLayoutError, match="migrate_artifact"):
+            load_model(path, small_split.train, mmap=True)
+
+
+class TestMigration:
+    @pytest.mark.parametrize("name", SERVABLE_MODEL_NAMES)
+    def test_npz_to_dir_and_back_is_bitwise_lossless(self, name, small_split, tmp_path):
+        train = small_split.train
+        model = build_model(name, train, SETTINGS)
+        model.eval()
+        users = scoring_users(train)
+        expected = model.score_all_items(users)
+
+        original = tmp_path / "m.npz"
+        save_model(model, original)
+        as_dir = migrate_artifact(original, to_layout=LAYOUT_DIR)
+        assert as_dir == tmp_path / "m.npyd"
+        assert read_header(as_dir).format_version == DIR_FORMAT_VERSION
+        assert load_model(as_dir, train).score_all_items(users).tobytes() == expected.tobytes()
+
+        back = migrate_artifact(as_dir, to_layout=LAYOUT_NPZ, destination=tmp_path / "back.npz")
+        _, original_state = read_state_dict(original)
+        _, back_state = read_state_dict(back)
+        assert sorted(original_state) == sorted(back_state)
+        for key, value in original_state.items():
+            assert back_state[key].tobytes() == value.tobytes()
+
+    def test_migrate_onto_same_layout_is_rejected(self, small_split, tmp_path):
+        path = tmp_path / "m.npz"
+        save_model(build_model("MF", small_split.train, SETTINGS), path)
+        with pytest.raises(ArtifactLayoutError):
+            migrate_artifact(path, to_layout=LAYOUT_NPZ)
+
+
+class TestMixedFleet:
+    def test_scan_indexes_both_layouts(self, small_split, tmp_path):
+        train = small_split.train
+        save_model(build_model("MF", train, SETTINGS), tmp_path / "mf.npz")
+        save_model(build_model("ItemPop", train, SETTINGS), tmp_path / "pop.npyd", layout=LAYOUT_DIR)
+        (tmp_path / "README.txt").write_text("not an artifact")
+        entries = scan_artifact_directory(tmp_path).entries
+        assert sorted(entries) == ["mf", "pop"]
+        assert entries["mf"].header.model_name == "MF"
+        assert entries["pop"].header.model_name == "ItemPop"
+
+    def test_same_stem_in_both_layouts_is_ambiguous(self, small_split, tmp_path):
+        model = build_model("MF", small_split.train, SETTINGS)
+        save_model(model, tmp_path / "mf.npz")
+        save_model(model, tmp_path / "mf.npyd", layout=LAYOUT_DIR)
+        with pytest.raises(ArtifactError, match="ambiguous"):
+            scan_artifact_directory(tmp_path)
+
+    def test_dir_content_token_sees_republish_with_pinned_stat(self, small_split, tmp_path):
+        """The hot-swap detector for dirs: same header.json mtime, new bits."""
+        train = small_split.train
+        path = tmp_path / "m.npyd"
+        save_model(build_model("MF", train, SETTINGS), path, layout=LAYOUT_DIR)
+        before_stat = artifact_stat(path)
+        before_token = artifact_content_token(path)
+
+        import os
+
+        replacement = build_model("MF", train, SETTINGS, rng=np.random.default_rng(7))
+        save_model(replacement, path, layout=LAYOUT_DIR)
+        os.utime(path / DIR_HEADER_FILENAME, ns=(before_stat.st_atime_ns, before_stat.st_mtime_ns))
+
+        pinned = artifact_stat(path)
+        assert pinned.st_mtime_ns == before_stat.st_mtime_ns
+        assert artifact_content_token(path) != before_token
+        assert read_artifact_header(path).content_token != before_token
+
+    def test_copy_artifact_copies_directories_atomically(self, small_split, tmp_path):
+        train = small_split.train
+        model = build_model("MF", train, SETTINGS)
+        model.eval()
+        users = scoring_users(train)
+        expected = model.score_all_items(users)
+        source = tmp_path / "src.npyd"
+        save_model(model, source, layout=LAYOUT_DIR)
+        destination = tmp_path / "fleet" / "dst.npyd"
+        copy_artifact(source, destination)
+        got = load_model(destination, train).score_all_items(users)
+        assert got.tobytes() == expected.tobytes()

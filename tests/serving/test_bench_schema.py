@@ -1,9 +1,10 @@
-"""The committed BENCH_serving.json must be a valid v3 trajectory record.
+"""The committed BENCH_serving.json must be a valid v4 trajectory record.
 
-Tier-1 guard for the benchmark artifact both serving benchmarks co-write:
-``benchmarks/test_catalog_serving.py`` (catalog/gateway numbers) and
-``benchmarks/test_retrieval_scaling.py`` (the retrieval scaling curve).
-A partial rewrite that drops the other writer's section, or a schema bump
+Tier-1 guard for the benchmark artifact the serving benchmarks co-write:
+``benchmarks/test_catalog_serving.py`` (catalog/gateway numbers),
+``benchmarks/test_retrieval_scaling.py`` (the retrieval scaling curve) and
+``benchmarks/test_worker_scaling.py`` (multi-process worker scaling).
+A partial rewrite that drops another writer's section, or a schema bump
 without regenerating the file, fails here instead of going stale silently.
 """
 
@@ -14,12 +15,13 @@ import pytest
 
 BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_serving.json"
 
-SCHEMA = "repro-serving-bench/v3"
+SCHEMA = "repro-serving-bench/v4"
 REQUIRED_SECTIONS = {
     "cold_start",
     "mixed_traffic",
     "warm_vs_cold_latency",
     "retrieval_scaling",
+    "worker_scaling",
 }
 REQUIRED_POINT_KEYS = {
     "num_items",
@@ -39,7 +41,7 @@ def bench():
     return json.loads(BENCH_PATH.read_text())
 
 
-def test_schema_is_v3(bench):
+def test_schema_is_v4(bench):
     assert bench["schema"] == SCHEMA
 
 
@@ -75,3 +77,42 @@ def test_retrieval_beats_dense_at_scale(bench):
     for point in at_scale:
         assert point["retrieval_request_ms"] < point["dense_request_ms"]
         assert point["speedup"] > 1.0
+
+
+WORKER_POINT_KEYS = {
+    "workers",
+    "cpu_bound_req_s",
+    "io_stall_req_s",
+    "io_stall_speedup_vs_1",
+    "cpu_bound_speedup_vs_1",
+    "io_stall_fleet_p50_ms",
+    "io_stall_fleet_p99_ms",
+}
+
+
+def test_worker_scaling_shape(bench):
+    section = bench["results"]["worker_scaling"]
+    # The environment the curve was measured on must be recorded: a flat
+    # cpu-bound curve on 1 CPU and a flat one on 16 CPUs mean different things.
+    assert section["cpus"] >= 1
+    assert section["io_stall_ms"] > 0.0
+    assert section["artifact_layout"] == "dir"
+    points = section["points"]
+    workers = [point["workers"] for point in points]
+    assert workers == sorted(workers)
+    assert workers[0] == 1 and workers[-1] >= 4
+    for point in points:
+        assert WORKER_POINT_KEYS <= set(point), f"{point['workers']}-worker point missing keys"
+        assert point["io_stall_req_s"] > 0.0
+        assert point["cpu_bound_req_s"] > 0.0
+
+
+def test_worker_scaling_io_stall_speedup_gate(bench):
+    # The PR's acceptance criterion: with per-request blocking IO in the
+    # picture, 4 workers must deliver >= 1.5x single-worker throughput.
+    points = bench["results"]["worker_scaling"]["points"]
+    top = max(points, key=lambda point: point["workers"])
+    assert top["io_stall_speedup_vs_1"] >= 1.5, (
+        f"{top['workers']}-worker io-stall speedup {top['io_stall_speedup_vs_1']:.2f}x "
+        f"below the 1.5x gate"
+    )

@@ -1,0 +1,107 @@
+"""Cross-process hot-swap detection under a pinned stat identity (``-m procs``).
+
+The catalog's stat check cannot see a republish whose size and
+``mtime_ns`` are identical to the old artifact's — exactly what a *second
+process* can produce (its own clock tick, ``os.utime`` replication, or a
+same-tick copy).  The content-token grace window bounds how long such a
+swap can stay invisible: a serving catalog re-reads the token at most one
+``content_check_grace_seconds`` after the swap, whatever process wrote it.
+
+Here a real writer subprocess republishes the artifact with different
+weights and pins the original ``mtime_ns`` back onto the file, and the
+serving catalog must be serving the *new* weights within ~one grace
+period — while inside the window the stat fast path keeps the hot path
+free of per-request file IO.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models import ModelSettings, build_model
+from repro.serving import ModelCatalog
+
+pytestmark = pytest.mark.procs
+
+SETTINGS = ModelSettings(embedding_dim=8)
+GRACE_SECONDS = 0.4
+
+_WRITER_SCRIPT = """
+import os, sys
+import numpy as np
+from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+
+target, mtime_ns = sys.argv[1], int(sys.argv[2])
+split = leave_one_out_split(generate_dataset(BeibeiLikeConfig.small(seed=99)), seed=5)
+replacement = build_model("MF", split.train, ModelSettings(embedding_dim=8),
+                          rng=np.random.default_rng(2024))
+save_model(replacement, target)
+# Pin the original stat identity: same path, same size (same shapes,
+# uncompressed npz), same mtime_ns -> the stat fast path sees no change.
+os.utime(target, ns=(mtime_ns, mtime_ns))
+stat = os.stat(target)
+assert stat.st_mtime_ns == mtime_ns, stat.st_mtime_ns
+print("republished")
+"""
+
+
+def test_republish_from_another_process_is_served_within_one_grace_period(
+    small_split, tmp_path
+):
+    directory = tmp_path / "models"
+    target = directory / "mf.npz"
+    original = build_model("MF", small_split.train, SETTINGS, rng=np.random.default_rng(1))
+    from repro.persist import save_model
+
+    save_model(original, target)
+    # Age the artifact past the "recent mtime" fast-path window so only the
+    # periodic grace re-check can find the swap (the adversarial case).
+    aged_ns = time.time_ns() - int(3600 * 1e9)
+    os.utime(target, ns=(aged_ns, aged_ns))
+    original_mtime_ns = os.stat(target).st_mtime_ns
+
+    catalog = ModelCatalog(directory, small_split.train)
+    catalog.content_check_grace_seconds = GRACE_SECONDS
+    users = np.arange(8)
+    before = catalog.recommender("mf", k=5).recommend(users)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    writer = subprocess.run(
+        [sys.executable, "-c", _WRITER_SCRIPT, str(target), str(original_mtime_ns)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert writer.returncode == 0, f"writer failed:\n{writer.stderr}"
+    assert os.stat(target).st_mtime_ns == original_mtime_ns  # stat identity pinned
+
+    # The swap must be served no later than ~one grace period after the
+    # republish, even though stat alone can never reveal it.
+    swap_deadline = time.monotonic() + 2 * GRACE_SECONDS + 2.0
+    swapped_at = None
+    while time.monotonic() < swap_deadline:
+        now = catalog.recommender("mf", k=5).recommend(users)
+        if now.items.tobytes() != before.items.tobytes():
+            swapped_at = time.monotonic()
+            break
+        time.sleep(0.02)
+    assert swapped_at is not None, (
+        "catalog never served the republished weights: the content-token "
+        "grace re-check is not running for stat-identical replacements"
+    )
+
+    # And the swap is complete/consistent: the new weights keep being served.
+    after = catalog.recommender("mf", k=5).recommend(users)
+    assert after.items.tobytes() == now.items.tobytes()
+    assert catalog.entries["mf"].version >= 2

@@ -1,0 +1,216 @@
+"""WorkerPool: multi-process serving over one artifact directory (``-m procs``).
+
+Real spawn-context worker processes, real queues.  Covered here:
+
+* result parity — the pool returns byte-identical top-k lists to a
+  single-process :class:`~repro.serving.gateway.ServingGateway` over the
+  same artifacts (routing through N processes must not change a single
+  recommendation);
+* routing: default model, named models, per-request ``k``;
+* pipelined fan-out (:meth:`WorkerPool.top_k_many`) preserves order;
+* worker-side validation errors re-raise in the parent with their
+  original type, and the pool keeps serving afterwards;
+* fleet metrics: one snapshot per worker, merged counters sum exactly;
+* crash recovery — a SIGKILLed worker (killed at the nastiest moment:
+  right after replying, when its queue locks are most likely to be held)
+  is respawned and every slot serves again;
+* lifecycle edges: double start, use-after-stop, idempotent stop, clean
+  exit codes.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.models import ModelSettings, build_model
+from repro.persist import LAYOUT_DIR, save_model
+from repro.serving import (
+    ModelCatalog,
+    ServingError,
+    ServingGateway,
+    WorkerPool,
+    WorkerPoolError,
+)
+
+pytestmark = pytest.mark.procs
+
+SETTINGS = ModelSettings(embedding_dim=8)
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(small_split, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("worker-artifacts")
+    train = small_split.train
+    save_model(build_model("MF", train, SETTINGS), directory / "mf.npyd", layout=LAYOUT_DIR)
+    save_model(build_model("ItemPop", train, SETTINGS), directory / "pop.npyd", layout=LAYOUT_DIR)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def pool(artifact_dir, small_split):
+    with WorkerPool(
+        artifact_dir,
+        small_split.train,
+        workers=2,
+        default_model="mf",
+        default_k=10,
+        request_timeout=60.0,
+    ) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def reference_gateway(artifact_dir, small_split):
+    catalog = ModelCatalog(artifact_dir, small_split.train, default_k=10)
+    return ServingGateway(catalog, default_model="mf")
+
+
+class TestServingParity:
+    def test_pool_matches_single_process_gateway_bitwise(self, pool, reference_gateway):
+        users = np.arange(12)
+        expected = reference_gateway.top_k(users)
+        got = pool.top_k(users)
+        assert got.items.tobytes() == expected.items.tobytes()
+        assert got.scores.tobytes() == expected.scores.tobytes()
+
+    def test_named_model_and_k_route_through(self, pool, reference_gateway):
+        users = np.arange(6)
+        expected = reference_gateway.top_k(users, k=3, model="pop")
+        got = pool.top_k(users, k=3, model="pop")
+        assert got.items.shape == (6, 3)
+        assert got.items.tobytes() == expected.items.tobytes()
+
+    def test_every_worker_answers_identically(self, pool, reference_gateway):
+        """Round-robin over all slots: each worker's answer is the same."""
+        users = np.arange(5)
+        expected = reference_gateway.top_k(users)
+        for _ in range(2 * pool.workers):
+            assert pool.top_k(users).items.tobytes() == expected.items.tobytes()
+
+    def test_top_k_many_preserves_request_order(self, pool, reference_gateway):
+        batches = [np.arange(3), np.arange(4, 9), np.array([0]), np.arange(10, 14)]
+        results = pool.top_k_many(batches, k=4)
+        assert len(results) == len(batches)
+        for batch, result in zip(batches, results):
+            expected = reference_gateway.top_k(batch, k=4)
+            assert result.items.tobytes() == expected.items.tobytes()
+
+    def test_model_names_visible_on_start(self, pool):
+        assert sorted(pool.model_names) == ["mf", "pop"]
+
+
+class TestErrors:
+    def test_worker_side_validation_error_reraises_with_type(self, pool, small_split):
+        bad_users = np.array([0, small_split.train.num_users + 7])
+        with pytest.raises(ServingError, match="user"):
+            pool.top_k(bad_users)
+
+    def test_pool_serves_after_a_request_error(self, pool):
+        result = pool.top_k(np.arange(4))
+        assert result.items.shape == (4, 10)
+
+    def test_unknown_model_reraises(self, pool):
+        with pytest.raises(Exception, match="nope"):
+            pool.top_k(np.arange(2), model="nope")
+
+
+class TestFleetMetrics:
+    def test_one_snapshot_per_worker_and_exact_totals(self, pool):
+        pool.top_k_many([np.arange(3)] * 4)
+        snapshots = pool.metrics_snapshots()
+        assert len(snapshots) == pool.workers
+        fleet = pool.fleet_metrics()
+        assert fleet["workers"] == pool.workers
+        per_worker = sum(
+            snap["totals"]["requests"] for snap in pool.metrics_snapshots()
+        )
+        assert fleet["totals"]["requests"] <= per_worker  # fleet merged earlier
+        assert fleet["totals"]["request_latency"]["count"] == fleet["totals"]["requests"]
+        assert "p99" in fleet["totals"]["request_latency"]
+
+
+class TestCrashRecovery:
+    def test_sigkill_right_after_reply_respawns_and_every_slot_serves(
+        self, artifact_dir, small_split
+    ):
+        """REGRESSION — the shared-reply-queue design wedges the whole fleet.
+
+        SIGKILL lands immediately after a reply is received, the moment
+        the dead worker's queue internals are most likely mid-lock.  With
+        per-worker queues only the dead worker's pair is corrupted: the
+        survivor keeps serving, the respawn serves, and in-flight requests
+        complete.
+        """
+        with WorkerPool(
+            artifact_dir,
+            small_split.train,
+            workers=2,
+            default_model="mf",
+            request_timeout=60.0,
+        ) as pool:
+            expected = pool.top_k(np.arange(3)).items.tobytes()
+
+            victim = pool._handles[0].process
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join()
+
+            # Both slots must serve: requests alternate 1, 0, 1, 0.
+            for _ in range(4):
+                assert pool.top_k(np.arange(3)).items.tobytes() == expected
+            assert pool.respawns == 1
+            assert pool.alive_workers == 2
+
+            fleet = pool.fleet_metrics()
+            assert fleet["workers"] == 2
+
+    def test_in_flight_requests_survive_a_crash(self, artifact_dir, small_split):
+        """Requests owned by the dead worker are resubmitted, not lost."""
+        with WorkerPool(
+            artifact_dir,
+            small_split.train,
+            workers=2,
+            default_model="mf",
+            request_timeout=60.0,
+            simulate_io_seconds=0.2,
+        ) as pool:
+            users = np.arange(3)
+            expected = pool.top_k(users).items.tobytes()
+            # Fan out to both workers, then kill one while all are in flight.
+            with pool._api_lock:
+                rids = [pool._submit("top_k", (users, None, None)) for _ in range(4)]
+                victim = pool._handles[0].process
+                os.kill(victim.pid, signal.SIGKILL)
+                results = [pool._collect(rid) for rid in rids]
+            assert [r.items.tobytes() for r in results] == [expected] * 4
+            assert pool.respawns == 1
+
+
+class TestLifecycle:
+    def test_single_worker_pool_works(self, artifact_dir, small_split):
+        with WorkerPool(artifact_dir, small_split.train, workers=1, default_model="mf") as pool:
+            assert pool.top_k(np.arange(2)).items.shape == (2, 10)
+            assert pool.fleet_metrics()["workers"] == 1
+
+    def test_start_twice_and_use_after_stop_raise(self, artifact_dir, small_split):
+        pool = WorkerPool(artifact_dir, small_split.train, workers=1, default_model="mf")
+        pool.start()
+        with pytest.raises(WorkerPoolError, match="twice"):
+            pool.start()
+        codes = pool.stop()
+        assert set(codes.values()) == {0}, f"workers exited dirty: {codes}"
+        assert pool.stop() == codes  # idempotent
+        with pytest.raises(WorkerPoolError, match="stopped"):
+            pool.top_k(np.arange(2))
+
+    def test_unstarted_pool_refuses_requests(self, artifact_dir, small_split):
+        pool = WorkerPool(artifact_dir, small_split.train, workers=1)
+        with pytest.raises(WorkerPoolError, match="not started"):
+            pool.top_k(np.arange(2))
+
+    def test_invalid_construction(self, artifact_dir, small_split):
+        with pytest.raises(ValueError, match="workers"):
+            WorkerPool(artifact_dir, small_split.train, workers=0)
+        with pytest.raises(ValueError, match="simulate_io_seconds"):
+            WorkerPool(artifact_dir, small_split.train, simulate_io_seconds=-1.0)
