@@ -313,7 +313,7 @@ def test_write_bench_serving_json():
         except (ValueError, OSError):
             pass
     payload = {
-        "schema": "repro-serving-bench/v4",
+        "schema": "repro-serving-bench/v5",
         "config": {
             "num_users": NUM_USERS,
             "num_items": NUM_ITEMS,

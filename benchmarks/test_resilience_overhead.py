@@ -1,0 +1,256 @@
+"""Cost and SLO behavior of the resilience layer (`repro.serving.resilience`).
+
+Two questions a production rollout asks before turning the policy on:
+
+1. **What does it cost when nothing fails?**  Every request now pays a
+   deadline stamp, an admission ticket, a breaker check and a fault-point
+   probe.  The gate: the fully-armed happy path must stay within 10% of
+   the bare gateway on the same workload (interleaved trials, medians, so
+   machine drift cancels out).
+
+2. **What does a request experience when things do fail?**  Under a
+   seeded stall storm (`repro.serving.faults`), successful requests must
+   keep their usual latency, and *failed* requests must come back as
+   typed errors bounded by the fault itself — never an unbounded queue.
+
+Both measurements merge into the ``resilience`` section of
+``BENCH_serving.json`` (schema ``repro-serving-bench/v5``), next to the
+catalog, retrieval and worker-scaling sections the other slow benchmarks
+maintain.  Marked ``slow``: set ``REPRO_RUN_SLOW=1`` to run.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import GroupBuyingDataset, leave_one_out_split
+from repro.data.schema import GroupBuyingBehavior, SocialEdge
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import (
+    DeadlineExceededError,
+    FaultPlan,
+    FaultRule,
+    ModelCatalog,
+    ResiliencePolicy,
+    ServingGateway,
+    ServingUnavailableError,
+    inject,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_serving.json"
+SCHEMA = "repro-serving-bench/v5"
+
+EMBEDDING_DIM = 16
+NUM_USERS = 2000
+NUM_ITEMS = 1500
+BATCH_USERS = 64
+TOP_K = 10
+
+# Overhead measurement: interleaved plain/resilient trials, median-of-N.
+TRIALS = 7
+REQUESTS_PER_TRIAL = 60
+OVERHEAD_GATE_PCT = 10.0
+
+# SLO measurement: seeded stall storm against a deadline.
+SLO_REQUESTS = 300
+STALL_SECONDS = 0.02
+STALL_PROBABILITY = 0.25
+DEADLINE_SECONDS = 0.01
+
+_RESULTS = {}
+
+
+def _serving_split(seed=11):
+    rng = np.random.default_rng(seed)
+    behaviors = [
+        GroupBuyingBehavior(initiator=int(m), item=int(n), participants=(), threshold=1)
+        for m, n in zip(
+            rng.integers(0, NUM_USERS, size=8000), rng.integers(0, NUM_ITEMS, size=8000)
+        )
+    ]
+    edges = [
+        SocialEdge(int(a), int(b))
+        for a, b in rng.integers(0, NUM_USERS, size=(2 * NUM_USERS, 2))
+        if a != b
+    ]
+    dataset = GroupBuyingDataset(NUM_USERS, NUM_ITEMS, behaviors, edges, name="resilience-bench")
+    return leave_one_out_split(dataset, seed=1)
+
+
+@pytest.fixture(scope="module")
+def serving_setup(tmp_path_factory):
+    split = _serving_split()
+    directory = tmp_path_factory.mktemp("resilience-bench")
+    save_model(build_model("MF", split.train, ModelSettings(embedding_dim=EMBEDDING_DIM)),
+               directory / "mf.npz")
+    return directory, split
+
+
+def _make_gateway(directory, split, policy):
+    catalog = ModelCatalog(directory, split.train, serving_dataset=split.full)
+    gateway = ServingGateway(catalog, default_model="mf", policy=policy)
+    gateway.top_k(np.arange(BATCH_USERS), k=TOP_K)  # absorb the cold start
+    return gateway
+
+
+def _requests_per_second(gateway, rng):
+    batches = [
+        rng.integers(0, NUM_USERS, size=BATCH_USERS) for _ in range(REQUESTS_PER_TRIAL)
+    ]
+    started = time.perf_counter()
+    for users in batches:
+        gateway.top_k(users, k=TOP_K)
+    return REQUESTS_PER_TRIAL / (time.perf_counter() - started)
+
+
+@pytest.mark.slow
+def test_happy_path_overhead_within_gate(serving_setup):
+    """The fully-armed policy must cost < 10% on the no-failure path."""
+    directory, split = serving_setup
+    plain = _make_gateway(directory, split, policy=None)
+    armed = _make_gateway(
+        directory,
+        split,
+        ResiliencePolicy(
+            deadline_seconds=5.0,
+            max_inflight=64,
+            breaker_failure_threshold=3,
+            fallback_models=("mf",),
+        ),
+    )
+    plain_rates, armed_rates = [], []
+    for trial in range(TRIALS):
+        rng = np.random.default_rng(1000 + trial)
+        # Interleave (and alternate order) so drift hits both paths equally.
+        first, second = (plain, armed) if trial % 2 == 0 else (armed, plain)
+        rate_first = _requests_per_second(first, rng)
+        rate_second = _requests_per_second(second, rng)
+        plain_rate, armed_rate = (
+            (rate_first, rate_second) if first is plain else (rate_second, rate_first)
+        )
+        plain_rates.append(plain_rate)
+        armed_rates.append(armed_rate)
+
+    plain_req_s = float(np.median(plain_rates))
+    armed_req_s = float(np.median(armed_rates))
+    overhead_pct = 100.0 * (plain_req_s / armed_req_s - 1.0)
+    print(
+        f"\nBENCH resilience overhead: {plain_req_s:,.0f} req/s bare vs "
+        f"{armed_req_s:,.0f} req/s armed ({overhead_pct:+.1f}% overhead, "
+        f"median of {TRIALS} interleaved trials)"
+    )
+    _RESULTS["overhead"] = {
+        "batch_users": BATCH_USERS,
+        "requests_per_trial": REQUESTS_PER_TRIAL,
+        "trials": TRIALS,
+        "plain_req_s": round(plain_req_s, 1),
+        "resilient_req_s": round(armed_req_s, 1),
+        "overhead_pct": round(overhead_pct, 2),
+        "gate_pct": OVERHEAD_GATE_PCT,
+    }
+    assert overhead_pct < OVERHEAD_GATE_PCT, (
+        f"resilience layer costs {overhead_pct:.1f}% on the happy path "
+        f"(gate {OVERHEAD_GATE_PCT:.0f}%)"
+    )
+
+
+@pytest.mark.slow
+def test_slo_under_stall_storm(serving_setup):
+    """Under seeded stalls, failures are typed and bounded by the fault."""
+    directory, split = serving_setup
+    gateway = _make_gateway(
+        directory,
+        split,
+        # Stalls are not model faults, so the breaker stays closed and this
+        # measures the deadline behavior in isolation.
+        ResiliencePolicy(deadline_seconds=DEADLINE_SECONDS),
+    )
+    plan = FaultPlan(
+        [
+            FaultRule(
+                "gateway.score",
+                kind="stall",
+                seconds=STALL_SECONDS,
+                probability=STALL_PROBABILITY,
+                count=None,
+            )
+        ],
+        seed=7,
+    )
+    rng = np.random.default_rng(5)
+    ok_latencies, failure_latencies = [], []
+    outcomes = {"ok": 0, "deadline": 0}
+    with inject(plan):
+        for _ in range(SLO_REQUESTS):
+            users = rng.integers(0, NUM_USERS, size=BATCH_USERS)
+            started = time.perf_counter()
+            try:
+                gateway.top_k(users, k=TOP_K)
+            except DeadlineExceededError:
+                failure_latencies.append(time.perf_counter() - started)
+                outcomes["deadline"] += 1
+            except ServingUnavailableError as error:  # pragma: no cover
+                pytest.fail(f"unexpected unavailability under pure stalls: {error!r}")
+            else:
+                ok_latencies.append(time.perf_counter() - started)
+                outcomes["ok"] += 1
+
+    assert outcomes["ok"] + outcomes["deadline"] == SLO_REQUESTS
+    assert outcomes["deadline"] > 0, "the storm must actually break some deadlines"
+    assert plan.total_triggered("gateway.score", "stall") == outcomes["deadline"], (
+        "every stalled request, and only those, must fail its deadline typed"
+    )
+    ok_p50 = float(np.percentile(ok_latencies, 50))
+    ok_p99 = float(np.percentile(ok_latencies, 99))
+    failure_p99 = float(np.percentile(failure_latencies, 99))
+    print(
+        f"\nBENCH resilience SLO: {outcomes['ok']} ok (p50 {ok_p50 * 1000:.2f} ms, "
+        f"p99 {ok_p99 * 1000:.2f} ms), {outcomes['deadline']} typed deadline "
+        f"failures (p99 {failure_p99 * 1000:.2f} ms) under "
+        f"{STALL_SECONDS * 1000:.0f} ms stalls at p={STALL_PROBABILITY}"
+    )
+    _RESULTS["slo_under_stalls"] = {
+        "requests": SLO_REQUESTS,
+        "deadline_ms": DEADLINE_SECONDS * 1000.0,
+        "stall_ms": STALL_SECONDS * 1000.0,
+        "stall_probability": STALL_PROBABILITY,
+        "ok": outcomes["ok"],
+        "deadline_exceeded": outcomes["deadline"],
+        "ok_p50_ms": round(ok_p50 * 1000, 3),
+        "ok_p99_ms": round(ok_p99 * 1000, 3),
+        "failure_p99_ms": round(failure_p99 * 1000, 3),
+    }
+    # Healthy requests keep their latency: an ok request never waits out a
+    # stall (the stall *is* what converts a request into a typed failure).
+    assert ok_p99 < DEADLINE_SECONDS
+    # A failed request is bounded by the injected fault + scoring, not by
+    # queueing: degradation stays proportional to the failure itself.
+    assert failure_p99 < STALL_SECONDS + DEADLINE_SECONDS + 0.05
+
+
+@pytest.mark.slow
+def test_write_resilience_into_bench_json():
+    """Merge the section into BENCH_serving.json (runs after the timings)."""
+    if not _RESULTS:
+        pytest.skip("no resilience timings collected in this run")
+    payload = {"schema": SCHEMA, "config": {}, "results": {}}
+    if OUTPUT_PATH.exists():
+        try:
+            payload = json.loads(OUTPUT_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    payload["schema"] = SCHEMA
+    payload.setdefault("results", {})["resilience"] = {
+        "embedding_dim": EMBEDDING_DIM,
+        "num_users": NUM_USERS,
+        "num_items": NUM_ITEMS,
+        "model": "MF",
+        **_RESULTS,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")

@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Resilient serving: deadlines, load shedding, breakers, degraded fallbacks.
+
+``examples/serving_catalog.py`` shows the happy path — a fleet of models
+behind one gateway.  Production also has a sad path: disks return EIO,
+loaders stall, a bad artifact gets published.  This example wires a
+``ResiliencePolicy`` into the same gateway and walks every failure mode
+with the seeded fault-injection harness (``repro.serving.faults``), so
+each degradation is reproducible on any machine:
+
+1. deadlines — a request carries an end-to-end budget; an expired budget
+   raises a typed ``DeadlineExceededError`` instead of serving late;
+2. load shedding — when the in-flight budget is full, new work is
+   refused *immediately* with ``OverloadedError`` (no unbounded queue);
+3. circuit breaker + stale fallback — injected primary faults trip the
+   per-model breaker; requests degrade to the last-good resident copy
+   instead of hammering a broken loader;
+4. fallback models — a gateway with no last-good copy degrades to a
+   cheap popularity model from the policy's fallback chain;
+5. recovery — the background warmer probes the open circuit off the
+   request path and closes it once the model loads again;
+6. the failure counters (sheds, deadline_exceeded, breaker_opens,
+   fallbacks_served) that the metrics registry accumulated all along.
+
+Runs in seconds on a laptop CPU:
+
+    python examples/serving_resilience.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import BeibeiLikeConfig, generate_dataset, leave_one_out_split
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import (
+    CatalogWarmer,
+    DeadlineExceededError,
+    FaultPlan,
+    FaultRule,
+    ModelCatalog,
+    OverloadedError,
+    ResiliencePolicy,
+    ServingGateway,
+    inject,
+)
+from repro.training import TrainingSettings, train_model
+from repro.utils import configure_logging
+
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
+
+def main() -> None:
+    configure_logging()
+
+    dataset = generate_dataset(
+        BeibeiLikeConfig(num_users=60, num_items=30, num_behaviors=280, seed=7)
+        if TINY
+        else BeibeiLikeConfig(num_users=240, num_items=100, num_behaviors=1200, seed=7)
+    )
+    split = leave_one_out_split(dataset, seed=1)
+    settings = ModelSettings(embedding_dim=8 if TINY else 16)
+    users = np.arange(0, 8 if TINY else 32, dtype=np.int64)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp) / "fleet"
+
+        # The primary (a trained MF) and a cheap degraded fallback (ItemPop).
+        primary = build_model("MF", split.train, settings)
+        train_model(primary, split.train, settings=TrainingSettings(num_epochs=1, batch_size=512))
+        save_model(primary, directory / "mf.npz")
+        save_model(build_model("ItemPop", split.train), directory / "itempop.npz")
+
+        policy = ResiliencePolicy(
+            deadline_seconds=5.0,          # default end-to-end budget per request
+            max_inflight=2,                # gateway-wide admission budget
+            breaker_failure_threshold=3,   # consecutive model faults before opening
+            breaker_reset_seconds=0.2,     # half-open probe delay
+            serve_stale_on_failure=True,   # degrade to the last-good resident copy
+            fallback_models=("itempop",),  # then to the popularity model
+        )
+        catalog = ModelCatalog(directory, split.train, serving_dataset=split.full)
+        gateway = ServingGateway(catalog, default_model="mf", policy=policy)
+
+        # 1. Deadlines.  A healthy request under a generous budget serves
+        # normally; an exhausted budget fails typed instead of serving late.
+        result = gateway.top_k(users, k=5, deadline=2.0)
+        print(f"healthy serve under a 2 s deadline: {result.items.shape} items, "
+              f"user 0 -> {result.items[0].tolist()}")
+        try:
+            gateway.top_k(users, k=5, deadline=0.0)
+        except DeadlineExceededError as error:
+            print(f"exhausted budget fails typed: {type(error).__name__}: {error}")
+        print()
+
+        # 2. Load shedding.  Fill the admission budget (stand-in for two
+        # requests currently being scored on other threads) and watch the
+        # next request get refused immediately -- no queueing, no waiting.
+        releases = [gateway.resilience.admission.acquire("mf") for _ in range(2)]
+        try:
+            gateway.top_k(users, k=5)
+        except OverloadedError as error:
+            print(f"budget full -> typed shed: {type(error).__name__}: {error}")
+        finally:
+            for release in releases:
+                release()
+        print(f"budget released; serving again: {gateway.top_k(users, k=5).items.shape}")
+        print()
+
+        # 3. Circuit breaker + stale fallback.  Inject a permanent fault in
+        # front of the primary's scoring path (seeded, deterministic).  The
+        # gateway degrades each request to the last-good resident copy; after
+        # `breaker_failure_threshold` consecutive faults the breaker opens
+        # and the broken primary is not even attempted any more.
+        plan = FaultPlan([FaultRule("gateway.score", match="mf", count=None)], seed=42)
+        with inject(plan):
+            for i in range(5):
+                degraded = gateway.top_k(users, k=5)
+                assert np.array_equal(degraded.items, result.items), "stale copy is byte-identical"
+            breaker = gateway.resilience.breaker("mf")
+            print(f"5 requests against a broken primary: all served stale "
+                  f"(byte-identical), breaker now {breaker.state!r}")
+            print(f"primary attempts while injected: {plan.calls['gateway.score']} "
+                  f"(breaker short-circuits after {policy.breaker_failure_threshold} faults)")
+        print()
+
+        # 4. Fallback models.  A *fresh* gateway has no last-good copy to
+        # serve stale from -- the policy's fallback chain degrades it to the
+        # cheap popularity model instead.
+        cold_gateway = ServingGateway(
+            ModelCatalog(directory, split.train, serving_dataset=split.full),
+            default_model="mf",
+            policy=policy,
+        )
+        with inject(FaultPlan([FaultRule("catalog.cold_start", match="mf", count=None)])):
+            fallback = cold_gateway.top_k(users, k=5)
+        snap = cold_gateway.metrics.snapshot()
+        print(f"cold gateway, broken primary -> fallback chain served "
+              f"{snap['models']['itempop']['requests']} request(s) via 'itempop' "
+              f"(fallbacks_served={snap['models']['mf']['fallbacks_served']}); "
+              f"user 0 -> {fallback.items[0].tolist()}")
+        print()
+
+        # 5. Recovery.  The fault is gone; after the reset delay the warmer
+        # probes the open circuit off the request path and closes it.
+        time.sleep(policy.breaker_reset_seconds + 0.05)
+        warmer = CatalogWarmer(catalog, resilience=gateway.resilience)
+        warmer.run_once()
+        print(f"warmer probe results: {warmer.last_probe_results}; "
+              f"breaker now {gateway.resilience.breaker('mf').state!r}")
+        recovered = gateway.top_k(users, k=5)
+        print(f"primary serving again, byte-identical to the pre-fault lists: "
+              f"{np.array_equal(recovered.items, result.items)}")
+        print()
+
+        # 6. The failure ledger the registry kept while all of this ran.
+        totals = gateway.metrics.snapshot()["totals"]
+        print("failure counters (primary gateway):")
+        for key in ("requests", "sheds", "deadline_exceeded", "breaker_opens",
+                    "fallbacks_served", "errors"):
+            print(f"  {key:18s} {totals[key]}")
+
+
+if __name__ == "__main__":
+    main()

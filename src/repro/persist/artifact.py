@@ -699,7 +699,9 @@ def _read_dir_payload(path: Path) -> Dict[str, Any]:
             f"{path} is a directory without a {DIR_HEADER_FILENAME}; it is not a "
             f"dir-layout artifact (or its writer crashed before publishing)"
         ) from error
-    except OSError as error:
+    except (OSError, UnicodeDecodeError) as error:
+        # UnicodeDecodeError: corrupted header bytes (e.g. bit rot) must
+        # surface as a typed artifact fault, not a raw codec error.
         raise ArtifactFormatError(f"artifact header of {path} is unreadable: {error}") from error
     try:
         payload = json.loads(text)
@@ -724,7 +726,9 @@ def _read_dir_header(path: Path) -> ArtifactHeader:
             f"{path} is a directory without a {DIR_HEADER_FILENAME}; it is not a "
             f"dir-layout artifact (or its writer crashed before publishing)"
         ) from error
-    except OSError as error:
+    except (OSError, UnicodeDecodeError) as error:
+        # UnicodeDecodeError: corrupted header bytes (e.g. bit rot) must
+        # surface as a typed artifact fault, not a raw codec error.
         raise ArtifactFormatError(f"artifact header of {path} is unreadable: {error}") from error
     return ArtifactHeader.from_json(text)
 

@@ -43,6 +43,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import random
+import time
 import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -207,6 +209,11 @@ def read_artifact_header(path: Union[str, Path]) -> ArtifactInfo:
     are not valid artifacts.
     """
     path = Path(path)
+    # Injectable point for the chaos rig: a FaultPlan can make this read
+    # raise a transient OSError or stall (repro.serving.faults hook map).
+    from ..serving.faults import fault_point
+
+    fault_point("persist.read_header", str(path))
     # Stat before reading: if the artifact is replaced between the stat and
     # the read we record the *older* identity, so the next freshness check
     # still notices the swap (never the reverse, which would miss it).
@@ -251,11 +258,53 @@ def read_artifact_header(path: Union[str, Path]) -> ArtifactInfo:
     )
 
 
+#: Default bounded-retry policy for transient header-read failures during a
+#: directory scan: how many *re*-reads after the first failure, and the base
+#: backoff (jittered, doubling per attempt).  A file caught mid-replace —
+#: a transient ``OSError`` or a half-written archive — usually reads clean
+#: milliseconds later; a permanently bad file still lands in
+#: ``scan.failures`` after at most ``SCAN_RETRIES`` cheap re-reads, so
+#: permanent failures surface promptly (the total added delay is bounded by
+#: ``~3 * SCAN_RETRY_BACKOFF_SECONDS * 1.5`` per bad file).
+SCAN_RETRIES = 2
+SCAN_RETRY_BACKOFF_SECONDS = 0.01
+
+
+def _read_header_with_retries(
+    path: Path, retries: int, backoff_seconds: float
+) -> ArtifactInfo:
+    """``read_artifact_header`` with bounded, jittered retry on failure.
+
+    Every failure class is retried — a mid-replace window can surface as
+    ``OSError``, a vanished path, or a torn half-written archive
+    (``ArtifactFormatError``), and distinguishing "transient" from
+    "permanent" up front is guesswork.  Boundedness is the guarantee: a
+    permanent failure propagates after ``retries`` extra reads, never an
+    unbounded loop.  Backoff doubles per attempt with multiplicative
+    jitter in [0.5x, 1.5x) so a fleet of scanners racing one publisher
+    doesn't retry in lockstep.
+    """
+    attempt = 0
+    while True:
+        try:
+            return read_artifact_header(path)
+        except (ArtifactError, OSError):
+            # A vanished artifact is permanent for this cycle (the
+            # publisher deleted or renamed it) — surface it promptly
+            # instead of burning retries on a file that cannot come back.
+            if attempt >= retries or not path.exists():
+                raise
+            time.sleep(backoff_seconds * (2**attempt) * (0.5 + random.random()))
+            attempt += 1
+
+
 def scan_artifact_directory(
     directory: Union[str, Path],
     pattern: str = "*.npz",
     strict: bool = False,
     dir_pattern: str = f"*{DIR_SUFFIX}",
+    retries: int = SCAN_RETRIES,
+    retry_backoff_seconds: float = SCAN_RETRY_BACKOFF_SECONDS,
 ) -> ArtifactScan:
     """Index every artifact in ``directory`` via header-only reads.
 
@@ -267,10 +316,14 @@ def scan_artifact_directory(
     concurrent writer or deleter: a file that disappears between the
     directory listing and the header read degrades to a ``failures`` entry
     naming the race (never a propagated ``FileNotFoundError``), which is
-    what a background rescan thread needs to coexist with publishers.  Two
-    entries whose stems collide (``gbgcn.npz`` vs a ``gbgcn.npyd`` dir) are
-    a hard error in both modes: a catalog name must identify exactly one
-    artifact.
+    what a background rescan thread needs to coexist with publishers.  A
+    failing header read is retried up to ``retries`` times with jittered
+    backoff (``retry_backoff_seconds`` base) before being declared failed,
+    so a file caught mid-replace does not flap in and out of ``failures``
+    on every warmer cycle; pass ``retries=0`` to fail on the first error.
+    Two entries whose stems collide (``gbgcn.npz`` vs a ``gbgcn.npyd``
+    dir) are a hard error in both modes: a catalog name must identify
+    exactly one artifact.
     """
     directory = Path(directory)
     if not directory.is_dir():
@@ -286,7 +339,7 @@ def scan_artifact_directory(
     for name in sorted(candidates):
         path = candidates[name]
         try:
-            info = read_artifact_header(path)
+            info = _read_header_with_retries(path, retries, retry_backoff_seconds)
         except ArtifactError as error:
             if strict:
                 raise

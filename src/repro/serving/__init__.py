@@ -32,7 +32,20 @@ instances into a request-serving system, one layer at a time:
   fleet metrics;
 * :mod:`repro.serving.forksafe` keeps all of the above safe under
   ``os.fork``: locks and daemon-thread state are re-initialized inside
-  forked children via ``os.register_at_fork`` hooks.
+  forked children via ``os.register_at_fork`` hooks;
+* :mod:`repro.serving.resilience` keeps serving *bounded under failure*:
+  per-request :class:`Deadline` propagation (gateway → catalog cold-start
+  → worker pool), :class:`AdmissionController` load shedding,
+  per-model :class:`CircuitBreaker` state machines with degraded
+  fallbacks (last-good resident version, then cheap fallback models), all
+  configured through one :class:`ResiliencePolicy` and all counted —
+  every shed, deadline miss, breaker trip and fallback serve lands in the
+  metrics, never silent;
+* :mod:`repro.serving.faults` is the seeded, deterministic
+  fault-injection harness the chaos tests drive all of the above with:
+  a :class:`FaultPlan` of :class:`FaultRule` triggers (errors, stalls,
+  worker SIGKILLs) armed at named hook points across persist, catalog,
+  gateway and workers.
 
 Requests are validated at every public boundary: user IDs outside
 ``[0, num_users)`` raise a typed :class:`ServingError` naming the model
@@ -64,9 +77,30 @@ from .catalog import (
     RetrievalPolicy,
     UnknownCatalogModelError,
 )
-from .errors import ServingError, validate_user_ids
+from .errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServingError,
+    ServingUnavailableError,
+    validate_user_ids,
+)
+from .faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    corrupt_artifact,
+    inject,
+)
 from .gateway import GatewayResult, ServingGateway, TrafficSplit
 from .metrics import LatencyHistogram, MetricsRegistry, ModelMetrics
+from .resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    ResilienceState,
+)
 from .retrieval import RetrievalIndex, RetrievalIndexError, build_index_for_model
 from .store import EmbeddingStore, EmbeddingStoreCallback
 from .topk import TopKRecommender, TopKResult
@@ -87,7 +121,21 @@ __all__ = [
     "RetrievalIndexError",
     "build_index_for_model",
     "ServingError",
+    "ServingUnavailableError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "CircuitOpenError",
     "validate_user_ids",
+    "Deadline",
+    "AdmissionController",
+    "CircuitBreaker",
+    "ResiliencePolicy",
+    "ResilienceState",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFaultError",
+    "inject",
+    "corrupt_artifact",
     "CatalogWarmer",
     "CatalogWarmerError",
     "ServingGateway",

@@ -92,6 +92,8 @@ from ..persist.index import (
     scan_artifact_directory,
 )
 from . import forksafe
+from .errors import DeadlineExceededError
+from .faults import InjectedFaultError, fault_point
 from .metrics import MetricsRegistry
 from .retrieval import RetrievalIndex, RetrievalIndexError, build_index_for_model
 from .store import EmbeddingStore
@@ -456,7 +458,7 @@ class ModelCatalog:
     # ------------------------------------------------------------------
     # Lifecycle: cold-start, LRU, hot-swap
     # ------------------------------------------------------------------
-    def store(self, name: str) -> EmbeddingStore:
+    def store(self, name: str, deadline=None) -> EmbeddingStore:
         """The serving store for ``name``, cold-starting or reloading as needed.
 
         Every call re-checks the artifact file (stat identity, plus content
@@ -465,10 +467,20 @@ class ModelCatalog:
         :class:`CatalogError`.  Access marks the model most recently used.
         Thread-safe; concurrent requests for the same cold model perform a
         single load.
-        """
-        return self._acquire(name)[0]
 
-    def _acquire(self, name: str) -> Tuple[EmbeddingStore, float]:
+        ``deadline`` (a :class:`~repro.serving.resilience.Deadline`, or
+        None) bounds how long this call may *wait*: behind another
+        thread's in-flight cold start, or before starting a load of its
+        own.  A request that would otherwise block indefinitely behind a
+        stalled load raises a typed
+        :class:`~repro.serving.errors.DeadlineExceededError` instead.  An
+        already-running load is never interrupted (its result serves later
+        requests); residency hits are never deadline-checked — they are
+        the fast path.
+        """
+        return self._acquire(name, deadline)[0]
+
+    def _acquire(self, name: str, deadline=None) -> Tuple[EmbeddingStore, float]:
         """``(store, cold_start_seconds)`` — 0.0 when served from residency."""
         # A load runs outside the catalog lock, so the artifact can be
         # swapped *again* mid-load; when that happens the loaded bytes are
@@ -483,7 +495,19 @@ class ModelCatalog:
                 target_version = entry.version
                 path = entry.path
                 load_lock = entry.load_lock
-            with load_lock:
+            # The deadline governs the *wait* for the load lock (another
+            # thread may be mid-cold-start behind it, stalled on slow IO);
+            # an expired deadline fails typed instead of parking forever.
+            if deadline is None:
+                load_lock.acquire()
+            else:
+                remaining = deadline.remaining()
+                if remaining <= 0.0 or not load_lock.acquire(timeout=remaining):
+                    raise DeadlineExceededError(
+                        f"deadline exceeded waiting for the cold start of {name!r} "
+                        f"(another load holds the lock or none could begin in time)"
+                    )
+            try:
                 with self._lock:
                     current = self.entries.get(name)
                     if current is None or current.version != target_version:
@@ -493,9 +517,15 @@ class ModelCatalog:
                     resident = self._hit_locked(name, target_version)
                     if resident is not None:
                         return resident.store, 0.0
+                if deadline is not None:
+                    # About to pay the load in-line: don't start work the
+                    # request can no longer use.
+                    deadline.check(f"cold start of {name!r}")
                 loaded = self._cold_start(name, path, target_version)
                 if loaded is not None:
                     return loaded
+            finally:
+                load_lock.release()
         raise CatalogError(
             f"artifact for {name!r} at {path} kept being replaced while loading; giving up"
         )
@@ -514,7 +544,9 @@ class ModelCatalog:
             self.metrics.record_reload(name)
         return None
 
-    def recommender(self, name: str, k: Optional[int] = None) -> TopKRecommender:
+    def recommender(
+        self, name: str, k: Optional[int] = None, deadline=None
+    ) -> TopKRecommender:
         """A ready top-k recommender for ``name`` (built once per residency).
 
         The recommender shares the catalog-wide observed-item matrix, so
@@ -523,9 +555,10 @@ class ModelCatalog:
         carries the catalog's ``default_k``; passing ``k`` returns a one-off
         recommender with that default (sharing the same store and matrix)
         and never alters what later ``k``-less calls see.  Per-request ``k``
-        belongs to ``recommend(users, k)``.
+        belongs to ``recommend(users, k)``.  ``deadline`` bounds any
+        cold-start wait exactly as in :meth:`store`.
         """
-        store = self.store(name)  # ensures residency & freshness
+        store = self.store(name, deadline)  # ensures residency & freshness
         with self._lock:
             resident = self._residents.get(name)
             if resident is None or resident.store is not store:
@@ -711,8 +744,11 @@ class ModelCatalog:
 
         started = time.perf_counter()
         try:
+            # Chaos hook: an injected cold-start fault degrades exactly like
+            # a real unloadable artifact (dropped entry, typed CatalogError).
+            fault_point("catalog.cold_start", name)
             model = load_model(path, self.train_dataset)
-        except (ArtifactError, FileNotFoundError) as error:
+        except (ArtifactError, FileNotFoundError, InjectedFaultError) as error:
             # TOCTOU: the freshness check passed, then the file vanished or
             # turned unservable before the weights were read.  Degrade to a
             # dropped entry with a diagnosable CatalogError — never leak

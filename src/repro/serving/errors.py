@@ -25,11 +25,62 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ServingError", "validate_user_ids"]
+__all__ = [
+    "ServingError",
+    "ServingUnavailableError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "CircuitOpenError",
+    "validate_user_ids",
+]
 
 
 class ServingError(ValueError):
     """A serving request was rejected at the boundary (bad user IDs, bad k)."""
+
+
+class ServingUnavailableError(RuntimeError):
+    """The request was valid but could not be served right now.
+
+    Base class of the resilience layer's typed failures: the caller sent a
+    well-formed request, and the serving side — not the client — is the
+    reason it gets no result.  These are *fast, deliberate* failures
+    (deadline enforcement, load shedding, open circuit breakers), distinct
+    from :class:`ServingError`'s input rejection: retrying a
+    ``ServingError`` can never help; retrying a ``ServingUnavailableError``
+    later usually does.  All subclasses are plain-args exceptions, so they
+    pickle cleanly across the :class:`~repro.serving.workers.WorkerPool`
+    process boundary.
+    """
+
+
+class DeadlineExceededError(ServingUnavailableError):
+    """The request's deadline expired before a result was produced.
+
+    Raised wherever the deadline is checked along the propagation path —
+    gateway entry, catalog cold-start wait, worker-pool reply wait — so a
+    request stuck behind a slow cold start or a stalled worker fails in
+    bounded time instead of blocking indefinitely.
+    """
+
+
+class OverloadedError(ServingUnavailableError):
+    """The request was shed by admission control (in-flight budget full).
+
+    Load shedding converts a burst that overruns capacity into fast
+    failures for the excess, instead of unbounded queueing that degrades
+    latency for everyone.  Every shed is counted in the
+    :class:`~repro.serving.metrics.MetricsRegistry` — never silent.
+    """
+
+
+class CircuitOpenError(ServingUnavailableError):
+    """The model's circuit breaker is open and no fallback could serve.
+
+    Raised only after the configured fallback chain (last-good resident
+    version, then cheap fallback models) was exhausted; the breaker state
+    and the fallbacks tried are named in the message.
+    """
 
 
 def validate_user_ids(

@@ -49,17 +49,36 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..persist.errors import ArtifactError
 from . import forksafe
-from .catalog import ModelCatalog
-from .errors import validate_user_ids
+from .catalog import CatalogError, ModelCatalog
+from .errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+    ServingError,
+    validate_user_ids,
+)
+from .faults import InjectedFaultError, fault_point
 from .metrics import MetricsRegistry
+from .resilience import Deadline, ResiliencePolicy, ResilienceState
 from .topk import TopKResult
 
 __all__ = ["TrafficSplit", "GatewayResult", "ServingGateway"]
+
+#: Exceptions that indicate the *model* (artifact, cold start, injected
+#: fault, IO) failed — the ones a circuit breaker should count.  Client
+#: faults (``ServingError``) and resilience outcomes (deadline, shed) are
+#: deliberately absent: they say nothing about the model's health.
+_MODEL_FAULTS = (CatalogError, ArtifactError, InjectedFaultError, OSError)
+
+
+def _noop_release() -> None:
+    """Stands in for an admission release when no policy is configured."""
 
 
 def _hash_unit_interval(users: np.ndarray, seed: int) -> np.ndarray:
@@ -174,6 +193,7 @@ class ServingGateway:
         catalog: ModelCatalog,
         default_model: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
+        policy: Optional[ResiliencePolicy] = None,
     ) -> None:
         if default_model is not None:
             catalog.entry(default_model)  # fail fast on typos
@@ -182,6 +202,12 @@ class ServingGateway:
         self.metrics = metrics if metrics is not None else catalog.metrics
         self.request_counts: Dict[str, int] = {}
         self._counts_lock = threading.Lock()
+        # ``resilience`` is None without a policy: the request path then
+        # skips admission/breaker bookkeeping entirely (zero overhead),
+        # though explicit per-request deadlines still work.
+        self.resilience: Optional[ResilienceState] = (
+            ResilienceState(policy) if policy is not None else None
+        )
         forksafe.protect(self)
 
     def _reinit_after_fork_in_child(self) -> None:
@@ -204,9 +230,50 @@ class ServingGateway:
         self.metrics.record_request(model, rows, seconds)
 
     # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+    def _request_deadline(self, deadline) -> Optional[Deadline]:
+        """Normalize the per-request deadline, applying the policy default."""
+        if deadline is not None:
+            return Deadline.coerce(deadline)
+        if self.resilience is not None and self.resilience.policy.deadline_seconds is not None:
+            return Deadline.after(self.resilience.policy.deadline_seconds)
+        return None
+
+    def _check_deadline(self, name: str, deadline: Optional[Deadline], where: str) -> None:
+        """Typed, *counted* deadline enforcement at a request milestone."""
+        if deadline is not None and deadline.expired:
+            self.metrics.record_deadline_exceeded(name)
+            raise DeadlineExceededError(
+                f"deadline exceeded {where} for model {name!r}"
+            )
+
+    def _admit(self, name: str) -> Callable[[], None]:
+        """Admission-control gate; a shed is counted before it raises."""
+        if self.resilience is None:
+            return _noop_release
+        try:
+            return self.resilience.admission.acquire(name)
+        except OverloadedError:
+            self.metrics.record_shed(name)
+            raise
+
+    def _entry_version(self, name: str) -> int:
+        try:
+            return self.catalog.entry(name).version
+        except Exception:  # noqa: BLE001 — version is diagnostic only
+            return -1
+
+    # ------------------------------------------------------------------
     # Single-model entry points
     # ------------------------------------------------------------------
-    def top_k(self, users: np.ndarray, k: Optional[int] = None, model: Optional[str] = None) -> TopKResult:
+    def top_k(
+        self,
+        users: np.ndarray,
+        k: Optional[int] = None,
+        model: Optional[str] = None,
+        deadline=None,
+    ) -> TopKResult:
         """Top-k lists for ``users`` from one catalog model (or the default).
 
         User IDs are validated at this boundary: anything outside
@@ -214,36 +281,228 @@ class ServingGateway:
         :class:`~repro.serving.errors.ServingError` naming the model and
         the offending IDs, instead of wrapping around (negative IDs) or
         surfacing a raw ``IndexError`` from deep in the score path.
+
+        ``deadline`` — seconds (a float) or a
+        :class:`~repro.serving.resilience.Deadline` — bounds the whole
+        request: gateway entry, any cold-start wait, and the scoring
+        itself all check it, and an expired request fails with a typed
+        :class:`~repro.serving.errors.DeadlineExceededError` rather than
+        blocking.  When the gateway was built with a
+        :class:`~repro.serving.resilience.ResiliencePolicy`, requests are
+        additionally subject to admission control
+        (:class:`~repro.serving.errors.OverloadedError`), per-model
+        circuit breakers, and the degraded fallback chain (last-good
+        resident version, then ``policy.fallback_models``); every shed,
+        deadline miss, breaker trip and fallback serve is counted in
+        :attr:`metrics`.
         """
         name = self._resolve(model)
         users = validate_user_ids(users, self.catalog.num_users, model=name)
-        started = time.perf_counter()
-        result = self.catalog.recommender(name).recommend(users, k=k)
-        self._count(name, int(users.size), time.perf_counter() - started)
-        return result
+        return self._serve_top_k(name, users, k, self._request_deadline(deadline))
 
-    def scores(self, users: np.ndarray, item_ids: np.ndarray, model: Optional[str] = None) -> np.ndarray:
-        """Raw ``(users, items)`` score block from one catalog model."""
+    def scores(
+        self,
+        users: np.ndarray,
+        item_ids: np.ndarray,
+        model: Optional[str] = None,
+        deadline=None,
+    ) -> np.ndarray:
+        """Raw ``(users, items)`` score block from one catalog model.
+
+        Deadlines, admission control and the per-model breaker apply as
+        in :meth:`top_k`, but raw score blocks have **no fallback
+        chain** — a stale or substitute model's raw scores are not
+        interchangeable the way top-k lists are, so an open breaker fails
+        fast with :class:`~repro.serving.errors.CircuitOpenError`.
+        """
         name = self._resolve(model)
         users = validate_user_ids(users, self.catalog.num_users, model=name)
-        started = time.perf_counter()
-        block = self.catalog.store(name).scores(users, np.asarray(item_ids, dtype=np.int64))
-        self._count(name, int(users.size), time.perf_counter() - started)
-        return block
+        deadline = self._request_deadline(deadline)
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if self.resilience is None and deadline is None:
+            started = time.perf_counter()
+            block = self.catalog.store(name).scores(users, item_ids)
+            self._count(name, int(users.size), time.perf_counter() - started)
+            return block
+        release = self._admit(name)
+        try:
+            self._check_deadline(name, deadline, "at gateway entry")
+            breaker = self.resilience.breaker(name) if self.resilience is not None else None
+            if breaker is not None and not breaker.allow():
+                self.metrics.record_error(name)
+                raise CircuitOpenError(
+                    f"breaker for model {name!r} is {breaker.state} and raw score "
+                    f"blocks have no fallback chain"
+                )
+            try:
+                fault_point("gateway.score", name)
+                store = self.catalog.store(name, deadline)
+                started = time.perf_counter()
+                block = store.scores(users, item_ids)
+                seconds = time.perf_counter() - started
+            except DeadlineExceededError:
+                self.metrics.record_deadline_exceeded(name)
+                raise
+            except ServingError:
+                raise
+            except _MODEL_FAULTS:
+                if breaker is not None and breaker.record_failure():
+                    self.metrics.record_breaker_open(name)
+                self.metrics.record_error(name)
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            self._check_deadline(name, deadline, "after scoring")
+            self._count(name, int(users.size), seconds)
+            return block
+        finally:
+            release()
+
+    def _serve_top_k(
+        self, name: str, users: np.ndarray, k: Optional[int], deadline: Optional[Deadline]
+    ) -> TopKResult:
+        """One model's top-k serve under the full resilience flow.
+
+        Order of defenses: admission (shed fast) → deadline at entry →
+        breaker gate → primary serve (cold start honors the deadline) →
+        on model fault or open breaker, the fallback chain.  A request
+        that finishes *after* its deadline still fails typed — "result or
+        typed error within the deadline" is the invariant the chaos suite
+        asserts, with no silent late answers.
+        """
+        if self.resilience is None and deadline is None:
+            started = time.perf_counter()
+            result = self.catalog.recommender(name).recommend(users, k=k)
+            self._count(name, int(users.size), time.perf_counter() - started)
+            return result
+        state = self.resilience
+        release = self._admit(name)
+        try:
+            self._check_deadline(name, deadline, "at gateway entry")
+            breaker = state.breaker(name) if state is not None else None
+            primary_error: Optional[BaseException] = None
+            if breaker is None or breaker.allow():
+                try:
+                    fault_point("gateway.score", name)
+                    recommender = self.catalog.recommender(name, deadline=deadline)
+                    started = time.perf_counter()
+                    result = recommender.recommend(users, k=k)
+                    seconds = time.perf_counter() - started
+                except DeadlineExceededError:
+                    self.metrics.record_deadline_exceeded(name)
+                    raise
+                except ServingError:
+                    raise
+                except _MODEL_FAULTS as error:
+                    if breaker is None:
+                        self.metrics.record_error(name)
+                        raise
+                    if breaker.record_failure():
+                        self.metrics.record_breaker_open(name)
+                    primary_error = error
+                else:
+                    if breaker is not None:
+                        # The model is healthy even if the request is late:
+                        # close the loop before any deadline enforcement.
+                        breaker.record_success()
+                        state.remember_last_good(name, self._entry_version(name), recommender)
+                    self._check_deadline(name, deadline, "after scoring")
+                    self._count(name, int(users.size), seconds)
+                    return result
+            assert state is not None  # breaker gate only exists with resilience on
+            return self._serve_top_k_fallback(name, users, k, deadline, primary_error)
+        finally:
+            release()
+
+    def _serve_top_k_fallback(
+        self,
+        name: str,
+        users: np.ndarray,
+        k: Optional[int],
+        deadline: Optional[Deadline],
+        primary_error: Optional[BaseException],
+    ) -> TopKResult:
+        """The degraded chain: last-good resident version, then cheap models.
+
+        Every fallback serve is recorded against the *primary* model
+        (``record_fallback``) — the model that needed rescuing — while
+        rows and latency land on the model that actually served.  When the
+        chain is exhausted the request fails with a typed
+        :class:`~repro.serving.errors.CircuitOpenError` naming everything
+        that was tried, chained to the primary failure.
+        """
+        state = self.resilience
+        assert state is not None
+        tried: List[str] = []
+        if state.policy.serve_stale_on_failure:
+            stale = state.last_good(name)
+            if stale is not None:
+                version, recommender = stale
+                label = f"last-good {name!r} v{version}"
+                try:
+                    started = time.perf_counter()
+                    result = recommender.recommend(users, k=k)
+                    seconds = time.perf_counter() - started
+                except Exception as error:  # noqa: BLE001 — fall through the chain
+                    tried.append(f"{label} (failed: {error})")
+                else:
+                    self.metrics.record_fallback(name)
+                    self._check_deadline(name, deadline, f"after {label}")
+                    self._count(name, int(users.size), seconds)
+                    return result
+        for fallback_name in state.policy.fallback_models:
+            if fallback_name == name:
+                continue
+            label = f"fallback model {fallback_name!r}"
+            breaker = state.breaker(fallback_name)
+            if not breaker.allow():
+                tried.append(f"{label} (breaker {breaker.state})")
+                continue
+            try:
+                fault_point("gateway.score", fallback_name)
+                recommender = self.catalog.recommender(fallback_name, deadline=deadline)
+                started = time.perf_counter()
+                result = recommender.recommend(users, k=k)
+                seconds = time.perf_counter() - started
+            except DeadlineExceededError:
+                self.metrics.record_deadline_exceeded(name)
+                raise
+            except ServingError:
+                raise
+            except _MODEL_FAULTS as error:
+                if breaker.record_failure():
+                    self.metrics.record_breaker_open(fallback_name)
+                tried.append(f"{label} (failed: {error})")
+            else:
+                breaker.record_success()
+                state.remember_last_good(
+                    fallback_name, self._entry_version(fallback_name), recommender
+                )
+                self.metrics.record_fallback(name)
+                self._check_deadline(name, deadline, f"after {label}")
+                self._count(fallback_name, int(users.size), seconds)
+                return result
+        self.metrics.record_error(name)
+        detail = "; tried " + ", ".join(tried) if tried else "; no fallbacks configured"
+        raise CircuitOpenError(
+            f"model {name!r} unavailable (breaker {state.breaker(name).state}){detail}"
+        ) from primary_error
 
     # ------------------------------------------------------------------
     # Multi-model entry points
     # ------------------------------------------------------------------
     def top_k_split(
-        self, split: TrafficSplit, users: np.ndarray, k: Optional[int] = None
+        self, split: TrafficSplit, users: np.ndarray, k: Optional[int] = None, deadline=None
     ) -> GatewayResult:
         """A/B-serve ``users``: assign each to a variant, score grouped per model."""
         users = np.asarray(users, dtype=np.int64)
         assignments = split.assign(users)
-        return self._grouped_top_k(users, [str(name) for name in assignments], k)
+        return self._grouped_top_k(
+            users, [str(name) for name in assignments], k, self._request_deadline(deadline)
+        )
 
     def top_k_mixed(
-        self, requests: Sequence[Tuple[str, int]], k: Optional[int] = None
+        self, requests: Sequence[Tuple[str, int]], k: Optional[int] = None, deadline=None
     ) -> GatewayResult:
         """Serve a batch of ``(model_name, user)`` requests, grouped per model.
 
@@ -255,9 +514,15 @@ class ServingGateway:
             raise ValueError("top_k_mixed needs at least one (model, user) request")
         models = [name for name, _ in requests]
         users = np.asarray([user for _, user in requests], dtype=np.int64)
-        return self._grouped_top_k(users, models, k)
+        return self._grouped_top_k(users, models, k, self._request_deadline(deadline))
 
-    def _grouped_top_k(self, users: np.ndarray, models: List[str], k: Optional[int]) -> GatewayResult:
+    def _grouped_top_k(
+        self,
+        users: np.ndarray,
+        models: List[str],
+        k: Optional[int],
+        deadline: Optional[Deadline] = None,
+    ) -> GatewayResult:
         if not models:
             width = self.catalog.default_k if k is None else k
             empty = np.zeros((0, width), dtype=np.int64)
@@ -277,15 +542,16 @@ class ServingGateway:
         scores_out: Optional[np.ndarray] = None
         for name, indices in order.items():
             rows = np.asarray(indices, dtype=np.int64)
-            started = time.perf_counter()
-            result = self.catalog.recommender(name).recommend(users[rows], k=k)
+            # Each model group runs the full resilience flow independently:
+            # one group's open breaker or shed fails that group's rows'
+            # batch, not the models that already served.
+            result = self._serve_top_k(name, users[rows], k, deadline)
             if items_out is None:
                 width = result.items.shape[1]
                 items_out = np.full((len(models), width), -1, dtype=np.int64)
                 scores_out = np.full((len(models), width), -np.inf, dtype=np.float64)
             items_out[rows] = result.items
             scores_out[rows] = result.scores
-            self._count(name, int(rows.size), time.perf_counter() - started)
         assert items_out is not None and scores_out is not None
         return GatewayResult(users=users, models=models, items=items_out, scores=scores_out)
 

@@ -212,6 +212,10 @@ class ModelMetrics:
         "reloads",
         "evictions",
         "errors",
+        "sheds",
+        "deadline_exceeded",
+        "breaker_opens",
+        "fallbacks_served",
         "request_latency",
         "cold_start_latency",
     )
@@ -223,6 +227,14 @@ class ModelMetrics:
         self.reloads = 0
         self.evictions = 0
         self.errors = 0
+        # Resilience-layer outcomes (see repro.serving.resilience): every
+        # deliberate fast-failure and every degraded serve is counted here,
+        # so shed/deadline/breaker/fallback tallies reconcile exactly with
+        # the requests a chaos run submitted — nothing fails silently.
+        self.sheds = 0
+        self.deadline_exceeded = 0
+        self.breaker_opens = 0
+        self.fallbacks_served = 0
         self.request_latency = LatencyHistogram()
         self.cold_start_latency = LatencyHistogram()
 
@@ -234,6 +246,10 @@ class ModelMetrics:
             "reloads": self.reloads,
             "evictions": self.evictions,
             "errors": self.errors,
+            "sheds": self.sheds,
+            "deadline_exceeded": self.deadline_exceeded,
+            "breaker_opens": self.breaker_opens,
+            "fallbacks_served": self.fallbacks_served,
             "request_latency": self.request_latency.snapshot(),
             "cold_start_latency": self.cold_start_latency.snapshot(),
         }
@@ -312,6 +328,34 @@ class MetricsRegistry:
         with self._lock:
             self._model(name).errors += 1
 
+    def record_shed(self, name: str) -> None:
+        """A request for ``name`` was shed by admission control (OverloadedError)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._model(name).sheds += 1
+
+    def record_deadline_exceeded(self, name: str) -> None:
+        """A request for ``name`` failed its deadline (DeadlineExceededError)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._model(name).deadline_exceeded += 1
+
+    def record_breaker_open(self, name: str) -> None:
+        """``name``'s circuit breaker transitioned to open (once per trip)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._model(name).breaker_opens += 1
+
+    def record_fallback(self, name: str) -> None:
+        """A request *targeting* ``name`` was served degraded (stale or fallback model)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._model(name).fallbacks_served += 1
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
@@ -320,16 +364,22 @@ class MetricsRegistry:
         with self._lock:
             models = {name: metrics.snapshot() for name, metrics in self._models.items()}
         totals = {
-            "requests": sum(m["requests"] for m in models.values()),
-            "rows_served": sum(m["rows_served"] for m in models.values()),
-            "cold_starts": sum(m["cold_starts"] for m in models.values()),
-            "reloads": sum(m["reloads"] for m in models.values()),
-            "evictions": sum(m["evictions"] for m in models.values()),
-            "errors": sum(m["errors"] for m in models.values()),
+            key: sum(m[key] for m in models.values()) for key in self._COUNTER_KEYS
         }
         return {"enabled": self.enabled, "models": models, "totals": totals}
 
-    _COUNTER_KEYS = ("requests", "rows_served", "cold_starts", "reloads", "evictions", "errors")
+    _COUNTER_KEYS = (
+        "requests",
+        "rows_served",
+        "cold_starts",
+        "reloads",
+        "evictions",
+        "errors",
+        "sheds",
+        "deadline_exceeded",
+        "breaker_opens",
+        "fallbacks_served",
+    )
     _LATENCY_KEYS = ("request_latency", "cold_start_latency")
 
     @staticmethod

@@ -55,6 +55,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from . import forksafe
 from .catalog import CatalogError, ModelCatalog
+from .resilience import ResilienceState
 
 __all__ = ["CatalogWarmerError", "CatalogWarmer"]
 
@@ -86,6 +87,15 @@ class CatalogWarmer:
         entries.
     max_errors:
         How many cycle errors to retain in :attr:`errors` (oldest dropped).
+    resilience:
+        A gateway's :class:`~repro.serving.resilience.ResilienceState`.
+        When given, every cycle also drives the half-open probes of any
+        open circuit breakers (``probe_open_circuits``): the warmer — not
+        a live request — pays the recovery cold-start, and a recovered
+        model's breaker closes before traffic touches it again.  Probe
+        outcomes land in :attr:`last_probe_results`; a failed probe is the
+        expected outcome while the fault persists and never fails the
+        cycle.
     """
 
     def __init__(
@@ -96,6 +106,7 @@ class CatalogWarmer:
         names: Optional[Sequence[str]] = None,
         rescan: bool = True,
         max_errors: int = 32,
+        resilience: Optional[ResilienceState] = None,
     ) -> None:
         if interval_seconds <= 0:
             raise ValueError(f"interval_seconds must be positive, got {interval_seconds}")
@@ -106,6 +117,9 @@ class CatalogWarmer:
         self.names = None if names is None else list(names)
         self.rescan = rescan
         self.max_errors = max_errors
+        self.resilience = resilience
+        #: name → outcome of the most recent cycle's half-open probes.
+        self.last_probe_results: Dict[str, bool] = {}
         #: Completed background cycles (successful or failed).
         self.cycles = 0
         #: ``(cycle_number, exception)`` pairs from failed background cycles.
@@ -156,6 +170,12 @@ class CatalogWarmer:
                 warmed[name] = self.catalog.warm(name)
             except Exception as error:  # noqa: BLE001 — re-raised below
                 failures[name] = error
+        if self.resilience is not None:
+            # Drive half-open probes here — on the warmer's thread — so a
+            # recovering model's first cold start never rides a request.
+            # A failed probe is the expected steady state while the fault
+            # persists; it must not fail the cycle.
+            self.last_probe_results = self.resilience.probe_open_circuits(self.catalog)
         if failures:
             first = next(iter(failures.values()))
             raise CatalogWarmerError(

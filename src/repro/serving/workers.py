@@ -91,7 +91,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..data.dataset import GroupBuyingDataset
+from .errors import DeadlineExceededError, OverloadedError
+from .faults import FaultPlan
 from .metrics import MetricsRegistry
+from .resilience import Deadline, ResiliencePolicy
 from .topk import TopKResult
 
 __all__ = ["WorkerPool", "WorkerPoolError", "WorkerCrashError"]
@@ -116,6 +119,8 @@ class _WorkerConfig:
     resident_budget: Optional[int]
     warm: bool
     simulate_io_seconds: float
+    policy: Optional[ResiliencePolicy] = None
+    fault_plan: Optional[FaultPlan] = None
 
 
 def _worker_main(index: int, config: _WorkerConfig, request_queue, reply_queue) -> None:
@@ -126,6 +131,7 @@ def _worker_main(index: int, config: _WorkerConfig, request_queue, reply_queue) 
     worker index, request replies carry the request id.
     """
     from .catalog import ModelCatalog
+    from .faults import fault_point, install_plan
     from .gateway import ServingGateway
 
     try:
@@ -135,13 +141,19 @@ def _worker_main(index: int, config: _WorkerConfig, request_queue, reply_queue) 
             default_k=config.default_k,
             resident_budget=config.resident_budget,
         )
-        gateway = ServingGateway(catalog, default_model=config.default_model)
+        gateway = ServingGateway(
+            catalog, default_model=config.default_model, policy=config.policy
+        )
         if config.warm:
             catalog.warm_all()
         reply_queue.put(("ready", index, list(catalog.names)))
     except BaseException:
         reply_queue.put(("init_error", index, traceback.format_exc()))
         return
+    # The fault plan arms only after startup succeeded: chaos targets the
+    # *serving* phase deterministically, not a racy mix with warm-up IO.
+    if config.fault_plan is not None:
+        install_plan(config.fault_plan)
     while True:
         message = request_queue.get()
         if message is None:
@@ -149,12 +161,26 @@ def _worker_main(index: int, config: _WorkerConfig, request_queue, reply_queue) 
             return
         kind, rid, payload = message
         try:
+            # Chaos hook: "error" rules reply typed, "stall" rules emulate
+            # a hung worker (the parent's deadline/timeout must cope), and
+            # "kill" rules SIGKILL this process mid-request (the parent's
+            # crash respawn must cope).
+            fault_point("worker.request", kind)
             if kind == "top_k":
-                users, k, model = payload
+                users, k, model, request_deadline = payload
+                if request_deadline is not None and request_deadline.expired:
+                    # The parent has already abandoned (and counted) this
+                    # request; reply typed without touching the worker's
+                    # gateway so the fleet view counts it exactly once.
+                    raise DeadlineExceededError(
+                        "deadline expired before the worker dequeued the request"
+                    )
                 if config.simulate_io_seconds > 0.0:
                     # Emulated downstream stall (see module docstring).
                     time.sleep(config.simulate_io_seconds)
-                result = gateway.top_k(np.asarray(users), k=k, model=model)
+                result = gateway.top_k(
+                    np.asarray(users), k=k, model=model, deadline=request_deadline
+                )
                 reply_queue.put(("result", rid, result))
             elif kind == "metrics":
                 reply_queue.put(("metrics", rid, gateway.metrics.snapshot()))
@@ -227,16 +253,29 @@ class WorkerPool:
         request_timeout: float = 60.0,
         max_respawns: int = 3,
         simulate_io_seconds: float = 0.0,
+        policy: Optional[ResiliencePolicy] = None,
+        max_inflight: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         if simulate_io_seconds < 0.0:
             raise ValueError(f"simulate_io_seconds must be >= 0, got {simulate_io_seconds}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1 (or None), got {max_inflight}")
         self.directory = Path(directory)
         self.workers = workers
         self.start_timeout = float(start_timeout)
         self.request_timeout = float(request_timeout)
         self.max_respawns = max_respawns
+        #: Parent-side queue-depth budget: more than this many outstanding
+        #: requests (pipelined via :meth:`top_k_many`) sheds the excess
+        #: with a typed ``OverloadedError`` instead of queueing unboundedly.
+        self.max_inflight = max_inflight
+        #: Parent-side registry for outcomes the workers never see — sheds
+        #: at the pool boundary, deadlines that expired while a reply was
+        #: pending.  Folded into :meth:`fleet_metrics`.
+        self.metrics = MetricsRegistry()
         self._config = _WorkerConfig(
             directory=str(self.directory),
             dataset=dataset,
@@ -245,6 +284,8 @@ class WorkerPool:
             resident_budget=resident_budget,
             warm=warm,
             simulate_io_seconds=float(simulate_io_seconds),
+            policy=policy,
+            fault_plan=fault_plan,
         )
         self._ctx = multiprocessing.get_context("spawn")
         self._handles: List[_WorkerHandle] = []
@@ -425,7 +466,27 @@ class WorkerPool:
         handle.request_queue.put((kind, rid, payload))
         return rid
 
+    def _model_label(self, model: Optional[str]) -> str:
+        """The metrics key parent-side outcomes are recorded under."""
+        return model or self._config.default_model or "_pool_"
+
+    def _request_deadline(self, deadline) -> Optional[Deadline]:
+        """Normalize the deadline argument, applying the policy default."""
+        if deadline is not None:
+            return Deadline.coerce(deadline)
+        policy = self._config.policy
+        if policy is not None and policy.deadline_seconds is not None:
+            return Deadline.after(policy.deadline_seconds)
+        return None
+
     def _submit(self, kind: str, payload: Any) -> int:
+        if self.max_inflight is not None and len(self._outstanding) >= self.max_inflight:
+            label = self._model_label(payload[2] if kind == "top_k" else None)
+            self.metrics.record_shed(label)
+            raise OverloadedError(
+                f"overloaded: {len(self._outstanding)} requests outstanding >= pool "
+                f"budget {self.max_inflight}; request for {label!r} shed"
+            )
         handle = self._handles[self._round_robin % len(self._handles)]
         self._round_robin += 1
         return self._submit_to(handle, kind, payload)
@@ -473,9 +534,18 @@ class WorkerPool:
                 new_rid = self._submit_to(handle, kind, payload, resubmissions + 1)
                 self._replies[rid] = ("moved", new_rid)
 
-    def _collect(self, rid: int) -> Any:
-        """Wait for ``rid``'s reply, servicing crash recovery while waiting."""
-        deadline = time.monotonic() + self.request_timeout
+    def _collect(
+        self, rid: int, deadline: Optional[Deadline] = None, label: Optional[str] = None
+    ) -> Any:
+        """Wait for ``rid``'s reply, servicing crash recovery while waiting.
+
+        Both give-up paths (the pool's ``request_timeout`` and the
+        request's own ``deadline``) first *forget* the request id: a reply
+        that arrives after its request was declared dead must be discarded
+        by id — never delivered to a later request, never resubmitted as a
+        zombie by crash recovery, never left leaking in ``_outstanding``.
+        """
+        timeout_at = time.monotonic() + self.request_timeout
         while True:
             reply = self._replies.pop(rid, None)
             if reply is not None:
@@ -486,13 +556,25 @@ class WorkerPool:
                 if kind == "error":
                     raise payload
                 return payload
-            remaining = deadline - time.monotonic()
+            if deadline is not None and deadline.expired:
+                self._outstanding.pop(rid, None)  # late reply → dropped by id
+                if label is not None:
+                    self.metrics.record_deadline_exceeded(label)
+                raise DeadlineExceededError(
+                    f"deadline exceeded waiting for the worker reply to request {rid} "
+                    f"({self.alive_workers}/{len(self._handles)} workers alive)"
+                )
+            remaining = timeout_at - time.monotonic()
             if remaining <= 0:
+                self._outstanding.pop(rid, None)  # late reply → dropped by id
                 raise WorkerPoolError(
                     f"no reply for request {rid} within {self.request_timeout:.0f}s "
                     f"({self.alive_workers}/{len(self._handles)} workers alive)"
                 )
-            messages = self._poll_replies(timeout=min(0.1, remaining))
+            wait = min(0.1, remaining)
+            if deadline is not None:
+                wait = min(wait, max(deadline.remaining(), 0.001))
+            messages = self._poll_replies(timeout=wait)
             if not messages:
                 self._check_workers()
                 continue
@@ -506,9 +588,10 @@ class WorkerPool:
                     raise WorkerPoolError(f"respawned worker {tag} failed to initialize:\n{payload}")
                 # "ready"/"stopped" lifecycle messages are not per-request; drop.
 
-    def _collect_value(self, rid: int) -> Any:
-        reply = self._collect(rid)
-        return reply
+    def _collect_value(
+        self, rid: int, deadline: Optional[Deadline] = None, label: Optional[str] = None
+    ) -> Any:
+        return self._collect(rid, deadline=deadline, label=label)
 
     # ------------------------------------------------------------------
     # Serving API
@@ -518,40 +601,63 @@ class WorkerPool:
         users: np.ndarray,
         k: Optional[int] = None,
         model: Optional[str] = None,
+        deadline=None,
     ) -> TopKResult:
         """Top-k lists for ``users`` from one worker (round-robin routed).
 
         Same contract as
         :meth:`repro.serving.gateway.ServingGateway.top_k`; validation
         errors raised inside the worker (unknown model, out-of-range user
-        IDs) re-raise here with their original type.
+        IDs) re-raise here with their original type.  ``deadline``
+        (seconds or a :class:`~repro.serving.resilience.Deadline`) is
+        pickled with the request as an absolute monotonic expiry, so time
+        spent queued behind a stalled worker counts against it; an
+        expired wait raises a typed
+        :class:`~repro.serving.errors.DeadlineExceededError` here and the
+        late reply — if one ever comes — is discarded by request id.
         """
         with self._api_lock:
             self._require_running()
-            rid = self._submit("top_k", (np.asarray(users), k, model))
-            return self._collect_value(rid)
+            deadline = self._request_deadline(deadline)
+            rid = self._submit("top_k", (np.asarray(users), k, model, deadline))
+            return self._collect_value(rid, deadline=deadline, label=self._model_label(model))
 
     def top_k_many(
         self,
         batches: Sequence[np.ndarray],
         k: Optional[int] = None,
         model: Optional[str] = None,
+        deadline=None,
     ) -> List[TopKResult]:
         """Pipelined fan-out: submit every batch, then collect every reply.
 
         The throughput entry point — all workers run concurrently instead
         of ping-ponging one request at a time.  Results come back in
         request order.  The first worker-side error is raised after all
-        replies are in (so no reply is left orphaned in the queue).
+        replies are in (so no reply is left orphaned in the queue).  One
+        ``deadline`` covers the whole fan-out; with a pool-level
+        ``max_inflight``, batches beyond the budget are shed typed.
         """
         with self._api_lock:
             self._require_running()
-            rids = [self._submit("top_k", (np.asarray(batch), k, model)) for batch in batches]
+            deadline = self._request_deadline(deadline)
+            label = self._model_label(model)
             results: List[Any] = []
             first_error: Optional[BaseException] = None
-            for rid in rids:
+            rids: List[Optional[int]] = []
+            for batch in batches:
                 try:
-                    results.append(self._collect_value(rid))
+                    rids.append(self._submit("top_k", (np.asarray(batch), k, model, deadline)))
+                except OverloadedError as error:  # shed at the pool boundary
+                    if first_error is None:
+                        first_error = error
+                    rids.append(None)
+            for rid in rids:
+                if rid is None:
+                    results.append(None)
+                    continue
+                try:
+                    results.append(self._collect_value(rid, deadline=deadline, label=label))
                 except Exception as error:  # collect the rest before raising
                     if first_error is None:
                         first_error = error
@@ -576,6 +682,12 @@ class WorkerPool:
         Counters sum exactly; latency percentiles are merged through raw
         histogram buckets (:meth:`MetricsRegistry.merge_snapshots`), so
         ``fleet_metrics()["totals"]["request_latency"]["p99"]`` is the
-        pool's true tail latency.
+        pool's true tail latency.  The parent's own registry — pool-level
+        sheds and parent-observed deadline expiries — is folded in, so
+        resilience outcomes reconcile fleet-wide; ``workers`` still
+        counts worker processes only.
         """
-        return MetricsRegistry.merge_snapshots(self.metrics_snapshots())
+        snapshots = self.metrics_snapshots()
+        merged = MetricsRegistry.merge_snapshots(list(snapshots) + [self.metrics.snapshot()])
+        merged["workers"] = len(snapshots)
+        return merged

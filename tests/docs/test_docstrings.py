@@ -15,9 +15,11 @@ import pytest
 import repro.persist.artifact
 import repro.persist.index
 import repro.serving.catalog
+import repro.serving.faults
 import repro.serving.forksafe
 import repro.serving.gateway
 import repro.serving.metrics
+import repro.serving.resilience
 import repro.serving.retrieval
 import repro.serving.store
 import repro.serving.topk
@@ -38,6 +40,8 @@ DOCUMENTED_MODULES = [
     repro.serving.warmer,
     repro.serving.workers,
     repro.serving.forksafe,
+    repro.serving.resilience,
+    repro.serving.faults,
 ]
 
 

@@ -1,9 +1,10 @@
-"""The committed BENCH_serving.json must be a valid v4 trajectory record.
+"""The committed BENCH_serving.json must be a valid v5 trajectory record.
 
 Tier-1 guard for the benchmark artifact the serving benchmarks co-write:
 ``benchmarks/test_catalog_serving.py`` (catalog/gateway numbers),
-``benchmarks/test_retrieval_scaling.py`` (the retrieval scaling curve) and
-``benchmarks/test_worker_scaling.py`` (multi-process worker scaling).
+``benchmarks/test_retrieval_scaling.py`` (the retrieval scaling curve),
+``benchmarks/test_worker_scaling.py`` (multi-process worker scaling) and
+``benchmarks/test_resilience_overhead.py`` (resilience-layer cost + SLO).
 A partial rewrite that drops another writer's section, or a schema bump
 without regenerating the file, fails here instead of going stale silently.
 """
@@ -15,13 +16,14 @@ import pytest
 
 BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_serving.json"
 
-SCHEMA = "repro-serving-bench/v4"
+SCHEMA = "repro-serving-bench/v5"
 REQUIRED_SECTIONS = {
     "cold_start",
     "mixed_traffic",
     "warm_vs_cold_latency",
     "retrieval_scaling",
     "worker_scaling",
+    "resilience",
 }
 REQUIRED_POINT_KEYS = {
     "num_items",
@@ -41,7 +43,7 @@ def bench():
     return json.loads(BENCH_PATH.read_text())
 
 
-def test_schema_is_v4(bench):
+def test_schema_is_v5(bench):
     assert bench["schema"] == SCHEMA
 
 
@@ -105,6 +107,43 @@ def test_worker_scaling_shape(bench):
         assert WORKER_POINT_KEYS <= set(point), f"{point['workers']}-worker point missing keys"
         assert point["io_stall_req_s"] > 0.0
         assert point["cpu_bound_req_s"] > 0.0
+
+
+RESILIENCE_OVERHEAD_KEYS = {
+    "plain_req_s",
+    "resilient_req_s",
+    "overhead_pct",
+    "gate_pct",
+    "trials",
+}
+RESILIENCE_SLO_KEYS = {
+    "requests",
+    "deadline_ms",
+    "stall_ms",
+    "stall_probability",
+    "ok",
+    "deadline_exceeded",
+    "ok_p50_ms",
+    "ok_p99_ms",
+    "failure_p99_ms",
+}
+
+
+def test_resilience_section_shape(bench):
+    section = bench["results"]["resilience"]
+    assert RESILIENCE_OVERHEAD_KEYS <= set(section["overhead"])
+    assert RESILIENCE_SLO_KEYS <= set(section["slo_under_stalls"])
+    slo = section["slo_under_stalls"]
+    assert slo["ok"] + slo["deadline_exceeded"] == slo["requests"]
+    assert slo["deadline_exceeded"] > 0, "the recorded storm broke no deadlines"
+
+
+def test_resilience_overhead_gate_held(bench):
+    # The PR's acceptance criterion: the fully-armed resilience layer
+    # (deadline + admission + breaker + fault probe) costs < 10% on the
+    # happy path of the recorded run.
+    overhead = bench["results"]["resilience"]["overhead"]
+    assert overhead["overhead_pct"] < overhead["gate_pct"] == 10.0
 
 
 def test_worker_scaling_io_stall_speedup_gate(bench):

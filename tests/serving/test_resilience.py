@@ -1,0 +1,442 @@
+"""Tests for `repro.serving.resilience` and its gateway/warmer wiring.
+
+Covers the three primitives in isolation (Deadline, AdmissionController,
+CircuitBreaker), then the integrated behavior a deployment actually sees:
+typed sheds, typed deadline failures, breakers opening on repeated model
+faults, the degraded fallback chain, warmer-driven half-open probes, and
+the failure counters surviving snapshot + merge.
+"""
+
+import pickle
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.persist import save_model
+from repro.serving import (
+    AdmissionController,
+    CatalogWarmer,
+    CircuitBreaker,
+    CircuitOpenError,
+    Deadline,
+    DeadlineExceededError,
+    FaultPlan,
+    FaultRule,
+    MetricsRegistry,
+    ModelCatalog,
+    OverloadedError,
+    ResiliencePolicy,
+    ResilienceState,
+    ServingError,
+    ServingGateway,
+    ServingUnavailableError,
+    inject,
+)
+
+
+@pytest.fixture()
+def serving_dir(tmp_path, small_split):
+    """Two published artifacts: the primary ('mf') and a cheap fallback ('itempop')."""
+    for spec in ("MF", "ItemPop"):
+        save_model(build_model(spec, small_split.train), tmp_path / f"{spec.lower()}.npz")
+    return tmp_path
+
+
+def make_gateway(serving_dir, small_split, **policy_kwargs):
+    policy = ResiliencePolicy(**policy_kwargs)
+    catalog = ModelCatalog(serving_dir, small_split.train)
+    return ServingGateway(catalog, default_model="mf", policy=policy)
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired
+        assert 0.0 < deadline.remaining() <= 60.0
+
+    def test_expired_check_raises_typed(self):
+        with pytest.raises(DeadlineExceededError, match="doom"):
+            Deadline.after(0.0).check("doom")
+
+    def test_coerce(self):
+        assert Deadline.coerce(None) is None
+        deadline = Deadline.after(1.0)
+        assert Deadline.coerce(deadline) is deadline
+        coerced = Deadline.coerce(0.5)
+        assert isinstance(coerced, Deadline) and coerced.remaining() <= 0.5
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Deadline.after(-1.0)
+
+    def test_pickles_as_absolute_expiry(self):
+        deadline = Deadline.after(30.0)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.expires_at == deadline.expires_at
+
+
+class TestAdmissionController:
+    def test_total_budget_sheds_the_excess(self):
+        admission = AdmissionController(max_inflight=2)
+        releases = [admission.acquire("a"), admission.acquire("b")]
+        with pytest.raises(OverloadedError, match="shed"):
+            admission.acquire("c")
+        releases[0]()
+        admission.acquire("c")  # freed slot admits again
+
+    def test_per_model_budget(self):
+        admission = AdmissionController(max_inflight_per_model=1)
+        admission.acquire("a")
+        with pytest.raises(OverloadedError, match="per-model"):
+            admission.acquire("a")
+        admission.acquire("b")  # another model is unaffected
+
+    def test_release_is_idempotent(self):
+        admission = AdmissionController(max_inflight=1)
+        release = admission.acquire("a")
+        release()
+        release()
+        assert admission.inflight() == 0
+
+    def test_shed_errors_are_retryable_typed(self):
+        admission = AdmissionController(max_inflight=1)
+        admission.acquire("a")
+        with pytest.raises(ServingUnavailableError):
+            admission.acquire("a")
+
+    def test_invalid_budgets(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight_per_model=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold_and_reports_transition(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_seconds=60.0)
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # exactly this call opened it
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False, "streak restarted after success"
+
+    def test_half_open_probe_is_single_claim(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        assert not breaker.allow(), "inside reset window"
+        clock[0] = 11.0
+        assert breaker.allow(), "first caller past the window claims the probe"
+        assert breaker.state == "half-open"
+        assert not breaker.allow(), "probe slot already claimed"
+
+    def test_failed_probe_reopens_with_fresh_timer(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.allow()
+        assert breaker.record_failure() is True  # failed probe re-opens
+        clock[0] = 20.0  # 9s after the re-open: still inside the fresh window
+        assert not breaker.allow()
+        clock[0] = 21.5
+        assert breaker.allow()
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=0.0)
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_snapshot_is_plain(self):
+        snap = CircuitBreaker().snapshot()
+        assert snap["state"] == "closed"
+        assert snap["times_opened"] == 0
+
+
+class TestPolicy:
+    def test_defaults_are_permissive(self):
+        policy = ResiliencePolicy()
+        assert policy.deadline_seconds is None
+        assert policy.max_inflight is None
+        assert policy.serve_stale_on_failure is True
+        assert policy.fallback_models == ()
+
+    def test_policy_pickles(self):
+        policy = ResiliencePolicy(deadline_seconds=1.0, fallback_models=("itempop",))
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            ResiliencePolicy(deadline_seconds=0.0)
+
+
+class TestGatewayWithoutPolicy:
+    """No policy: behavior identical to before, but deadlines still work."""
+
+    def test_resilience_attr_is_none(self, serving_dir, small_split):
+        gateway = ServingGateway(ModelCatalog(serving_dir, small_split.train), default_model="mf")
+        assert gateway.resilience is None
+        assert gateway.top_k(np.arange(4), k=3).items.shape == (4, 3)
+
+    def test_explicit_deadline_still_enforced(self, serving_dir, small_split):
+        gateway = ServingGateway(ModelCatalog(serving_dir, small_split.train), default_model="mf")
+        with pytest.raises(DeadlineExceededError):
+            gateway.top_k(np.arange(4), deadline=Deadline(time.monotonic() - 1.0))
+        snap = gateway.metrics.snapshot()
+        assert snap["totals"]["deadline_exceeded"] == 1
+        assert snap["totals"]["requests"] == 0
+
+
+class TestGatewayShedding:
+    def test_burst_beyond_budget_sheds_typed_and_counted(self, serving_dir, small_split):
+        gateway = make_gateway(serving_dir, small_split, max_inflight=1)
+        release = gateway.resilience.admission.acquire("elsewhere")  # occupy the budget
+        with pytest.raises(OverloadedError):
+            gateway.top_k(np.arange(4))
+        release()
+        assert gateway.top_k(np.arange(4)).items.shape[0] == 4
+        snap = gateway.metrics.snapshot()
+        assert snap["models"]["mf"]["sheds"] == 1
+        assert snap["totals"]["sheds"] == 1
+
+    def test_inflight_budget_released_after_failure(self, serving_dir, small_split):
+        gateway = make_gateway(serving_dir, small_split, max_inflight=1, serve_stale_on_failure=False)
+        gateway.catalog.evict_all()
+        plan = FaultPlan([FaultRule("gateway.score", count=1)])
+        with inject(plan):
+            with pytest.raises(Exception):
+                gateway.top_k(np.arange(4))
+        assert gateway.resilience.admission.inflight() == 0, "failure path must release"
+        assert gateway.top_k(np.arange(4)).items.shape[0] == 4
+
+
+class TestGatewayDeadlines:
+    def test_policy_default_deadline_applies(self, serving_dir, small_split):
+        gateway = make_gateway(serving_dir, small_split, deadline_seconds=30.0)
+        assert gateway.top_k(np.arange(4)).items.shape[0] == 4  # generous default: serves
+
+    def test_expired_deadline_is_typed_and_counted_not_served(self, serving_dir, small_split):
+        gateway = make_gateway(serving_dir, small_split)
+        with pytest.raises(DeadlineExceededError):
+            gateway.top_k(np.arange(4), deadline=Deadline(time.monotonic() - 0.1))
+        snap = gateway.metrics.snapshot()
+        assert snap["totals"]["deadline_exceeded"] == 1
+        assert snap["totals"]["requests"] == 0, "an expired request is never counted as served"
+
+    def test_deadline_bounds_cold_start_lock_wait(self, serving_dir, small_split):
+        """A request stuck behind another thread's stalled load fails typed."""
+        gateway = make_gateway(serving_dir, small_split)
+        catalog = gateway.catalog
+        entry = catalog.entry("mf")
+        assert entry.load_lock.acquire()  # emulate a stalled in-flight load
+        try:
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError, match="cold start"):
+                catalog.store("mf", Deadline.after(0.05))
+            assert time.perf_counter() - started < 5.0, "bounded, not request_timeout-scale"
+        finally:
+            entry.load_lock.release()
+        assert catalog.store("mf") is not None  # unblocked: serves normally
+
+
+class TestBreakerAndFallback:
+    def evict_and_fault(self, gateway, match="mf"):
+        gateway.catalog.evict_all()
+        return FaultPlan([FaultRule("catalog.cold_start", match=match, count=None)])
+
+    def test_repeated_model_faults_open_breaker_and_serve_stale(self, serving_dir, small_split):
+        gateway = make_gateway(serving_dir, small_split, breaker_failure_threshold=2,
+                               breaker_reset_seconds=60.0)
+        healthy = gateway.top_k(np.arange(6), k=4)  # seeds last-good
+        with inject(self.evict_and_fault(gateway)):
+            for _ in range(4):
+                degraded = gateway.top_k(np.arange(6), k=4)
+                assert degraded.items.tobytes() == healthy.items.tobytes(), (
+                    "stale fallback serves the last-good bytes of the same model"
+                )
+        snap = gateway.metrics.snapshot()
+        assert snap["models"]["mf"]["fallbacks_served"] == 4
+        assert snap["models"]["mf"]["breaker_opens"] == 1
+        assert gateway.resilience.breaker("mf").state == "open"
+
+    def test_fallback_model_serves_when_no_stale_copy_exists(self, serving_dir, small_split):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, breaker_reset_seconds=60.0,
+            serve_stale_on_failure=False, fallback_models=("itempop",),
+        )
+        gateway.catalog.evict_all()
+        reference = ServingGateway(
+            ModelCatalog(serving_dir, small_split.train), default_model="itempop"
+        ).top_k(np.arange(6), k=4)
+        with inject(self.evict_and_fault(gateway)):
+            result = gateway.top_k(np.arange(6), k=4)
+        assert result.items.tobytes() == reference.items.tobytes(), (
+            "the cheap fallback model's answer, never a wrong or partial one"
+        )
+        snap = gateway.metrics.snapshot()
+        assert snap["models"]["mf"]["fallbacks_served"] == 1
+        assert snap["models"]["itempop"]["requests"] == 1, "rows land on the serving model"
+
+    def test_exhausted_chain_is_typed_circuit_open(self, serving_dir, small_split):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, serve_stale_on_failure=False,
+        )
+        gateway.catalog.evict_all()
+        with inject(self.evict_and_fault(gateway)):
+            with pytest.raises(CircuitOpenError, match="mf"):
+                gateway.top_k(np.arange(4))
+        snap = gateway.metrics.snapshot()
+        assert snap["models"]["mf"]["errors"] >= 1
+
+    def test_open_breaker_skips_the_failing_model_entirely(self, serving_dir, small_split):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, breaker_reset_seconds=60.0,
+            serve_stale_on_failure=False, fallback_models=("itempop",),
+        )
+        gateway.catalog.evict_all()
+        plan = self.evict_and_fault(gateway)
+        with inject(plan):
+            gateway.top_k(np.arange(4))  # opens the breaker, serves fallback
+            cold_starts_after_open = plan.calls.get("catalog.cold_start", 0)
+            gateway.top_k(np.arange(4))  # breaker open: primary never attempted
+            assert plan.calls.get("catalog.cold_start", 0) == cold_starts_after_open
+        assert gateway.metrics.snapshot()["models"]["mf"]["fallbacks_served"] == 2
+
+    def test_client_errors_do_not_trip_the_breaker(self, serving_dir, small_split):
+        gateway = make_gateway(serving_dir, small_split, breaker_failure_threshold=1)
+        for _ in range(3):
+            with pytest.raises(ServingError):
+                gateway.top_k(np.asarray([-1]))
+        assert gateway.resilience.breaker("mf").state == "closed"
+
+    def test_scores_has_no_fallback_but_fails_typed(self, serving_dir, small_split):
+        gateway = make_gateway(serving_dir, small_split, breaker_failure_threshold=1)
+        gateway.resilience.breaker("mf").record_failure()  # force open
+        with pytest.raises(CircuitOpenError, match="no fallback"):
+            gateway.scores(np.arange(2), np.arange(3))
+
+    def test_grouped_routing_isolates_a_broken_model(self, serving_dir, small_split):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, serve_stale_on_failure=False,
+        )
+        gateway.catalog.evict_all()
+        with inject(self.evict_and_fault(gateway)):
+            with pytest.raises(CircuitOpenError):
+                gateway.top_k_mixed([("mf", 1), ("itempop", 2)])
+            # itempop alone still serves while mf's breaker is open.
+            result = gateway.top_k_mixed([("itempop", 1), ("itempop", 2)])
+        assert result.items.shape[0] == 2
+
+
+class TestWarmerProbes:
+    def test_probe_recovers_a_healed_model_off_the_request_path(self, serving_dir, small_split):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, breaker_reset_seconds=0.0,
+            serve_stale_on_failure=False, fallback_models=("itempop",),
+        )
+        gateway.catalog.evict_all()
+        plan = FaultPlan([FaultRule("catalog.cold_start", match="mf", count=2)])
+        with inject(plan):
+            gateway.top_k(np.arange(4))  # fault -> breaker opens -> fallback
+        assert gateway.resilience.breaker("mf").state == "open"
+        warmer = CatalogWarmer(gateway.catalog, resilience=gateway.resilience)
+        warmer.run_once()  # fault window passed: the probe warms and closes
+        assert warmer.last_probe_results == {"mf": True}
+        assert gateway.resilience.breaker("mf").state == "closed"
+        assert "mf" in gateway.catalog.resident_names, "probe pre-warmed; next request is a hit"
+
+    def test_failed_probe_reopens_and_cycle_survives(self, serving_dir, small_split):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, breaker_reset_seconds=0.0,
+            serve_stale_on_failure=False, fallback_models=("itempop",),
+        )
+        gateway.catalog.evict_all()
+        warmer = CatalogWarmer(
+            gateway.catalog, names=["itempop"], resilience=gateway.resilience
+        )
+        plan = FaultPlan([FaultRule("catalog.cold_start", match="mf", count=None)])
+        with inject(plan):
+            gateway.top_k(np.arange(4))
+            warmer.run_once()  # probe fails against the persisting fault
+            assert warmer.last_probe_results == {"mf": False}
+            assert gateway.resilience.breaker("mf").state == "open"
+
+    def test_probe_never_rides_a_request(self, serving_dir, small_split):
+        """While the breaker is open (timer not elapsed), requests never cold-start."""
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, breaker_reset_seconds=3600.0,
+            serve_stale_on_failure=False, fallback_models=("itempop",),
+        )
+        gateway.catalog.evict_all()
+        plan = FaultPlan([FaultRule("catalog.cold_start", match="mf", count=None)])
+        with inject(plan):
+            gateway.top_k(np.arange(4))
+            attempts = plan.calls.get("catalog.cold_start", 0)
+            for _ in range(5):
+                gateway.top_k(np.arange(4))
+            assert plan.calls.get("catalog.cold_start", 0) == attempts
+
+
+class TestFailureMetrics:
+    """Satellite: failure counters in snapshots, surviving merge_snapshots."""
+
+    def test_all_failure_counters_appear_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.record_shed("m")
+        registry.record_deadline_exceeded("m")
+        registry.record_breaker_open("m")
+        registry.record_fallback("m")
+        snap = registry.snapshot()
+        for key in ("sheds", "deadline_exceeded", "breaker_opens", "fallbacks_served"):
+            assert snap["models"]["m"][key] == 1
+            assert snap["totals"][key] == 1
+
+    def test_counters_survive_merge(self):
+        registries = [MetricsRegistry() for _ in range(3)]
+        for i, registry in enumerate(registries):
+            for _ in range(i + 1):
+                registry.record_shed("m")
+                registry.record_fallback("m")
+            registry.record_deadline_exceeded("m")
+        fleet = MetricsRegistry.merge_snapshots([r.snapshot() for r in registries])
+        assert fleet["totals"]["sheds"] == 6
+        assert fleet["totals"]["fallbacks_served"] == 6
+        assert fleet["totals"]["deadline_exceeded"] == 3
+
+    def test_merge_tolerates_old_snapshots_without_new_keys(self):
+        old = MetricsRegistry()
+        old.record_request("m", rows=2, seconds=0.01)
+        old_snap = old.snapshot()
+        for model in old_snap["models"].values():
+            for key in ("sheds", "deadline_exceeded", "breaker_opens", "fallbacks_served"):
+                model.pop(key, None)
+        new = MetricsRegistry()
+        new.record_shed("m")
+        fleet = MetricsRegistry.merge_snapshots([old_snap, new.snapshot()])
+        assert fleet["totals"]["sheds"] == 1
+        assert fleet["totals"]["requests"] == 1
+
+    def test_disabled_registry_ignores_failure_records(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.record_shed("m")
+        registry.record_deadline_exceeded("m")
+        assert registry.snapshot()["models"] == {}

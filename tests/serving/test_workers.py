@@ -179,7 +179,7 @@ class TestCrashRecovery:
             expected = pool.top_k(users).items.tobytes()
             # Fan out to both workers, then kill one while all are in flight.
             with pool._api_lock:
-                rids = [pool._submit("top_k", (users, None, None)) for _ in range(4)]
+                rids = [pool._submit("top_k", (users, None, None, None)) for _ in range(4)]
                 victim = pool._handles[0].process
                 os.kill(victim.pid, signal.SIGKILL)
                 results = [pool._collect(rid) for rid in rids]
