@@ -65,7 +65,15 @@ from .errors import (
 )
 from .faults import InjectedFaultError, fault_point
 from .metrics import MetricsRegistry
-from .resilience import Deadline, ResiliencePolicy, ResilienceState
+from .resilience import (
+    ADMIT_ALLOW,
+    ADMIT_PROBE,
+    ADMIT_REJECT,
+    CircuitBreaker,
+    Deadline,
+    ResiliencePolicy,
+    ResilienceState,
+)
 from .topk import TopKResult
 
 __all__ = ["TrafficSplit", "GatewayResult", "ServingGateway"]
@@ -194,6 +202,7 @@ class ServingGateway:
         default_model: Optional[str] = None,
         metrics: Optional[MetricsRegistry] = None,
         policy: Optional[ResiliencePolicy] = None,
+        record_deadline_metrics: bool = True,
     ) -> None:
         if default_model is not None:
             catalog.entry(default_model)  # fail fast on typos
@@ -202,6 +211,13 @@ class ServingGateway:
         self.metrics = metrics if metrics is not None else catalog.metrics
         self.request_counts: Dict[str, int] = {}
         self._counts_lock = threading.Lock()
+        # ``record_deadline_metrics=False`` suppresses this gateway's own
+        # ``deadline_exceeded`` counting (deadlines are still *enforced*).
+        # The WorkerPool sets it for its worker-side gateways: the parent
+        # owns the pool's deadline counter, so a request whose deadline
+        # expires mid-serve inside a worker is counted exactly once
+        # fleet-wide instead of once by the worker and once by the parent.
+        self._record_deadline_metrics = record_deadline_metrics
         # ``resilience`` is None without a policy: the request path then
         # skips admission/breaker bookkeeping entirely (zero overhead),
         # though explicit per-request deadlines still work.
@@ -240,10 +256,15 @@ class ServingGateway:
             return Deadline.after(self.resilience.policy.deadline_seconds)
         return None
 
+    def _count_deadline(self, name: str) -> None:
+        """Record a deadline expiry — unless the pool parent owns the counter."""
+        if self._record_deadline_metrics:
+            self.metrics.record_deadline_exceeded(name)
+
     def _check_deadline(self, name: str, deadline: Optional[Deadline], where: str) -> None:
         """Typed, *counted* deadline enforcement at a request milestone."""
         if deadline is not None and deadline.expired:
-            self.metrics.record_deadline_exceeded(name)
+            self._count_deadline(name)
             raise DeadlineExceededError(
                 f"deadline exceeded {where} for model {name!r}"
             )
@@ -257,6 +278,19 @@ class ServingGateway:
         except OverloadedError:
             self.metrics.record_shed(name)
             raise
+
+    # A claimed half-open probe owes its breaker a verdict on *every* exit
+    # path, or the breaker wedges half-open and the model stays offline
+    # until the breaker's own leak backstop fires (resilience module).
+    def _fail_probe(self, breaker: Optional[CircuitBreaker], probing: bool, name: str) -> None:
+        """The probe hit its deadline: the model is still too slow — a failed probe."""
+        if probing and breaker is not None and breaker.record_failure():
+            self.metrics.record_breaker_open(name)
+
+    def _release_probe(self, breaker: Optional[CircuitBreaker], probing: bool) -> None:
+        """The probe ended for a model-unrelated reason: hand the slot back."""
+        if probing and breaker is not None:
+            breaker.release_probe()
 
     def _entry_version(self, name: str) -> int:
         try:
@@ -328,7 +362,9 @@ class ServingGateway:
         try:
             self._check_deadline(name, deadline, "at gateway entry")
             breaker = self.resilience.breaker(name) if self.resilience is not None else None
-            if breaker is not None and not breaker.allow():
+            verdict = breaker.admit() if breaker is not None else ADMIT_ALLOW
+            probing = verdict == ADMIT_PROBE
+            if verdict == ADMIT_REJECT:
                 self.metrics.record_error(name)
                 raise CircuitOpenError(
                     f"breaker for model {name!r} is {breaker.state} and raw score "
@@ -341,14 +377,19 @@ class ServingGateway:
                 block = store.scores(users, item_ids)
                 seconds = time.perf_counter() - started
             except DeadlineExceededError:
-                self.metrics.record_deadline_exceeded(name)
+                self._fail_probe(breaker, probing, name)
+                self._count_deadline(name)
                 raise
             except ServingError:
+                self._release_probe(breaker, probing)
                 raise
             except _MODEL_FAULTS:
                 if breaker is not None and breaker.record_failure():
                     self.metrics.record_breaker_open(name)
                 self.metrics.record_error(name)
+                raise
+            except BaseException:
+                self._release_probe(breaker, probing)
                 raise
             if breaker is not None:
                 breaker.record_success()
@@ -380,8 +421,10 @@ class ServingGateway:
         try:
             self._check_deadline(name, deadline, "at gateway entry")
             breaker = state.breaker(name) if state is not None else None
+            verdict = breaker.admit() if breaker is not None else ADMIT_ALLOW
+            probing = verdict == ADMIT_PROBE
             primary_error: Optional[BaseException] = None
-            if breaker is None or breaker.allow():
+            if verdict != ADMIT_REJECT:
                 try:
                     fault_point("gateway.score", name)
                     recommender = self.catalog.recommender(name, deadline=deadline)
@@ -389,9 +432,13 @@ class ServingGateway:
                     result = recommender.recommend(users, k=k)
                     seconds = time.perf_counter() - started
                 except DeadlineExceededError:
-                    self.metrics.record_deadline_exceeded(name)
+                    # A probe that cannot finish inside the deadline is the
+                    # very slowness that opened the breaker: a failed probe.
+                    self._fail_probe(breaker, probing, name)
+                    self._count_deadline(name)
                     raise
                 except ServingError:
+                    self._release_probe(breaker, probing)
                     raise
                 except _MODEL_FAULTS as error:
                     if breaker is None:
@@ -400,6 +447,9 @@ class ServingGateway:
                     if breaker.record_failure():
                         self.metrics.record_breaker_open(name)
                     primary_error = error
+                except BaseException:
+                    self._release_probe(breaker, probing)
+                    raise
                 else:
                     if breaker is not None:
                         # The model is healthy even if the request is late:
@@ -426,8 +476,13 @@ class ServingGateway:
 
         Every fallback serve is recorded against the *primary* model
         (``record_fallback``) — the model that needed rescuing — while
-        rows and latency land on the model that actually served.  When the
-        chain is exhausted the request fails with a typed
+        rows and latency land on the model that actually served.  A
+        fallback model's serve also books that model's *per-model*
+        admission share (the total-budget slot is already held under the
+        primary), so ``max_inflight_per_model`` meters the fallback's
+        real concurrency during an outage; a fallback whose own budget is
+        full is skipped, not shed.  When the chain is exhausted the
+        request fails with a typed
         :class:`~repro.serving.errors.CircuitOpenError` naming everything
         that was tried, chained to the primary failure.
         """
@@ -455,8 +510,16 @@ class ServingGateway:
                 continue
             label = f"fallback model {fallback_name!r}"
             breaker = state.breaker(fallback_name)
-            if not breaker.allow():
+            verdict = breaker.admit()
+            if verdict == ADMIT_REJECT:
                 tried.append(f"{label} (breaker {breaker.state})")
+                continue
+            probing = verdict == ADMIT_PROBE
+            try:
+                release_fallback = state.admission.acquire(fallback_name, count_total=False)
+            except OverloadedError:
+                self._release_probe(breaker, probing)
+                tried.append(f"{label} (per-model budget full)")
                 continue
             try:
                 fault_point("gateway.score", fallback_name)
@@ -465,14 +528,19 @@ class ServingGateway:
                 result = recommender.recommend(users, k=k)
                 seconds = time.perf_counter() - started
             except DeadlineExceededError:
-                self.metrics.record_deadline_exceeded(name)
+                self._fail_probe(breaker, probing, fallback_name)
+                self._count_deadline(name)
                 raise
             except ServingError:
+                self._release_probe(breaker, probing)
                 raise
             except _MODEL_FAULTS as error:
                 if breaker.record_failure():
                     self.metrics.record_breaker_open(fallback_name)
                 tried.append(f"{label} (failed: {error})")
+            except BaseException:
+                self._release_probe(breaker, probing)
+                raise
             else:
                 breaker.record_success()
                 state.remember_last_good(
@@ -482,6 +550,8 @@ class ServingGateway:
                 self._check_deadline(name, deadline, f"after {label}")
                 self._count(fallback_name, int(users.size), seconds)
                 return result
+            finally:
+                release_fallback()
         self.metrics.record_error(name)
         detail = "; tried " + ", ".join(tried) if tried else "; no fallbacks configured"
         raise CircuitOpenError(
@@ -540,18 +610,34 @@ class ServingGateway:
             validate_user_ids(users[np.asarray(indices, dtype=np.int64)], self.catalog.num_users, model=name)
         items_out: Optional[np.ndarray] = None
         scores_out: Optional[np.ndarray] = None
+        group_errors: List[Tuple[str, Exception]] = []
         for name, indices in order.items():
             rows = np.asarray(indices, dtype=np.int64)
-            # Each model group runs the full resilience flow independently:
-            # one group's open breaker or shed fails that group's rows'
-            # batch, not the models that already served.
-            result = self._serve_top_k(name, users[rows], k, deadline)
+            # Each model group runs the full resilience flow independently,
+            # and every group is *attempted* even when an earlier group
+            # failed: per-model counters always reflect exactly one attempt
+            # per group, instead of skewing toward whichever groups happened
+            # to be ordered first.  If any group failed, the batch raises
+            # the first group's error after all groups ran — the served
+            # groups' results are discarded, but their serve was real and
+            # stays counted.  A deadline expiry is the exception: once the
+            # request's budget is gone every remaining group would fail the
+            # same way, so it aborts the batch immediately.
+            try:
+                result = self._serve_top_k(name, users[rows], k, deadline)
+            except DeadlineExceededError:
+                raise
+            except Exception as error:  # noqa: BLE001 — typed per-group failure
+                group_errors.append((name, error))
+                continue
             if items_out is None:
                 width = result.items.shape[1]
                 items_out = np.full((len(models), width), -1, dtype=np.int64)
                 scores_out = np.full((len(models), width), -np.inf, dtype=np.float64)
             items_out[rows] = result.items
             scores_out[rows] = result.scores
+        if group_errors:
+            raise group_errors[0][1]
         assert items_out is not None and scores_out is not None
         return GatewayResult(users=users, models=models, items=items_out, scores=scores_out)
 

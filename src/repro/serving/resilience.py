@@ -19,7 +19,13 @@ counted outcome instead of an unbounded queue or a raw stack trace:
   circuit, the gateway fails over to its fallback chain, and a half-open
   probe (driven by the :class:`~repro.serving.warmer.CatalogWarmer` off
   the request path, or by the first request past the reset timeout)
-  decides whether to close it again.
+  decides whether to close it again.  A claimed probe must always reach
+  a verdict — :meth:`~CircuitBreaker.record_success`,
+  :meth:`~CircuitBreaker.record_failure`, or
+  :meth:`~CircuitBreaker.release_probe` when the probe's outcome says
+  nothing about the model — and as a backstop a half-open breaker whose
+  probe never reports re-opens the slot after another ``reset_seconds``,
+  so a leaked probe can never wedge a model offline permanently.
 
 :class:`ResiliencePolicy` is the immutable configuration bundle a
 :class:`~repro.serving.gateway.ServingGateway` (or each worker of a
@@ -60,6 +66,9 @@ __all__ = [
     "CircuitBreaker",
     "ResiliencePolicy",
     "ResilienceState",
+    "ADMIT_ALLOW",
+    "ADMIT_PROBE",
+    "ADMIT_REJECT",
 ]
 
 
@@ -182,14 +191,24 @@ class AdmissionController:
         """Replace the lock a fork may have copied in a held state (child only)."""
         self._lock = threading.Lock()
 
-    def acquire(self, model: str) -> Callable[[], None]:
+    def acquire(self, model: str, *, count_total: bool = True) -> Callable[[], None]:
         """Admit one request for ``model`` or raise :class:`OverloadedError`.
 
         Returns an idempotent release callable the caller must invoke when
         the request finishes (success *or* failure).
+
+        ``count_total=False`` books only ``model``'s per-model share, not
+        the gateway-wide budget — the gateway uses it when a fallback
+        model serves a request whose total-budget slot is already held
+        under the primary model's name, so per-model budgets meter the
+        model that *actually* serves without double-charging the total.
         """
         with self._lock:
-            if self.max_inflight is not None and self._total >= self.max_inflight:
+            if (
+                count_total
+                and self.max_inflight is not None
+                and self._total >= self.max_inflight
+            ):
                 raise OverloadedError(
                     f"overloaded: {self._total} requests in flight >= gateway budget "
                     f"{self.max_inflight}; request for {model!r} shed"
@@ -203,7 +222,8 @@ class AdmissionController:
                     f"overloaded: {model_inflight} requests in flight for {model!r} >= "
                     f"per-model budget {self.max_inflight_per_model}; request shed"
                 )
-            self._total += 1
+            if count_total:
+                self._total += 1
             self._per_model[model] = model_inflight + 1
         released = threading.Event()
 
@@ -212,7 +232,8 @@ class AdmissionController:
                 return
             released.set()
             with self._lock:
-                self._total -= 1
+                if count_total:
+                    self._total -= 1
                 remaining = self._per_model.get(model, 1) - 1
                 if remaining <= 0:
                     self._per_model.pop(model, None)
@@ -239,6 +260,11 @@ STATE_CLOSED = "closed"
 STATE_OPEN = "open"
 STATE_HALF_OPEN = "half-open"
 
+#: :meth:`CircuitBreaker.admit` verdicts.
+ADMIT_ALLOW = "allow"  # closed: serve normally
+ADMIT_PROBE = "probe"  # this caller claimed the half-open probe slot
+ADMIT_REJECT = "reject"  # open (or probe already claimed): do not serve
+
 
 class CircuitBreaker:
     """Per-model failure breaker: closed → open → half-open → closed.
@@ -247,10 +273,21 @@ class CircuitBreaker:
     unservable artifacts); at ``failure_threshold`` the breaker OPENs and
     :meth:`allow` answers False — the gateway stops hammering a model
     that cannot serve and fails over instead.  After ``reset_seconds``
-    the next :meth:`allow` (or an off-request-path :meth:`try_probe`
-    from the warmer) claims the single HALF-OPEN probe slot; the probe's
-    outcome either closes the breaker (:meth:`record_success`) or
-    re-opens it with a fresh timer (:meth:`record_failure`).
+    the next :meth:`admit`/:meth:`allow` (or an off-request-path
+    :meth:`try_probe` from the warmer) claims the single HALF-OPEN probe
+    slot; the probe's outcome either closes the breaker
+    (:meth:`record_success`) or re-opens it with a fresh timer
+    (:meth:`record_failure`).
+
+    A claimed probe **owns a verdict debt**: whoever got ``ADMIT_PROBE``
+    must call :meth:`record_success`, :meth:`record_failure`, or —
+    when the probe ended for a reason that says nothing about the model
+    (a client-input error, an interrupt) — :meth:`release_probe`, which
+    hands the slot straight back.  As a backstop against any path that
+    forgets, a breaker stuck half-open longer than ``reset_seconds``
+    re-opens the probe slot to the next :meth:`admit` caller, so a
+    leaked probe degrades to one lost reset window, never a permanently
+    disabled model.
 
     Thread-safe; the probe slot is claimed atomically, so concurrent
     requests during half-open cannot stampede the recovering model.
@@ -273,6 +310,7 @@ class CircuitBreaker:
         self._state = STATE_CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._half_open_since = 0.0
         #: Monotonic counters for observability.
         self.times_opened = 0
         forksafe.protect(self)
@@ -291,32 +329,67 @@ class CircuitBreaker:
         with self._lock:
             return self._consecutive_failures
 
-    def allow(self) -> bool:
-        """May a request try the model now?
+    def admit(self) -> str:
+        """May a request try the model now — and is it the probe?
 
-        CLOSED → True.  OPEN → False until ``reset_seconds`` elapsed, then
-        the first caller transitions to HALF-OPEN, claims the probe slot
-        and gets True; every other caller gets False until the probe's
-        verdict lands.
+        CLOSED → :data:`ADMIT_ALLOW`.  OPEN → :data:`ADMIT_REJECT` until
+        ``reset_seconds`` elapsed, then the first caller transitions to
+        HALF-OPEN, claims the probe slot and gets :data:`ADMIT_PROBE`;
+        every other caller is rejected until the probe's verdict lands.
+        A caller handed :data:`ADMIT_PROBE` owes the breaker a verdict
+        (:meth:`record_success` / :meth:`record_failure` /
+        :meth:`release_probe`); if none ever arrives, the slot re-opens
+        to a new probe after another ``reset_seconds`` (class docstring).
         """
         with self._lock:
             if self._state == STATE_CLOSED:
-                return True
+                return ADMIT_ALLOW
+            now = self._clock()
             if self._state == STATE_OPEN:
-                if self._clock() - self._opened_at >= self.reset_seconds:
+                if now - self._opened_at >= self.reset_seconds:
                     self._state = STATE_HALF_OPEN
-                    return True  # this caller IS the probe
-                return False
-            return False  # half-open: probe already claimed
+                    self._half_open_since = now
+                    return ADMIT_PROBE  # this caller IS the probe
+                return ADMIT_REJECT
+            # Half-open: the probe slot is claimed — unless its claimant
+            # leaked the verdict, in which case the slot is reclaimable
+            # after a full reset window (never wedge a model offline).
+            if now - self._half_open_since >= self.reset_seconds:
+                self._half_open_since = now
+                return ADMIT_PROBE
+            return ADMIT_REJECT
+
+    def allow(self) -> bool:
+        """May a request try the model now? (:meth:`admit` as a bool.)
+
+        True for a closed breaker *and* for the caller that claims the
+        half-open probe slot — use :meth:`admit` when the caller needs to
+        know which, i.e. whether it owes the breaker a probe verdict.
+        """
+        return self.admit() != ADMIT_REJECT
 
     def try_probe(self) -> bool:
         """Claim the half-open probe off the request path (warmer hook).
 
-        Same transition as :meth:`allow`, but named for intent: the
+        Same transition as :meth:`admit`, but named for intent: the
         warmer calls it each cycle and — when it returns True — warms
         the model itself, so the recovery attempt never rides a request.
         """
-        return self.allow() if self.state != STATE_CLOSED else False
+        return self.admit() == ADMIT_PROBE if self.state != STATE_CLOSED else False
+
+    def release_probe(self) -> None:
+        """Hand a claimed half-open probe slot back without a verdict.
+
+        For probes that ended for reasons unrelated to the model's health
+        (client-input errors, interrupts): the breaker returns to OPEN
+        with its *original* timer, so the very next :meth:`admit` (or the
+        warmer's :meth:`try_probe`) may claim a fresh probe immediately.
+        Not a failure: no streak increment, no ``times_opened`` bump.
+        No-op unless currently half-open.
+        """
+        with self._lock:
+            if self._state == STATE_HALF_OPEN:
+                self._state = STATE_OPEN
 
     def record_success(self) -> None:
         """A serve (or probe) succeeded: reset failures, close the breaker."""

@@ -142,7 +142,14 @@ def _worker_main(index: int, config: _WorkerConfig, request_queue, reply_queue) 
             resident_budget=config.resident_budget,
         )
         gateway = ServingGateway(
-            catalog, default_model=config.default_model, policy=config.policy
+            catalog,
+            default_model=config.default_model,
+            policy=config.policy,
+            # The parent owns the pool's deadline_exceeded counter: it
+            # counts every expiry exactly once when it raises — whether it
+            # noticed the expiry itself or a worker's typed reply told it.
+            # The worker gateway still *enforces* deadlines, silently.
+            record_deadline_metrics=False,
         )
         if config.warm:
             catalog.warm_all()
@@ -169,9 +176,10 @@ def _worker_main(index: int, config: _WorkerConfig, request_queue, reply_queue) 
             if kind == "top_k":
                 users, k, model, request_deadline = payload
                 if request_deadline is not None and request_deadline.expired:
-                    # The parent has already abandoned (and counted) this
-                    # request; reply typed without touching the worker's
-                    # gateway so the fleet view counts it exactly once.
+                    # The parent has abandoned (or is about to abandon)
+                    # this request; reply typed without the cost of a
+                    # pointless serve.  The parent owns the deadline
+                    # counter, so the fleet view counts it exactly once.
                     raise DeadlineExceededError(
                         "deadline expired before the worker dequeued the request"
                     )
@@ -272,9 +280,11 @@ class WorkerPool:
         #: requests (pipelined via :meth:`top_k_many`) sheds the excess
         #: with a typed ``OverloadedError`` instead of queueing unboundedly.
         self.max_inflight = max_inflight
-        #: Parent-side registry for outcomes the workers never see — sheds
-        #: at the pool boundary, deadlines that expired while a reply was
-        #: pending.  Folded into :meth:`fleet_metrics`.
+        #: Parent-side registry: sheds at the pool boundary, plus *every*
+        #: deadline expiry — the parent owns the pool's deadline counter
+        #: (worker gateways enforce deadlines without counting them), so
+        #: the fleet view counts each expired request exactly once.
+        #: Folded into :meth:`fleet_metrics`.
         self.metrics = MetricsRegistry()
         self._config = _WorkerConfig(
             directory=str(self.directory),
@@ -544,9 +554,28 @@ class WorkerPool:
         that arrives after its request was declared dead must be discarded
         by id — never delivered to a later request, never resubmitted as a
         zombie by crash recovery, never left leaking in ``_outstanding``.
+        The deadline is checked *before* any stashed reply is consumed, so
+        a result whose reply was drained earlier (while collecting another
+        request in :meth:`top_k_many`) is still refused once the deadline
+        has passed — no silent late answers.
+
+        The parent owns the pool's ``deadline_exceeded`` counter (worker
+        gateways enforce deadlines but do not count them): exactly one
+        count lands per expired request, at the raise — here on the
+        parent's own expiry check, or when a worker's typed
+        :class:`DeadlineExceededError` reply is re-raised.
         """
         timeout_at = time.monotonic() + self.request_timeout
         while True:
+            if deadline is not None and deadline.expired:
+                self._outstanding.pop(rid, None)  # late reply → dropped by id
+                self._replies.pop(rid, None)  # a stashed reply is late now too
+                if label is not None:
+                    self.metrics.record_deadline_exceeded(label)
+                raise DeadlineExceededError(
+                    f"deadline exceeded waiting for the worker reply to request {rid} "
+                    f"({self.alive_workers}/{len(self._handles)} workers alive)"
+                )
             reply = self._replies.pop(rid, None)
             if reply is not None:
                 kind, payload = reply
@@ -554,16 +583,10 @@ class WorkerPool:
                     rid = payload
                     continue
                 if kind == "error":
+                    if label is not None and isinstance(payload, DeadlineExceededError):
+                        self.metrics.record_deadline_exceeded(label)
                     raise payload
                 return payload
-            if deadline is not None and deadline.expired:
-                self._outstanding.pop(rid, None)  # late reply → dropped by id
-                if label is not None:
-                    self.metrics.record_deadline_exceeded(label)
-                raise DeadlineExceededError(
-                    f"deadline exceeded waiting for the worker reply to request {rid} "
-                    f"({self.alive_workers}/{len(self._handles)} workers alive)"
-                )
             remaining = timeout_at - time.monotonic()
             if remaining <= 0:
                 self._outstanding.pop(rid, None)  # late reply → dropped by id
@@ -683,9 +706,11 @@ class WorkerPool:
         histogram buckets (:meth:`MetricsRegistry.merge_snapshots`), so
         ``fleet_metrics()["totals"]["request_latency"]["p99"]`` is the
         pool's true tail latency.  The parent's own registry — pool-level
-        sheds and parent-observed deadline expiries — is folded in, so
-        resilience outcomes reconcile fleet-wide; ``workers`` still
-        counts worker processes only.
+        sheds and the pool's deadline expiries (the parent owns that
+        counter; worker gateways enforce deadlines without counting them,
+        so each expiry lands exactly once) — is folded in, so resilience
+        outcomes reconcile fleet-wide; ``workers`` still counts worker
+        processes only.
         """
         snapshots = self.metrics_snapshots()
         merged = MetricsRegistry.merge_snapshots(list(snapshots) + [self.metrics.snapshot()])

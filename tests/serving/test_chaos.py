@@ -29,6 +29,7 @@ from repro.models import ModelSettings, build_model
 from repro.persist import LAYOUT_DIR, save_model
 from repro.serving import (
     CatalogWarmer,
+    Deadline,
     DeadlineExceededError,
     FaultPlan,
     FaultRule,
@@ -286,6 +287,50 @@ class TestWorkerPoolChaos:
             fleet = pool.fleet_metrics()
             assert fleet["totals"]["deadline_exceeded"] == 1
             assert fleet["workers"] == 1
+            assert pool.top_k(np.arange(2), k=K).items.shape == (2, K)
+
+    def test_stashed_reply_is_refused_once_the_deadline_passed(
+        self, chaos_dir, small_split
+    ):
+        """A reply drained into the parent's stash (while collecting another
+        request in ``top_k_many``) must not be delivered after its request's
+        deadline expired — the 'no silent late answers' invariant covers
+        already-arrived replies too."""
+        with WorkerPool(
+            chaos_dir, small_split.train, workers=1, default_model="mf"
+        ) as pool:
+            with pool._api_lock:
+                pool._replies[999] = ("value", "stale-result")
+                with pytest.raises(DeadlineExceededError):
+                    pool._collect(
+                        999, deadline=Deadline(time.monotonic() - 1.0), label="mf"
+                    )
+                assert 999 not in pool._replies, "the late stashed reply is discarded"
+            assert pool.metrics.snapshot()["totals"]["deadline_exceeded"] == 1
+            # The pool still serves normally afterwards.
+            assert pool.top_k(np.arange(2), k=K).items.shape == (2, K)
+
+    def test_deadline_mid_serve_counts_exactly_once_fleet_wide(
+        self, chaos_dir, small_split
+    ):
+        """A deadline expiring *after* the worker dequeued the request must
+        land one ``deadline_exceeded`` in the fleet view, not one from the
+        worker's gateway plus one from the parent."""
+        with WorkerPool(
+            chaos_dir,
+            small_split.train,
+            workers=1,
+            default_model="mf",
+            request_timeout=30.0,
+            simulate_io_seconds=0.6,  # the worker dequeues live, then stalls
+        ) as pool:
+            with pytest.raises(DeadlineExceededError):
+                pool.top_k(np.arange(3), k=K, deadline=0.2)
+            # The metrics request queues behind the stalled serve, so by the
+            # time the snapshot returns the worker has long finished — and
+            # would have counted the expiry too, were it not parent-owned.
+            fleet = pool.fleet_metrics()
+            assert fleet["totals"]["deadline_exceeded"] == 1
             assert pool.top_k(np.arange(2), k=K).items.shape == (2, K)
 
     def test_sigkill_mid_request_respawns_and_serves_correctly(

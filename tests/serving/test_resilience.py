@@ -35,6 +35,7 @@ from repro.serving import (
     ServingUnavailableError,
     inject,
 )
+from repro.serving.resilience import ADMIT_ALLOW, ADMIT_PROBE, ADMIT_REJECT
 
 
 @pytest.fixture()
@@ -158,6 +159,45 @@ class TestCircuitBreaker:
         breaker.record_success()
         assert breaker.state == "closed"
         assert breaker.allow()
+
+    def test_admit_distinguishes_the_probe_claim(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10.0, clock=lambda: clock[0])
+        assert breaker.admit() == ADMIT_ALLOW
+        breaker.record_failure()
+        assert breaker.admit() == ADMIT_REJECT
+        clock[0] = 11.0
+        assert breaker.admit() == ADMIT_PROBE, "first caller past the window is the probe"
+        assert breaker.admit() == ADMIT_REJECT, "probe slot single-claim"
+
+    def test_release_probe_hands_the_slot_back_immediately(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.admit() == ADMIT_PROBE
+        breaker.release_probe()  # probe ended for a model-unrelated reason
+        assert breaker.state == "open"
+        assert breaker.admit() == ADMIT_PROBE, (
+            "a released probe is claimable again at once — no failure counted, "
+            "no fresh reset window"
+        )
+        assert breaker.times_opened == 1, "release is not a failure"
+
+    def test_leaked_probe_verdict_self_heals_after_a_reset_window(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, reset_seconds=10.0, clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 11.0
+        assert breaker.admit() == ADMIT_PROBE
+        # The claimant dies without ever reporting a verdict.
+        clock[0] = 15.0
+        assert breaker.admit() == ADMIT_REJECT, "still inside the claimant's window"
+        clock[0] = 21.0
+        assert breaker.admit() == ADMIT_PROBE, (
+            "a wedged half-open breaker must re-open its probe slot after a "
+            "full reset window — a leaked probe can never disable a model forever"
+        )
 
     def test_snapshot_is_plain(self):
         snap = CircuitBreaker().snapshot()
@@ -342,6 +382,142 @@ class TestBreakerAndFallback:
             # itempop alone still serves while mf's breaker is open.
             result = gateway.top_k_mixed([("itempop", 1), ("itempop", 2)])
         assert result.items.shape[0] == 2
+
+
+class TestProbeVerdictAlwaysLands:
+    """Regression: a claimed half-open probe must never leak its verdict.
+
+    A probe request that dies mid-serve for *any* reason — most likely a
+    deadline expiring during the very cold start that opened the breaker —
+    used to leave the breaker half-open forever: every later request was
+    rejected and the warmer's ``try_probe`` could never claim the slot, so
+    the model was permanently offline.
+    """
+
+    def test_probe_that_misses_its_deadline_reopens_not_wedges(
+        self, serving_dir, small_split
+    ):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, breaker_reset_seconds=0.0,
+            serve_stale_on_failure=False,
+        )
+        gateway.catalog.evict_all()
+        with inject(FaultPlan([FaultRule("gateway.score", match="mf", count=1)])):
+            with pytest.raises(ServingUnavailableError):
+                gateway.top_k(np.arange(4))
+        breaker = gateway.resilience.breaker("mf")
+        assert breaker.state == "open"
+        # Reset window (0s) elapsed: the next request claims the probe, but
+        # a stall pushes it past its deadline before the cold start begins.
+        # Deadline expiry during a probe's cold start is exactly the
+        # slowness that opened the breaker — it must count as a *failed
+        # probe*, never wedge the breaker half-open.
+        stall = FaultPlan([FaultRule("gateway.score", kind="stall", seconds=0.25, count=1)])
+        with inject(stall):
+            with pytest.raises(DeadlineExceededError):
+                gateway.top_k(np.arange(4), deadline=0.05)
+        assert breaker.state == "open", (
+            "a probe that missed its deadline must re-open the breaker, "
+            "not leave it half-open with the probe slot claimed forever"
+        )
+        # And recovery still works off the request path: the warmer claims
+        # a fresh probe, the fault is gone, the breaker closes.
+        warmer = CatalogWarmer(gateway.catalog, resilience=gateway.resilience)
+        warmer.run_once()
+        assert warmer.last_probe_results == {"mf": True}
+        assert breaker.state == "closed"
+        assert gateway.top_k(np.arange(4)).items.shape[0] == 4
+
+    def test_probe_deadline_failure_counts_breaker_reopen(self, serving_dir, small_split):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, breaker_reset_seconds=0.0,
+            serve_stale_on_failure=False,
+        )
+        gateway.catalog.evict_all()
+        with inject(FaultPlan([FaultRule("gateway.score", match="mf", count=1)])):
+            with pytest.raises(ServingUnavailableError):
+                gateway.top_k(np.arange(4))
+        stall = FaultPlan([FaultRule("gateway.score", kind="stall", seconds=0.25, count=1)])
+        with inject(stall):
+            with pytest.raises(DeadlineExceededError):
+                gateway.top_k(np.arange(4), deadline=0.05)
+        snap = gateway.metrics.snapshot()
+        assert snap["models"]["mf"]["breaker_opens"] == 2, (
+            "the failed probe's re-open is observable, like any other open"
+        )
+        assert snap["models"]["mf"]["deadline_exceeded"] == 1
+
+
+class TestFallbackAdmission:
+    """Fallback serves book the *serving* model's per-model admission share."""
+
+    def test_fallback_serve_respects_the_fallback_models_budget(
+        self, serving_dir, small_split
+    ):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            max_inflight_per_model=1,
+            breaker_failure_threshold=1, breaker_reset_seconds=60.0,
+            serve_stale_on_failure=False, fallback_models=("itempop",),
+        )
+        gateway.catalog.evict_all()
+        # Saturate the fallback model's per-model budget from elsewhere.
+        release = gateway.resilience.admission.acquire("itempop")
+        plan = FaultPlan([FaultRule("catalog.cold_start", match="mf", count=None)])
+        with inject(plan):
+            with pytest.raises(CircuitOpenError, match="per-model budget full"):
+                # The primary faults; the fallback would serve, but its
+                # budget is full — skipped, and the chain ends typed.
+                gateway.top_k(np.arange(4))
+            release()
+            # Budget freed: the same outage now serves from the fallback.
+            result = gateway.top_k(np.arange(4))
+        assert result.items.shape[0] == 4
+        assert gateway.metrics.snapshot()["models"]["mf"]["fallbacks_served"] == 1
+        assert gateway.resilience.admission.inflight("itempop") == 0, (
+            "the fallback's per-model share is released after the serve"
+        )
+
+    def test_fallback_admission_never_double_charges_the_total_budget(
+        self, serving_dir, small_split
+    ):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            max_inflight=1,  # the request itself holds the only total slot
+            breaker_failure_threshold=1, breaker_reset_seconds=60.0,
+            serve_stale_on_failure=False, fallback_models=("itempop",),
+        )
+        gateway.catalog.evict_all()
+        with inject(FaultPlan([FaultRule("catalog.cold_start", match="mf", count=None)])):
+            # If the fallback acquisition counted against the total budget
+            # this would shed against the request's own slot and fail.
+            result = gateway.top_k(np.arange(4))
+        assert result.items.shape[0] == 4
+        assert gateway.metrics.snapshot()["totals"]["sheds"] == 0
+
+
+class TestGroupedBatchAttemptsEveryGroup:
+    def test_groups_after_a_failed_group_still_serve_and_count(
+        self, serving_dir, small_split
+    ):
+        gateway = make_gateway(
+            serving_dir, small_split,
+            breaker_failure_threshold=1, serve_stale_on_failure=False,
+        )
+        gateway.catalog.evict_all()
+        with inject(FaultPlan([FaultRule("catalog.cold_start", match="mf", count=None)])):
+            # 'mf' is listed first, so its group fails first — 'itempop'
+            # must still be attempted before the batch raises.
+            with pytest.raises(CircuitOpenError):
+                gateway.top_k_mixed([("mf", 1), ("itempop", 2), ("itempop", 3)])
+        snap = gateway.metrics.snapshot()
+        assert snap["models"]["itempop"]["requests"] == 1, (
+            "the healthy group was served (one grouped serve, counted) even "
+            "though an earlier group's failure fails the batch"
+        )
+        assert snap["models"]["mf"]["errors"] >= 1
 
 
 class TestWarmerProbes:
