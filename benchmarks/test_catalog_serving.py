@@ -7,10 +7,11 @@ for the serving path (the training trajectory lives in
 
 * **cold-start latency** — ``ModelCatalog.warm`` per model (artifact load
   + one propagation), min of 3 cold starts each;
-* **mixed-traffic throughput** — a stream of single-user top-10 requests
-  spread across all three models by a sticky ``TrafficSplit``, served in
-  batches through ``ServingGateway.top_k_mixed`` (grouped: one dense block
-  per model per batch) vs the naive per-request loop on the same stream;
+* **mixed-traffic throughput** — a deterministic scenario-engine stream
+  (``repro.serving.loadgen.TrafficModel``) of single-user top-10 requests
+  routed across all three models by weight, served in batches through
+  ``ServingGateway.top_k_mixed`` (grouped: one dense block per model per
+  batch) vs the naive per-request loop on the same stream;
 * **metrics overhead** — the same grouped stream against a catalog with
   metrics collection enabled vs ``MetricsRegistry(enabled=False)``; the
   recorded overhead must stay a small fraction of grouped throughput;
@@ -43,7 +44,8 @@ from repro.serving import (
     ModelCatalog,
     ServingGateway,
     TopKRecommender,
-    TrafficSplit,
+    TrafficConfig,
+    TrafficModel,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -55,11 +57,38 @@ NUM_BEHAVIORS = 10000
 EMBEDDING_DIM = 16
 TOP_K = 10
 REQUEST_BATCH = 256
+NUM_MIXED_REQUESTS = 4096
 
 CATALOG_MODELS = {"gbgcn": "GBGCN", "gbgcn-pretrain": "GBGCN-pretrain", "mf": "MF"}
 SPLIT_WEIGHTS = {"gbgcn": 0.6, "gbgcn-pretrain": 0.2, "mf": 0.2}
 
 _RESULTS = {}
+
+
+def _mixed_requests():
+    """The shared scenario-engine stream, flattened to (model, user) pairs.
+
+    Replaces the hand-rolled rng + sticky-split loop this benchmark used
+    to build its workload with the deterministic
+    :class:`~repro.serving.loadgen.TrafficModel` rig — same stream shape
+    the replay benchmarks drive, here consumed closed-loop in grouped
+    batches.
+    """
+    stream = TrafficModel(
+        TrafficConfig(
+            duration_seconds=10.0,
+            base_rate_per_second=520.0,  # Poisson ~5200 >> the 4096 consumed
+            diurnal_amplitude=0.2,
+            diurnal_period_seconds=10.0,
+            model_weights=tuple(sorted(SPLIT_WEIGHTS.items())),
+            seed=3,
+        )
+    ).generate(num_users=NUM_USERS, num_items=NUM_ITEMS)
+    assert len(stream) >= NUM_MIXED_REQUESTS
+    return [
+        (stream.model_name(index), int(stream.users[index]))
+        for index in range(NUM_MIXED_REQUESTS)
+    ]
 
 
 def _serving_scale_split(seed=11):
@@ -135,12 +164,7 @@ def test_mixed_traffic_throughput(catalog_setup):
     directory, split = catalog_setup
     catalog = ModelCatalog(directory, split.train)
     gateway = ServingGateway(catalog, default_model="gbgcn")
-    traffic = TrafficSplit(SPLIT_WEIGHTS, seed=7)
-
-    rng = np.random.default_rng(3)
-    request_users = rng.integers(0, NUM_USERS, size=4096).astype(np.int64)
-    assignments = traffic.assign(request_users)
-    requests = [(str(model), int(user)) for model, user in zip(assignments, request_users)]
+    requests = _mixed_requests()
 
     catalog.warm_all()  # measure steady-state routing, not cold starts
 
@@ -174,7 +198,10 @@ def test_mixed_traffic_throughput(catalog_setup):
         )
         assert np.array_equal(sample.items[rows], reference.items)
 
-    share = {name: int(np.sum(assignments == name)) for name in sorted(SPLIT_WEIGHTS)}
+    share = {
+        name: sum(1 for model, _ in requests if model == name)
+        for name in sorted(SPLIT_WEIGHTS)
+    }
     print(
         f"\nBENCH mixed traffic: {grouped_rps:,.0f} req/s grouped vs "
         f"{naive_rps:,.0f} req/s per-request ({grouped_rps / naive_rps:.1f}x), "
@@ -208,11 +235,7 @@ def test_mixed_traffic_throughput(catalog_setup):
 def test_metrics_collection_overhead(catalog_setup):
     """Metrics must cost a small fraction of grouped-batch throughput."""
     directory, split = catalog_setup
-    rng = np.random.default_rng(3)
-    request_users = rng.integers(0, NUM_USERS, size=4096).astype(np.int64)
-    traffic = TrafficSplit(SPLIT_WEIGHTS, seed=7)
-    assignments = traffic.assign(request_users)
-    requests = [(str(model), int(user)) for model, user in zip(assignments, request_users)]
+    requests = _mixed_requests()
 
     def make_gateway(metrics):
         catalog = ModelCatalog(directory, split.train, metrics=metrics)
@@ -313,7 +336,7 @@ def test_write_bench_serving_json():
         except (ValueError, OSError):
             pass
     payload = {
-        "schema": "repro-serving-bench/v5",
+        "schema": "repro-serving-bench/v6",
         "config": {
             "num_users": NUM_USERS,
             "num_items": NUM_ITEMS,

@@ -7,7 +7,7 @@ the catalog; the IVF shortlist + exact-rescore path probes
 ahead as the catalog grows.  This benchmark measures both paths on the same
 MF model at three catalog sizes, records recall@10 against exact search at
 each point, and writes the curve into ``BENCH_serving.json``
-(``results.retrieval_scaling``, schema ``repro-serving-bench/v5``) next to
+(``results.retrieval_scaling``, schema ``repro-serving-bench/v6``) next to
 the catalog-serving numbers.
 
 Run with ``REPRO_RUN_SLOW=1`` (the 1M point builds a 1000-cell k-means
@@ -172,13 +172,13 @@ def test_write_retrieval_scaling_into_bench_json():
     """Merge the curve into BENCH_serving.json (runs after the points)."""
     if not _CURVE:
         pytest.skip("no scaling points collected in this run")
-    payload = {"schema": "repro-serving-bench/v5", "config": {}, "results": {}}
+    payload = {"schema": "repro-serving-bench/v6", "config": {}, "results": {}}
     if OUTPUT_PATH.exists():
         try:
             payload = json.loads(OUTPUT_PATH.read_text())
         except (ValueError, OSError):
             pass
-    payload["schema"] = "repro-serving-bench/v5"
+    payload["schema"] = "repro-serving-bench/v6"
     payload.setdefault("results", {})["retrieval_scaling"] = {
         "embedding_dim": EMBEDDING_DIM,
         "num_users": NUM_USERS,

@@ -13,7 +13,7 @@ same dir-layout (mmap-backed) artifacts, under two request profiles:
   >= 1.5x the 1-worker point regardless of core count.
 
 Results land in ``BENCH_serving.json`` under ``results.worker_scaling``
-(schema ``repro-serving-bench/v5``), alongside the single-process
+(schema ``repro-serving-bench/v6``), alongside the single-process
 serving and retrieval sections.  Slow-gated: ``REPRO_RUN_SLOW=1``.
 """
 
@@ -157,13 +157,13 @@ def test_write_worker_scaling_into_bench_json(pool_setup):
     """Merge the curve into BENCH_serving.json (runs after the points)."""
     if not _RESULTS:
         pytest.skip("no scaling points collected in this run")
-    payload = {"schema": "repro-serving-bench/v5", "config": {}, "results": {}}
+    payload = {"schema": "repro-serving-bench/v6", "config": {}, "results": {}}
     if OUTPUT_PATH.exists():
         try:
             payload = json.loads(OUTPUT_PATH.read_text())
         except (ValueError, OSError):
             pass
-    payload["schema"] = "repro-serving-bench/v5"
+    payload["schema"] = "repro-serving-bench/v6"
     points = [_RESULTS[w] for w in sorted(_RESULTS)]
     base = points[0]["io_stall_req_s"]
     cpu_base = points[0]["cpu_bound_req_s"]

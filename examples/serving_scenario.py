@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""The scenario engine end to end: population -> traffic -> open-loop replay.
+
+The serving examples so far drive gateways with hand-picked user arrays.
+This example runs the standing stress rig instead:
+
+1. generate a seeded synthetic **population** with controllable structure
+   (``ScenarioConfig``: Zipf item popularity, planted-partition
+   communities, initiator/participant role mix) — block-streamed, so the
+   same code generates 1M-user worlds in the slow benchmarks;
+2. slice a training-sized ``GroupBuyingDataset`` out of it, train a small
+   MF model and publish it to a ``ModelCatalog``/``ServingGateway``;
+3. expand a **traffic model** (diurnal cycle + one flash-sale burst with
+   hot-key skew and a tighter in-burst deadline budget) into a
+   deterministic timestamped ``RequestStream``;
+4. **replay** the stream open-loop against the gateway and print the
+   per-phase SLO ledger: requests == ok + sheds + deadline_exceeded +
+   errors, with p50/p95/p99 and achieved vs offered req/s per phase.
+
+Runs in well under a minute on a laptop CPU:
+
+    python examples/serving_scenario.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import ScenarioConfig, generate_population, leave_one_out_split
+from repro.models import ModelSettings, build_model
+from repro.persist import save_model
+from repro.serving import (
+    FlashBurst,
+    ModelCatalog,
+    ReplayHarness,
+    ServingGateway,
+    TrafficConfig,
+    TrafficModel,
+)
+from repro.training import TrainingSettings, train_model
+from repro.utils import configure_logging
+
+#: ``REPRO_EXAMPLE_SCALE=tiny`` shrinks every example to smoke-test size
+#: (used by tests/test_examples_smoke.py); the default is demo-sized.
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
+
+def main() -> None:
+    configure_logging()
+
+    # 1. A seeded population: who exists, who befriends whom, who launches.
+    config = (
+        ScenarioConfig(num_users=400, num_items=80, num_behaviors=900,
+                       num_communities=8, block_size=128, seed=7)
+        if TINY
+        else ScenarioConfig(num_users=20_000, num_items=2_000, num_behaviors=40_000,
+                            num_communities=40, block_size=8_192, seed=7)
+    )
+    population = generate_population(config)
+    print(f"population: {population!r}")
+    print(f"  mean degree {population.mean_degree():.1f}, "
+          f"initiator share {population.roles.mean():.2f}, "
+          f"clinch rate {population.success_mask().mean():.2f}")
+    print(f"  digest {population.digest()[:16]}… (same seed -> same bytes, "
+          f"in any process)")
+    print()
+
+    # 2. Any sub-scale slice is a valid dataset; train a small model on one.
+    serve_users = 120 if TINY else 2_000
+    serve_items = 60 if TINY else 800
+    dataset = population.to_dataset(num_users=serve_users, num_items=serve_items)
+    split = leave_one_out_split(dataset, seed=1)
+    settings = ModelSettings(embedding_dim=8 if TINY else 16)
+    model = build_model("MF", split.train, settings)
+    train_model(model, split.train,
+                settings=TrainingSettings(num_epochs=1 if TINY else 3, batch_size=512))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        save_model(model, directory / "mf.npz")
+        gateway = ServingGateway(
+            ModelCatalog(directory, split.train), default_model="mf"
+        )
+        gateway.top_k(np.array([0]), k=10)  # absorb the cold start
+        print(f"serving slice: {serve_users} users / {serve_items} items, model 'mf'")
+        print()
+
+        # 3. Deterministic traffic: a diurnal cycle plus one flash sale
+        # whose requests chase 8 hot items under a 100 ms deadline.
+        traffic = TrafficConfig(
+            duration_seconds=4.0 if TINY else 12.0,
+            base_rate_per_second=30.0 if TINY else 80.0,
+            diurnal_amplitude=0.3,
+            diurnal_period_seconds=4.0 if TINY else 12.0,
+            bursts=(
+                FlashBurst(
+                    start_seconds=1.5 if TINY else 5.0,
+                    multiplier=4.0,
+                    rise_seconds=0.25 if TINY else 1.0,
+                    hold_seconds=1.0 if TINY else 3.0,
+                    decay_seconds=0.25 if TINY else 1.0,
+                    name="flash",
+                    hot_item_fraction=0.8,
+                    hot_items=8,
+                    deadline_seconds=0.1,
+                ),
+            ),
+            deadline_seconds=0.5,
+            seed=13,
+        )
+        stream = TrafficModel(traffic).generate(
+            num_users=serve_users, num_items=serve_items
+        )
+        counts = stream.phase_counts()
+        print(f"stream: {len(stream)} requests over {traffic.duration_seconds:.0f}s "
+              f"({counts['baseline']} baseline + {counts['flash']} flash), "
+              f"digest {stream.digest()[:16]}…")
+
+        # 4. Open-loop replay at 2x speed: arrivals follow the schedule,
+        # never the target's back-pressure.
+        report = ReplayHarness(gateway, stream, k=10, speed=2.0, concurrency=4).run()
+        print(f"replayed in {report.wall_seconds:.1f}s wall "
+              f"(max dispatch lag {report.max_dispatch_lag_seconds * 1000:.1f} ms)")
+        print()
+        print(f"{'phase':<10} {'req':>5} {'ok':>5} {'shed':>4} {'ddl':>4} {'err':>4} "
+              f"{'p50ms':>7} {'p99ms':>7} {'offered':>8} {'achieved':>8}")
+        for phase in report.phases:
+            print(f"{phase.phase:<10} {phase.requests:>5} {phase.ok:>5} "
+                  f"{phase.sheds:>4} {phase.deadline_exceeded:>4} {phase.errors:>4} "
+                  f"{phase.ok_p50_ms:>7.2f} {phase.ok_p99_ms:>7.2f} "
+                  f"{phase.offered_rps:>8.1f} {phase.achieved_rps:>8.1f}")
+        assert report.ledger_reconciles
+        print()
+        print("ledger reconciles: requests == ok + sheds + deadline_exceeded + errors")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,13 @@ from .synthetic import (
     generate_dataset,
     success_probability,
 )
+from .scenario import (
+    PopulationGenerator,
+    ScenarioConfig,
+    SyntheticPopulation,
+    fit_zipf_exponent,
+    generate_population,
+)
 from .splits import DatasetSplit, leave_one_out_split
 from .negative_sampling import EvaluationCandidateSampler, TrainingNegativeSampler
 from .samplers import PopularityNegativeSampler, item_popularity
@@ -40,6 +47,11 @@ __all__ = [
     "calibrate_join_bias",
     "success_probability",
     "generate_dataset",
+    "ScenarioConfig",
+    "SyntheticPopulation",
+    "PopulationGenerator",
+    "generate_population",
+    "fit_zipf_exponent",
     "observed_item_matrix",
     "DatasetSplit",
     "leave_one_out_split",

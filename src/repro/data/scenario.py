@@ -1,0 +1,631 @@
+"""Scenario engine, part 1: streaming synthetic populations at scale.
+
+``data/synthetic.py`` simulates the paper's causal structure faithfully but
+pays for it with per-behavior Python loops, per-edge dataclass objects and a
+global clinch-ratio calibration — fine at its 600-user default, hopeless at
+the "millions of users" scale the serving stack (IVF retrieval, worker
+pools, resilience) is built for.  This module is the scale-first sibling:
+a **block-streaming, fully vectorized** generator whose structure is
+*controllable* rather than simulated —
+
+* **Zipf popularity skew** — items are chosen rank-by-popularity with a
+  configurable tail exponent (``item_exponent``), the flash-sale-friendly
+  head-heavy catalog the paper's group-buying setting implies;
+* **clustered social graph** — a planted-partition wiring: every user
+  belongs to community ``user % num_communities`` and a configurable share
+  of friendships (``community_mix``) stays inside the community, giving the
+  homophilous-cluster shape social recommenders exploit without ever
+  touching an O(P²) similarity path;
+* **initiator/participant role mix** — a seeded Bernoulli role per user
+  (``initiator_fraction``) mirrors the paper's two-view design: only
+  initiator-role users launch groups, everyone may join one;
+* **latent affinity** — low-dimensional user/item factors (community-pulled
+  for users) drive join decisions, so any sub-scale slice still carries
+  collaborative-filtering signal a model can learn.
+
+Everything is generated **in blocks** of ``block_size`` users/behaviors
+with one independent, ``SeedSequence``-derived RNG stream per (component,
+block): a 1M-user population is a sequence of bounded vectorized passes
+(O(U + E + B·max_invited) total, never quadratic), and the result is
+byte-identical for the same :class:`ScenarioConfig` across runs, processes
+and ``spawn`` boundaries — :meth:`SyntheticPopulation.digest` is the
+contract the golden-seed tests pin.
+
+The population lives in flat numpy arrays (ragged participants via
+indptr), not Python objects; :meth:`SyntheticPopulation.to_dataset`
+materializes any *sub-scale* prefix slice as a regular
+:class:`~repro.data.dataset.GroupBuyingDataset` for training, and
+``repro.serving.loadgen`` turns the same population into timestamped
+request traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .dataset import GroupBuyingDataset
+from .schema import GroupBuyingBehavior, SocialEdge
+
+__all__ = [
+    "ScenarioConfig",
+    "SyntheticPopulation",
+    "PopulationGenerator",
+    "generate_population",
+    "fit_zipf_exponent",
+]
+
+# Stream ids for per-(component, block) RNG derivation.  Appending to this
+# list is safe; reordering or renumbering changes every digest.
+_STREAM_GLOBAL = 0      # item factors, thresholds, community centroids
+_STREAM_ROLES = 1       # per-user-block roles
+_STREAM_LATENT = 2      # per-user-block latent factors
+_STREAM_EDGES = 3       # per-user-block friendship stubs
+_STREAM_BEHAVIORS = 4   # per-behavior-block launches
+_STREAM_JOINS = 5       # per-behavior-block participant joins
+
+
+def _rng(seed: int, *spawn_key: int) -> np.random.Generator:
+    """An independent generator for one (component, block) cell.
+
+    ``SeedSequence`` spawn keys are part of numpy's stability contract:
+    the same ``(seed, spawn_key)`` yields the same stream on every
+    platform and in every process, which is what makes block-parallel or
+    cross-process generation byte-identical to the sequential run.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=spawn_key))
+
+
+def _zipf_probabilities(n: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf pmf over ranks ``0..n-1`` (rank 0 most popular)."""
+    weights = np.power(np.arange(1, n + 1, dtype=np.float64), -exponent)
+    return weights / weights.sum()
+
+
+def fit_zipf_exponent(counts: np.ndarray, max_ranks: int = 1000) -> float:
+    """Least-squares Zipf tail exponent of an empirical count vector.
+
+    Sorts ``counts`` descending and fits ``log(count) ~ -a * log(rank)``
+    over the non-zero head (at most ``max_ranks`` ranks), returning the
+    estimated exponent ``a``.  Used by the property suite to verify the
+    generated popularity skew tracks ``ScenarioConfig.item_exponent``.
+
+    >>> rng = np.random.default_rng(0)
+    >>> draws = rng.choice(500, size=20_000, p=_zipf_probabilities(500, 1.2))
+    >>> 0.9 < fit_zipf_exponent(np.bincount(draws)) < 1.5
+    True
+    """
+    counts = np.sort(np.asarray(counts, dtype=np.float64))[::-1]
+    counts = counts[counts > 0][:max_ranks]
+    if counts.size < 3:
+        raise ValueError("need at least 3 non-zero counts to fit a tail exponent")
+    log_rank = np.log(np.arange(1, counts.size + 1, dtype=np.float64))
+    log_count = np.log(counts)
+    slope = np.polyfit(log_rank, log_count, deg=1)[0]
+    return float(-slope)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of a streaming synthetic population.
+
+    Extensive counts (users, items, behaviors) set the scale; everything
+    else is *intensive* structure that holds at any scale.  All randomness
+    derives from ``seed`` via per-(component, block) ``SeedSequence``
+    spawn keys, so ``block_size`` is part of the deterministic identity of
+    the population (same config → byte-identical population).
+    """
+
+    num_users: int = 100_000
+    num_items: int = 10_000
+    num_behaviors: int = 200_000
+    #: Planted-partition communities; user ``u`` belongs to ``u % num_communities``.
+    num_communities: int = 50
+    #: Mean friendships per user (each user proposes ``mean_friends / 2`` stubs).
+    mean_friends: float = 8.0
+    #: Probability a friendship stub stays inside the proposer's community.
+    community_mix: float = 0.8
+    #: Share of users with the initiator role (the paper's two-view mix).
+    initiator_fraction: float = 0.3
+    #: Zipf tail exponent of item popularity (launch-choice skew).
+    item_exponent: float = 1.1
+    #: Zipf tail exponent of initiator activity (who launches how often).
+    activity_exponent: float = 0.8
+    #: Latent dimensionality behind join decisions (CF signal strength).
+    latent_dim: int = 8
+    #: How strongly a user's latent vector is pulled to their community centroid.
+    community_pull: float = 0.6
+    #: Base join probability, modulated by latent affinity.
+    join_probability: float = 0.5
+    #: Affinity modulation amplitude (0 = joins ignore the latent space).
+    affinity_gain: float = 0.25
+    #: Per-item clinch threshold range (inclusive).
+    min_threshold: int = 1
+    max_threshold: int = 3
+    #: Friends invited per launch (capped window of the friend list).
+    max_invited: int = 10
+    #: Users/behaviors generated per vectorized block.
+    block_size: int = 100_000
+    seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if self.num_users < 2:
+            raise ValueError("need at least 2 users")
+        if self.num_items < 1:
+            raise ValueError("need at least 1 item")
+        if self.num_behaviors < 1:
+            raise ValueError("need at least 1 behavior")
+        if not 1 <= self.num_communities <= self.num_users:
+            raise ValueError(
+                f"num_communities must be in [1, num_users], got {self.num_communities}"
+            )
+        if not 0.0 <= self.mean_friends < self.num_users:
+            raise ValueError("mean_friends must be >= 0 and below num_users")
+        if not 0.0 <= self.community_mix <= 1.0:
+            raise ValueError("community_mix must be in [0, 1]")
+        if not 0.0 <= self.initiator_fraction <= 1.0:
+            raise ValueError("initiator_fraction must be in [0, 1]")
+        if self.item_exponent < 0.0 or self.activity_exponent < 0.0:
+            raise ValueError("Zipf exponents must be >= 0")
+        if self.latent_dim < 1:
+            raise ValueError("latent_dim must be >= 1")
+        if not 0.0 < self.join_probability < 1.0:
+            raise ValueError("join_probability must be strictly between 0 and 1")
+        if self.min_threshold < 1 or self.max_threshold < self.min_threshold:
+            raise ValueError("invalid threshold range")
+        if self.max_invited < 1:
+            raise ValueError("max_invited must be >= 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be >= 1")
+
+    @classmethod
+    def small(cls, seed: int = 2021) -> "ScenarioConfig":
+        """A unit-test-sized population (fractions of a second to generate)."""
+        return cls(
+            num_users=400,
+            num_items=120,
+            num_behaviors=1200,
+            num_communities=8,
+            block_size=128,
+            seed=seed,
+        )
+
+    @classmethod
+    def million_users(cls, seed: int = 2021) -> "ScenarioConfig":
+        """The standing stress-rig scale: 1M users, head-heavy 50k-item catalog."""
+        return cls(
+            num_users=1_000_000,
+            num_items=50_000,
+            num_behaviors=2_000_000,
+            num_communities=500,
+            block_size=200_000,
+            seed=seed,
+        )
+
+    def scaled(self, factor: float) -> "ScenarioConfig":
+        """Scale the extensive counts; intensive structure is preserved.
+
+        Rejects factors that would push any count below its floor rather
+        than silently clamping (the distortion ``BeibeiLikeConfig.scaled``
+        historically allowed).
+        """
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        num_users = int(round(self.num_users * factor))
+        num_items = int(round(self.num_items * factor))
+        num_behaviors = int(round(self.num_behaviors * factor))
+        num_communities = min(self.num_communities, max(1, int(round(self.num_communities * factor))))
+        if num_users < 2 or num_items < 1 or num_behaviors < 1:
+            raise ValueError(
+                f"factor {factor} scales the population below its floors "
+                f"(users {num_users}, items {num_items}, behaviors {num_behaviors}); "
+                f"build a small config explicitly instead"
+            )
+        if self.mean_friends >= num_users:
+            raise ValueError(
+                f"factor {factor} leaves mean_friends={self.mean_friends} "
+                f">= num_users={num_users}; shrink mean_friends explicitly"
+            )
+        return replace(
+            self,
+            num_users=num_users,
+            num_items=num_items,
+            num_behaviors=num_behaviors,
+            num_communities=num_communities,
+        )
+
+
+class SyntheticPopulation:
+    """A generated population in flat arrays (no per-record Python objects).
+
+    Produced by :class:`PopulationGenerator`.  Ragged participant lists are
+    stored CSR-style (``participants_flat`` + ``participants_indptr``);
+    the social graph is an ``(E, 2)`` array of unique undirected edges with
+    ``edges[:, 0] < edges[:, 1]``.  All arrays use fixed dtypes so
+    :meth:`digest` is platform-stable.
+    """
+
+    def __init__(
+        self,
+        config: ScenarioConfig,
+        roles: np.ndarray,
+        edges: np.ndarray,
+        initiators: np.ndarray,
+        items: np.ndarray,
+        thresholds: np.ndarray,
+        participants_flat: np.ndarray,
+        participants_indptr: np.ndarray,
+    ) -> None:
+        self.config = config
+        self.roles = roles
+        self.edges = edges
+        self.initiators = initiators
+        self.items = items
+        self.thresholds = thresholds
+        self.participants_flat = participants_flat
+        self.participants_indptr = participants_indptr
+
+    # ------------------------------------------------------------------
+    # Basic views
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return self.config.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.config.num_items
+
+    @property
+    def num_behaviors(self) -> int:
+        return int(self.initiators.size)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    @property
+    def community(self) -> np.ndarray:
+        """Community id per user (structural: ``user % num_communities``)."""
+        return (
+            np.arange(self.num_users, dtype=np.int64) % self.config.num_communities
+        ).astype(np.int32)
+
+    def participant_counts(self) -> np.ndarray:
+        """Participants per behavior (``|M_p|``)."""
+        return np.diff(self.participants_indptr)
+
+    def success_mask(self) -> np.ndarray:
+        """Which behaviors clinched (``|M_p| >= t_n``)."""
+        return self.participant_counts() >= self.thresholds
+
+    def item_frequencies(self) -> np.ndarray:
+        """How often each item was launched (the empirical popularity skew)."""
+        return np.bincount(self.items, minlength=self.num_items)
+
+    def mean_degree(self) -> float:
+        """Mean friendships per user."""
+        return 2.0 * self.num_edges / self.num_users
+
+    # ------------------------------------------------------------------
+    # Determinism contract
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over the population's arrays and config identity.
+
+        Byte-identical for the same :class:`ScenarioConfig` across runs,
+        processes and ``spawn`` boundaries — the golden-seed determinism
+        tests (and the ``WorkerPool`` replay path, which regenerates
+        streams in spawned workers) pin this value.
+        """
+        sha = hashlib.sha256()
+        sha.update(repr(self.config).encode())
+        for array in (
+            self.roles,
+            self.edges,
+            self.initiators,
+            self.items,
+            self.thresholds,
+            self.participants_flat,
+            self.participants_indptr,
+        ):
+            sha.update(np.ascontiguousarray(array).tobytes())
+        return sha.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Sub-scale materialization
+    # ------------------------------------------------------------------
+    def to_dataset(
+        self,
+        num_users: Optional[int] = None,
+        num_items: Optional[int] = None,
+        max_behaviors: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> GroupBuyingDataset:
+        """Materialize a prefix slice as a :class:`GroupBuyingDataset`.
+
+        The slice keeps users ``< num_users`` and items ``< num_items``:
+        behaviors whose initiator or item falls outside are dropped,
+        out-of-range participants are filtered from surviving behaviors,
+        and only edges with both endpoints inside survive — so every
+        slice, at any sub-scale, is a valid dataset (the property suite's
+        invariant).  Object construction is O(slice), so training-sized
+        slices of a million-user population stay cheap.
+        """
+        users = self.num_users if num_users is None else int(num_users)
+        items = self.num_items if num_items is None else int(num_items)
+        if not 1 <= users <= self.num_users:
+            raise ValueError(f"num_users must be in [1, {self.num_users}], got {users}")
+        if not 1 <= items <= self.num_items:
+            raise ValueError(f"num_items must be in [1, {self.num_items}], got {items}")
+        keep = np.flatnonzero((self.initiators < users) & (self.items < items))
+        if max_behaviors is not None:
+            keep = keep[: int(max_behaviors)]
+        behaviors: List[GroupBuyingBehavior] = []
+        flat = self.participants_flat
+        indptr = self.participants_indptr
+        for index in keep:
+            participants = flat[indptr[index] : indptr[index + 1]]
+            participants = participants[participants < users]
+            behaviors.append(
+                GroupBuyingBehavior(
+                    initiator=int(self.initiators[index]),
+                    item=int(self.items[index]),
+                    participants=tuple(int(p) for p in participants),
+                    threshold=int(self.thresholds[index]),
+                )
+            )
+        inside = self.edges[(self.edges[:, 0] < users) & (self.edges[:, 1] < users)]
+        social = [SocialEdge(int(a), int(b)) for a, b in inside]
+        return GroupBuyingDataset(
+            num_users=users,
+            num_items=items,
+            behaviors=behaviors,
+            social_edges=social,
+            name=name or f"scenario(seed={self.config.seed}, users={users}, items={items})",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticPopulation(users={self.num_users:,}, items={self.num_items:,}, "
+            f"behaviors={self.num_behaviors:,}, edges={self.num_edges:,}, "
+            f"seed={self.config.seed})"
+        )
+
+
+class PopulationGenerator:
+    """Generates a :class:`SyntheticPopulation` block by block.
+
+    Usage::
+
+        population = PopulationGenerator(ScenarioConfig.million_users()).generate()
+        dataset = population.to_dataset(num_users=2000, num_items=1500)
+
+    Every pass is a bounded vectorized block: roles and latent factors per
+    user block, friendship stubs per user block (deduplicated once,
+    globally), launches per behavior block, joins per behavior block over
+    a CSR adjacency.  Nothing is O(num_users²) or O(num_behaviors ·
+    num_users).
+    """
+
+    def __init__(self, config: Optional[ScenarioConfig] = None) -> None:
+        self.config = config or ScenarioConfig()
+        #: Block spans of the last :meth:`generate` call (observability).
+        self.user_blocks_generated = 0
+        self.behavior_blocks_generated = 0
+
+    # ------------------------------------------------------------------
+    # Block iteration
+    # ------------------------------------------------------------------
+    def _blocks(self, total: int) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(block_index, lo, hi)`` spans of ``block_size``."""
+        size = self.config.block_size
+        for block_index, lo in enumerate(range(0, total, size)):
+            yield block_index, lo, min(lo + size, total)
+
+    # ------------------------------------------------------------------
+    # Per-component block passes
+    # ------------------------------------------------------------------
+    def _roles(self) -> np.ndarray:
+        cfg = self.config
+        roles = np.zeros(cfg.num_users, dtype=np.int8)
+        for block, lo, hi in self._blocks(cfg.num_users):
+            rng = _rng(cfg.seed, _STREAM_ROLES, block)
+            roles[lo:hi] = rng.random(hi - lo) < cfg.initiator_fraction
+            self.user_blocks_generated += 1
+        if not roles.any():
+            # A population with zero initiators cannot launch anything;
+            # deterministically promote user 0 (matters only for tiny
+            # populations or initiator_fraction ~ 0).
+            roles[0] = 1
+        return roles
+
+    def _latent(self, centroids: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        latent = np.empty((cfg.num_users, cfg.latent_dim), dtype=np.float32)
+        for block, lo, hi in self._blocks(cfg.num_users):
+            rng = _rng(cfg.seed, _STREAM_LATENT, block)
+            noise = rng.normal(0.0, 1.0, size=(hi - lo, cfg.latent_dim))
+            communities = np.arange(lo, hi, dtype=np.int64) % cfg.num_communities
+            latent[lo:hi] = (
+                cfg.community_pull * centroids[communities]
+                + (1.0 - cfg.community_pull) * noise
+            ).astype(np.float32)
+        return latent
+
+    def _community_member_count(self, communities: np.ndarray) -> np.ndarray:
+        """Members of each community ``c``: ``{c, c+C, c+2C, ...} ∩ [0, U)``."""
+        cfg = self.config
+        return (cfg.num_users - communities - 1) // cfg.num_communities + 1
+
+    def _edges(self) -> np.ndarray:
+        """Planted-partition friendships: block stubs, one global dedup."""
+        cfg = self.config
+        chunks: List[np.ndarray] = []
+        for block, lo, hi in self._blocks(cfg.num_users):
+            rng = _rng(cfg.seed, _STREAM_EDGES, block)
+            out_degree = rng.poisson(cfg.mean_friends / 2.0, size=hi - lo)
+            src = np.repeat(np.arange(lo, hi, dtype=np.int64), out_degree)
+            if src.size == 0:
+                continue
+            partners = np.empty(src.size, dtype=np.int64)
+            intra = rng.random(src.size) < cfg.community_mix
+            # Intra-community partner: the j-th member of the proposer's
+            # community is c + j*C — O(1) addressing, no member lists.
+            communities = src[intra] % cfg.num_communities
+            counts = self._community_member_count(communities)
+            member = np.floor(rng.random(communities.size) * counts).astype(np.int64)
+            partners[intra] = communities + member * cfg.num_communities
+            partners[~intra] = rng.integers(0, cfg.num_users, size=int((~intra).sum()))
+            keep = partners != src  # no self-loops
+            low = np.minimum(src[keep], partners[keep])
+            high = np.maximum(src[keep], partners[keep])
+            chunks.append(np.stack([low, high], axis=1))
+        if not chunks:
+            return np.zeros((0, 2), dtype=np.int64)
+        stacked = np.concatenate(chunks, axis=0)
+        # One global dedup over packed (a, b) keys: O(E log E), the most
+        # expensive pass of the generator and still far from quadratic.
+        keys = stacked[:, 0] * np.int64(cfg.num_users) + stacked[:, 1]
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        unique = np.ones(keys.size, dtype=bool)
+        unique[1:] = keys[1:] != keys[:-1]
+        return stacked[order[unique]]
+
+    @staticmethod
+    def _adjacency(edges: np.ndarray, num_users: int) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency (indptr, flat neighbor ids) from the edge array."""
+        endpoints = np.concatenate([edges[:, 0], edges[:, 1]])
+        neighbors = np.concatenate([edges[:, 1], edges[:, 0]])
+        degree = np.bincount(endpoints, minlength=num_users)
+        indptr = np.zeros(num_users + 1, dtype=np.int64)
+        np.cumsum(degree, out=indptr[1:])
+        order = np.argsort(endpoints, kind="stable")
+        return indptr, neighbors[order].astype(np.int64)
+
+    def _launches(
+        self, initiator_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-behavior (initiator, item) choices, block by block."""
+        cfg = self.config
+        activity = _zipf_probabilities(initiator_ids.size, cfg.activity_exponent)
+        popularity = _zipf_probabilities(cfg.num_items, cfg.item_exponent)
+        initiators = np.empty(cfg.num_behaviors, dtype=np.int64)
+        items = np.empty(cfg.num_behaviors, dtype=np.int64)
+        for block, lo, hi in self._blocks(cfg.num_behaviors):
+            rng = _rng(cfg.seed, _STREAM_BEHAVIORS, block)
+            picks = rng.choice(initiator_ids.size, size=hi - lo, p=activity)
+            initiators[lo:hi] = initiator_ids[picks]
+            items[lo:hi] = rng.choice(cfg.num_items, size=hi - lo, p=popularity)
+            self.behavior_blocks_generated += 1
+        return initiators, items
+
+    def _joins(
+        self,
+        initiators: np.ndarray,
+        items: np.ndarray,
+        indptr: np.ndarray,
+        neighbors: np.ndarray,
+        latent: np.ndarray,
+        item_factors: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized participant sampling per behavior block.
+
+        Each launch invites a circular window of at most ``max_invited``
+        friends starting at a seeded offset (distinct by construction — no
+        per-behavior dedup pass), and each invitee joins with a base
+        probability modulated by their latent affinity to the item.
+        """
+        cfg = self.config
+        counts_per_behavior = np.zeros(cfg.num_behaviors, dtype=np.int64)
+        flat_chunks: List[np.ndarray] = []
+        scale = 1.0 / np.sqrt(cfg.latent_dim)
+        for block, lo, hi in self._blocks(cfg.num_behaviors):
+            rng = _rng(cfg.seed, _STREAM_JOINS, block)
+            block_initiators = initiators[lo:hi]
+            degree = indptr[block_initiators + 1] - indptr[block_initiators]
+            invited_counts = np.minimum(degree, cfg.max_invited)
+            offsets = np.floor(rng.random(hi - lo) * np.maximum(degree, 1)).astype(np.int64)
+            total = int(invited_counts.sum())
+            if total == 0:
+                continue
+            behavior_of_invite = np.repeat(np.arange(hi - lo), invited_counts)
+            starts = np.zeros(hi - lo, dtype=np.int64)
+            np.cumsum(invited_counts[:-1], out=starts[1:])
+            within = np.arange(total, dtype=np.int64) - starts[behavior_of_invite]
+            position = (offsets[behavior_of_invite] + within) % degree[behavior_of_invite]
+            invited = neighbors[indptr[block_initiators][behavior_of_invite] + position]
+            affinity = (
+                latent[invited].astype(np.float64)
+                * item_factors[items[lo:hi][behavior_of_invite]].astype(np.float64)
+            ).sum(axis=1) * scale
+            probability = np.clip(
+                cfg.join_probability + cfg.affinity_gain * np.tanh(affinity), 0.02, 0.98
+            )
+            joined = rng.random(total) < probability
+            counts_per_behavior[lo:hi] = np.bincount(
+                behavior_of_invite, weights=joined, minlength=hi - lo
+            ).astype(np.int64)
+            flat_chunks.append(invited[joined].astype(np.int32))
+        indptr_out = np.zeros(cfg.num_behaviors + 1, dtype=np.int64)
+        np.cumsum(counts_per_behavior, out=indptr_out[1:])
+        flat = (
+            np.concatenate(flat_chunks) if flat_chunks else np.zeros(0, dtype=np.int32)
+        )
+        return flat, indptr_out
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self) -> SyntheticPopulation:
+        """Generate the full population deterministically from the config."""
+        cfg = self.config
+        self.user_blocks_generated = 0
+        self.behavior_blocks_generated = 0
+        global_rng = _rng(cfg.seed, _STREAM_GLOBAL)
+        centroids = global_rng.normal(0.0, 1.0, size=(cfg.num_communities, cfg.latent_dim))
+        item_factors = global_rng.normal(0.0, 1.0, size=(cfg.num_items, cfg.latent_dim)).astype(
+            np.float32
+        )
+        item_thresholds = global_rng.integers(
+            cfg.min_threshold, cfg.max_threshold + 1, size=cfg.num_items
+        ).astype(np.int16)
+
+        roles = self._roles()
+        latent = self._latent(centroids)
+        edges = self._edges()
+        indptr, neighbors = self._adjacency(edges, cfg.num_users)
+        initiator_ids = np.flatnonzero(roles).astype(np.int64)
+        initiators, items = self._launches(initiator_ids)
+        participants_flat, participants_indptr = self._joins(
+            initiators, items, indptr, neighbors, latent, item_factors
+        )
+        return SyntheticPopulation(
+            config=cfg,
+            roles=roles,
+            edges=edges,
+            initiators=initiators,
+            items=items,
+            thresholds=item_thresholds[items].astype(np.int16),
+            participants_flat=participants_flat,
+            participants_indptr=participants_indptr,
+        )
+
+
+def generate_population(config: Optional[ScenarioConfig] = None) -> SyntheticPopulation:
+    """Convenience wrapper: generate a population from ``config`` (or defaults).
+
+    >>> population = generate_population(ScenarioConfig.small(seed=7))
+    >>> population.num_users, population.num_items
+    (400, 120)
+    >>> population.digest() == generate_population(ScenarioConfig.small(seed=7)).digest()
+    True
+    >>> dataset = population.to_dataset(num_users=100, num_items=40)
+    >>> dataset.num_users, dataset.num_items
+    (100, 40)
+    """
+    return PopulationGenerator(config).generate()

@@ -190,13 +190,50 @@ class BeibeiLikeConfig:
         """A tiny configuration for unit tests."""
         return cls(num_users=80, num_items=40, num_behaviors=400, mean_friends=6.0, seed=seed)
 
+    #: ``scaled`` rejects factors that would leave the absolute knobs
+    #: structurally distorting: a "scaled-down" world where ``mean_friends``
+    #: exceeds this share of the population is a near-clique, not a smaller
+    #: version of the original social network.
+    _SCALED_MAX_FRIEND_SHARE = 0.2
+
     def scaled(self, factor: float) -> "BeibeiLikeConfig":
-        """Uniformly scale users/items/behaviors by ``factor``."""
+        """Uniformly scale users/items/behaviors by ``factor``.
+
+        Only the extensive counts scale; the intensive knobs
+        (``mean_friends``, thresholds, ``max_invited``) are preserved —
+        mean degree and group size are per-user/per-group properties that
+        should *not* grow with the population (Beibei's own mean degree is
+        ~8 at 190k users).  Because they are preserved, a factor that
+        pushes any count below its validity floor, or shrinks the
+        population until the absolute knobs distort its structure
+        (``mean_friends`` above 20% of the users — a near-clique), now
+        raises ``ValueError`` instead of silently clamping to an
+        unrelated configuration.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        num_users = int(self.num_users * factor)
+        num_items = int(self.num_items * factor)
+        num_behaviors = int(self.num_behaviors * factor)
+        if num_users < 10 or num_items < 2 or num_behaviors < 1:
+            raise ValueError(
+                f"factor {factor} scales the dataset below its validity floors "
+                f"(users {num_users} < 10, items {num_items} < 2, or behaviors "
+                f"{num_behaviors} < 1); use BeibeiLikeConfig.small() or an "
+                f"explicit config instead"
+            )
+        if self.mean_friends > self._SCALED_MAX_FRIEND_SHARE * num_users:
+            raise ValueError(
+                f"factor {factor} leaves mean_friends={self.mean_friends} above "
+                f"{self._SCALED_MAX_FRIEND_SHARE:.0%} of the scaled population "
+                f"({num_users} users) — a near-clique, not a scaled-down Beibei; "
+                f"lower mean_friends explicitly before scaling"
+            )
         return replace(
             self,
-            num_users=max(10, int(self.num_users * factor)),
-            num_items=max(2, int(self.num_items * factor)),
-            num_behaviors=max(1, int(self.num_behaviors * factor)),
+            num_users=num_users,
+            num_items=num_items,
+            num_behaviors=num_behaviors,
         )
 
 

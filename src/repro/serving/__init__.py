@@ -45,7 +45,15 @@ instances into a request-serving system, one layer at a time:
   fault-injection harness the chaos tests drive all of the above with:
   a :class:`FaultPlan` of :class:`FaultRule` triggers (errors, stalls,
   worker SIGKILLs) armed at named hook points across persist, catalog,
-  gateway and workers.
+  gateway and workers;
+* :mod:`repro.serving.loadgen` is the scenario engine's traffic half:
+  :class:`TrafficModel` expands a seeded :class:`TrafficConfig` (diurnal
+  cycles, flash-sale bursts, hot-key item skew, per-request routing and
+  deadline budgets) into a deterministic :class:`RequestStream`, and
+  :class:`ReplayHarness` replays it open-loop against a gateway or
+  worker pool, ledgering per-phase SLO percentiles through
+  :class:`MetricsRegistry` (pairs with ``repro.data.scenario`` for the
+  million-user populations).
 
 Requests are validated at every public boundary: user IDs outside
 ``[0, num_users)`` raise a typed :class:`ServingError` naming the model
@@ -93,6 +101,15 @@ from .faults import (
     inject,
 )
 from .gateway import GatewayResult, ServingGateway, TrafficSplit
+from .loadgen import (
+    BASELINE_PHASE,
+    FlashBurst,
+    ReplayHarness,
+    ReplayReport,
+    RequestStream,
+    TrafficConfig,
+    TrafficModel,
+)
 from .metrics import LatencyHistogram, MetricsRegistry, ModelMetrics
 from .resilience import (
     AdmissionController,
@@ -147,4 +164,11 @@ __all__ = [
     "WorkerPool",
     "WorkerPoolError",
     "WorkerCrashError",
+    "BASELINE_PHASE",
+    "FlashBurst",
+    "TrafficConfig",
+    "TrafficModel",
+    "RequestStream",
+    "ReplayHarness",
+    "ReplayReport",
 ]

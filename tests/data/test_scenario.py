@@ -1,0 +1,310 @@
+"""Scenario-engine population generator: structure, slicing, determinism.
+
+The golden-seed class pins exact digests across runs and across a real
+subprocess boundary — the contract the ``WorkerPool`` replay path
+(spawn-context workers regenerating identical streams) depends on.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GroupBuyingDataset,
+    PopulationGenerator,
+    ScenarioConfig,
+    SyntheticPopulation,
+    fit_zipf_exponent,
+    generate_population,
+)
+
+pytestmark = pytest.mark.scenario
+
+
+@pytest.fixture(scope="module")
+def population() -> SyntheticPopulation:
+    return generate_population(ScenarioConfig.small(seed=11))
+
+
+class TestScenarioConfig:
+    def test_defaults_are_valid(self):
+        ScenarioConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_users": 1},
+            {"num_items": 0},
+            {"num_behaviors": 0},
+            {"num_communities": 0},
+            {"num_communities": 101, "num_users": 100},
+            {"mean_friends": -1.0},
+            {"community_mix": 1.5},
+            {"initiator_fraction": -0.1},
+            {"item_exponent": -0.5},
+            {"latent_dim": 0},
+            {"join_probability": 0.0},
+            {"join_probability": 1.0},
+            {"min_threshold": 0},
+            {"max_threshold": 0, "min_threshold": 1},
+            {"max_invited": 0},
+            {"block_size": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+    def test_mean_friends_must_stay_below_population(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(num_users=10, mean_friends=10.0)
+
+    def test_scaled_preserves_intensive_structure(self):
+        base = ScenarioConfig.million_users()
+        half = base.scaled(0.5)
+        assert half.num_users == 500_000
+        assert half.num_items == 25_000
+        assert half.num_behaviors == 1_000_000
+        assert half.mean_friends == base.mean_friends
+        assert half.community_mix == base.community_mix
+        assert half.block_size == base.block_size
+
+    def test_scaled_rejects_floor_violations(self):
+        with pytest.raises(ValueError, match="floors"):
+            ScenarioConfig.small().scaled(1e-4)
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig().scaled(0.0)
+
+    def test_scaled_rejects_distorting_mean_friends(self):
+        config = ScenarioConfig(num_users=1000, mean_friends=50.0)
+        with pytest.raises(ValueError, match="mean_friends"):
+            config.scaled(0.02)
+
+
+class TestPopulationStructure:
+    def test_shapes_and_dtypes(self, population):
+        cfg = population.config
+        assert population.roles.shape == (cfg.num_users,)
+        assert population.roles.dtype == np.int8
+        assert population.edges.ndim == 2 and population.edges.shape[1] == 2
+        assert population.initiators.shape == (cfg.num_behaviors,)
+        assert population.items.shape == (cfg.num_behaviors,)
+        assert population.thresholds.shape == (cfg.num_behaviors,)
+        assert population.participants_indptr.shape == (cfg.num_behaviors + 1,)
+        assert population.participants_flat.size == population.participants_indptr[-1]
+
+    def test_edges_are_canonical(self, population):
+        edges = population.edges
+        # No self-loops, canonical low<high ordering, globally unique.
+        assert (edges[:, 0] < edges[:, 1]).all()
+        keys = edges[:, 0] * population.num_users + edges[:, 1]
+        assert np.unique(keys).size == keys.size
+        assert edges.min() >= 0 and edges.max() < population.num_users
+
+    def test_mean_degree_tracks_config(self, population):
+        assert population.mean_degree() == pytest.approx(
+            population.config.mean_friends, rel=0.25
+        )
+
+    def test_role_mix_tracks_config(self, population):
+        assert population.roles.mean() == pytest.approx(
+            population.config.initiator_fraction, abs=0.08
+        )
+
+    def test_only_initiators_launch(self, population):
+        assert population.roles[population.initiators].all()
+
+    def test_participants_in_range_and_bounded(self, population):
+        flat = population.participants_flat
+        assert flat.min() >= 0 and flat.max() < population.num_users
+        counts = population.participant_counts()
+        assert counts.max() <= population.config.max_invited
+
+    def test_participants_are_friends_of_initiator(self, population):
+        edges = population.edges
+        friend_keys = set(
+            (edges[:, 0] * population.num_users + edges[:, 1]).tolist()
+        )
+        indptr = population.participants_indptr
+        for index in range(min(population.num_behaviors, 200)):
+            initiator = int(population.initiators[index])
+            for p in population.participants_flat[indptr[index] : indptr[index + 1]]:
+                low, high = min(initiator, int(p)), max(initiator, int(p))
+                assert low * population.num_users + high in friend_keys
+
+    def test_thresholds_in_configured_range(self, population):
+        cfg = population.config
+        assert population.thresholds.min() >= cfg.min_threshold
+        assert population.thresholds.max() <= cfg.max_threshold
+
+    def test_item_popularity_is_rank_ordered_zipf(self):
+        population = generate_population(
+            ScenarioConfig(
+                num_users=4000,
+                num_items=1500,
+                num_behaviors=50_000,
+                num_communities=16,
+                block_size=20_000,
+                seed=5,
+            )
+        )
+        frequencies = population.item_frequencies()
+        fitted = fit_zipf_exponent(frequencies)
+        assert fitted == pytest.approx(population.config.item_exponent, abs=0.25)
+        # Rank order: the most popular decile dominates the least popular.
+        assert frequencies[:150].sum() > 10 * frequencies[-150:].sum()
+
+    def test_community_assignment_is_modular(self, population):
+        cfg = population.config
+        expected = np.arange(cfg.num_users) % cfg.num_communities
+        assert np.array_equal(population.community, expected)
+
+    def test_edges_prefer_communities(self):
+        population = generate_population(
+            ScenarioConfig(
+                num_users=3000,
+                num_items=100,
+                num_behaviors=100,
+                num_communities=30,
+                community_mix=0.9,
+                block_size=1000,
+                seed=9,
+            )
+        )
+        cfg = population.config
+        same = (
+            population.edges[:, 0] % cfg.num_communities
+            == population.edges[:, 1] % cfg.num_communities
+        )
+        # Random wiring would land ~1/30 intra-community; planted partition
+        # must sit near the configured 0.9 mix.
+        assert same.mean() > 0.6
+
+    def test_zero_initiator_fraction_still_launches(self):
+        population = generate_population(
+            ScenarioConfig(
+                num_users=50,
+                num_items=20,
+                num_behaviors=40,
+                num_communities=5,
+                initiator_fraction=0.0,
+                block_size=16,
+                seed=1,
+            )
+        )
+        assert population.roles.sum() == 1  # deterministic promotion of user 0
+        assert (population.initiators == 0).all()
+
+
+class TestBlockStreaming:
+    def test_block_size_does_not_change_blocks_needed(self):
+        config = ScenarioConfig.small(seed=3)
+        generator = PopulationGenerator(config)
+        generator.generate()
+        expected_user_blocks = -(-config.num_users // config.block_size)
+        assert generator.user_blocks_generated == expected_user_blocks
+        expected_behavior_blocks = -(-config.num_behaviors // config.block_size)
+        assert generator.behavior_blocks_generated == expected_behavior_blocks
+
+    def test_single_block_equivalent_structure(self):
+        # Different block sizes give different (but equally valid) draws;
+        # aggregate structure must match across blockings.
+        small = generate_population(
+            ScenarioConfig(num_users=2000, num_items=200, num_behaviors=4000,
+                           num_communities=10, block_size=256, seed=17)
+        )
+        one = generate_population(
+            ScenarioConfig(num_users=2000, num_items=200, num_behaviors=4000,
+                           num_communities=10, block_size=1_000_000, seed=17)
+        )
+        assert small.mean_degree() == pytest.approx(one.mean_degree(), rel=0.1)
+        assert small.roles.mean() == pytest.approx(one.roles.mean(), abs=0.05)
+
+
+class TestToDataset:
+    def test_full_population_roundtrip(self, population):
+        dataset = population.to_dataset()
+        assert isinstance(dataset, GroupBuyingDataset)
+        assert dataset.num_users == population.num_users
+        assert dataset.num_items == population.num_items
+        assert dataset.num_behaviors == population.num_behaviors
+
+    def test_subscale_slice_is_valid(self, population):
+        dataset = population.to_dataset(num_users=120, num_items=50)
+        assert dataset.num_users == 120
+        assert dataset.num_items == 50
+        for behavior in dataset.behaviors:
+            assert behavior.initiator < 120
+            assert behavior.item < 50
+            assert all(p < 120 for p in behavior.participants)
+        for edge in dataset.social_edges:
+            assert edge.user_b < 120
+
+    def test_max_behaviors_caps_slice(self, population):
+        dataset = population.to_dataset(num_users=200, num_items=60, max_behaviors=25)
+        assert dataset.num_behaviors <= 25
+
+    def test_out_of_range_slice_rejected(self, population):
+        with pytest.raises(ValueError):
+            population.to_dataset(num_users=population.num_users + 1)
+        with pytest.raises(ValueError):
+            population.to_dataset(num_items=0)
+
+    def test_slice_is_trainable_shape(self, population):
+        from repro.data import leave_one_out_split
+
+        dataset = population.to_dataset(num_users=200, num_items=80)
+        split = leave_one_out_split(dataset, seed=3)
+        assert split.train.num_behaviors > 0
+
+
+class TestGoldenSeedDeterminism:
+    def test_same_seed_same_digest(self):
+        a = generate_population(ScenarioConfig.small(seed=23)).digest()
+        b = generate_population(ScenarioConfig.small(seed=23)).digest()
+        assert a == b
+
+    def test_different_seed_different_digest(self):
+        a = generate_population(ScenarioConfig.small(seed=23)).digest()
+        b = generate_population(ScenarioConfig.small(seed=24)).digest()
+        assert a != b
+
+    def test_block_size_is_part_of_identity(self):
+        base = ScenarioConfig.small(seed=23)
+        rebatched = ScenarioConfig(
+            **{**base.__dict__, "block_size": base.block_size * 2}
+        )
+        assert (
+            generate_population(base).digest()
+            != generate_population(rebatched).digest()
+        )
+
+    def test_digest_stable_across_subprocess_boundary(self):
+        # A fresh interpreter (what spawn-context workers get) must
+        # regenerate the byte-identical population.
+        import os
+        from pathlib import Path
+
+        import repro
+
+        local = generate_population(ScenarioConfig.small(seed=77)).digest()
+        code = (
+            "from repro.data import ScenarioConfig, generate_population;"
+            "print(generate_population(ScenarioConfig.small(seed=77)).digest())"
+        )
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        remote = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=120,
+            env=env,
+        ).stdout.strip()
+        assert remote == local

@@ -34,6 +34,40 @@ class TestConfig:
         assert config.num_users == 300
         assert config.num_behaviors == 1500
 
+    def test_scaled_preserves_intensive_knobs(self):
+        base = BeibeiLikeConfig.paper_scale()
+        scaled = base.scaled(0.1)
+        assert scaled.mean_friends == base.mean_friends
+        assert scaled.max_invited == base.max_invited
+        assert scaled.min_threshold == base.min_threshold
+        assert scaled.max_threshold == base.max_threshold
+
+    def test_scaled_rejects_factor_below_floors(self):
+        # Regression: scaled() used to clamp to 10 users / 2 items / 1
+        # behavior silently, returning a config unrelated to the original.
+        with pytest.raises(ValueError, match="floors"):
+            BeibeiLikeConfig().scaled(0.001)
+
+    def test_scaled_rejects_distorting_mean_friends(self):
+        # Regression: scaled() used to keep mean_friends=8 while shrinking
+        # to a dozen users — a near-clique, not a scaled-down population.
+        with pytest.raises(ValueError, match="mean_friends"):
+            BeibeiLikeConfig().scaled(0.02)
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError, match="positive"):
+            BeibeiLikeConfig().scaled(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            BeibeiLikeConfig().scaled(-2.0)
+
+    def test_scaled_smallest_accepted_factor_is_exact(self):
+        # The smallest valid scale is still an exact uniform scale, not a
+        # clamped one.
+        config = BeibeiLikeConfig().scaled(0.1)
+        assert config.num_users == 60
+        assert config.num_items == 20
+        assert config.num_behaviors == 300
+
 
 class TestGeneration:
     def test_deterministic_for_same_seed(self):

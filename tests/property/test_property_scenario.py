@@ -1,0 +1,259 @@
+"""Property-based tests of the scenario engine (hypothesis).
+
+Population invariants (role mix, Zipf tail, social-graph canonical form,
+sub-scale slices always valid) and traffic invariants (sorted arrivals,
+burst multipliers, ID ranges) across randomized configurations —
+including the boundary scales the PR 6 ``validate_user_ids`` bugs showed
+are where off-by-one errors live.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    ScenarioConfig,
+    fit_zipf_exponent,
+    generate_population,
+)
+from repro.serving import BASELINE_PHASE, FlashBurst, TrafficConfig, TrafficModel
+
+pytestmark = pytest.mark.scenario
+
+
+# ----------------------------------------------------------------------
+# Population invariants
+# ----------------------------------------------------------------------
+def population_configs():
+    """Randomized small configs, biased toward structural edge cases.
+
+    The cross-field constraints (num_communities <= num_users,
+    mean_friends < num_users) are resolved *before* the single
+    ScenarioConfig construction — its __post_init__ validates eagerly,
+    so clamping in a .map after st.builds(ScenarioConfig, ...) would be
+    too late.
+    """
+
+    def build(num_users, num_items, num_behaviors, num_communities,
+              friend_fraction, community_mix, initiator_fraction,
+              block_size, seed):
+        return ScenarioConfig(
+            num_users=num_users,
+            num_items=num_items,
+            num_behaviors=num_behaviors,
+            num_communities=min(num_communities, num_users),
+            # mean_friends drawn as a fraction of the population so any
+            # (num_users, mean_friends) pair is structurally valid.
+            mean_friends=min(friend_fraction * num_users / 2.0, num_users - 1),
+            community_mix=community_mix,
+            initiator_fraction=initiator_fraction,
+            block_size=block_size,
+            seed=seed,
+        )
+
+    return st.builds(
+        build,
+        num_users=st.integers(2, 300),
+        num_items=st.integers(1, 80),
+        num_behaviors=st.integers(1, 500),
+        num_communities=st.integers(1, 8),
+        friend_fraction=st.floats(0.0, 1.9),
+        community_mix=st.sampled_from([0.0, 0.5, 1.0]),
+        initiator_fraction=st.sampled_from([0.0, 0.3, 1.0]),
+        block_size=st.integers(1, 128),
+        seed=st.integers(0, 10_000),
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(config=population_configs())
+def test_population_invariants(config):
+    population = generate_population(config)
+
+    # Social graph: canonical (low < high), in-range, no duplicates.
+    edges = population.edges
+    if edges.size:
+        assert (edges[:, 0] < edges[:, 1]).all()
+        assert edges.min() >= 0 and edges.max() < config.num_users
+        keys = edges[:, 0] * config.num_users + edges[:, 1]
+        assert np.unique(keys).size == keys.size
+
+    # Roles: every launch comes from an initiator-role user; at least one
+    # initiator always exists (even at initiator_fraction=0).
+    assert population.roles.sum() >= 1
+    assert population.roles[population.initiators].all()
+
+    # Behaviors: counts, ranges and CSR structure.
+    assert population.num_behaviors == config.num_behaviors
+    assert population.initiators.min() >= 0
+    assert population.initiators.max() < config.num_users
+    assert population.items.min() >= 0 and population.items.max() < config.num_items
+    assert (population.thresholds >= config.min_threshold).all()
+    assert (population.thresholds <= config.max_threshold).all()
+    assert (np.diff(population.participants_indptr) >= 0).all()
+    assert population.participants_indptr[0] == 0
+    assert population.participants_indptr[-1] == population.participants_flat.size
+    if population.participants_flat.size:
+        assert population.participants_flat.min() >= 0
+        assert population.participants_flat.max() < config.num_users
+    assert population.participant_counts().max(initial=0) <= config.max_invited
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    config=population_configs(),
+    users_fraction=st.floats(0.01, 1.0),
+    items_fraction=st.floats(0.01, 1.0),
+)
+def test_every_subscale_slice_is_a_valid_dataset(config, users_fraction, items_fraction):
+    population = generate_population(config)
+    users = max(1, int(config.num_users * users_fraction))
+    items = max(1, int(config.num_items * items_fraction))
+    dataset = population.to_dataset(num_users=users, num_items=items)
+    # GroupBuyingDataset validates IDs on construction; re-assert the
+    # boundary explicitly (the PR 6 class of bug: <= where < belongs).
+    assert dataset.num_users == users and dataset.num_items == items
+    for behavior in dataset.behaviors:
+        assert 0 <= behavior.initiator < users
+        assert 0 <= behavior.item < items
+        assert all(0 <= p < users for p in behavior.participants)
+    for edge in dataset.social_edges:
+        assert 0 <= edge.user_a < users and 0 <= edge.user_b < users
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    initiator_fraction=st.floats(0.05, 0.95),
+    seed=st.integers(0, 10_000),
+)
+def test_role_mix_within_tolerance(initiator_fraction, seed):
+    config = ScenarioConfig(
+        num_users=2000,
+        num_items=50,
+        num_behaviors=100,
+        num_communities=10,
+        initiator_fraction=initiator_fraction,
+        block_size=512,
+        seed=seed,
+    )
+    population = generate_population(config)
+    # Binomial(2000, f): 4 sigma < 0.045 everywhere in the tested range.
+    assert population.roles.mean() == pytest.approx(initiator_fraction, abs=0.05)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    exponent=st.floats(0.7, 1.4),
+    seed=st.integers(0, 10_000),
+)
+def test_zipf_tail_exponent_fit(exponent, seed):
+    config = ScenarioConfig(
+        num_users=1000,
+        num_items=800,
+        num_behaviors=40_000,
+        num_communities=10,
+        item_exponent=exponent,
+        block_size=20_000,
+        seed=seed,
+    )
+    population = generate_population(config)
+    fitted = fit_zipf_exponent(population.item_frequencies())
+    assert fitted == pytest.approx(exponent, abs=0.3)
+
+
+# ----------------------------------------------------------------------
+# Traffic invariants
+# ----------------------------------------------------------------------
+def traffic_configs():
+    def build(base_rate, amplitude, burst_start, multiplier, rise, hold, decay, seed):
+        duration = 8.0
+        burst = FlashBurst(
+            start_seconds=min(burst_start, duration - (rise + hold + decay)),
+            multiplier=multiplier,
+            rise_seconds=rise,
+            hold_seconds=hold,
+            decay_seconds=decay,
+            name="b0",
+        )
+        return TrafficConfig(
+            duration_seconds=duration,
+            base_rate_per_second=base_rate,
+            diurnal_amplitude=amplitude,
+            diurnal_period_seconds=duration,
+            bursts=(burst,),
+            seed=seed,
+        )
+
+    return st.builds(
+        build,
+        base_rate=st.floats(30.0, 120.0),
+        amplitude=st.floats(0.0, 0.5),
+        burst_start=st.floats(0.0, 6.0),
+        multiplier=st.floats(2.0, 8.0),
+        rise=st.floats(0.1, 1.0),
+        hold=st.floats(0.5, 2.0),
+        decay=st.floats(0.1, 1.0),
+        seed=st.integers(0, 10_000),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    config=traffic_configs(),
+    num_users=st.integers(1, 400),
+    num_items=st.integers(1, 100),
+)
+def test_traffic_invariants(config, num_users, num_items):
+    stream = TrafficModel(config).generate(num_users=num_users, num_items=num_items)
+
+    # Arrival timestamps sorted, inside [0, duration).
+    assert (np.diff(stream.timestamps) >= 0.0).all()
+    assert stream.timestamps[0] >= 0.0
+    assert stream.timestamps[-1] < config.duration_seconds
+
+    # All IDs in range — generated down to single-user/single-item edges.
+    assert stream.users.min() >= 0 and stream.users.max() < num_users
+    assert stream.items.min() >= 0 and stream.items.max() < num_items
+
+    # Phase labels partition the stream and match the burst window.
+    counts = stream.phase_counts()
+    assert sum(counts.values()) == len(stream)
+    burst = config.bursts[0]
+    in_burst = stream.phase_index == 1
+    if in_burst.any():
+        assert stream.timestamps[in_burst].min() >= burst.start_seconds
+        assert stream.timestamps[in_burst].max() < burst.end_seconds
+
+    # Determinism: a regenerated stream is byte-identical.
+    assert TrafficModel(config).generate(num_users, num_items).digest() == stream.digest()
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    multiplier=st.floats(3.0, 8.0),
+    seed=st.integers(0, 10_000),
+)
+def test_burst_window_contains_multiplier(multiplier, seed):
+    config = TrafficConfig(
+        duration_seconds=10.0,
+        base_rate_per_second=100.0,
+        diurnal_amplitude=0.0,
+        bursts=(
+            FlashBurst(
+                start_seconds=3.0,
+                multiplier=multiplier,
+                rise_seconds=0.5,
+                hold_seconds=3.0,
+                decay_seconds=0.5,
+                name="plateau",
+            ),
+        ),
+        seed=seed,
+    )
+    stream = TrafficModel(config).generate(num_users=100, num_items=20)
+    # On the plateau (rise/decay excluded) the realized rate must reflect
+    # the configured multiplier: Poisson noise at >= 300 expected arrivals
+    # per second stays well within +/-35%.
+    plateau = (stream.timestamps >= 3.5) & (stream.timestamps < 6.5)
+    plateau_rate = float(plateau.sum()) / 3.0
+    assert plateau_rate == pytest.approx(100.0 * multiplier, rel=0.35)

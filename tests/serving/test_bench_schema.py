@@ -1,12 +1,14 @@
-"""The committed BENCH_serving.json must be a valid v5 trajectory record.
+"""The committed BENCH_serving.json must be a valid v6 trajectory record.
 
 Tier-1 guard for the benchmark artifact the serving benchmarks co-write:
 ``benchmarks/test_catalog_serving.py`` (catalog/gateway numbers),
 ``benchmarks/test_retrieval_scaling.py`` (the retrieval scaling curve),
-``benchmarks/test_worker_scaling.py`` (multi-process worker scaling) and
-``benchmarks/test_resilience_overhead.py`` (resilience-layer cost + SLO).
-A partial rewrite that drops another writer's section, or a schema bump
-without regenerating the file, fails here instead of going stale silently.
+``benchmarks/test_worker_scaling.py`` (multi-process worker scaling),
+``benchmarks/test_resilience_overhead.py`` (resilience-layer cost + SLO)
+and ``benchmarks/test_scenario_replay.py`` (million-user scenario engine
+replay).  A partial rewrite that drops another writer's section, or a
+schema bump without regenerating the file, fails here instead of going
+stale silently.
 """
 
 import json
@@ -16,7 +18,7 @@ import pytest
 
 BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_serving.json"
 
-SCHEMA = "repro-serving-bench/v5"
+SCHEMA = "repro-serving-bench/v6"
 REQUIRED_SECTIONS = {
     "cold_start",
     "mixed_traffic",
@@ -24,6 +26,7 @@ REQUIRED_SECTIONS = {
     "retrieval_scaling",
     "worker_scaling",
     "resilience",
+    "scenario",
 }
 REQUIRED_POINT_KEYS = {
     "num_items",
@@ -43,7 +46,7 @@ def bench():
     return json.loads(BENCH_PATH.read_text())
 
 
-def test_schema_is_v5(bench):
+def test_schema_is_v6(bench):
     assert bench["schema"] == SCHEMA
 
 
@@ -144,6 +147,78 @@ def test_resilience_overhead_gate_held(bench):
     # happy path of the recorded run.
     overhead = bench["results"]["resilience"]["overhead"]
     assert overhead["overhead_pct"] < overhead["gate_pct"] == 10.0
+
+
+SCENARIO_PHASE_KEYS = {
+    "phase",
+    "requests",
+    "ok",
+    "sheds",
+    "deadline_exceeded",
+    "errors",
+    "ok_p50_ms",
+    "ok_p95_ms",
+    "ok_p99_ms",
+    "offered_rps",
+    "achieved_rps",
+}
+
+
+def _scenario_replays(bench):
+    scenario = bench["results"]["scenario"]
+    return scenario["gateway_replay"], scenario["worker_pool_replay"]
+
+
+def test_scenario_population_shape(bench):
+    population = bench["results"]["scenario"]["population"]
+    # The acceptance criterion: the recorded run generated a >= 1M-user
+    # population in blocks, with bounded memory and no quadratic blowup.
+    assert population["num_users"] >= 1_000_000
+    assert population["num_edges"] > 0 and population["num_behaviors"] > 0
+    assert population["block_size"] < population["num_users"], (
+        "the population must have been generated in blocks, not one pass"
+    )
+    assert len(population["digest"]) == 64  # the golden-seed sha256
+    assert 0.0 < population["peak_rss_mib"] < population["rss_gate_mib"]
+    assert population["linearity_ratio"] < 3.0
+
+
+def test_scenario_replay_sections_shape(bench):
+    for replay in _scenario_replays(bench):
+        assert replay["ledger_reconciles"] is True
+        assert replay["total_requests"] > 0
+        phases = {entry["phase"]: entry for entry in replay["phases"]}
+        assert {"baseline", "flash"} <= set(phases)
+        for entry in phases.values():
+            assert SCENARIO_PHASE_KEYS <= set(entry), f"phase {entry.get('phase')} missing keys"
+            # Per-phase ledger balances: requests == ok + sheds + deadline + errors.
+            assert entry["requests"] == (
+                entry["ok"] + entry["sheds"] + entry["deadline_exceeded"] + entry["errors"]
+            )
+            assert entry["offered_rps"] > 0.0
+
+
+def test_scenario_burst_ok_p99_gate_held(bench):
+    # The PR's acceptance criterion: during the recorded flash burst the
+    # gateway kept ok-request p99 under the gate the benchmark encodes.
+    replay = bench["results"]["scenario"]["gateway_replay"]
+    gate_ms = replay["burst_ok_p99_gate_ms"]
+    assert gate_ms == 50.0
+    flash = next(entry for entry in replay["phases"] if entry["phase"] == "flash")
+    assert 0.0 < flash["ok_p99_ms"] < gate_ms
+    # And the burst actually stressed the target: its offered rate must
+    # exceed the baseline's (the multiplier was real).
+    baseline = next(entry for entry in replay["phases"] if entry["phase"] == "baseline")
+    assert flash["offered_rps"] > 2.0 * baseline["offered_rps"]
+
+
+def test_scenario_achieved_vs_offered_recorded(bench):
+    for replay in _scenario_replays(bench):
+        for entry in replay["phases"]:
+            assert entry["achieved_rps"] >= 0.0
+            # Open-loop replay can lag but must not silently thin traffic:
+            # achieved counts only ok requests, offered counts all.
+            assert entry["achieved_rps"] <= entry["offered_rps"] * 1.05
 
 
 def test_worker_scaling_io_stall_speedup_gate(bench):

@@ -1,0 +1,420 @@
+"""Scenario-engine traffic half: stream generation and open-loop replay.
+
+Unit tests drive the :class:`ReplayHarness` against an in-process stub
+target so every outcome path (ok/shed/deadline/error) is exercised
+deterministically; the ``chaos``-marked integration test then replays a
+seeded flash-burst stream against a *real* gateway under a
+``FaultPlan`` stall storm and checks the resilience ledger reconciles
+exactly — the "replay-vs-resilience" contract of the scenario engine.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.persist import save_model
+from repro.serving import (
+    BASELINE_PHASE,
+    DeadlineExceededError,
+    FaultPlan,
+    FaultRule,
+    FlashBurst,
+    MetricsRegistry,
+    ModelCatalog,
+    OverloadedError,
+    ReplayHarness,
+    RequestStream,
+    ResiliencePolicy,
+    ServingGateway,
+    TrafficConfig,
+    TrafficModel,
+    inject,
+)
+
+pytestmark = pytest.mark.scenario
+
+
+def small_traffic(**overrides) -> TrafficConfig:
+    defaults = dict(
+        duration_seconds=4.0,
+        base_rate_per_second=60.0,
+        diurnal_amplitude=0.25,
+        diurnal_period_seconds=4.0,
+        bursts=(
+            FlashBurst(
+                start_seconds=1.5,
+                multiplier=4.0,
+                rise_seconds=0.25,
+                hold_seconds=0.75,
+                decay_seconds=0.25,
+                name="flash",
+                hot_item_fraction=0.9,
+                hot_items=4,
+                deadline_seconds=0.05,
+            ),
+        ),
+        deadline_seconds=0.25,
+        seed=13,
+    )
+    defaults.update(overrides)
+    return TrafficConfig(**defaults)
+
+
+class TestFlashBurst:
+    def test_envelope_shape(self):
+        burst = FlashBurst(start_seconds=10.0, multiplier=3.0,
+                           rise_seconds=2.0, hold_seconds=4.0, decay_seconds=2.0)
+        t = np.array([9.9, 10.0, 11.0, 12.0, 14.0, 16.0, 17.0, 18.0, 18.1])
+        shape = burst.shape(t)
+        assert shape[0] == 0.0          # before
+        assert shape[2] == pytest.approx(0.5)   # mid-rise
+        assert shape[3] == 1.0          # plateau start
+        assert shape[4] == 1.0          # plateau
+        assert shape[6] == pytest.approx(0.5)   # mid-decay
+        assert shape[8] == 0.0          # after
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start_seconds": -1.0, "multiplier": 2.0},
+            {"start_seconds": 0.0, "multiplier": 0.5},
+            {"start_seconds": 0.0, "multiplier": 2.0, "rise_seconds": -1.0},
+            {"start_seconds": 0.0, "multiplier": 2.0, "rise_seconds": 0.0,
+             "hold_seconds": 0.0, "decay_seconds": 0.0},
+            {"start_seconds": 0.0, "multiplier": 2.0, "hot_item_fraction": 1.5},
+            {"start_seconds": 0.0, "multiplier": 2.0, "hot_items": 0},
+            {"start_seconds": 0.0, "multiplier": 2.0, "name": BASELINE_PHASE},
+            {"start_seconds": 0.0, "multiplier": 2.0, "deadline_seconds": 0.0},
+        ],
+    )
+    def test_invalid_bursts_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FlashBurst(**kwargs)
+
+
+class TestTrafficConfig:
+    def test_defaults_are_valid(self):
+        TrafficConfig()
+
+    def test_burst_beyond_duration_rejected(self):
+        with pytest.raises(ValueError, match="beyond duration"):
+            TrafficConfig(
+                duration_seconds=10.0,
+                bursts=(FlashBurst(start_seconds=8.0, multiplier=2.0),),
+            )
+
+    def test_duplicate_burst_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            TrafficConfig(
+                duration_seconds=120.0,
+                bursts=(
+                    FlashBurst(start_seconds=0.0, multiplier=2.0, name="x"),
+                    FlashBurst(start_seconds=60.0, multiplier=2.0, name="x"),
+                ),
+            )
+
+    def test_nonpositive_model_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            TrafficConfig(model_weights=(("mf", 0.0),))
+
+    def test_phases_order(self):
+        config = small_traffic()
+        assert config.phases == (BASELINE_PHASE, "flash")
+
+
+class TestTrafficModel:
+    @pytest.fixture(scope="class")
+    def stream(self) -> RequestStream:
+        return TrafficModel(small_traffic()).generate(num_users=500, num_items=100)
+
+    def test_timestamps_sorted_within_duration(self, stream):
+        assert (np.diff(stream.timestamps) >= 0.0).all()
+        assert stream.timestamps[0] >= 0.0
+        assert stream.timestamps[-1] < stream.config.duration_seconds
+
+    def test_ids_in_range(self, stream):
+        assert stream.users.min() >= 0 and stream.users.max() < 500
+        assert stream.items.min() >= 0 and stream.items.max() < 100
+
+    def test_burst_window_contains_multiplier(self, stream):
+        # Offered rate during the burst plateau must reflect the multiplier.
+        burst = stream.config.bursts[0]
+        assert stream.offered_rate("flash") > 2.0 * stream.offered_rate(BASELINE_PHASE)
+        counts = stream.phase_counts()
+        assert counts["flash"] > 0 and counts[BASELINE_PHASE] > 0
+        assert sum(counts.values()) == len(stream)
+        # Phase labels cover exactly the burst window.
+        flash = stream.phase_index == 1
+        assert stream.timestamps[flash].min() >= burst.start_seconds
+        assert stream.timestamps[flash].max() < burst.end_seconds
+
+    def test_hot_key_skew_in_burst(self, stream):
+        flash_items = stream.items[stream.phase_index == 1]
+        hot_share = float(np.mean(flash_items < stream.config.bursts[0].hot_items))
+        assert hot_share >= 0.8  # configured 0.9 fraction, allow sampling noise
+
+    def test_deadlines_follow_phase(self, stream):
+        deadline = stream.deadline_seconds
+        assert (deadline[stream.phase_index == 1] == 0.05).all()
+        assert (deadline[stream.phase_index == 0] == 0.25).all()
+        assert stream.deadline_of(0) in (0.05, 0.25)
+
+    def test_no_deadline_encodes_as_none(self):
+        stream = TrafficModel(
+            small_traffic(bursts=(), deadline_seconds=None)
+        ).generate(num_users=50, num_items=10)
+        assert np.isnan(stream.deadline_seconds).all()
+        assert stream.deadline_of(0) is None
+
+    def test_model_routing_by_weight(self):
+        config = small_traffic(model_weights=(("a", 3.0), ("b", 1.0)))
+        stream = TrafficModel(config).generate(num_users=200, num_items=50)
+        names = [stream.model_name(i) for i in range(len(stream))]
+        share_a = names.count("a") / len(names)
+        assert share_a == pytest.approx(0.75, abs=0.08)
+        assert None not in names
+
+    def test_default_routing_without_weights(self, stream):
+        assert (stream.model_index == -1).all()
+        assert stream.model_name(0) is None
+
+    def test_rate_curve_diurnal_and_burst(self):
+        model = TrafficModel(small_traffic())
+        base = model.config.base_rate_per_second
+        # Plateau of the burst sits at multiplier x the diurnal-modulated base.
+        plateau = float(model.rate_at(np.array([2.0]))[0])
+        assert plateau > 2.5 * base
+        trough = float(model.rate_at(np.array([3.0]))[0])
+        assert trough < plateau
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty stream"):
+            TrafficModel(
+                TrafficConfig(duration_seconds=0.01, base_rate_per_second=0.01,
+                              bin_seconds=0.01)
+            ).generate(num_users=10, num_items=10)
+
+
+class TestStreamDeterminism:
+    def test_same_config_same_digest(self):
+        a = TrafficModel(small_traffic()).generate(300, 80)
+        b = TrafficModel(small_traffic()).generate(300, 80)
+        assert a.digest() == b.digest()
+        assert np.array_equal(a.timestamps, b.timestamps)
+
+    def test_seed_changes_digest(self):
+        a = TrafficModel(small_traffic(seed=1)).generate(300, 80)
+        b = TrafficModel(small_traffic(seed=2)).generate(300, 80)
+        assert a.digest() != b.digest()
+
+    def test_population_size_is_part_of_identity(self):
+        a = TrafficModel(small_traffic()).generate(300, 80)
+        b = TrafficModel(small_traffic()).generate(301, 80)
+        assert a.digest() != b.digest()
+
+    def test_digest_stable_across_subprocess_boundary(self):
+        import repro
+
+        local = TrafficModel(small_traffic()).generate(300, 80).digest()
+        code = (
+            "from tests.serving.test_loadgen import small_traffic;"
+            "from repro.serving import TrafficModel;"
+            "print(TrafficModel(small_traffic()).generate(300, 80).digest())"
+        )
+        env = dict(os.environ)
+        src = Path(repro.__file__).resolve().parent.parent
+        repo = src.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src), str(repo), env.get("PYTHONPATH", "")]
+        )
+        remote = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=120,
+            env=env,
+        ).stdout.strip()
+        assert remote == local
+
+
+class _StubTarget:
+    """A scripted serving target: outcome chosen per request user id."""
+
+    def __init__(self):
+        self.calls = 0
+        self.lock = threading.Lock()
+        self.seen_models = set()
+        self.seen_deadlines = set()
+
+    def top_k(self, users, k=None, model=None, deadline=None):
+        with self.lock:
+            self.calls += 1
+            self.seen_models.add(model)
+            self.seen_deadlines.add(deadline)
+        user = int(users[0])
+        if user % 10 == 0:
+            raise OverloadedError("stub shed")
+        if user % 10 == 1:
+            raise DeadlineExceededError("stub deadline")
+        if user % 10 == 2:
+            raise RuntimeError("stub fault")
+        return {"user": user, "k": k}
+
+
+class TestReplayHarness:
+    @pytest.fixture()
+    def stream(self) -> RequestStream:
+        return TrafficModel(
+            small_traffic(duration_seconds=2.0, base_rate_per_second=120.0,
+                          bursts=(), model_weights=(("mf", 1.0),))
+        ).generate(num_users=200, num_items=40)
+
+    def test_full_ledger_reconciliation(self, stream):
+        target = _StubTarget()
+        report = ReplayHarness(target, stream, k=5, speed=20.0, concurrency=4).run()
+        assert target.calls == len(stream)
+        assert report.total_requests == len(stream)
+        assert report.ledger_reconciles
+        outcome = report.phase(BASELINE_PHASE)
+        users = stream.users
+        assert outcome.sheds == int(np.sum(users % 10 == 0))
+        assert outcome.deadline_exceeded == int(np.sum(users % 10 == 1))
+        assert outcome.errors == int(np.sum(users % 10 == 2))
+        assert outcome.ok == len(stream) - outcome.sheds - outcome.deadline_exceeded - outcome.errors
+
+    def test_routing_and_deadline_reach_target(self, stream):
+        target = _StubTarget()
+        ReplayHarness(target, stream, k=5, speed=20.0, concurrency=2).run()
+        assert target.seen_models == {"mf"}
+        assert target.seen_deadlines == {0.25}
+
+    def test_single_shot(self, stream):
+        harness = ReplayHarness(_StubTarget(), stream, speed=20.0)
+        harness.run()
+        with pytest.raises(RuntimeError, match="single-shot"):
+            harness.run()
+
+    def test_open_loop_wall_clock(self, stream):
+        # At speed 10 a 2s stream replays in ~0.2s regardless of target speed.
+        report = ReplayHarness(_StubTarget(), stream, speed=10.0, concurrency=4).run()
+        assert 0.15 <= report.wall_seconds < 2.0
+
+    def test_bench_section_shape(self, stream):
+        report = ReplayHarness(_StubTarget(), stream, speed=20.0).run()
+        section = report.as_bench_section()
+        assert section["total_requests"] == len(stream)
+        assert section["ledger_reconciles"] is True
+        assert section["stream_digest"] == stream.digest()
+        for phase in section["phases"]:
+            for key in ("phase", "requests", "ok", "sheds", "deadline_exceeded",
+                        "errors", "ok_p50_ms", "ok_p95_ms", "ok_p99_ms",
+                        "offered_rps", "achieved_rps"):
+                assert key in phase
+
+    def test_failure_latencies_kept_out_of_ok_percentiles(self, stream):
+        metrics = MetricsRegistry()
+        failures = MetricsRegistry()
+        ReplayHarness(
+            _StubTarget(), stream, speed=20.0, metrics=metrics, failure_metrics=failures
+        ).run()
+        ok_count = metrics.snapshot()["models"][BASELINE_PHASE]["request_latency"]["count"]
+        failure_count = failures.snapshot()["models"][BASELINE_PHASE]["request_latency"]["count"]
+        users = stream.users
+        expected_failures = int(np.sum(np.isin(users % 10, (0, 1, 2))))
+        assert failure_count == expected_failures
+        assert ok_count == len(stream) - expected_failures
+
+    def test_invalid_parameters_rejected(self, stream):
+        with pytest.raises(ValueError):
+            ReplayHarness(_StubTarget(), stream, speed=0.0)
+        with pytest.raises(ValueError):
+            ReplayHarness(_StubTarget(), stream, concurrency=0)
+        with pytest.raises(ValueError):
+            ReplayHarness(_StubTarget(), stream, k=0)
+
+
+@pytest.mark.chaos
+class TestReplayVersusResilience:
+    """A seeded flash burst against a real gateway under a stall storm."""
+
+    STALL_SECONDS = 0.08
+    DEADLINE_SECONDS = 0.04
+
+    @pytest.fixture()
+    def gateway(self, tmp_path, small_split):
+        save_model(build_model("MF", small_split.train), tmp_path / "mf.npz")
+        catalog = ModelCatalog(tmp_path, small_split.train)
+        gateway = ServingGateway(
+            catalog,
+            default_model="mf",
+            policy=ResiliencePolicy(max_inflight=3),
+        )
+        gateway.top_k(np.array([0]), k=5)  # absorb the cold start
+        return gateway
+
+    def test_ledger_reconciles_and_p99_bounded(self, gateway, small_split):
+        stream = TrafficModel(
+            TrafficConfig(
+                duration_seconds=3.0,
+                base_rate_per_second=50.0,
+                diurnal_amplitude=0.0,
+                bursts=(
+                    FlashBurst(
+                        start_seconds=1.0,
+                        multiplier=5.0,
+                        rise_seconds=0.25,
+                        hold_seconds=1.0,
+                        decay_seconds=0.25,
+                        name="storm",
+                        deadline_seconds=self.DEADLINE_SECONDS,
+                    ),
+                ),
+                deadline_seconds=0.5,
+                seed=29,
+            )
+        ).generate(num_users=small_split.train.num_users, num_items=8)
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    "gateway.score",
+                    kind="stall",
+                    seconds=self.STALL_SECONDS,
+                    probability=0.25,
+                    count=None,
+                )
+            ],
+            seed=41,
+        )
+        before = gateway.metrics.snapshot()["totals"]
+        with inject(plan):
+            report = ReplayHarness(gateway, stream, k=5, speed=2.0, concurrency=3).run()
+
+        # The replay-side ledger balances per phase ...
+        assert report.ledger_reconciles
+        assert report.total_requests == len(stream)
+        storm = report.phase("storm")
+        assert storm.deadline_exceeded > 0, "the storm must break some deadlines"
+
+        # ... and agrees exactly with the gateway's own PR-8 accounting.
+        after = gateway.metrics.snapshot()["totals"]
+        harness_totals = {
+            "sheds": sum(p.sheds for p in report.phases),
+            "deadline_exceeded": sum(p.deadline_exceeded for p in report.phases),
+            "errors": sum(p.errors for p in report.phases),
+        }
+        for key, harness_value in harness_totals.items():
+            gateway_value = int(after[key]) - int(before[key])
+            assert gateway_value == harness_value, (
+                f"{key}: gateway counted {gateway_value}, replay saw {harness_value}"
+            )
+
+        # Ok requests never wait out a stall: their p99 stays bounded by the
+        # deadline budget (log-bucket overshoot <= 12%), not by the fault.
+        assert storm.ok_p99_ms < self.DEADLINE_SECONDS * 1e3 * 1.5
