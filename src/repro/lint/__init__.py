@@ -1,0 +1,79 @@
+"""``repro.lint`` — the serving stack's unwritten rules, machine-enforced.
+
+Eight PRs of concurrency, fork-safety, determinism and atomic-IO work
+accumulated invariants that used to live only in docs/ARCHITECTURE.md
+prose and reviewers' heads.  Each has already produced a shipped bug
+when violated by hand; this package turns them into checkers:
+
+========== ==================================================================
+RNG-001    no global-state randomness — seeded ``default_rng``/``SeedSequence``
+           streams only (the scenario digests depend on it)
+CLOCK-001  monotonic clocks for durations/deadlines in serving/, training/,
+           persist/ — ``time.time()`` steps and corrupts every difference
+LOCK-001   the documented lock hierarchy (load_lock → catalog._lock →
+           metrics._lock), statically for lexical nests and dynamically via
+           :mod:`repro.lint.lockwatch` under the stress/chaos storms
+FORK-001   lock-owning serving classes implement
+           ``_reinit_after_fork_in_child`` and register with forksafe
+RAISE-001  gateway/catalog/pool entry points raise the typed taxonomy,
+           never bare ``KeyError``/``IndexError``
+IO-001     persist/ bytes reach disk only through tmp+fsync+``os.replace``
+EXPORT-001 package ``__init__`` ``__all__``/re-exports actually resolve
+========== ==================================================================
+
+Run it::
+
+    python -m repro.lint src             # text report, exit 1 on findings
+    python -m repro.lint --json src      # machine-diffable findings
+
+Exemptions are in-line and must be justified::
+
+    # repro: allow(CLOCK-001) -- compares against file mtimes (wall clock)
+
+A pragma without a reason is itself a finding (``PRAGMA-001``), so the
+exemption ledger stays honest.  The tier-1 conformance test
+(``tests/lint/test_codebase_conformance.py``) runs the full registry
+over ``src/`` on every bare ``pytest`` run — a violation anywhere in the
+tree fails CI, not review.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Finding,
+    LintContext,
+    LintReport,
+    LintUsageError,
+    Pragma,
+    Rule,
+    SourceFile,
+    lint_text,
+    run_lint,
+)
+from .lockwatch import (
+    DEFAULT_HIERARCHY,
+    LockOrderViolation,
+    LockOrderWatchdog,
+    WatchedLock,
+)
+from .report import render_json, render_text
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "LintReport",
+    "LintUsageError",
+    "Pragma",
+    "Rule",
+    "SourceFile",
+    "run_lint",
+    "lint_text",
+    "render_text",
+    "render_json",
+    "LockOrderWatchdog",
+    "LockOrderViolation",
+    "WatchedLock",
+    "DEFAULT_HIERARCHY",
+]

@@ -1,0 +1,87 @@
+"""CLI: ``python -m repro.lint [paths] [--json] [--rules IDS] [--list-rules]``.
+
+Exit codes are script-friendly and stable:
+
+* ``0`` — clean (no findings),
+* ``1`` — findings reported,
+* ``2`` — usage error (unknown path, unknown rule id, bad arguments).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import LintUsageError, run_lint
+from .report import render_json, render_text
+from .rules import ALL_RULES
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _default_paths() -> List[Path]:
+    # Prefer the conventional src/ checkout root; fall back to the
+    # installed package directory so the CLI works from anywhere.
+    src = Path("src")
+    if src.is_dir():
+        return [src]
+    return [Path(__file__).resolve().parent.parent]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: src/)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the machine-diffable JSON report"
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="run only these rule ids (e.g. RNG-001,LOCK-001)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exit_:  # argparse uses 2 for usage errors already
+        return int(exit_.code or 0)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.title}")
+            if rule.rationale:
+                print(f"           {rule.rationale}")
+        return EXIT_CLEAN
+
+    select = None
+    if args.rules:
+        select = [part.strip() for part in args.rules.split(",") if part.strip()]
+    paths = args.paths or _default_paths()
+    try:
+        report = run_lint(ALL_RULES, paths, select=select)
+    except LintUsageError as error:
+        print(f"usage error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except SyntaxError as error:
+        print(f"cannot parse {error.filename}: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+    print(render_json(report) if args.json else render_text(report))
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""Runtime lock-order watchdog — the dynamic half of LOCK-001.
+
+The static checker sees *lexically* nested acquisitions; real inversions
+usually hide across call boundaries (a metrics callback re-entering the
+catalog, a warmer cycle touching an entry lock while holding the
+registry lock).  This module wraps live locks in order-checking proxies:
+every acquisition is checked against the acquiring **thread's** currently
+held chain, and any acquisition whose rank is ≤ an already-held rank
+(same-instance RLock re-entry excepted) is recorded — and, by default,
+raised — as a :class:`LockOrderViolation` *at the acquisition site*,
+with both lock names and the thread's full chain in the message.  That
+turns a latent ABBA deadlock (which only manifests under exactly the
+wrong interleaving) into a deterministic failure on *any* interleaving
+that merely attempts the wrong order.
+
+The stress (``-m stress``) and chaos (``-m chaos``) suites arm a
+watchdog over the catalog/metrics stack they storm, so the documented
+hierarchy::
+
+    CatalogEntry.load_lock (10)  →  ModelCatalog._lock (20)  →  MetricsRegistry._lock (30)
+
+is exercised under 8-thread fault storms on every tier-1 run.
+
+Usage::
+
+    watchdog = LockOrderWatchdog()
+    watchdog.watch_catalog(catalog)     # _lock + every entry's load_lock
+    watchdog.watch_metrics(metrics)
+    ... run traffic ...
+    watchdog.assert_clean()             # no inversions observed
+    watchdog.unwatch_all()              # restore the raw locks
+
+A proxy forwards ``acquire``/``release``/context-manager use to the
+wrapped lock unchanged, so instrumented code needs no modification; a
+failed/timed-out ``acquire`` is never counted as held.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "LockOrderViolation",
+    "WatchedLock",
+    "LockOrderWatchdog",
+    "DEFAULT_HIERARCHY",
+]
+
+#: Documented rank per lock role; higher = innermost / acquired later.
+#: Keep in lockstep with docs/ARCHITECTURE.md and the static
+#: LOCK_HIERARCHY table in :mod:`repro.lint.rules.locks`.
+DEFAULT_HIERARCHY: Dict[str, int] = {
+    "CatalogEntry.load_lock": 10,
+    "ModelCatalog._lock": 20,
+    "MetricsRegistry._lock": 30,
+}
+
+
+class LockOrderViolation(RuntimeError):
+    """A thread attempted to acquire locks against the documented order."""
+
+
+class WatchedLock:
+    """Order-checking proxy around one lock (Lock or RLock).
+
+    The proxy checks *before* blocking: an inversion is reported even on
+    interleavings where the raw acquire would have succeeded, which is
+    the whole point — the bug is the attempted order, not the outcome.
+    """
+
+    def __init__(self, inner: Any, watchdog: "LockOrderWatchdog", label: str, rank: int):
+        self._inner = inner
+        self._watchdog = watchdog
+        self.label = label
+        self.rank = rank
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._watchdog._check_acquire(self)
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watchdog._push(self)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        self._watchdog._pop(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:  # Lock only; RLock lacks it on older pythons
+        inner_locked = getattr(self._inner, "locked", None)
+        return bool(inner_locked()) if inner_locked is not None else False
+
+    def __repr__(self) -> str:
+        return f"WatchedLock({self.label!r}, rank={self.rank}, inner={self._inner!r})"
+
+
+class LockOrderWatchdog:
+    """Records per-thread acquisition chains and flags hierarchy inversions.
+
+    ``raise_on_violation=True`` (default) raises at the faulty acquire —
+    the violating thread gets the traceback.  Either way every violation
+    is appended to :attr:`violations`, so a suite that swallows worker
+    exceptions still fails on :meth:`assert_clean`.
+    """
+
+    def __init__(self, raise_on_violation: bool = True):
+        self.raise_on_violation = raise_on_violation
+        self.violations: List[str] = []
+        self._violations_lock = threading.Lock()
+        self._tls = threading.local()
+        self._instrumented: List[Tuple[Any, str, Any]] = []
+        #: Total acquisitions checked (observability: proves the watched
+        #: locks actually carried the traffic the suite claims).
+        self.checked = 0
+
+    # -- chain bookkeeping (all per-thread, hence unlocked) -------------
+    def _chain(self) -> List[WatchedLock]:
+        chain = getattr(self._tls, "chain", None)
+        if chain is None:
+            chain = self._tls.chain = []
+        return chain
+
+    def _check_acquire(self, lock: WatchedLock) -> None:
+        self.checked += 1  # benign race: diagnostic counter only
+        chain = self._chain()
+        for held in chain:
+            if held is lock:
+                continue  # RLock re-entry of the same instance is legal
+            if held.rank >= lock.rank:
+                self._record(lock, held, chain)
+                break
+
+    def _push(self, lock: WatchedLock) -> None:
+        self._chain().append(lock)
+
+    def _pop(self, lock: WatchedLock) -> None:
+        chain = self._chain()
+        for index in range(len(chain) - 1, -1, -1):
+            if chain[index] is lock:
+                del chain[index]
+                return
+
+    def _record(
+        self, lock: WatchedLock, held: WatchedLock, chain: List[WatchedLock]
+    ) -> None:
+        order = " -> ".join(f"{c.label}({c.rank})" for c in chain)
+        message = (
+            f"lock-order inversion in thread {threading.current_thread().name!r}: "
+            f"acquiring {lock.label} (rank {lock.rank}) while holding "
+            f"{held.label} (rank {held.rank}); full chain: [{order}] -> "
+            f"{lock.label}({lock.rank})"
+        )
+        with self._violations_lock:
+            self.violations.append(message)
+        if self.raise_on_violation:
+            raise LockOrderViolation(message)
+
+    # -- instrumentation -------------------------------------------------
+    def wrap(self, inner: Any, label: str, rank: Optional[int] = None) -> WatchedLock:
+        """Wrap a raw lock; rank defaults to the documented hierarchy."""
+        if rank is None:
+            rank = DEFAULT_HIERARCHY[label]
+        return WatchedLock(inner, self, label, rank)
+
+    def instrument(
+        self, obj: Any, attr: str, label: str, rank: Optional[int] = None
+    ) -> WatchedLock:
+        """Replace ``obj.<attr>`` with a watched proxy (reversible)."""
+        inner = getattr(obj, attr)
+        if isinstance(inner, WatchedLock):
+            return inner
+        watched = self.wrap(inner, label, rank)
+        setattr(obj, attr, watched)
+        self._instrumented.append((obj, attr, inner))
+        return watched
+
+    def watch_catalog(self, catalog: Any) -> None:
+        """Watch a ModelCatalog's ``_lock`` and every entry's ``load_lock``.
+
+        Entries created by later ``scan()`` calls are not auto-watched;
+        call again after a scan to cover them.  Quiesce the catalog first
+        (instrumentation itself takes no locks).
+        """
+        self.instrument(catalog, "_lock", "ModelCatalog._lock")
+        for name, entry in catalog.entries.items():
+            self.instrument(
+                entry,
+                "load_lock",
+                f"CatalogEntry.load_lock[{name}]",
+                DEFAULT_HIERARCHY["CatalogEntry.load_lock"],
+            )
+
+    def watch_metrics(self, metrics: Any) -> None:
+        """Watch a MetricsRegistry's ``_lock`` (the innermost rank)."""
+        self.instrument(metrics, "_lock", "MetricsRegistry._lock")
+
+    def watch_stack(self, catalog: Any = None, metrics: Any = None) -> "LockOrderWatchdog":
+        if catalog is not None:
+            self.watch_catalog(catalog)
+            if metrics is None:
+                metrics = getattr(catalog, "metrics", None)
+        if metrics is not None:
+            self.watch_metrics(metrics)
+        return self
+
+    def unwatch_all(self) -> None:
+        """Restore every instrumented attribute to its raw lock."""
+        while self._instrumented:
+            obj, attr, inner = self._instrumented.pop()
+            current = getattr(obj, attr, None)
+            if isinstance(current, WatchedLock):
+                setattr(obj, attr, inner)
+
+    # -- verdicts --------------------------------------------------------
+    def assert_clean(self) -> None:
+        """Raise with every recorded inversion if any were observed."""
+        with self._violations_lock:
+            if self.violations:
+                raise LockOrderViolation(
+                    f"{len(self.violations)} lock-order inversion(s) observed:\n"
+                    + "\n".join(self.violations)
+                )
+
+    def __enter__(self) -> "LockOrderWatchdog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.unwatch_all()

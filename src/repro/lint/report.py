@@ -1,0 +1,44 @@
+"""Text and JSON reporters for ``repro.lint`` runs."""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+#: Bump when the JSON shape changes, so CI can diff findings across runs.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.format() for finding in report.findings]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    summary = (
+        f"{len(report.findings)} {noun} in {report.files_scanned} files "
+        f"({report.suppressed} suppressed by pragma; "
+        f"rules: {', '.join(report.rules_run)})"
+    )
+    if report.clean:
+        summary = (
+            f"clean: 0 findings in {report.files_scanned} files "
+            f"({report.suppressed} suppressed by pragma)"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(
+        {
+            "version": JSON_SCHEMA_VERSION,
+            "clean": report.clean,
+            "files_scanned": report.files_scanned,
+            "suppressed": report.suppressed,
+            "rules_run": report.rules_run,
+            "findings": [finding.as_dict() for finding in report.findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,38 @@
+"""The registered checkers — one invariant per rule, one shipped bug per
+invariant (see each rule's ``rationale``)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..engine import Rule
+from .clock import RULE_CLOCK
+from .exports import RULE_EXPORT
+from .io import ATOMIC_HELPERS, RULE_IO
+from .locks import LOCK_HIERARCHY, RULE_FORK, RULE_LOCK
+from .raises import RULE_RAISE
+from .rng import RULE_RNG
+
+__all__ = [
+    "ALL_RULES",
+    "RULE_RNG",
+    "RULE_CLOCK",
+    "RULE_LOCK",
+    "RULE_FORK",
+    "RULE_RAISE",
+    "RULE_IO",
+    "RULE_EXPORT",
+    "LOCK_HIERARCHY",
+    "ATOMIC_HELPERS",
+]
+
+#: Registry order == report order for same-location findings.
+ALL_RULES: Tuple[Rule, ...] = (
+    RULE_RNG,
+    RULE_CLOCK,
+    RULE_LOCK,
+    RULE_FORK,
+    RULE_RAISE,
+    RULE_IO,
+    RULE_EXPORT,
+)

@@ -1,0 +1,65 @@
+"""CLOCK-001 — wall-clock reads are banned where durations are measured.
+
+Descends from the resilience layer (PR 8): deadlines, latency
+histograms, breaker cool-downs and replay schedules are all computed as
+*differences of clock reads*, and ``time.time()`` can step backwards
+(NTP slew, manual clock set), turning a 5 ms request into a negative
+latency or an immortal deadline.  Inside ``serving/``, ``training/`` and
+``persist/`` every duration must come from ``time.monotonic()`` /
+``time.perf_counter()``.
+
+Legitimate wall-clock reads exist — comparing against *external*
+wall-clock data such as file mtimes — and carry the pragma with the
+reason spelled out; ``persist/artifact.py``'s stale-tmp sweep is the
+exemplar.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import Finding, LintContext, Rule, SourceFile
+from .common import ImportMap, dotted_name
+
+__all__ = ["RULE_CLOCK"]
+
+_SCOPED_PACKAGES = ("serving", "training", "persist")
+
+
+def _check(source: SourceFile, context: LintContext) -> Iterable[Finding]:
+    if not source.in_packages(*_SCOPED_PACKAGES):
+        return []
+    imports = ImportMap(source.tree)
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        local = dotted_name(node.func)
+        if local is None:
+            continue
+        if imports.resolve(local) == "time.time":
+            findings.append(
+                source.finding(
+                    node,
+                    RULE_CLOCK,
+                    "wall-clock time.time() in duration/deadline territory",
+                )
+            )
+    return findings
+
+
+RULE_CLOCK = Rule(
+    id="CLOCK-001",
+    title="monotonic clocks only for durations and deadlines",
+    hint=(
+        "use time.monotonic() or time.perf_counter(); if the read really "
+        "compares against external wall-clock data (file mtimes, event "
+        "timestamps), say so in a '# repro: allow(CLOCK-001) -- reason' pragma"
+    ),
+    check=_check,
+    rationale=(
+        "PR 8's deadline/latency machinery measures differences of clock "
+        "reads; a stepping wall clock corrupts every one of them"
+    ),
+)

@@ -1,0 +1,171 @@
+"""EXPORT-001 — package ``__init__`` re-exports cannot drift.
+
+``src/repro/serving/__init__.py`` keeps growing: every PR adds classes
+to ``__all__`` and re-imports them from submodules.  Nothing catches the
+silent failure modes — an ``__all__`` entry whose import was dropped in
+a refactor (``from x import *`` consumers crash), or a re-export of a
+name a submodule no longer defines (an ImportError that only fires at
+package import time, far from the edit).  This rule checks, for every
+``__init__.py``:
+
+* each name in ``__all__`` is actually bound in the module (defined,
+  assigned, or imported);
+* each ``from .submodule import name`` resolves — when the submodule is
+  part of the scanned tree, ``name`` must be a real top-level binding
+  there (or the name of a nested submodule).
+
+Modules using ``from x import *`` from an unscanned module are skipped
+for the ``__all__`` direction (their bindings cannot be resolved
+statically).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from ..engine import Finding, LintContext, Rule, SourceFile, top_level_bindings
+
+__all__ = ["RULE_EXPORT"]
+
+
+def _all_entries(tree: ast.Module) -> Optional[List[ast.Constant]]:
+    """Constants listed in a top-level ``__all__`` list/tuple, if static."""
+    entries: Optional[List[ast.Constant]] = None
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)) and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in value.elts
+                ):
+                    found = list(value.elts)
+                    entries = found if entries is None else entries + found
+                else:
+                    return None  # dynamic __all__ — cannot check statically
+    return entries
+
+
+def _resolve_import_module(
+    source: SourceFile, node: ast.ImportFrom
+) -> Optional[str]:
+    """Dotted module (relative to the package root) an ImportFrom targets."""
+    if node.level == 0:
+        module = node.module or ""
+        if module == "repro":
+            return ""
+        if module.startswith("repro."):
+            return module[len("repro.") :]
+        return None  # external absolute import
+    package = source.module  # for __init__.py this IS the package
+    if not source.is_package_init:
+        package = package.rpartition(".")[0]
+    parts = package.split(".") if package else []
+    up = node.level - 1
+    if up > len(parts):
+        return None
+    base = parts[: len(parts) - up]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def _module_binds(
+    context: LintContext, module: str, name: str
+) -> Optional[bool]:
+    """Does ``module`` bind ``name``?  None = module not scanned."""
+    target = context.module_file(module)
+    if target is None:
+        return None
+    if name in top_level_bindings(target.tree):
+        return True
+    # ``from . import submodule`` / re-export of a nested module.
+    return context.has_module(f"{module}.{name}" if module else name)
+
+
+def _star_sources_unresolved(source: SourceFile, context: LintContext) -> bool:
+    for node in source.tree.body:
+        if isinstance(node, ast.ImportFrom) and any(a.name == "*" for a in node.names):
+            module = _resolve_import_module(source, node)
+            if module is None or not context.has_module(module):
+                return True
+    return False
+
+
+def _star_bindings(source: SourceFile, context: LintContext) -> Set[str]:
+    names: Set[str] = set()
+    for node in source.tree.body:
+        if isinstance(node, ast.ImportFrom) and any(a.name == "*" for a in node.names):
+            module = _resolve_import_module(source, node)
+            if module is not None:
+                target = context.module_file(module)
+                if target is not None:
+                    names.update(top_level_bindings(target.tree))
+    return names
+
+
+def _check(source: SourceFile, context: LintContext) -> Iterable[Finding]:
+    if not source.is_package_init:
+        return []
+    findings: List[Finding] = []
+
+    # Direction 1: __all__ names resolve to real bindings.
+    entries = _all_entries(source.tree)
+    if entries is not None and not _star_sources_unresolved(source, context):
+        bound = top_level_bindings(source.tree) | _star_bindings(source, context)
+        for entry in entries:
+            name = entry.value
+            if name not in bound and not context.has_module(
+                f"{source.module}.{name}" if source.module else name
+            ):
+                findings.append(
+                    source.finding(
+                        entry,
+                        RULE_EXPORT,
+                        f"__all__ names {name!r} but the module never binds it",
+                    )
+                )
+
+    # Direction 2: every re-import from a scanned module resolves there.
+    for node in source.tree.body:
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        module = _resolve_import_module(source, node)
+        if module is None:
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            binds = _module_binds(context, module, alias.name)
+            if binds is False:
+                findings.append(
+                    source.finding(
+                        node,
+                        RULE_EXPORT,
+                        f"re-export of {alias.name!r} from {module or 'repro'!r}, "
+                        f"which does not define it",
+                    )
+                )
+    return findings
+
+
+RULE_EXPORT = Rule(
+    id="EXPORT-001",
+    title="package __init__ exports resolve",
+    hint=(
+        "every __all__ entry must be bound in the __init__ and every "
+        "re-imported name must still exist in its source module — fix the "
+        "import or prune the stale export"
+    ),
+    check=_check,
+    rationale=(
+        "serving/__init__.py grows every PR; a stale export only explodes "
+        "at package import time, far from the refactor that caused it"
+    ),
+)

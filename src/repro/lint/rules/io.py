@@ -1,0 +1,129 @@
+"""IO-001 — artifact bytes reach disk only through the atomic helpers.
+
+Descends from PR 2/PR 5: a reader (catalog scan, warmer cycle, sibling
+process) can observe a half-written artifact unless every write goes
+tmp-file → ``fsync`` → ``os.replace``.  Inside ``persist/`` the only
+functions allowed to open files for writing are the atomic helpers in
+:data:`ATOMIC_HELPERS`; everything else must route through them, so a
+torn artifact is structurally impossible rather than reviewed for.
+
+Flagged: write/append-mode ``open``, ``os.open`` with create/write
+flags, ``Path.write_text``/``write_bytes``, ``np.save*`` and
+``json.dump`` — anywhere in ``persist/`` outside an atomic helper.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from ..engine import Finding, LintContext, Rule, SourceFile
+from .common import ImportMap, dotted_name
+
+__all__ = ["RULE_IO", "ATOMIC_HELPERS"]
+
+#: Functions (by name) allowed to perform raw writes: the tmp+fsync+
+#: replace primitives themselves.  Writes inside functions *nested in*
+#: one of these (e.g. a ``build(tmp)`` callback defined inside
+#: ``_write_dir_artifact``) are covered too.
+ATOMIC_HELPERS = frozenset(
+    {
+        "_atomic_replace_write",
+        "_atomic_replace_dir",
+        "_atomic_write_npz",
+        "_write_dir_artifact",
+    }
+)
+
+_WRITE_MODES = set("wax+")
+_OS_OPEN_WRITE_FLAGS = {"O_WRONLY", "O_RDWR", "O_CREAT", "O_APPEND", "O_TRUNC"}
+
+
+def _literal_mode(call: ast.Call) -> Optional[str]:
+    for keyword in call.keywords:
+        if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+            return keyword.value.value if isinstance(keyword.value.value, str) else None
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        value = call.args[1].value
+        return value if isinstance(value, str) else None
+    return None
+
+
+def _flags_write(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        name = dotted_name(sub)
+        if name is not None and name.split(".")[-1] in _OS_OPEN_WRITE_FLAGS:
+            return True
+    return False
+
+
+def _write_call(call: ast.Call, imports: ImportMap) -> Optional[str]:
+    """Describe the raw-write call, or None when it is not one."""
+    local = dotted_name(call.func)
+    if local is None:
+        return None
+    canonical = imports.resolve(local)
+    leaf = canonical.split(".")[-1]
+    if canonical == "open" or leaf == "open" and canonical in ("open", "io.open"):
+        mode = _literal_mode(call)
+        if mode is not None and _WRITE_MODES & set(mode):
+            return f"open(..., {mode!r})"
+        return None
+    if canonical == "os.open":
+        if len(call.args) >= 2 and _flags_write(call.args[1]):
+            return "os.open(..., O_WRONLY/O_CREAT/...)"
+        return None
+    if leaf in ("write_text", "write_bytes"):
+        return f".{leaf}(...)"
+    if canonical in ("numpy.save", "numpy.savez", "numpy.savez_compressed", "json.dump"):
+        return f"{local}(...)"
+    return None
+
+
+def _walk(
+    node: ast.AST,
+    inside_helper: bool,
+    imports: ImportMap,
+    source: SourceFile,
+    findings: List[Finding],
+) -> None:
+    for child in ast.iter_child_nodes(node):
+        helper = inside_helper
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            helper = inside_helper or child.name in ATOMIC_HELPERS
+        elif isinstance(child, ast.Call) and not inside_helper:
+            description = _write_call(child, imports)
+            if description is not None:
+                findings.append(
+                    source.finding(
+                        child,
+                        RULE_IO,
+                        f"non-atomic write {description} outside the atomic helpers",
+                    )
+                )
+        _walk(child, helper, imports, source, findings)
+
+
+def _check(source: SourceFile, context: LintContext) -> Iterable[Finding]:
+    if not source.in_packages("persist"):
+        return []
+    imports = ImportMap(source.tree)
+    findings: List[Finding] = []
+    _walk(source.tree, False, imports, source, findings)
+    return findings
+
+
+RULE_IO = Rule(
+    id="IO-001",
+    title="persist/ writes go through tmp+fsync+os.replace",
+    hint=(
+        "route the bytes through persist.artifact._atomic_replace_write / "
+        "_atomic_replace_dir so a crash or concurrent reader can never "
+        "observe a torn artifact"
+    ),
+    check=_check,
+    rationale=(
+        "PR 5's TOCTOU: a scan raced a non-atomic publish and loaded a "
+        "half-written artifact; atomic replace is the only safe publish path"
+    ),
+)

@@ -1,0 +1,225 @@
+"""LOCK-001 / FORK-001 — the lock hierarchy and the fork-safety protocol.
+
+**LOCK-001** enforces docs/ARCHITECTURE.md's documented ordering
+statically::
+
+    CatalogEntry.load_lock (10)  →  ModelCatalog._lock (20)  →  MetricsRegistry._lock (30)
+
+Acquire left before right, never the reverse.  The checker resolves lock
+expressions in ``with`` items and ``.acquire()`` calls against the
+:data:`LOCK_HIERARCHY` table and flags any *lexically nested* acquisition
+whose rank is ≤ an enclosing one (equal rank on a different lock is a
+self-deadlock risk too; re-entering the same RLock is fine).  Lexical
+analysis cannot see cross-function chains — the runtime watchdog
+(:mod:`repro.lint.lockwatch`) covers those under the stress/chaos storms.
+Descends from PR 7's fork deadlock postmortem, where an undocumented
+ordering was the root cause.
+
+**FORK-001** enforces PR 7's fork-safety protocol: any ``serving/`` class
+that stores a ``threading.Lock/RLock/Condition`` on ``self`` inherits
+that lock *in whatever state a forking thread left it* — so it must
+implement ``_reinit_after_fork_in_child()`` and register with
+``forksafe.protect(self)``, or the first post-fork request deadlocks on a
+lock whose owner does not exist in the child.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Tuple
+
+from ..engine import Finding, LintContext, Rule, SourceFile
+from .common import ImportMap, dotted_name
+
+__all__ = ["RULE_LOCK", "RULE_FORK", "LOCK_HIERARCHY"]
+
+#: (attribute name, required logical path or None=any, rank, label).
+#: Higher rank = acquired later (innermost).  Keep in lockstep with
+#: docs/ARCHITECTURE.md and lockwatch.DEFAULT_HIERARCHY.
+LOCK_HIERARCHY: Tuple[Tuple[str, Optional[str], int, str], ...] = (
+    ("load_lock", None, 10, "CatalogEntry.load_lock"),
+    ("_lock", "serving/catalog.py", 20, "ModelCatalog._lock"),
+    ("_lock", "serving/metrics.py", 30, "MetricsRegistry._lock"),
+)
+
+_LOCK_FACTORIES = {"threading.Lock", "threading.RLock", "threading.Condition"}
+
+
+def _resolve_lock(expr: ast.AST, source: SourceFile) -> Optional[Tuple[int, str]]:
+    name = dotted_name(expr)
+    if name is None:
+        return None
+    attr = name.split(".")[-1]
+    for table_attr, rel, rank, label in LOCK_HIERARCHY:
+        if attr == table_attr and (rel is None or source.rel == rel):
+            return rank, label
+    return None
+
+
+def _order_findings(
+    held: List[Tuple[int, str]],
+    new: Tuple[int, str],
+    node: ast.AST,
+    source: SourceFile,
+) -> List[Finding]:
+    findings = []
+    for rank, label in held:
+        if rank > new[0]:
+            findings.append(
+                source.finding(
+                    node,
+                    RULE_LOCK,
+                    f"lock-order inversion: acquiring {new[1]} (rank {new[0]}) "
+                    f"while holding {label} (rank {rank})",
+                )
+            )
+        elif rank == new[0] and label != new[1]:
+            findings.append(
+                source.finding(
+                    node,
+                    RULE_LOCK,
+                    f"same-rank lock nesting: acquiring {new[1]} while "
+                    f"holding {label} (rank {rank}) risks ABBA deadlock",
+                )
+            )
+    return findings
+
+
+def _walk_order(
+    node: ast.AST,
+    held: List[Tuple[int, str]],
+    source: SourceFile,
+    findings: List[Finding],
+) -> None:
+    """Dispatch ``node`` itself, tracking the lexically held lock set."""
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        # A nested def's body runs at call time, not under the enclosing
+        # with — start it with an empty held-set.
+        held = []
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        acquired: List[Tuple[int, str]] = []
+        for item in node.items:
+            resolved = _resolve_lock(item.context_expr, source)
+            if resolved is not None:
+                findings.extend(
+                    _order_findings(held + acquired, resolved, item.context_expr, source)
+                )
+                acquired.append(resolved)
+        held = held + acquired
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr == "acquire":
+            resolved = _resolve_lock(node.func.value, source)
+            if resolved is not None:
+                findings.extend(_order_findings(held, resolved, node, source))
+    for child in ast.iter_child_nodes(node):
+        _walk_order(child, held, source, findings)
+
+
+def _check_lock(source: SourceFile, context: LintContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    _walk_order(source.tree, [], source, findings)
+    return findings
+
+
+RULE_LOCK = Rule(
+    id="LOCK-001",
+    title="respect the documented lock hierarchy",
+    hint=(
+        "acquire in documented order: CatalogEntry.load_lock -> "
+        "ModelCatalog._lock -> MetricsRegistry._lock (docs/ARCHITECTURE.md, "
+        "'Concurrency & observability'); restructure so the outer lock is "
+        "released first, or take both in hierarchy order"
+    ),
+    check=_check_lock,
+    rationale=(
+        "PR 7's fork deadlock and PR 5's cold-start races were both "
+        "ordering bugs; the hierarchy is the contract that prevents them"
+    ),
+)
+
+
+def _forksafe_protect_names(tree: ast.Module) -> set:
+    """Local names that are ``forksafe.protect`` via any import form."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "forksafe" or module.endswith(".forksafe"):
+                for alias in node.names:
+                    if alias.name == "protect":
+                        names.add(alias.asname or "protect")
+    return names
+
+
+def _check_fork(source: SourceFile, context: LintContext) -> Iterable[Finding]:
+    if not source.in_packages("serving", "training") or source.rel.endswith(
+        "serving/forksafe.py"
+    ):
+        return []
+    imports = ImportMap(source.tree)
+    protect_aliases = _forksafe_protect_names(source.tree)
+    findings: List[Finding] = []
+    for klass in [n for n in ast.walk(source.tree) if isinstance(n, ast.ClassDef)]:
+        lock_attrs: List[str] = []
+        has_reinit = False
+        has_protect = False
+        for node in ast.walk(klass):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name == "_reinit_after_fork_in_child":
+                    has_reinit = True
+            elif isinstance(node, ast.Assign) or isinstance(node, ast.AnnAssign):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and dotted_name(value.func) is not None
+                    and imports.resolve(dotted_name(value.func)) in _LOCK_FACTORIES
+                ):
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            lock_attrs.append(target.attr)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and (
+                    name.split(".")[-2:] == ["forksafe", "protect"]
+                    or name in protect_aliases
+                ):
+                    has_protect = True
+        if not lock_attrs:
+            continue
+        missing = []
+        if not has_reinit:
+            missing.append("does not define _reinit_after_fork_in_child()")
+        if not has_protect:
+            missing.append("never calls forksafe.protect(self)")
+        if missing:
+            attrs = ", ".join(sorted(set(lock_attrs)))
+            findings.append(
+                source.finding(
+                    klass,
+                    RULE_FORK,
+                    f"class {klass.name} stores lock attribute(s) {attrs} but "
+                    + " and ".join(missing),
+                )
+            )
+    return findings
+
+
+RULE_FORK = Rule(
+    id="FORK-001",
+    title="lock-owning serving classes follow the fork-safety protocol",
+    hint=(
+        "implement _reinit_after_fork_in_child() (replace the locks, forget "
+        "dead threads) and call forksafe.protect(self) from __init__ — see "
+        "serving/forksafe.py"
+    ),
+    check=_check_fork,
+    rationale=(
+        "PR 7: a fork copies every lock in whatever state a concurrent "
+        "thread left it; an unregistered lock deadlocks the child's first request"
+    ),
+)

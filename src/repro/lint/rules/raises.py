@@ -1,0 +1,85 @@
+"""RAISE-001 — serving entry points fail typed, never with bare builtins.
+
+Descends from the input-validation work (PR 4/PR 8): a bare ``KeyError``
+or ``IndexError`` escaping a gateway/catalog/pool entry point loses
+*which request and which model* were at fault, and — worse — reads as an
+internal bug to callers who must distinguish "you sent a bad model name"
+(:class:`~repro.serving.catalog.UnknownCatalogModelError`) from "the
+serving side is degraded" (:class:`~repro.serving.errors.ServingUnavailableError`).
+Public entry points in ``serving/gateway.py``, ``serving/catalog.py``
+and ``serving/workers.py`` must raise the typed taxonomy; typed
+subclasses that *inherit* the builtin (``UnknownCatalogModelError`` is a
+``KeyError``) keep ``except KeyError`` callers working.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import Finding, LintContext, Rule, SourceFile
+
+__all__ = ["RULE_RAISE"]
+
+_SCOPED_FILES = ("serving/gateway.py", "serving/catalog.py", "serving/workers.py")
+_BARE = {"KeyError", "IndexError"}
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _bare_raises(func: ast.AST, source: SourceFile) -> List[Finding]:
+    findings = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Name):
+            name = exc.id
+        elif isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        if name in _BARE:
+            findings.append(
+                source.finding(
+                    node,
+                    RULE_RAISE,
+                    f"public serving entry point raises bare {name}",
+                )
+            )
+    return findings
+
+
+def _check(source: SourceFile, context: LintContext) -> Iterable[Finding]:
+    if source.rel not in _SCOPED_FILES:
+        return []
+    findings: List[Finding] = []
+    for node in source.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_public(
+            node.name
+        ):
+            findings.extend(_bare_raises(node, source))
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _is_public(member.name):
+                    findings.extend(_bare_raises(member, source))
+    return findings
+
+
+RULE_RAISE = Rule(
+    id="RAISE-001",
+    title="serving entry points raise typed errors",
+    hint=(
+        "raise the typed taxonomy instead: ServingError subtypes from "
+        "serving/errors.py, or CatalogError/UnknownCatalogModelError (which "
+        "subclass the builtin so broad excepts keep working)"
+    ),
+    check=_check,
+    rationale=(
+        "a bare KeyError/IndexError from deep inside the score path loses "
+        "which request and model were at fault (PR 4's boundary-validation bug)"
+    ),
+)

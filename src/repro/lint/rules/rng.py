@@ -1,0 +1,115 @@
+"""RNG-001 — no global-state randomness anywhere in ``src/``.
+
+Descends from the scenario engine's byte-identical ``digest()`` contract
+(PR 9): every stochastic component takes an explicit seeded
+``np.random.default_rng`` / ``SeedSequence`` stream, so one call into
+numpy's *legacy global* API (``np.random.seed``, ``np.random.rand``...)
+or the stdlib's module-level ``random.*`` functions silently couples
+unrelated components through hidden process-wide state and breaks
+reproducibility for everything downstream.
+
+Allowed: ``np.random.default_rng`` / ``SeedSequence`` and the generator
+*class* names (``Generator``, ``BitGenerator``, the bit-generator
+implementations) which appear in annotations; instance-based
+``random.Random(seed)`` / ``random.SystemRandom()`` (their state is
+owned, not global).  Everything else on ``np.random`` or the stdlib
+``random`` module is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from ..engine import Finding, LintContext, Rule, SourceFile
+from .common import ImportMap, dotted_name
+
+__all__ = ["RULE_RNG"]
+
+#: np.random names that do not touch the hidden global BitGenerator.
+_NUMPY_ALLOWED = {
+    "default_rng",
+    "SeedSequence",
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+}
+
+#: stdlib random attributes that construct owned instances.
+_STDLIB_ALLOWED = {"Random", "SystemRandom"}
+
+_HINT = (
+    "thread an explicit seeded np.random.default_rng(seed) / SeedSequence "
+    "stream through instead (see utils/rng.py); instance-based "
+    "random.Random(seed) is fine"
+)
+
+
+def _check(source: SourceFile, context: LintContext) -> Iterable[Finding]:
+    imports = ImportMap(source.tree)
+    findings: List[Finding] = []
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.Attribute, ast.Name)):
+            local = dotted_name(node)
+            if local is None or not isinstance(node.ctx, ast.Load):
+                continue
+            canonical = imports.resolve(local)
+            parts = canonical.split(".")
+            if len(parts) >= 3 and parts[0] in ("numpy", "np") and parts[1] == "random":
+                # Only the access one level below numpy.random decides;
+                # np.random.Generator.foo annotates, np.random.rand draws.
+                leaf = parts[2]
+                if leaf not in _NUMPY_ALLOWED:
+                    findings.append(
+                        source.finding(
+                            node,
+                            RULE_RNG,
+                            f"global-state numpy randomness: {canonical}",
+                        )
+                    )
+            elif (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] not in _STDLIB_ALLOWED
+                and imports.resolve(parts[0]) == "random"
+                and local.split(".")[0] in imports.aliases
+            ):
+                findings.append(
+                    source.finding(
+                        node,
+                        RULE_RNG,
+                        f"module-level stdlib randomness: {canonical}",
+                    )
+                )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module in ("numpy.random", "random"):
+                allowed = _NUMPY_ALLOWED if node.module == "numpy.random" else _STDLIB_ALLOWED
+                for alias in node.names:
+                    if alias.name != "*" and alias.name not in allowed:
+                        findings.append(
+                            source.finding(
+                                node,
+                                RULE_RNG,
+                                f"imports global-state randomness: "
+                                f"from {node.module} import {alias.name}",
+                            )
+                        )
+    # Deduplicate nested Attribute chains (np.random.rand visits both the
+    # full chain and its np.random prefix — prefix resolves short, skip).
+    return findings
+
+
+RULE_RNG = Rule(
+    id="RNG-001",
+    title="no global-state randomness",
+    hint=_HINT,
+    check=_check,
+    rationale=(
+        "the scenario engine's byte-identical digest() contracts (PR 9) "
+        "hold only while every random draw comes from an owned, seeded stream"
+    ),
+)

@@ -242,6 +242,7 @@ def _sweep_stale_tmp(path: Path, max_age_seconds: Optional[float] = None) -> Non
         if _owner_pid_alive(orphan.name) is not False:
             continue
         try:
+            # repro: allow(CLOCK-001) -- age compares against st_mtime, which is wall-clock by definition; a monotonic read has no meaningful difference with an mtime
             if time.time() - orphan.stat().st_mtime <= max_age_seconds:
                 continue
             if orphan.is_dir():

@@ -294,6 +294,7 @@ def _read_header_with_retries(
             # instead of burning retries on a file that cannot come back.
             if attempt >= retries or not path.exists():
                 raise
+            # repro: allow(RNG-001) -- retry-backoff jitter wants cross-process entropy, not reproducibility; seeding it would synchronize the very retries it decorrelates
             time.sleep(backoff_seconds * (2**attempt) * (0.5 + random.random()))
             attempt += 1
 

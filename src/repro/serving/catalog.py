@@ -117,6 +117,7 @@ class UnknownCatalogModelError(CatalogError, KeyError):
 
 
 @dataclass
+# repro: allow(FORK-001) -- entries never live outside a ModelCatalog; the catalog's _reinit_after_fork_in_child replaces every entry's load_lock in the child
 class CatalogEntry:
     """One servable artifact of the catalog (metadata only — never weights).
 

@@ -59,6 +59,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
+from . import forksafe
+
 __all__ = [
     "InjectedFaultError",
     "FaultRule",
@@ -150,6 +152,13 @@ class FaultPlan:
         # One independent seeded stream per rule keeps probability draws
         # reproducible regardless of how other rules interleave.
         self._rngs = [random.Random(hash((self.seed, i)) & 0xFFFFFFFF) for i in range(len(self.rules))]
+        forksafe.protect(self)
+
+    def _reinit_after_fork_in_child(self) -> None:
+        # A fork mid-``fire`` would hand the child a held _lock; the copied
+        # counters and rule streams stay — the child continues the parent's
+        # deterministic schedule from wherever the fork landed.
+        self._lock = threading.Lock()
 
     def __getstate__(self):
         return {"rules": self.rules, "seed": self.seed}

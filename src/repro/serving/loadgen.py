@@ -48,6 +48,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from . import forksafe
 from .errors import DeadlineExceededError, OverloadedError
 from .metrics import MetricsRegistry
 
@@ -561,6 +562,15 @@ class ReplayHarness:
         self._max_lag = 0.0
         self._lag_lock = threading.Lock()
         self._ran = False
+        forksafe.protect(self)
+
+    def _reinit_after_fork_in_child(self) -> None:
+        # A fork during a replay copies the claim/lag locks in whatever
+        # state the claimer threads held them; replace both so a child can
+        # run its own replay.  The claimer threads themselves are gone in
+        # the child — the copied counters are a snapshot, nothing more.
+        self._index_lock = threading.Lock()
+        self._lag_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Worker loop

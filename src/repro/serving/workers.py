@@ -91,6 +91,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..data.dataset import GroupBuyingDataset
+from . import forksafe
 from .errors import DeadlineExceededError, OverloadedError
 from .faults import FaultPlan
 from .metrics import MetricsRegistry
@@ -313,6 +314,15 @@ class WorkerPool:
         #: Model names reported by the first ready worker.
         self.model_names: List[str] = []
         # One lock serializes the parent-side API (class docstring).
+        self._api_lock = threading.Lock()
+        forksafe.protect(self)
+
+    def _reinit_after_fork_in_child(self) -> None:
+        # A fork mid-call copies a held _api_lock into the child.  Replace
+        # it so the child's API does not deadlock — the worker *processes*
+        # remain children of the original parent (a forked copy can submit
+        # requests over the inherited queues but must leave lifecycle
+        # management to the parent that spawned them).
         self._api_lock = threading.Lock()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,19 @@
+"""IO-001: artifact bytes written without tmp+fsync+os.replace."""
+
+import json
+import os
+
+
+def publish_header(path, payload):
+    with open(path, "w") as handle:  # expect: IO-001
+        json.dump(payload, handle)  # expect: IO-001
+
+
+def publish_raw(path, blob):
+    descriptor = os.open(path, os.O_CREAT | os.O_WRONLY)  # expect: IO-001
+    with os.fdopen(descriptor, "wb") as handle:
+        handle.write(blob)
+
+
+def publish_text(path, text):
+    path.write_text(text)  # expect: IO-001

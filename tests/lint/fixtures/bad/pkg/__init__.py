@@ -1,0 +1,9 @@
+"""EXPORT-001: stale ``__all__`` entry + re-export of a dropped name."""
+
+from .real import build_index, purge_cache  # expect: EXPORT-001
+
+__all__ = [
+    "build_index",
+    "purge_cache",
+    "rebuild_everything",  # expect: EXPORT-001
+]

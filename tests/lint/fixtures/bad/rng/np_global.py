@@ -1,0 +1,10 @@
+"""RNG-001: numpy legacy global-state API draws are banned everywhere."""
+
+import numpy as np
+
+
+def shuffled_indices(n):
+    np.random.seed(13)  # expect: RNG-001
+    order = np.random.permutation(n)  # expect: RNG-001
+    noise = np.random.rand(n)  # expect: RNG-001
+    return order, noise

@@ -1,0 +1,9 @@
+"""RNG-001: module-level stdlib ``random.*`` functions are hidden global state."""
+
+import random
+from random import shuffle  # expect: RNG-001
+
+
+def pick(items):
+    random.shuffle(items)  # expect: RNG-001
+    return random.choice(items)  # expect: RNG-001

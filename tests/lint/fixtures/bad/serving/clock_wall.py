@@ -1,0 +1,9 @@
+"""CLOCK-001: wall-clock duration measurement inside serving/."""
+
+import time
+
+
+def timed(fn):
+    start = time.time()  # expect: CLOCK-001
+    fn()
+    return time.time() - start  # expect: CLOCK-001

@@ -1,0 +1,23 @@
+"""FORK-001: a serving class storing a lock without the fork-safety protocol."""
+
+import threading
+
+
+class SheddingCounter:  # expect: FORK-001
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+
+class HalfProtected:  # expect: FORK-001
+    """Has the re-init hook but never registers it — the hook never runs."""
+
+    def __init__(self):
+        self._cv = threading.Condition()
+
+    def _reinit_after_fork_in_child(self):
+        self._cv = threading.Condition()

@@ -1,0 +1,18 @@
+"""RAISE-001: a public gateway entry point raising a bare builtin."""
+
+
+class Gateway:
+    def __init__(self, models):
+        self._models = models
+
+    def top_k(self, name, users, k):
+        if name not in self._models:
+            raise KeyError(name)  # expect: RAISE-001
+        if k < 1:
+            raise IndexError("k out of range")  # expect: RAISE-001
+        return self._models[name](users, k)
+
+    def _lookup(self, name):
+        # Private helpers may raise whatever they like; the public
+        # boundary is responsible for translation.
+        raise KeyError(name)

@@ -1,0 +1,24 @@
+"""LOCK-001: a lexically nested inversion against the documented hierarchy.
+
+This fixture masquerades as ``serving/metrics.py`` so ``self._lock``
+resolves as MetricsRegistry._lock (rank 30, innermost).
+"""
+
+
+class Registry:
+    def __init__(self, lock, entry):
+        self._lock = lock
+        self._entry = entry
+
+    def snapshot_with_cold_start(self):
+        with self._lock:
+            with self._entry.load_lock:  # expect: LOCK-001
+                return dict(self._entry.stats)
+
+    def try_cold_start(self):
+        with self._lock:
+            self._entry.load_lock.acquire()  # expect: LOCK-001
+            try:
+                return dict(self._entry.stats)
+            finally:
+                self._entry.load_lock.release()

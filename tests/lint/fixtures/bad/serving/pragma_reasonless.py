@@ -1,0 +1,14 @@
+"""A reason-less pragma is itself rejected AND does not suppress.
+
+Expectations cannot ride the pragma line (a trailing comment would stop
+it parsing as a pragma), so this fixture declares them absolutely:
+
+# expects: PRAGMA-001@13, CLOCK-001@14
+"""
+
+import time
+
+
+def stamp():
+    # repro: allow(CLOCK-001)
+    return time.time()

@@ -1,0 +1,27 @@
+"""Clean persist IO: writes only inside the atomic helpers (and reads anywhere)."""
+
+import json
+import os
+
+
+def _atomic_replace_write(path, write):
+    tmp = str(path) + ".tmp"
+    descriptor = os.open(tmp, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o666)
+    with os.fdopen(descriptor, "wb") as handle:
+        write(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _write_dir_artifact(path, payload):
+    def build(tmp):
+        with open(tmp / "header.json", "w") as handle:
+            json.dump(payload, handle)
+
+    build(path)
+
+
+def read_header(path):
+    with open(path, "rb") as handle:
+        return handle.read()

@@ -1,0 +1,8 @@
+"""Clean exports: everything in ``__all__`` resolves, submodule re-export included."""
+
+from . import real
+from .real import build_index
+
+__all__ = ["build_index", "real", "LOCAL_CONSTANT"]
+
+LOCAL_CONSTANT = 7

@@ -1,0 +1,5 @@
+"""Submodule backing the clean package fixture."""
+
+
+def build_index(rows):
+    return sorted(rows)

@@ -1,0 +1,25 @@
+"""Clean randomness: owned, seeded streams only."""
+
+import random
+from typing import Optional
+
+import numpy as np
+
+
+def shuffled_indices(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n)
+
+
+def spawn(seed, count):
+    root = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def jitter_stream(seed):
+    # Instance-based stdlib randomness owns its state — allowed.
+    return random.Random(seed)
+
+
+def annotated(rng: Optional[np.random.Generator] = None) -> np.random.Generator:
+    return rng or np.random.default_rng()

@@ -1,0 +1,15 @@
+"""Clean clocks: monotonic for durations, perf_counter for latency."""
+
+import time
+
+
+def timed(fn):
+    start = time.monotonic()
+    fn()
+    return time.monotonic() - start
+
+
+def latency(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

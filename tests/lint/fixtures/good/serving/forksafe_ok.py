@@ -1,0 +1,27 @@
+"""Clean fork-safety: the full protocol, and lock-free classes."""
+
+import threading
+
+from repro.serving import forksafe
+
+
+class SafeCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        forksafe.protect(self)
+
+    def _reinit_after_fork_in_child(self):
+        self._lock = threading.Lock()
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+
+class NoLocks:
+    """No lock attributes — no protocol required."""
+
+    def __init__(self, lock):
+        # Borrowing someone else's lock is not *storing* a lock factory.
+        self._borrowed = lock

@@ -1,0 +1,15 @@
+"""Clean raises: the typed taxonomy at public entry points."""
+
+
+class UnknownModelError(LookupError):
+    pass
+
+
+class Gateway:
+    def __init__(self, models):
+        self._models = models
+
+    def top_k(self, name, users, k):
+        if name not in self._models:
+            raise UnknownModelError(name)
+        return self._models[name](users, k)

@@ -1,0 +1,30 @@
+"""Clean lock usage: nesting in documented order, re-entry, unknown locks."""
+
+
+class Registry:
+    def __init__(self, lock, entry, aux):
+        self._lock = lock
+        self._entry = entry
+        self._aux_lock = aux
+
+    def cold_start_then_record(self):
+        # Ascending rank: load_lock (10) outside, _lock (30, this file
+        # masquerades as metrics.py) inside — the documented order.
+        with self._entry.load_lock:
+            with self._lock:
+                return dict(self._entry.stats)
+
+    def record(self):
+        with self._lock:
+            # Locks outside the hierarchy table are never checked.
+            with self._aux_lock:
+                return 1
+
+    def deferred(self):
+        with self._lock:
+            def later():
+                # A nested def body runs at call time, not under the
+                # enclosing with — no inversion here.
+                with self._entry.load_lock:
+                    return 0
+            return later

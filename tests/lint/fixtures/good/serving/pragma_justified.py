@@ -1,0 +1,12 @@
+"""A justified pragma suppresses its finding — both placements."""
+
+import time
+
+
+def sweep_age(mtime):
+    # repro: allow(CLOCK-001) -- compares against a file mtime, which is wall-clock
+    return time.time() - mtime
+
+
+def sweep_age_inline(mtime):
+    return time.time() - mtime  # repro: allow(CLOCK-001) -- mtime comparison is wall-clock by definition

@@ -1,0 +1,82 @@
+"""CLI contract: ``python -m repro.lint`` exit codes and reporters.
+
+Exit codes are script-friendly and stable: 0 clean / 1 findings / 2 usage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.__main__ import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path):
+    (tmp_path / "serving").mkdir()
+    (tmp_path / "serving" / "x.py").write_text("import time\na = time.time()\n")
+    return tmp_path
+
+
+@pytest.fixture()
+def clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(clean_tree, capsys):
+    assert main([str(clean_tree)]) == EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_text_report(dirty_tree, capsys):
+    assert main([str(dirty_tree)]) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "[CLOCK-001]" in out and "hint:" in out
+
+
+def test_json_reporter_parses_and_carries_findings(dirty_tree, capsys):
+    assert main(["--json", str(dirty_tree)]) == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["findings"][0]["rule"] == "CLOCK-001"
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "absent")]) == EXIT_USAGE
+    assert "usage error" in capsys.readouterr().err
+
+
+def test_unknown_rule_is_usage_error(clean_tree, capsys):
+    assert main(["--rules", "NOPE-001", str(clean_tree)]) == EXIT_USAGE
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_unparseable_source_is_usage_error(tmp_path, capsys):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    assert main([str(tmp_path)]) == EXIT_USAGE
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_rules_filter_runs_only_selected(dirty_tree, capsys):
+    assert main(["--rules", "RNG-001", str(dirty_tree)]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    assert "rules" not in out or "CLOCK-001" not in out
+
+
+def test_list_rules_names_all_seven(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in (
+        "RNG-001",
+        "CLOCK-001",
+        "LOCK-001",
+        "FORK-001",
+        "RAISE-001",
+        "IO-001",
+        "EXPORT-001",
+    ):
+        assert rule_id in out

@@ -1,0 +1,144 @@
+"""Engine semantics: pragma grammar, suppression coverage, rule selection,
+reporters, and the PRAGMA-001 meta-rule."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    LintUsageError,
+    lint_text,
+    render_json,
+    render_text,
+    run_lint,
+)
+from repro.lint.engine import Finding, parse_pragmas
+from repro.lint.report import JSON_SCHEMA_VERSION
+
+pytestmark = pytest.mark.lint
+
+
+class TestPragmaParsing:
+    def test_inline_pragma_with_reason(self):
+        pragmas = parse_pragmas("x = 1  # repro: allow(RNG-001) -- because physics\n")
+        assert len(pragmas) == 1
+        pragma = pragmas[0]
+        assert pragma.rules == ("RNG-001",)
+        assert pragma.reason == "because physics"
+        assert not pragma.own_line
+        assert pragma.covers(1) and not pragma.covers(2)
+
+    def test_own_line_pragma_covers_next_line(self):
+        pragmas = parse_pragmas("# repro: allow(IO-001, CLOCK-001) -- why\nx = 1\n")
+        pragma = pragmas[0]
+        assert pragma.rules == ("IO-001", "CLOCK-001")
+        assert pragma.own_line
+        assert pragma.covers(2) and not pragma.covers(1)
+
+    def test_reasonless_pragma_parses_with_empty_reason(self):
+        (pragma,) = parse_pragmas("x  # repro: allow(RNG-001)\n")
+        assert pragma.reason == ""
+
+    def test_prose_describing_the_grammar_is_not_a_pragma(self):
+        assert parse_pragmas("# repro: allow(RULE-ID) -- reason goes here\n") == []
+        assert parse_pragmas("use repro: allow(...) to suppress\n") == []
+
+
+class TestSuppression:
+    SNIPPET = "import time\n\n\ndef f():\n    return time.time()  # repro: allow(CLOCK-001) -- wall-clock wanted\n"
+
+    def test_valid_pragma_suppresses(self):
+        assert lint_text(ALL_RULES, self.SNIPPET, rel="serving/x.py") == []
+
+    def test_reasonless_pragma_does_not_suppress_and_is_flagged(self):
+        snippet = self.SNIPPET.replace(" -- wall-clock wanted", "")
+        findings = lint_text(ALL_RULES, snippet, rel="serving/x.py")
+        assert {f.rule for f in findings} == {"CLOCK-001", "PRAGMA-001"}
+
+    def test_unknown_rule_id_does_not_suppress_and_is_flagged(self):
+        snippet = self.SNIPPET.replace("CLOCK-001", "ZZZ-999")
+        findings = lint_text(ALL_RULES, snippet, rel="serving/x.py")
+        assert {f.rule for f in findings} == {"CLOCK-001", "PRAGMA-001"}
+
+    def test_pragma_for_a_different_rule_does_not_suppress(self):
+        snippet = self.SNIPPET.replace("CLOCK-001", "RNG-001")
+        findings = lint_text(ALL_RULES, snippet, rel="serving/x.py")
+        assert [f.rule for f in findings] == ["CLOCK-001"]
+
+    def test_scope_matters_outside_scoped_packages_clock_is_silent(self):
+        findings = lint_text(ALL_RULES, "import time\nx = time.time()\n", rel="eval/x.py")
+        assert findings == []
+
+
+class TestRunLint:
+    def test_unknown_select_raises_usage_error(self, tmp_path):
+        (tmp_path / "m.py").write_text("x = 1\n")
+        with pytest.raises(LintUsageError):
+            run_lint(ALL_RULES, [tmp_path], select=["NOPE-123"])
+
+    def test_missing_path_raises_usage_error(self, tmp_path):
+        with pytest.raises(LintUsageError):
+            run_lint(ALL_RULES, [tmp_path / "absent"])
+
+    def test_select_narrows_rules(self, tmp_path):
+        (tmp_path / "serving").mkdir()
+        bad = tmp_path / "serving" / "x.py"
+        bad.write_text("import time\nimport numpy as np\nnp.random.seed(1)\nx = time.time()\n")
+        full = run_lint(ALL_RULES, [tmp_path], root=tmp_path)
+        assert {f.rule for f in full.findings} == {"RNG-001", "CLOCK-001"}
+        narrowed = run_lint(ALL_RULES, [tmp_path], root=tmp_path, select=["RNG-001"])
+        assert {f.rule for f in narrowed.findings} == {"RNG-001"}
+        assert narrowed.rules_run == ["RNG-001"]
+
+    def test_findings_sorted_and_counted(self, tmp_path):
+        (tmp_path / "serving").mkdir()
+        (tmp_path / "serving" / "x.py").write_text("import time\na = time.time()\nb = time.time()\n")
+        report = run_lint(ALL_RULES, [tmp_path], root=tmp_path)
+        assert [f.line for f in report.findings] == [2, 3]
+        assert report.files_scanned == 1
+        assert not report.clean
+
+
+class TestReporters:
+    def _report(self, tmp_path):
+        (tmp_path / "serving").mkdir()
+        (tmp_path / "serving" / "x.py").write_text("import time\na = time.time()\n")
+        return run_lint(ALL_RULES, [tmp_path], root=tmp_path)
+
+    def test_text_report_names_rule_path_line_and_hint(self, tmp_path):
+        text = render_text(self._report(tmp_path))
+        assert "[CLOCK-001]" in text
+        assert "serving/x.py:2" in text
+        assert "hint:" in text
+        assert "1 finding in 1 files" in text
+
+    def test_json_report_round_trips(self, tmp_path):
+        payload = json.loads(render_json(self._report(tmp_path)))
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["clean"] is False
+        assert payload["files_scanned"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "CLOCK-001"
+        assert finding["line"] == 2
+        assert set(finding) == {"path", "line", "rule", "message", "hint"}
+
+    def test_clean_report_says_clean(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = run_lint(ALL_RULES, [tmp_path], root=tmp_path)
+        assert report.clean
+        assert render_text(report).startswith("clean: 0 findings")
+
+
+class TestFindingOrdering:
+    def test_findings_sort_by_path_then_line(self):
+        findings = [
+            Finding("b.py", 3, "RNG-001", "m"),
+            Finding("a.py", 9, "IO-001", "m"),
+            Finding("a.py", 2, "RNG-001", "m"),
+        ]
+        ordered = sorted(findings)
+        assert [(f.path, f.line) for f in ordered] == [("a.py", 2), ("a.py", 9), ("b.py", 3)]

@@ -1,0 +1,168 @@
+"""Unit coverage for the runtime lock-order watchdog — including the
+deliberate-inversion test the acceptance criteria call for."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.lint import DEFAULT_HIERARCHY, LockOrderViolation, LockOrderWatchdog
+from repro.lint.lockwatch import WatchedLock
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture()
+def watchdog():
+    return LockOrderWatchdog()
+
+
+def _pair(watchdog):
+    outer = watchdog.wrap(threading.Lock(), "ModelCatalog._lock")
+    inner = watchdog.wrap(threading.Lock(), "MetricsRegistry._lock")
+    return outer, inner
+
+
+class TestOrdering:
+    def test_documented_order_is_clean(self, watchdog):
+        outer, inner = _pair(watchdog)
+        with outer:
+            with inner:
+                pass
+        watchdog.assert_clean()
+        assert watchdog.checked == 2
+
+    def test_deliberate_inversion_is_detected_and_raised(self, watchdog):
+        outer, inner = _pair(watchdog)
+        with inner:
+            with pytest.raises(LockOrderViolation, match="inversion"):
+                with outer:
+                    pass  # pragma: no cover - never reached
+        assert len(watchdog.violations) == 1
+        message = watchdog.violations[0]
+        assert "ModelCatalog._lock" in message and "MetricsRegistry._lock" in message
+        with pytest.raises(LockOrderViolation, match="1 lock-order inversion"):
+            watchdog.assert_clean()
+
+    def test_record_only_mode_collects_without_raising(self):
+        watchdog = LockOrderWatchdog(raise_on_violation=False)
+        outer, inner = _pair(watchdog)
+        with inner:
+            with outer:
+                pass
+        assert len(watchdog.violations) == 1
+
+    def test_same_rank_different_instances_is_a_violation(self, watchdog):
+        first = watchdog.wrap(threading.Lock(), "CatalogEntry.load_lock[a]", 10)
+        second = watchdog.wrap(threading.Lock(), "CatalogEntry.load_lock[b]", 10)
+        with first:
+            with pytest.raises(LockOrderViolation):
+                second.acquire()
+
+    def test_rlock_reentry_of_same_instance_is_legal(self, watchdog):
+        lock = watchdog.wrap(threading.RLock(), "ModelCatalog._lock")
+        with lock:
+            with lock:
+                pass
+        watchdog.assert_clean()
+
+    def test_chains_are_per_thread(self, watchdog):
+        outer, inner = _pair(watchdog)
+        errors = []
+
+        def hold_inner():
+            # This thread holds only the inner lock; the main thread's
+            # chain must not leak into it.
+            try:
+                with inner:
+                    barrier.wait(timeout=5)
+                    barrier.wait(timeout=5)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        barrier = threading.Barrier(2)
+        thread = threading.Thread(target=hold_inner)
+        thread.start()
+        barrier.wait(timeout=5)
+        with outer:  # other thread holds rank-30; this thread holds nothing
+            pass
+        barrier.wait(timeout=5)
+        thread.join(timeout=5)
+        assert errors == []
+        watchdog.assert_clean()
+
+    def test_failed_timeout_acquire_is_not_counted_as_held(self, watchdog):
+        raw = threading.Lock()
+        lock = watchdog.wrap(raw, "ModelCatalog._lock")
+        raw_inner = watchdog.wrap(threading.Lock(), "MetricsRegistry._lock")
+
+        raw.acquire()  # simulate another owner
+        try:
+            assert lock.acquire(timeout=0.01) is False
+            # Had the failed acquire been pushed, taking rank-30 then
+            # rank-20 below would *not* flag (chain thinks 20 is held).
+            with raw_inner:
+                with pytest.raises(LockOrderViolation):
+                    lock.acquire(timeout=0.01)
+        finally:
+            raw.release()
+
+
+class TestInstrumentation:
+    class Stack:
+        def __init__(self):
+            self._lock = threading.Lock()
+
+    def test_instrument_and_unwatch_restore_raw_lock(self, watchdog):
+        stack = self.Stack()
+        raw = stack._lock
+        watched = watchdog.instrument(stack, "_lock", "MetricsRegistry._lock")
+        assert isinstance(stack._lock, WatchedLock)
+        assert stack._lock is watched
+        with stack._lock:
+            pass
+        watchdog.unwatch_all()
+        assert stack._lock is raw
+
+    def test_instrument_is_idempotent(self, watchdog):
+        stack = self.Stack()
+        first = watchdog.instrument(stack, "_lock", "MetricsRegistry._lock")
+        second = watchdog.instrument(stack, "_lock", "MetricsRegistry._lock")
+        assert first is second
+
+    def test_wrap_defaults_rank_from_documented_hierarchy(self, watchdog):
+        for label, rank in DEFAULT_HIERARCHY.items():
+            assert watchdog.wrap(threading.Lock(), label).rank == rank
+
+    def test_context_manager_unwatches_on_exit(self):
+        stack = self.Stack()
+        raw = stack._lock
+        with LockOrderWatchdog() as watchdog:
+            watchdog.instrument(stack, "_lock", "MetricsRegistry._lock")
+            assert isinstance(stack._lock, WatchedLock)
+        assert stack._lock is raw
+
+
+class TestServingStackIntegration:
+    def test_watch_stack_covers_catalog_entries_and_metrics(self, tmp_path, small_split):
+        # A real catalog over a real artifact directory: watch, serve,
+        # assert the documented hierarchy held on the live cold-start path.
+        from repro.models import ModelSettings, build_model
+        from repro.persist import save_model
+        from repro.serving import ModelCatalog
+
+        model = build_model("MF", small_split.train, ModelSettings(embedding_dim=8))
+        save_model(model, tmp_path / "mf.npz")
+
+        catalog = ModelCatalog(tmp_path, small_split.train)
+        watchdog = LockOrderWatchdog()
+        watchdog.watch_stack(catalog)
+        try:
+            store = catalog.store("mf")  # cold start: load_lock -> _lock path
+            assert store is not None
+            catalog.evict("mf")  # _lock -> metrics._lock path
+        finally:
+            watchdog.unwatch_all()
+        watchdog.assert_clean()
+        assert watchdog.checked > 0

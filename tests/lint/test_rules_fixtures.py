@@ -1,0 +1,85 @@
+"""Fixture-based coverage for every rule: each bad fixture produces exactly
+its annotated findings, each good fixture (including pragma'd code) is clean.
+
+Bad fixtures self-describe their expectations:
+
+* ``# expect: RULE-ID`` trailing a line expects that rule *on that line*;
+* ``# expects: RULE-ID@LINE, ...`` in the module docstring declares
+  absolute expectations, for lines (like suppression pragmas) that cannot
+  carry a trailing comment without changing their meaning.
+
+The fixture trees masquerade as package code: ``fixtures/bad`` is passed
+as the scan root, so ``fixtures/bad/serving/x.py`` checks under the
+logical path ``serving/x.py`` and scoped rules (CLOCK, FORK, RAISE, IO)
+apply exactly as they would in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Set, Tuple
+
+import pytest
+
+from repro.lint import ALL_RULES, run_lint
+
+pytestmark = pytest.mark.lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "bad"
+GOOD = FIXTURES / "good"
+
+_EXPECT_INLINE = re.compile(r"#\s*expect:\s*(?P<rules>[A-Z]+-\d{3}(?:\s*,\s*[A-Z]+-\d{3})*)")
+_EXPECT_ABS = re.compile(r"#\s*expects:\s*(?P<pairs>[A-Z]+-\d{3}@\d+(?:\s*,\s*[A-Z]+-\d{3}@\d+)*)")
+
+
+def _expected(path: Path) -> Set[Tuple[int, str]]:
+    expected: Set[Tuple[int, str]] = set()
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        inline = _EXPECT_INLINE.search(line)
+        if inline:
+            for rule in inline.group("rules").split(","):
+                expected.add((number, rule.strip()))
+        absolute = _EXPECT_ABS.search(line)
+        if absolute:
+            for pair in absolute.group("pairs").split(","):
+                rule, _, at = pair.strip().partition("@")
+                expected.add((int(at), rule))
+    return expected
+
+
+def _bad_files():
+    return sorted(BAD.rglob("*.py"))
+
+
+@pytest.mark.parametrize("path", _bad_files(), ids=lambda p: p.relative_to(BAD).as_posix())
+def test_bad_fixture_produces_exactly_its_expected_findings(path):
+    # Support files (e.g. pkg/real.py backing the __init__ fixture) carry
+    # no annotations and must stay finding-free themselves.
+    expected = _expected(path)
+    report = run_lint(ALL_RULES, [BAD], root=BAD)
+    display = path.as_posix()
+    actual = {(f.line, f.rule) for f in report.findings if f.path == display}
+    assert actual == expected
+
+
+def test_every_rule_has_at_least_one_firing_bad_fixture():
+    """The acceptance bar: each registered rule provably fires."""
+    report = run_lint(ALL_RULES, [BAD], root=BAD)
+    fired = {f.rule for f in report.findings}
+    for rule in ALL_RULES:
+        assert rule.id in fired, f"no bad fixture exercises {rule.id}"
+    assert "PRAGMA-001" in fired  # the engine's own rule fires too
+
+
+def test_good_fixtures_are_clean_and_pragmas_suppress():
+    report = run_lint(ALL_RULES, [GOOD], root=GOOD)
+    assert report.findings == []
+    # The justified-pragma fixture suppresses both placements.
+    assert report.suppressed == 2
+
+
+def test_expect_annotations_and_fixture_tree_are_nontrivial():
+    assert len(_bad_files()) >= 8
+    assert len(sorted(GOOD.rglob("*.py"))) >= 8

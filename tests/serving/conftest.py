@@ -1,0 +1,23 @@
+"""Shared fixtures for the serving test tree."""
+
+import pytest
+
+from repro.lint import LockOrderWatchdog
+
+
+@pytest.fixture()
+def lock_watchdog():
+    """Runtime lock-order watchdog for stress/chaos storms.
+
+    A test builds its catalog, then calls
+    ``lock_watchdog.watch_stack(catalog)`` to swap the documented locks
+    (``CatalogEntry.load_lock`` → ``ModelCatalog._lock`` →
+    ``MetricsRegistry._lock``) for instrumented proxies.  Teardown
+    restores the raw locks and fails the test if any thread ever
+    *attempted* an acquisition that inverts the hierarchy — deadlock
+    risks surface on every run, not only on the losing interleaving.
+    """
+    watchdog = LockOrderWatchdog()
+    yield watchdog
+    watchdog.unwatch_all()
+    watchdog.assert_clean()

@@ -109,7 +109,9 @@ class TestThreadedChaos:
             assert not thread.is_alive(), "request thread hung: termination invariant broken"
         return outcomes
 
-    def test_storm_of_faults_holds_every_invariant(self, chaos_dir, small_split, reference):
+    def test_storm_of_faults_holds_every_invariant(
+        self, chaos_dir, small_split, reference, lock_watchdog
+    ):
         num_users = small_split.train.num_users
         policy = ResiliencePolicy(
             deadline_seconds=5.0,
@@ -120,6 +122,7 @@ class TestThreadedChaos:
             fallback_models=("pop",),
         )
         catalog = ModelCatalog(chaos_dir, small_split.train, default_k=K)
+        lock_watchdog.watch_stack(catalog)
         gateway = ServingGateway(catalog, default_model="mf", policy=policy)
         gateway.top_k(np.arange(4), k=K)  # one clean serve seeds last-good
         catalog.evict_all()
@@ -178,7 +181,9 @@ class TestThreadedChaos:
         # The stack still serves cleanly after the chaos (no wedged state).
         assert gateway.top_k(np.arange(6), k=K).items.shape == (6, K)
 
-    def test_storm_is_livelock_free_without_fallbacks(self, chaos_dir, small_split, reference):
+    def test_storm_is_livelock_free_without_fallbacks(
+        self, chaos_dir, small_split, reference, lock_watchdog
+    ):
         """Hard mode: a permanent fault, no stale copy, no fallback model.
 
         Every request must still terminate promptly with a *typed*
@@ -191,6 +196,7 @@ class TestThreadedChaos:
             serve_stale_on_failure=False,
         )
         catalog = ModelCatalog(chaos_dir, small_split.train, default_k=K)
+        lock_watchdog.watch_stack(catalog)
         gateway = ServingGateway(catalog, default_model="mf", policy=policy)
         plan = FaultPlan(
             [FaultRule("catalog.cold_start", match="mf", count=None)], seed=77

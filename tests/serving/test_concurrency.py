@@ -110,7 +110,7 @@ def _mixed_ops(seed, count, users_pool):
 
 class TestMixedTrafficOracleParity:
     def test_concurrent_results_bitwise_identical_to_sequential_replay(
-        self, catalog_dir, small_split, monkeypatch
+        self, catalog_dir, small_split, monkeypatch, lock_watchdog
     ):
         users_pool = np.asarray(sorted(small_split.test))[:24]
         per_thread_ops = [
@@ -131,6 +131,7 @@ class TestMixedTrafficOracleParity:
         probe = _SingleFlightProbe(persist.load_model)
         monkeypatch.setattr(persist, "load_model", probe)
         catalog = ModelCatalog(catalog_dir, small_split.train, resident_budget=2)
+        lock_watchdog.watch_stack(catalog)
         results = [[None] * OPS_PER_THREAD for _ in range(NUM_THREADS)]
         barrier = threading.Barrier(NUM_THREADS)
 
@@ -164,10 +165,13 @@ class TestMixedTrafficOracleParity:
         assert catalog.stats.cold_starts == sum(probe.loads.values())
         assert len(catalog.resident_names) <= 2
 
-    def test_thundering_herd_cold_starts_exactly_once(self, catalog_dir, small_split, monkeypatch):
+    def test_thundering_herd_cold_starts_exactly_once(
+        self, catalog_dir, small_split, monkeypatch, lock_watchdog
+    ):
         probe = _SingleFlightProbe(persist.load_model)
         monkeypatch.setattr(persist, "load_model", probe)
         catalog = ModelCatalog(catalog_dir, small_split.train)
+        lock_watchdog.watch_stack(catalog)
         users = np.asarray(sorted(small_split.test))[:8]
         num_threads = 8
         barrier = threading.Barrier(num_threads)
